@@ -1,0 +1,118 @@
+"""End-to-end fault-tolerance overhead: Full vs MoC over long runs.
+
+Complements the Eq. 12/13 closed form (``bench_overhead_model``) with a
+stochastic simulation: 30 replicated runs of 20k iterations per method
+and fault rate, with Poisson faults, restart costs and replay.  Checks
+the paper's bottom line — MoC's total overhead O_ckpt is a fraction of
+Full's under both of its strategies — and quantifies the replay-cascade
+effect the closed form misses at high fault rates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import once
+from repro.analysis import render_table
+from repro.core import ShardingPolicy, equal_ratio_interval
+from repro.distsim import (
+    FaultSimConfig,
+    TimelineConfig,
+    case1,
+    checkpoint_cost,
+    expected_overhead,
+    mean_overhead,
+    pec_plan_for,
+    simulate_many,
+    simulate_timeline,
+)
+
+TOTAL_ITERATIONS = 20_000
+RUNS = 30
+RESTART = 20.0
+FAULT_RATES = (1e-4, 1e-3)
+FULL_INTERVAL = 64
+
+
+def o_saves_for_case1():
+    deployment = case1()
+    times = deployment.iteration_times()
+    iteration_seconds = times.fb + times.update
+    full_cost = checkpoint_cost(
+        deployment.spec, deployment.topology, deployment.cluster, ShardingPolicy.BASELINE
+    )
+    moc_cost = checkpoint_cost(
+        deployment.spec, deployment.topology, deployment.cluster, ShardingPolicy.EE_AN,
+        pec_plan=pec_plan_for(deployment.spec, 1),
+    )
+
+    def measure(mode, cost):
+        result = simulate_timeline(
+            TimelineConfig(
+                t_fb=times.fb, t_update=times.update,
+                t_snapshot=cost.snapshot_seconds, t_persist=cost.persist_seconds,
+                num_iterations=40, checkpoint_interval=4, mode=mode,
+            )
+        )
+        return result.o_save / iteration_seconds
+
+    return measure("blocking", full_cost), max(measure("async", moc_cost), 1e-3)
+
+
+def compute_end_to_end():
+    o_full, o_moc = o_saves_for_case1()
+    rows = []
+    for fault_rate in FAULT_RATES:
+        full_config = FaultSimConfig(
+            total_iterations=TOTAL_ITERATIONS, checkpoint_interval=FULL_INTERVAL,
+            o_save=o_full, o_restart=RESTART, fault_rate=fault_rate,
+        )
+        moc_same = FaultSimConfig(
+            total_iterations=TOTAL_ITERATIONS, checkpoint_interval=FULL_INTERVAL,
+            o_save=o_moc, o_restart=RESTART, fault_rate=fault_rate,
+            persist_lag_checkpoints=1,  # async persist trails by one
+        )
+        moc_interval = max(int(equal_ratio_interval(o_moc, o_full, FULL_INTERVAL)), 1)
+        moc_short = FaultSimConfig(
+            total_iterations=TOTAL_ITERATIONS, checkpoint_interval=moc_interval,
+            o_save=o_moc, o_restart=RESTART, fault_rate=fault_rate,
+            persist_lag_checkpoints=1,
+        )
+        entry = [f"{fault_rate:g}"]
+        for label, config in (
+            ("Full", full_config), ("MoC same-I", moc_same), ("MoC short-I", moc_short)
+        ):
+            results = simulate_many(config, RUNS, seed=7)
+            entry.append(mean_overhead(results))
+            entry.append(expected_overhead(config))
+        rows.append(tuple(entry))
+    return (o_full, o_moc), rows
+
+
+def test_faultsim_end_to_end(benchmark, report):
+    (o_full, o_moc), rows = once(benchmark, compute_end_to_end)
+    report(
+        "faultsim_end_to_end",
+        f"O_save(Full)={o_full:.2f} it, O_save(MoC)={o_moc:.3f} it, "
+        f"restart={RESTART} it, {RUNS} runs x {TOTAL_ITERATIONS} iterations\n"
+        + render_table(
+            [
+                "fault rate",
+                "Full sim", "Full Eq.12",
+                "MoC same-I sim", "Eq.13",
+                "MoC short-I sim", "Eq.13 ",
+            ],
+            rows,
+            precision=0,
+        ),
+    )
+    for row in rows:
+        _, full_sim, full_eq, moc_same_sim, moc_same_eq, moc_short_sim, moc_short_eq = row
+        # simulation agrees with the closed form within 25%
+        assert abs(full_sim - full_eq) / full_eq < 0.25
+        assert abs(moc_same_sim - moc_same_eq) / moc_same_eq < 0.25
+        # MoC beats Full end-to-end under both strategies
+        assert moc_same_sim < full_sim
+        assert moc_short_sim < full_sim
+        # the shortened interval helps most (smaller lost progress)
+        assert moc_short_sim <= moc_same_sim * 1.1

@@ -1,0 +1,91 @@
+"""Figure 5: PLT vs (K_pec, I_ckpt) grid and its effect on validation loss.
+
+A GPT-MoE-8E is pre-trained with one mid-training fault under every
+(K_pec, I_ckpt) combination; we report the measured PLT (Eq. 7), the
+analytic closed form, and the final validation loss against the
+non-fault run.  The paper's findings to reproduce:
+
+* PLT grows with I_ckpt and shrinks with K_pec;
+* validation loss stays comparable to the non-fault case while PLT is
+  small (the paper's threshold: 3.75%).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.analysis import render_table
+from repro.core import DEFAULT_PLT_THRESHOLD, PECConfig, analytic_plt
+from _workloads import NUM_EXPERTS, pretrain
+
+K_VALUES = (1, 2, 4)
+INTERVALS = (4, 8, 16)
+TOTAL = 96
+
+
+def compute_grid(tmp_root):
+    baseline = pretrain(str(tmp_root / "nofault"), total_iterations=TOTAL)
+    cells = []
+    for k in K_VALUES:
+        for interval in INTERVALS:
+            result = pretrain(
+                str(tmp_root / f"k{k}i{interval}"),
+                total_iterations=TOTAL,
+                checkpoint_interval=interval,
+                pec=PECConfig(k_snapshot=k, k_persist=k),
+                fault_iterations=(TOTAL // 2,),
+                two_level_recovery=False,
+                failed_nodes=(0, 1),
+            )
+            predicted = analytic_plt(NUM_EXPERTS, k, interval, 1, TOTAL)
+            cells.append(
+                {
+                    "k": k,
+                    "interval": interval,
+                    "plt": result.plt,
+                    "analytic": predicted,
+                    "val_loss": result.final_val_loss,
+                }
+            )
+    return baseline, cells
+
+
+def test_fig05_plt_and_loss_grid(benchmark, report, tmp_path):
+    baseline, cells = once(benchmark, lambda: compute_grid(tmp_path))
+    rows = [
+        (
+            f"K={cell['k']}",
+            cell["interval"],
+            100 * cell["plt"],
+            100 * cell["analytic"],
+            cell["val_loss"],
+            cell["val_loss"] - baseline.final_val_loss,
+        )
+        for cell in cells
+    ]
+    rows.append(("non-fault", "-", 0.0, 0.0, baseline.final_val_loss, 0.0))
+    report(
+        "fig05_plt_grid",
+        render_table(
+            ["K_pec", "I_ckpt", "PLT %", "analytic PLT %", "val loss", "delta vs non-fault"],
+            rows,
+            precision=3,
+        ),
+    )
+
+    by_cell = {(cell["k"], cell["interval"]): cell for cell in cells}
+    # PLT decreases with K at fixed interval
+    for interval in INTERVALS:
+        plts = [by_cell[(k, interval)]["plt"] for k in K_VALUES]
+        assert plts == sorted(plts, reverse=True), f"I={interval}"
+    # PLT increases with interval at fixed K
+    for k in K_VALUES:
+        plts = [by_cell[(k, interval)]["plt"] for interval in INTERVALS]
+        assert plts == sorted(plts), f"K={k}"
+    # measured PLT tracks the analytic closed form (same order of magnitude)
+    for cell in cells:
+        if cell["analytic"] > 0:
+            assert 0.3 < cell["plt"] / cell["analytic"] < 3.0, cell
+    # validation loss comparable to non-fault where PLT below threshold
+    for cell in cells:
+        if cell["plt"] <= DEFAULT_PLT_THRESHOLD:
+            assert abs(cell["val_loss"] - baseline.final_val_loss) < 0.05, cell

@@ -1,0 +1,123 @@
+"""Figure 10 + Figure 2: checkpoint sizes under PEC and sharding.
+
+Regenerates:
+
+* Figure 2's checkpoint composition pie (GPT-350M-16E);
+* Figure 10(a): total checkpoint size vs ``K_pec``
+  (paper: 100 / 69.2 / 53.8 / 46.1 / 42.3 %);
+* Figure 10(b-d): bottleneck-rank checkpoint bytes for
+  Baseline / EE / EE+EN / EE+AN under full saving and ``K_pec = 1``,
+  for the three Table 2 deployment cases.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.analysis import render_table
+from repro.core import ShardingPolicy
+from repro.distsim import GB, checkpoint_cost, gpt_350m_16e, paper_cases, pec_plan_for
+
+POLICIES = [
+    ("Baseline", ShardingPolicy.BASELINE),
+    ("EE", ShardingPolicy.EE),
+    ("EE+EN", ShardingPolicy.EE_EN),
+    ("EE+AN", ShardingPolicy.EE_AN),
+]
+
+PAPER_FIG10A = {16: 1.0, 8: 0.692, 4: 0.538, 2: 0.461, 1: 0.423}
+
+
+def compute_fig10a():
+    spec = gpt_350m_16e()
+    full = spec.full_checkpoint_bytes()
+    rows = []
+    for k in (16, 8, 4, 2, 1):
+        size = spec.pec_checkpoint_bytes(k)
+        rows.append(
+            (
+                f"K={k}" + (" (Full)" if k == 16 else ""),
+                size / GB,
+                100.0 * size / full,
+                100.0 * PAPER_FIG10A[k],
+            )
+        )
+    return rows
+
+
+def compute_fig10_bottleneck():
+    tables = {}
+    for deployment in paper_cases():
+        rows = []
+        for label, policy in POLICIES:
+            full_cost = checkpoint_cost(
+                deployment.spec, deployment.topology, deployment.cluster, policy
+            )
+            pec_cost = checkpoint_cost(
+                deployment.spec,
+                deployment.topology,
+                deployment.cluster,
+                policy,
+                pec_plan=pec_plan_for(deployment.spec, 1),
+            )
+            rows.append(
+                (
+                    label,
+                    full_cost.bottleneck_rank_bytes / GB,
+                    pec_cost.bottleneck_rank_bytes / GB,
+                )
+            )
+        tables[deployment.name] = rows
+    return tables
+
+
+def test_fig02_composition(benchmark, report):
+    spec = gpt_350m_16e()
+    comp = once(benchmark, spec.checkpoint_composition)
+    paper = {
+        "expert_params": 0.12,
+        "non_expert_params": 0.02,
+        "expert_optimizer": 0.74,
+        "non_expert_optimizer": 0.12,
+        "other": 0.0,
+    }
+    rows = [
+        (name, 100 * value, 100 * paper[name]) for name, value in comp.items()
+    ]
+    report(
+        "fig02_composition",
+        render_table(["component", "measured %", "paper %"], rows, precision=1),
+    )
+    assert abs(comp["expert_optimizer"] - 0.74) < 0.01
+
+
+def test_fig10a_total_checkpoint_size(benchmark, report):
+    rows = once(benchmark, compute_fig10a)
+    report(
+        "fig10a_total_size",
+        render_table(["K_pec", "size GB", "measured %", "paper %"], rows, precision=1),
+    )
+    for _, _, measured, paper in rows:
+        assert abs(measured - paper) < 1.0  # within 1 percentage point
+
+
+def test_fig10bcd_bottleneck_rank(benchmark, report):
+    tables = once(benchmark, compute_fig10_bottleneck)
+    blocks = []
+    for case_name, rows in tables.items():
+        blocks.append(
+            f"[{case_name}]\n"
+            + render_table(["method", "Full GB", "K_pec=1 GB"], rows, precision=2)
+        )
+    report("fig10bcd_bottleneck", "\n\n".join(blocks))
+
+    for case_name, rows in tables.items():
+        by_label = {label: (full, pec) for label, full, pec in rows}
+        # fully sharded strictly better than the baseline everywhere
+        assert by_label["EE+EN"][0] < by_label["Baseline"][0]
+        assert by_label["EE+AN"][1] <= by_label["EE+EN"][1]
+        # PEC always shrinks the bottleneck vs full saving
+        for label, (full, pec) in by_label.items():
+            assert pec < full
+    # EE helps only in Case3 (multiple EP groups) — the paper's key point
+    assert tables["Case3"][1][1] < tables["Case3"][0][1]
+    assert tables["Case1"][1][1] == tables["Case1"][0][1]

@@ -1,0 +1,82 @@
+"""Figure 11: per-iteration time breakdown with two-level checkpointing.
+
+For each Table 2 case, reports F&B / update / snapshot / persist
+durations for the baseline method and for MoC with
+``K_snapshot = K_persist = K`` in {16, 8, 4, 2, 1} under fully sharded
+checkpointing — the paper's key observations being:
+
+* the baseline snapshot exceeds F&B in Cases 1 and 3 (checkpoint stall);
+* fully sharded checkpointing alone (K=16) beats the baseline;
+* small K brings the snapshot under the overlap line.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.analysis import render_table
+from repro.core import ShardingPolicy
+from repro.distsim import checkpoint_cost, paper_cases, pec_plan_for
+
+K_VALUES = (16, 8, 4, 2, 1)
+
+
+def compute_breakdown():
+    tables = {}
+    overlap = {}
+    for deployment in paper_cases():
+        times = deployment.iteration_times()
+        overlap[deployment.name] = times.fb
+        rows = []
+        baseline = checkpoint_cost(
+            deployment.spec, deployment.topology, deployment.cluster,
+            ShardingPolicy.BASELINE,
+        )
+        rows.append(
+            ("Baseline", times.fb, times.update,
+             baseline.snapshot_seconds, baseline.persist_seconds)
+        )
+        for k in K_VALUES:
+            cost = checkpoint_cost(
+                deployment.spec, deployment.topology, deployment.cluster,
+                ShardingPolicy.EE_AN,
+                pec_plan=pec_plan_for(deployment.spec, k),
+            )
+            label = f"K={k}" + (" (Full)" if k == 16 else "")
+            rows.append(
+                (label, times.fb, times.update,
+                 cost.snapshot_seconds, cost.persist_seconds)
+            )
+        tables[deployment.name] = rows
+    return tables, overlap
+
+
+def test_fig11_iteration_breakdown(benchmark, report):
+    tables, overlap = once(benchmark, compute_breakdown)
+    blocks = []
+    for case_name, rows in tables.items():
+        blocks.append(
+            f"[{case_name}] overlap line (F&B) = {overlap[case_name]:.2f}s\n"
+            + render_table(
+                ["method", "F&B s", "update s", "snapshot s", "persist s"],
+                rows,
+                precision=2,
+            )
+        )
+    report("fig11_breakdown", "\n\n".join(blocks))
+
+    for case_name, rows in tables.items():
+        by_label = {row[0]: row for row in rows}
+        fb = overlap[case_name]
+        # Fully sharded full saving beats the baseline snapshot
+        assert by_label["K=16 (Full)"][3] <= by_label["Baseline"][3]
+        # snapshot time decreases monotonically with K
+        snaps = [by_label[f"K={k}" + (" (Full)" if k == 16 else "")][3] for k in K_VALUES]
+        assert snaps == sorted(snaps, reverse=True)
+        # K=1 snapshot fits under the overlap line in every case
+        assert snaps[-1] < fb
+
+    # the paper's stall cases: baseline snapshot exceeds F&B in Case1/Case3
+    assert tables["Case1"][0][3] > overlap["Case1"]
+    assert tables["Case3"][0][3] > overlap["Case3"]
+    # ... but not (meaningfully) in Case2
+    assert tables["Case2"][0][3] < overlap["Case2"] * 1.1

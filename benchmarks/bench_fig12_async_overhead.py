@@ -1,0 +1,117 @@
+"""Figure 12: end-to-end asynchronous checkpointing comparison.
+
+For the three deployment cases, simulates a checkpointed training
+stretch under:
+
+* ``Baseline``   — blocking full checkpointing (Megatron-DeepSpeed);
+* ``Base-Async`` — asynchronous two-phase checkpointing, full states;
+* ``MoC-Async``  — asynchronous + fully sharded + PEC (K=1).
+
+Reports the duration of a checkpoint-carrying iteration, the
+per-checkpoint overhead O_save, the overhead reduction (paper: -98.2% to
+-98.9%) and the iteration speedup (paper: 3.25x to 5.12x), plus the
+minimum feasible checkpoint interval (MoC halves it, Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.analysis import render_table
+from repro.core import ShardingPolicy
+from repro.distsim import (
+    TimelineConfig,
+    checkpoint_cost,
+    min_checkpoint_interval_iterations,
+    paper_cases,
+    pec_plan_for,
+    simulate_timeline,
+)
+
+
+def simulate_case(deployment):
+    times = deployment.iteration_times()
+    base_cost = checkpoint_cost(
+        deployment.spec, deployment.topology, deployment.cluster,
+        ShardingPolicy.BASELINE,
+    )
+    moc_cost = checkpoint_cost(
+        deployment.spec, deployment.topology, deployment.cluster,
+        ShardingPolicy.EE_AN, pec_plan=pec_plan_for(deployment.spec, 1),
+    )
+
+    def run(mode, cost):
+        return simulate_timeline(
+            TimelineConfig(
+                t_fb=times.fb,
+                t_update=times.update,
+                t_snapshot=cost.snapshot_seconds,
+                t_persist=cost.persist_seconds,
+                num_iterations=60,
+                checkpoint_interval=4,
+                mode=mode,
+            )
+        )
+
+    blocking = run("blocking", base_cost)
+    base_async = run("async", base_cost)
+    moc_async = run("async", moc_cost)
+    iteration_time = times.fb + times.update
+    return {
+        "Baseline": blocking,
+        "Base-Async": base_async,
+        "MoC-Async": moc_async,
+        "_iteration_time": iteration_time,
+        "_intervals": (
+            min_checkpoint_interval_iterations(base_cost.persist_seconds, iteration_time),
+            min_checkpoint_interval_iterations(moc_cost.persist_seconds, iteration_time),
+        ),
+    }
+
+
+def compute_fig12():
+    return {deployment.name: simulate_case(deployment) for deployment in paper_cases()}
+
+
+def test_fig12_async_overhead(benchmark, report):
+    results = once(benchmark, compute_fig12)
+    rows = []
+    for case_name, data in results.items():
+        blocking = data["Baseline"]
+        moc = data["MoC-Async"]
+        base_async = data["Base-Async"]
+        o_save_reduction = 100.0 * (1 - moc.o_save / blocking.o_save)
+        speedup = blocking.checkpoint_iteration_time / max(
+            moc.checkpoint_iteration_time, data["_iteration_time"]
+        )
+        base_interval, moc_interval = data["_intervals"]
+        rows.append(
+            (
+                case_name,
+                blocking.checkpoint_iteration_time,
+                base_async.o_save,
+                moc.o_save,
+                o_save_reduction,
+                speedup,
+                base_interval,
+                moc_interval,
+            )
+        )
+    report(
+        "fig12_async",
+        render_table(
+            [
+                "case", "blocking iter s", "BaseAsync O_save s", "MoCAsync O_save s",
+                "O_save reduction %", "speedup x", "min I_ckpt base", "min I_ckpt MoC",
+            ],
+            rows,
+            precision=2,
+        ),
+    )
+    for (case_name, _, base_async_osave, moc_osave, reduction, speedup,
+         base_interval, moc_interval) in rows:
+        # paper: >98% overhead reduction, 3.25-5.12x speedup band
+        assert reduction > 95.0, case_name
+        assert speedup > 2.0, case_name
+        assert moc_osave <= base_async_osave + 1e-9
+        # MoC at least halves the feasible checkpoint interval
+        assert moc_interval < base_interval / 2.0

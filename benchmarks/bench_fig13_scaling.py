@@ -1,0 +1,177 @@
+"""Figure 13: scaling and generalizing simulations (the ASTRA-sim study).
+
+Six panels, each a sweep of training-iteration duration for Baseline /
+Base-Async / MoC-Async (MoC saves 1/8 of experts per checkpoint):
+
+(a) #GPUs with DP+EP on A800 (one expert per GPU per layer);
+(b) #GPUs with DP+EP+TP (4-way TP) on A800;
+(c) #GPUs with DP+EP on H100;
+(d) sequence length at 256 GPUs;
+(e) model size (hidden 1024/2048/3072) at 256 GPUs;
+(f) total persisted bytes: Base-Persist vs MoC-Persist.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+from repro.analysis import Series, render_series, render_table
+from repro.core import ShardingPolicy
+from repro.distsim import (
+    A800_CLUSTER,
+    GB,
+    H100_CLUSTER,
+    ParallelConfig,
+    TimelineConfig,
+    checkpoint_cost,
+    iteration_times,
+    llama_moe,
+    pec_plan_for,
+    persist_file_bytes,
+    simulate_timeline,
+)
+
+GPU_SWEEP = (32, 64, 128, 256, 512, 1024)
+SEQ_SWEEP = (512, 1024, 2048, 4096)
+SIZE_SWEEP = (("Small", 1024), ("Medium", 2048), ("Large", 3072))
+
+
+def methods_for(spec, parallel, cluster):
+    """Iteration duration (with a checkpoint) for the three methods."""
+    times = iteration_times(spec, parallel, cluster)
+    topo = parallel.topology(cluster.gpus_per_node)
+    base = checkpoint_cost(spec, topo, cluster, ShardingPolicy.BASELINE)
+    moc = checkpoint_cost(
+        spec, topo, cluster, ShardingPolicy.EE_AN,
+        pec_plan=pec_plan_for(spec, max(1, spec.num_experts // 8)),
+    )
+
+    def iteration_with_ckpt(mode, cost):
+        result = simulate_timeline(
+            TimelineConfig(
+                t_fb=times.fb, t_update=times.update,
+                t_snapshot=cost.snapshot_seconds, t_persist=cost.persist_seconds,
+                num_iterations=12, checkpoint_interval=2, mode=mode,
+            )
+        )
+        return result.checkpoint_iteration_time
+
+    return {
+        "Baseline": iteration_with_ckpt("blocking", base),
+        "Base-Async": iteration_with_ckpt("async", base),
+        "MoC-Async": iteration_with_ckpt("async", moc),
+        "_fb": times.fb,
+        "_snapshot_base": base.snapshot_seconds,
+        "_snapshot_moc": moc.snapshot_seconds,
+    }
+
+
+def sweep_gpus(cluster, d_tp=1, tokens=16 * 1024):
+    series = {name: Series(name) for name in ("Baseline", "Base-Async", "MoC-Async")}
+    details = []
+    for gpus in GPU_SWEEP:
+        d_dp = gpus // d_tp
+        spec = llama_moe(num_experts=d_dp)  # one expert per DP rank per layer
+        parallel = ParallelConfig(d_dp=d_dp, d_ep=d_dp, d_tp=d_tp, tokens_per_gpu=tokens)
+        data = methods_for(spec, parallel, cluster)
+        for name in series:
+            series[name].append(gpus, data[name])
+        details.append((gpus, data["_fb"], data["_snapshot_base"], data["_snapshot_moc"]))
+    return list(series.values()), details
+
+
+def compute_all():
+    panels = {}
+    panels["a_dp_ep_a800"] = sweep_gpus(A800_CLUSTER)
+    panels["b_dp_ep_tp_a800"] = sweep_gpus(A800_CLUSTER, d_tp=4)
+    panels["c_dp_ep_h100"] = sweep_gpus(H100_CLUSTER)
+
+    # (d) sequence length at 256 GPUs
+    seq_series = {name: Series(name) for name in ("Baseline", "Base-Async", "MoC-Async")}
+    for seq in SEQ_SWEEP:
+        spec = llama_moe(num_experts=256, seq_len=seq)
+        parallel = ParallelConfig(d_dp=256, d_ep=256, tokens_per_gpu=8 * seq)
+        data = methods_for(spec, parallel, A800_CLUSTER)
+        for name in seq_series:
+            seq_series[name].append(seq, data[name])
+    panels["d_seq_len"] = (list(seq_series.values()), None)
+
+    # (e) model size at 256 GPUs
+    size_series = {name: Series(name) for name in ("Baseline", "Base-Async", "MoC-Async")}
+    for index, (label, hidden) in enumerate(SIZE_SWEEP):
+        spec = llama_moe(num_experts=256, hidden=hidden)
+        parallel = ParallelConfig(d_dp=256, d_ep=256, tokens_per_gpu=16 * 1024)
+        data = methods_for(spec, parallel, A800_CLUSTER)
+        for name in size_series:
+            size_series[name].append(index, data[name])
+    panels["e_model_size"] = (list(size_series.values()), None)
+
+    # (f) persist file size
+    persist_rows = []
+    for gpus in GPU_SWEEP:
+        spec = llama_moe(num_experts=gpus)
+        topo = ParallelConfig(d_dp=gpus, d_ep=gpus).topology()
+        base = persist_file_bytes(spec, topo, None)
+        moc = persist_file_bytes(spec, topo, k_persist=max(1, gpus // 8))
+        persist_rows.append((gpus, base / GB, moc / GB))
+    panels["f_persist_size"] = persist_rows
+    return panels
+
+
+def test_fig13_scaling(benchmark, report):
+    panels = once(benchmark, compute_all)
+    blocks = []
+    for key in ("a_dp_ep_a800", "b_dp_ep_tp_a800", "c_dp_ep_h100"):
+        series, _ = panels[key]
+        blocks.append(render_series(f"Figure 13({key[0]}): iteration time (s) vs #GPUs", series, precision=2))
+    blocks.append(
+        render_series("Figure 13(d): iteration time (s) vs sequence length",
+                      panels["d_seq_len"][0], precision=2)
+    )
+    blocks.append(
+        render_series("Figure 13(e): iteration time (s) vs model size (0=S,1=M,2=L)",
+                      panels["e_model_size"][0], precision=2)
+    )
+    blocks.append(
+        "Figure 13(f): persisted bytes per checkpoint\n"
+        + render_table(["#GPUs", "Base-Persist GB", "MoC-Persist GB"],
+                       panels["f_persist_size"], precision=1)
+    )
+    report("fig13_scaling", "\n\n".join(blocks))
+
+    # --- shape assertions ------------------------------------------------
+    for key in ("a_dp_ep_a800", "b_dp_ep_tp_a800", "c_dp_ep_h100"):
+        series, _ = panels[key]
+        by_name = {s.name: s for s in series}
+        # MoC-Async fastest everywhere (paper: optimal in all tested configs)
+        for idx in range(len(GPU_SWEEP)):
+            assert by_name["MoC-Async"].y[idx] <= by_name["Base-Async"].y[idx] + 1e-9
+            assert by_name["MoC-Async"].y[idx] < by_name["Baseline"].y[idx]
+
+    # (a) F&B grows with GPU count (experts scale with cluster): overlap
+    # improves, so Base-Async approaches MoC-Async at 1024 GPUs
+    series_a = {s.name: s for s in panels["a_dp_ep_a800"][0]}
+    gap_small = series_a["Base-Async"].y[0] - series_a["MoC-Async"].y[0]
+    gap_large = series_a["Base-Async"].y[-1] - series_a["MoC-Async"].y[-1]
+    assert gap_large < gap_small
+
+    # (c) on H100 Base-Async cannot fully overlap even at 1024 GPUs
+    series_c = {s.name: s for s in panels["c_dp_ep_h100"][0]}
+    assert series_c["Base-Async"].y[-1] > series_c["MoC-Async"].y[-1]
+
+    # (d) F&B time grows with sequence length for every method
+    for s in panels["d_seq_len"][0]:
+        assert s.y == sorted(s.y)
+
+    # (e) larger models widen MoC's advantage
+    series_e = {s.name: s for s in panels["e_model_size"][0]}
+    advantage = [
+        series_e["Base-Async"].y[idx] - series_e["MoC-Async"].y[idx]
+        for idx in range(len(SIZE_SWEEP))
+    ]
+    assert advantage[-1] > advantage[0]
+
+    # (f) persist size grows with GPUs; MoC a small fraction of Base
+    base_sizes = [row[1] for row in panels["f_persist_size"]]
+    moc_sizes = [row[2] for row in panels["f_persist_size"]]
+    assert base_sizes == sorted(base_sizes)
+    assert all(m < b * 0.5 for m, b in zip(moc_sizes, base_sizes))

@@ -1,0 +1,145 @@
+"""Figure 15: two-level recovery PLT and the Dynamic-K strategy.
+
+(a) PLT vs (K_snapshot, K_persist) for storage-only vs two-level
+    recovery: with ``K_persist = 1`` fixed, growing ``K_snapshot``
+    drives two-level PLT toward zero while storage-only PLT stays flat.
+(b) Dynamic-K vs fixed ``K_pec = 1`` as faults accumulate: the fixed
+    setting's PLT grows linearly, Dynamic-K doubles K to hold the
+    cumulative PLT near the 3.75% threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import once
+from repro.analysis import Series, render_series, render_table
+from repro.core import (
+    DEFAULT_PLT_THRESHOLD,
+    DynamicKController,
+    PECConfig,
+    PECPlanner,
+    PERSIST_TIER,
+    PLTTracker,
+    SNAPSHOT_TIER,
+)
+from repro.models.serial import ExpertKey
+from _workloads import NUM_EXPERTS, pretrain
+
+SNAPSHOT_KS = (1, 2, 4, 8)
+TOTAL = 64
+
+
+def compute_fig15a(tmp_root):
+    rows = []
+    for k_snapshot in SNAPSHOT_KS:
+        plts = {}
+        for label, two_level in (("storage", False), ("two-level", True)):
+            result = pretrain(
+                str(tmp_root / f"k{k_snapshot}_{label.replace('-', '')}"),
+                total_iterations=TOTAL,
+                checkpoint_interval=8,
+                pec=PECConfig(k_snapshot=k_snapshot, k_persist=1),
+                fault_iterations=(TOTAL // 2,),
+                two_level_recovery=two_level,
+                failed_nodes=(0,),  # node 1 survives with its snapshots
+            )
+            plts[label] = result.plt
+        rows.append((f"({k_snapshot},1)", 100 * plts["storage"], 100 * plts["two-level"]))
+    return rows
+
+
+def simulate_dynamic_k(num_faults: int, controller: DynamicKController | None,
+                       total_checkpoints: int = 1600, tokens_per_interval: int = 10):
+    """Tracker-level simulation of a fixed-length training run.
+
+    The run spans ``total_checkpoints`` checkpoint intervals with
+    balanced routing; ``num_faults`` faults are spread evenly through
+    it (the paper's Figure 15(b) x-axis).  Returns the final PLT and
+    the K history.
+    """
+    layers, experts = 2, NUM_EXPERTS
+    tracker = PLTTracker(layers, experts, top_k=1)
+    k = controller.k if controller else 1
+    planner = PECPlanner(PECConfig(k_snapshot=experts, k_persist=k), layers, experts)
+    ks = []
+    tokens = np.full(experts, tokens_per_interval, dtype=np.int64)
+    fault_points = {
+        (index + 1) * total_checkpoints // num_faults for index in range(num_faults)
+    }
+    tracker.record_save(
+        PERSIST_TIER,
+        [ExpertKey(l, e) for l in range(layers) for e in range(experts)],
+    )
+    for checkpoint_index in range(total_checkpoints):
+        tracker.record_batch([tokens for _ in range(layers)])
+        plan = planner.plan(checkpoint_index)
+        tracker.record_save(PERSIST_TIER, plan.persist_experts)
+        if (checkpoint_index + 1) in fault_points:
+            loss = tracker.record_fault(default_tier=PERSIST_TIER)
+            if controller is not None:
+                new_k = controller.record_fault(loss.plt_increment)
+                planner.set_k(k_persist=new_k, k_snapshot=experts)
+                ks.append(new_k)
+            else:
+                ks.append(planner.k_persist)
+    return tracker.plt(), ks
+
+
+def compute_fig15b():
+    fault_counts = (1, 2, 4, 8, 16, 32)
+    fixed = []
+    dynamic = []
+    final_ks = []
+    for count in fault_counts:
+        fixed.append(simulate_dynamic_k(count, None)[0])
+        controller = DynamicKController(
+            num_experts=NUM_EXPERTS, threshold=DEFAULT_PLT_THRESHOLD
+        )
+        plt, ks = simulate_dynamic_k(count, controller)
+        dynamic.append(plt)
+        final_ks.append(ks[-1])
+    return list(fault_counts), fixed, dynamic, final_ks
+
+
+def test_fig15a_two_level_recovery(benchmark, report, tmp_path):
+    rows = once(benchmark, lambda: compute_fig15a(tmp_path))
+    report(
+        "fig15a_two_level",
+        render_table(
+            ["(K_snapshot,K_persist)", "storage-recovery PLT %", "two-level PLT %"],
+            rows, precision=3,
+        ),
+    )
+    storage = [row[1] for row in rows]
+    two_level = [row[2] for row in rows]
+    # two-level recovery never loses more than storage-only
+    for s, t in zip(storage, two_level):
+        assert t <= s + 1e-9
+    # growing K_snapshot monotonically reduces two-level PLT...
+    assert two_level == sorted(two_level, reverse=True)
+    assert two_level[-1] < two_level[0]
+    # ...but leaves storage-only recovery roughly unchanged (K_persist=1)
+    assert max(storage) - min(storage) < 0.5 * max(storage)
+
+
+def test_fig15b_dynamic_k(benchmark, report):
+    fault_counts, fixed, dynamic, final_ks = once(benchmark, compute_fig15b)
+    series = [
+        Series("Kpec=1 fixed", list(fault_counts), [100 * v for v in fixed]),
+        Series("Dynamic-K", list(fault_counts), [100 * v for v in dynamic]),
+        Series("final Dynamic-K value", list(fault_counts), final_ks),
+    ]
+    report(
+        "fig15b_dynamic_k",
+        render_series("final cumulative PLT % vs fault count", series, precision=2),
+    )
+    # fixed K=1 PLT grows with fault count (paper: "a linear increase")
+    assert fixed == sorted(fixed)
+    assert fixed[-1] > 3 * fixed[0]
+    # Dynamic-K escalates K as faults accumulate...
+    assert final_ks == sorted(final_ks)
+    assert final_ks[-1] > final_ks[0]
+    # ...which holds the cumulative PLT near the 3.75% threshold
+    assert dynamic[-1] < fixed[-1]
+    assert dynamic[-1] <= 1.5 * DEFAULT_PLT_THRESHOLD

@@ -1,0 +1,134 @@
+"""Eqs. 3-4 and 10-16: the total-overhead model and MoC's two win modes.
+
+Instantiates the analytic model with the Case 1 deployment's simulated
+durations and reports, over a sweep of fault rates:
+
+* total overhead for Full checkpointing at its optimal interval;
+* MoC strategy (1): same interval, smaller O_save;
+* MoC strategy (2): interval shrunk to equalise O_save/I (more frequent
+  checkpoints, less lost progress);
+
+plus the Young-Daly optimal intervals for both methods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.analysis import render_table
+from repro.core import (
+    OverheadInputs,
+    ShardingPolicy,
+    equal_ratio_interval,
+    moc_beats_full,
+    optimal_interval,
+    overhead_breakdown,
+    total_overhead,
+)
+from repro.distsim import TimelineConfig, case1, checkpoint_cost, pec_plan_for, simulate_timeline
+
+FAULT_RATES = (1e-5, 1e-4, 1e-3)  # faults per iteration
+TOTAL_ITERATIONS = 100_000
+RESTART_ITERATIONS = 20.0  # O_restart in iteration units
+
+
+def measured_o_saves():
+    """O_save (in iteration-time units) for Full-blocking and MoC-async."""
+    deployment = case1()
+    times = deployment.iteration_times()
+    iteration_time = times.fb + times.update
+    full_cost = checkpoint_cost(
+        deployment.spec, deployment.topology, deployment.cluster, ShardingPolicy.BASELINE
+    )
+    moc_cost = checkpoint_cost(
+        deployment.spec, deployment.topology, deployment.cluster, ShardingPolicy.EE_AN,
+        pec_plan=pec_plan_for(deployment.spec, 1),
+    )
+
+    def o_save(mode, cost):
+        result = simulate_timeline(
+            TimelineConfig(
+                t_fb=times.fb, t_update=times.update,
+                t_snapshot=cost.snapshot_seconds, t_persist=cost.persist_seconds,
+                num_iterations=40, checkpoint_interval=4, mode=mode,
+            )
+        )
+        return result.o_save / iteration_time  # in iteration units
+
+    return o_save("blocking", full_cost), o_save("async", moc_cost)
+
+
+def compute_overhead_sweep():
+    o_full, o_moc = measured_o_saves()
+    o_moc = max(o_moc, 1e-4)  # fully-overlapped MoC: epsilon for interval math
+    rows = []
+    for fault_rate in FAULT_RATES:
+        interval_full = max(optimal_interval(o_full, fault_rate), 1.0)
+        full = OverheadInputs(o_full, interval_full, RESTART_ITERATIONS, fault_rate, TOTAL_ITERATIONS)
+        moc_same = OverheadInputs(o_moc, interval_full, RESTART_ITERATIONS, fault_rate, TOTAL_ITERATIONS)
+        interval_ratio = max(equal_ratio_interval(o_moc, o_full, interval_full), 1.0)
+        moc_ratio = OverheadInputs(o_moc, interval_ratio, RESTART_ITERATIONS, fault_rate, TOTAL_ITERATIONS)
+        interval_opt = max(optimal_interval(o_moc, fault_rate), 1.0)
+        moc_opt = OverheadInputs(o_moc, interval_opt, RESTART_ITERATIONS, fault_rate, TOTAL_ITERATIONS)
+        rows.append(
+            (
+                f"{fault_rate:g}",
+                interval_full,
+                total_overhead(full),
+                total_overhead(moc_same),
+                total_overhead(moc_ratio),
+                total_overhead(moc_opt),
+            )
+        )
+    return (o_full, o_moc), rows
+
+
+def test_overhead_model_sweep(benchmark, report):
+    (o_full, o_moc), rows = once(benchmark, compute_overhead_sweep)
+    header_note = (
+        f"O_save(Full, blocking) = {o_full:.2f} iterations; "
+        f"O_save(MoC, async) = {o_moc:.4f} iterations\n"
+    )
+    report(
+        "overhead_model",
+        header_note
+        + render_table(
+            [
+                "fault rate", "I*_full", "O_full", "O_moc (same I)",
+                "O_moc (equal ratio I)", "O_moc (optimal I)",
+            ],
+            rows,
+            precision=1,
+        ),
+    )
+    for _, _, o_full_total, o_same, o_ratio, o_opt in rows:
+        # strategy (1): same interval, smaller saving cost => wins
+        assert o_same < o_full_total
+        # strategy (2): equal-ratio smaller interval => also wins
+        assert o_ratio < o_full_total
+        # the optimal MoC interval is at least as good as both heuristics
+        assert o_opt <= o_same + 1e-9
+        assert o_opt <= o_ratio + 1e-9
+
+
+def test_breakdown_composition(benchmark, report):
+    def compute():
+        inputs = OverheadInputs(2.0, 32.0, RESTART_ITERATIONS, 1e-4, TOTAL_ITERATIONS)
+        return inputs, overhead_breakdown(inputs)
+
+    inputs, breakdown = once(benchmark, compute)
+    report(
+        "overhead_breakdown",
+        render_table(
+            ["component", "iterations"],
+            [
+                ("saving", breakdown.saving),
+                ("lost progress", breakdown.lost_progress),
+                ("restarts", breakdown.restarts),
+                ("total", breakdown.total),
+            ],
+            precision=1,
+        ),
+    )
+    assert breakdown.total == pytest.approx(total_overhead(inputs))

@@ -1,0 +1,110 @@
+"""Table 3: downstream-task accuracy after faulty pre-training.
+
+Pre-trains the LM under five checkpointing regimes — Baseline (full
+saving), W, O, WO and WO-2L — with periodic faults, then evaluates the
+eight-probe multiple-choice suite.  The paper's headline findings:
+
+* the lossy PEC variants land within noise of (and on average slightly
+  above) the baseline — update loss acts like a mild regulariser;
+* checkpoint sizes follow the Ckpt column (W 0.88 / O 0.54 / WO 0.42).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import once
+from repro.analysis import render_table
+from repro.core import PECConfig
+from repro.distsim import gpt_350m_16e
+from repro.train import evaluate_probe_suite, make_probe_suite
+from _workloads import make_corpus, pretrain
+
+TOTAL = 120
+FAULTS = (40, 80)
+
+VARIANTS = {
+    "Baseline": dict(pec=None, ckpt=(True, True, 16)),
+    "W": dict(
+        pec=PECConfig(k_snapshot=4, k_persist=1, apply_to_moments=False),
+        ckpt=(True, False, 1),
+    ),
+    "O": dict(
+        pec=PECConfig(k_snapshot=4, k_persist=1, apply_to_weights=False),
+        ckpt=(False, True, 1),
+    ),
+    "WO": dict(pec=PECConfig(k_snapshot=4, k_persist=1), ckpt=(True, True, 1)),
+    "WO-2L": dict(
+        pec=PECConfig(k_snapshot=4, k_persist=1), ckpt=(True, True, 1), two_level=True
+    ),
+}
+
+
+def compute_table3(tmp_root):
+    corpus = make_corpus(3)
+    suite = make_probe_suite(
+        corpus, num_tasks=8, examples_per_task=16, num_choices=4,
+        prompt_len=10, cont_len=5,
+    )
+    spec = gpt_350m_16e()
+    results = {}
+    for name, options in VARIANTS.items():
+        run = pretrain(
+            str(tmp_root / name.replace("-", "_")),
+            total_iterations=TOTAL,
+            checkpoint_interval=10,
+            pec=options.get("pec"),
+            fault_iterations=FAULTS,
+            two_level_recovery=options.get("two_level", False),
+            failed_nodes=(0,),
+        )
+        evaluation = evaluate_probe_suite(run.model, suite)
+        apply_w, apply_o, k = options["ckpt"]
+        ckpt_ratio = (
+            spec.pec_checkpoint_bytes(k, apply_w, apply_o) / spec.full_checkpoint_bytes()
+        )
+        results[name] = {
+            "ckpt": ckpt_ratio,
+            "per_task": evaluation.per_task,
+            "average": evaluation.average,
+            "val_loss": run.final_val_loss,
+        }
+    return results
+
+
+def test_table3_downstream_accuracy(benchmark, report, tmp_path):
+    results = once(benchmark, lambda: compute_table3(tmp_path))
+    task_names = list(next(iter(results.values()))["per_task"])
+    headers = ["method", "Ckpt"] + task_names + ["Avg"]
+    rows = []
+    for name, data in results.items():
+        rows.append(
+            [name, data["ckpt"]]
+            + [100 * data["per_task"][task] for task in task_names]
+            + [100 * data["average"]]
+        )
+    baseline_avg = results["Baseline"]["average"]
+    deviation_row = (
+        ["Deviation", "-"]
+        + ["-" for _ in task_names]
+        + [
+            f"({100*(min(d['average'] for n, d in results.items() if n != 'Baseline') - baseline_avg):+.2f},"
+            f" {100*(max(d['average'] for n, d in results.items() if n != 'Baseline') - baseline_avg):+.2f})"
+        ]
+    )
+    rows.append(deviation_row)
+    report("table3_downstream", render_table(headers, rows, precision=2))
+
+    # Ckpt column reproduces the paper exactly
+    assert results["W"]["ckpt"] == pytest.approx(0.88, abs=0.01)
+    assert results["O"]["ckpt"] == pytest.approx(0.54, abs=0.01)
+    assert results["WO"]["ckpt"] == pytest.approx(0.42, abs=0.01)
+    # the lossy variants stay within a few points of the baseline average
+    for name, data in results.items():
+        assert abs(data["average"] - baseline_avg) < 0.08, name
+    # every model is above 4-way chance
+    for name, data in results.items():
+        assert data["average"] > 0.25, name
+
+
+import pytest  # noqa: E402  (used in assertions above)

@@ -1,0 +1,41 @@
+"""Shared bench fixtures: result reporting and experiment sizing.
+
+Every bench regenerates one of the paper's tables or figures.  Output
+goes both to stdout (run with ``-s`` to watch) and to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.  ``benchmark.pedantic(..., rounds=1)`` registers wall-time
+per experiment without re-running the (deterministic) workload.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Write a named report; also echo it to stdout."""
+
+    def _report(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+        return path
+
+    return _report
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

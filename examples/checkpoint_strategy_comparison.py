@@ -1,0 +1,113 @@
+"""Compare checkpointing strategies on one pre-training workload.
+
+Runs the same faulty pre-training (2 faults) under four strategies —
+the Megatron-DeepSpeed-style baseline (blocking full saving), PEC,
+PEC + two-level recovery, and Dynamic-K — and prints validation loss,
+PLT and persisted bytes per checkpoint for each.  This is the paper's
+Figure 14(a) / Table 3 story as a runnable script.
+
+Run:  python examples/checkpoint_strategy_comparison.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import (
+    Adam,
+    FaultSchedule,
+    MarkovCorpus,
+    MoCCheckpointManager,
+    MoCConfig,
+    MoEModelConfig,
+    MoETransformerLM,
+    PECConfig,
+    Trainer,
+    TrainerConfig,
+    TwoLevelConfig,
+)
+from repro.analysis import render_table
+from repro.train import lm_validation_loss
+
+NUM_EXPERTS = 8
+TOTAL_ITERATIONS = 90
+
+STRATEGIES = {
+    "Baseline (full)": MoCConfig.baseline(NUM_EXPERTS, checkpoint_interval=10),
+    "PEC (K=1)": MoCConfig(
+        pec=PECConfig(k_snapshot=1, k_persist=1),
+        two_level=TwoLevelConfig(checkpoint_interval=10, two_level_recovery=False),
+    ),
+    "PEC + two-level (4,1)": MoCConfig(
+        pec=PECConfig(k_snapshot=4, k_persist=1),
+        two_level=TwoLevelConfig(checkpoint_interval=10, two_level_recovery=True),
+    ),
+    "Dynamic-K": MoCConfig(
+        pec=PECConfig(k_snapshot=4, k_persist=1, dynamic_k=True),
+        two_level=TwoLevelConfig(checkpoint_interval=10, two_level_recovery=True),
+    ),
+}
+
+
+def run_strategy(name: str, moc_config: MoCConfig):
+    model_config = MoEModelConfig(
+        vocab_size=48, max_seq_len=20, dim=24,
+        num_layers=2, num_heads=2, num_experts=NUM_EXPERTS, top_k=2, seed=1,
+    )
+    model = MoETransformerLM(model_config)
+    optimizer = Adam(model.named_parameters(), lr=3e-3)
+    corpus = MarkovCorpus(vocab_size=48, num_domains=4, seq_len=20, seed=3)
+    validation = corpus.validation_set(3, 4)
+    with tempfile.TemporaryDirectory() as storage:
+        manager = MoCCheckpointManager(model, optimizer, moc_config, disk_root=storage)
+        trainer = Trainer(
+            model, optimizer, corpus,
+            TrainerConfig(total_iterations=TOTAL_ITERATIONS, batch_size=4),
+            manager=manager,
+            fault_schedule=FaultSchedule.periodic(30, TOTAL_ITERATIONS),
+            val_fn=lambda: lm_validation_loss(model, validation),
+        )
+        history = trainer.run()
+        # bytes written by the most recent (steady-state) checkpoint
+        last_persist = history and manager.manifests[-1].persist_bytes()
+    return {
+        "val_loss": history.final_val_loss,
+        "plt": history.final_plt,
+        "persist_bytes": last_persist,
+        "faults": len(history.fault_iterations),
+        "k_final": (
+            manager.dynamic_k.k if manager.dynamic_k is not None
+            else moc_config.pec.k_persist
+        ),
+    }
+
+
+def main() -> None:
+    results = {name: run_strategy(name, config) for name, config in STRATEGIES.items()}
+    baseline_bytes = results["Baseline (full)"]["persist_bytes"]
+    rows = [
+        (
+            name,
+            data["val_loss"],
+            100 * data["plt"],
+            data["persist_bytes"] / baseline_bytes,
+            data["k_final"],
+            data["faults"],
+        )
+        for name, data in results.items()
+    ]
+    print(
+        render_table(
+            ["strategy", "val loss", "PLT %", "ckpt size ratio", "final K", "faults"],
+            rows,
+            precision=3,
+        )
+    )
+    print(
+        "\nAll strategies survive the same two faults; PEC variants cut the "
+        "persisted volume while holding validation loss."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Plan checkpointing for a cluster deployment (Section 5.3 in practice).
+
+Given a model spec and a parallel layout, this script applies the
+adaptive-configuration rules of the paper:
+
+1. pick the largest ``K_snapshot`` whose GPU->CPU snapshot still hides
+   under one iteration's forward+backward time (zero stall);
+2. pick ``K_persist`` and the checkpoint interval from the persist-phase
+   lower bound and the Young-Daly optimum for the cluster's fault rate;
+3. report the sharding policy's effect on the bottleneck rank.
+
+Run:  python examples/cluster_checkpoint_planning.py [--gpus 64] [--mtbf-hours 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import render_kv, render_table
+from repro.core import ShardingPolicy, optimal_interval
+from repro.distsim import (
+    A800_CLUSTER,
+    GB,
+    ParallelConfig,
+    checkpoint_cost,
+    llama_moe,
+    min_checkpoint_interval_iterations,
+    pec_plan_for,
+)
+
+
+def plan(num_gpus: int, mtbf_hours: float) -> None:
+    spec = llama_moe(num_experts=num_gpus)
+    parallel = ParallelConfig(d_dp=num_gpus, d_ep=num_gpus, tokens_per_gpu=16 * 1024)
+    cluster = A800_CLUSTER
+    topology = parallel.topology(cluster.gpus_per_node)
+
+    from repro.distsim import iteration_times
+
+    times = iteration_times(spec, parallel, cluster)
+    iteration_seconds = times.fb + times.update
+
+    # --- rule 1: largest K_snapshot with full overlap -------------------
+    chosen_k_snapshot = 1
+    ladder_rows = []
+    for k in range(1, spec.num_experts + 1):
+        cost = checkpoint_cost(
+            spec, topology, cluster, ShardingPolicy.EE_AN,
+            pec_plan=pec_plan_for(spec, k),
+        )
+        overlapped = cost.snapshot_seconds <= times.fb
+        if overlapped:
+            chosen_k_snapshot = k
+        if k in (1, 2, 4, 8, 16, 32, 64, spec.num_experts):
+            ladder_rows.append(
+                (k, cost.snapshot_seconds, "yes" if overlapped else "NO")
+            )
+
+    # --- rule 2: K_persist = 1 and the interval bounds ------------------
+    k_persist = 1
+    persist_cost = checkpoint_cost(
+        spec, topology, cluster, ShardingPolicy.EE_AN,
+        pec_plan=pec_plan_for(spec, chosen_k_snapshot, k_persist),
+    )
+    min_interval = min_checkpoint_interval_iterations(
+        persist_cost.persist_seconds, iteration_seconds
+    )
+    fault_rate = iteration_seconds / (mtbf_hours * 3600.0)  # faults/iteration
+    young_daly = optimal_interval(o_save=0.0 + 0.05, fault_rate=fault_rate)
+    recommended = max(min_interval, young_daly)
+
+    # --- rule 3: sharding policy comparison ------------------------------
+    policy_rows = []
+    for policy in ShardingPolicy:
+        cost = checkpoint_cost(
+            spec, topology, cluster, policy,
+            pec_plan=pec_plan_for(spec, chosen_k_snapshot, k_persist),
+        )
+        policy_rows.append((policy.value, cost.bottleneck_rank_bytes / GB,
+                            cost.snapshot_seconds))
+
+    print(render_kv(
+        f"Deployment: {spec.name} on {num_gpus}x{cluster.gpu.name}",
+        [
+            ("iteration time (s)", iteration_seconds),
+            ("F&B overlap budget (s)", times.fb),
+            ("MTBF (hours)", mtbf_hours),
+            ("fault rate (faults/iter)", fault_rate),
+        ],
+    ))
+    print("\nSnapshot overlap ladder (EE+AN sharding):")
+    print(render_table(["K_snapshot", "snapshot s", "fully overlapped"], ladder_rows, precision=2))
+    print("\nSharding policies at the chosen K:")
+    print(render_table(["policy", "bottleneck GB", "snapshot s"], policy_rows, precision=2))
+    print(render_kv(
+        "\nRecommended configuration",
+        [
+            ("K_snapshot", chosen_k_snapshot),
+            ("K_persist", k_persist),
+            ("persist time (s)", persist_cost.persist_seconds),
+            ("min interval (iters, persist-bound)", min_interval),
+            ("Young-Daly interval (iters)", young_daly),
+            ("recommended I_ckpt (iters)", recommended),
+        ],
+    ))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpus", type=int, default=64)
+    parser.add_argument("--mtbf-hours", type=float, default=8.0)
+    args = parser.parse_args()
+    plan(args.gpus, args.mtbf_hours)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Fault-tolerant fine-tuning with PEC (the Table 4 workflow).
+
+Pre-trains a small MoE LM, then fine-tunes it on a shifted domain under
+the paper's four regimes and evaluates a downstream probe suite —
+showing that PEC checkpointing (saving 1/8 of experts) matches
+full-state checkpointing through a mid-fine-tuning fault.
+
+Run:  python examples/finetune_with_pec.py
+"""
+
+from __future__ import annotations
+
+from repro import Adam, MarkovCorpus, MoEModelConfig, MoETransformerLM
+from repro.analysis import render_table
+from repro.train import (
+    FinetuneVariant,
+    evaluate_probe_suite,
+    make_finetune_corpus,
+    make_probe_suite,
+    run_finetune,
+)
+
+MODEL_CONFIG = MoEModelConfig(
+    vocab_size=48, max_seq_len=20, dim=24,
+    num_layers=2, num_heads=2, num_experts=8, top_k=2, seed=1,
+)
+
+
+def make_model() -> MoETransformerLM:
+    return MoETransformerLM(MODEL_CONFIG)
+
+
+def main() -> None:
+    base_corpus = MarkovCorpus(vocab_size=48, num_domains=4, seq_len=20, seed=3)
+    model = make_model()
+    optimizer = Adam(model.named_parameters(), lr=3e-3)
+    print("pre-training base model ...")
+    for iteration in range(1, 81):
+        tokens, targets = base_corpus.batch(iteration, 4)
+        model.set_routing_step(iteration)
+        optimizer.zero_grad()
+        model.loss(tokens, targets).backward()
+        optimizer.step()
+
+    downstream_corpus = make_finetune_corpus(base_corpus)
+    suite = make_probe_suite(
+        downstream_corpus, num_tasks=6, examples_per_task=12,
+        num_choices=4, prompt_len=10, cont_len=5,
+    )
+
+    rows = []
+    for variant in (
+        FinetuneVariant.BASE,
+        FinetuneVariant.FT_WO_E,
+        FinetuneVariant.FT_FULL,
+        FinetuneVariant.FT_PEC,
+    ):
+        print(f"running {variant.value} ...")
+        result = run_finetune(
+            model, make_model, downstream_corpus, variant,
+            iterations=50, batch_size=4, lr=2e-3,
+            checkpoint_interval=10, k_pec_fraction=8,
+        )
+        evaluation = evaluate_probe_suite(result.model, suite)
+        faults = (
+            len(result.history.fault_iterations) if result.history is not None else 0
+        )
+        rows.append((variant.value, 100 * evaluation.average, faults))
+
+    print()
+    print(render_table(["method", "downstream avg %", "faults survived"], rows, precision=2))
+    print(
+        "\nFT-PEC checkpoints 1/8 of the experts yet matches FT-Full through "
+        "the same midpoint fault; freezing experts entirely (FT-w.o.E) "
+        "still beats the base model — expert parameters tolerate missing "
+        "updates, which is exactly why PEC is safe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — reproduction of MoC-System (ASPLOS 2025).
+
+Efficient fault tolerance for sparse Mixture-of-Experts model training:
+Partial Experts Checkpointing (PEC), the PLT metric, fully sharded
+checkpointing, and two-level asynchronous checkpoint management —
+with a numpy MoE training substrate and a distributed-cluster simulator.
+
+Quickstart::
+
+    from repro import (
+        MoEModelConfig, MoETransformerLM, Adam,
+        MoCConfig, PECConfig, MoCCheckpointManager,
+        MarkovCorpus, Trainer, TrainerConfig, FaultSchedule,
+    )
+"""
+
+from . import analysis, ckpt, core, distsim, models, train
+from .core import (
+    DynamicKController,
+    MoCCheckpointManager,
+    MoCConfig,
+    PECConfig,
+    PECPlanner,
+    PLTTracker,
+    SelectionStrategy,
+    ShardTopology,
+    ShardingPolicy,
+    TripleBuffer,
+    TwoLevelConfig,
+)
+from .models import Adam, MoEClassifier, MoEClassifierConfig, MoEModelConfig, MoETransformerLM
+from .train import FaultSchedule, MarkovCorpus, Trainer, TrainerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adam",
+    "DynamicKController",
+    "FaultSchedule",
+    "MarkovCorpus",
+    "MoCCheckpointManager",
+    "MoCConfig",
+    "MoEClassifier",
+    "MoEClassifierConfig",
+    "MoEModelConfig",
+    "MoETransformerLM",
+    "PECConfig",
+    "PECPlanner",
+    "PLTTracker",
+    "SelectionStrategy",
+    "ShardTopology",
+    "ShardingPolicy",
+    "Trainer",
+    "TrainerConfig",
+    "TripleBuffer",
+    "TwoLevelConfig",
+    "analysis",
+    "ckpt",
+    "core",
+    "distsim",
+    "models",
+    "train",
+    "__version__",
+]

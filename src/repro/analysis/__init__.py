@@ -1,0 +1,6 @@
+"""Reporting helpers shared by benches and examples."""
+
+from .series import Series, render_series
+from .tables import render_kv, render_table
+
+__all__ = ["Series", "render_kv", "render_series", "render_table"]

@@ -1,0 +1,54 @@
+"""Named (x, y) series containers with ascii sparklines.
+
+Benches use these to print figure data as text — each paper figure
+becomes one or more labelled series whose shape can be eyeballed and
+asserted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+Number = Union[int, float]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class Series:
+    """One labelled curve of a figure."""
+
+    name: str
+    x: List[Number] = field(default_factory=list)
+    y: List[Number] = field(default_factory=list)
+
+    def append(self, x: Number, y: Number) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def sparkline(self) -> str:
+        if not self.y:
+            return ""
+        lo, hi = min(self.y), max(self.y)
+        span = (hi - lo) or 1.0
+        return "".join(
+            _SPARK_CHARS[int((value - lo) / span * (len(_SPARK_CHARS) - 1))]
+            for value in self.y
+        )
+
+    def render(self, precision: int = 3) -> str:
+        points = ", ".join(
+            f"({x:g}, {y:.{precision}f})" for x, y in zip(self.x, self.y)
+        )
+        return f"{self.name}: {points}\n  {self.sparkline()}"
+
+
+def render_series(title: str, series: Sequence[Series], precision: int = 3) -> str:
+    lines = [title]
+    for s in series:
+        lines.append("  " + s.render(precision).replace("\n", "\n  "))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Fixed-width table rendering for bench output.
+
+The benches print rows that mirror the paper's tables/figures; this
+module keeps the formatting in one place so outputs stay aligned and
+diff-able across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    min_width: int = 6,
+) -> str:
+    """Render a fixed-width text table with a header separator."""
+    str_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [fmt_row(list(headers)), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Iterable[tuple], precision: int = 3) -> str:
+    """Render a titled key/value block."""
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key}: {format_cell(value, precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Checkpoint storage substrate: serialization, KV tiers, manifests."""
+
+from .kvstore import BaseKVStore, DiskKVStore, InMemoryKVStore, KVStoreError, StoredEntry
+from .codec import (
+    CodecStats,
+    DEFAULT_FIELD_DTYPES,
+    PrecisionCodec,
+    roundtrip_error,
+)
+from .retention import (
+    RecoveryFootprint,
+    RetentionAuditor,
+    expected_entry_keys,
+    prune_stale_entries,
+)
+from .manifest import (
+    CheckpointManifest,
+    ManifestRecord,
+    expert_entry_key,
+    meta_entry_key,
+    non_expert_entry_key,
+    parse_entry_key,
+)
+from .serializer import SerializationError, deserialize_entry, entry_nbytes, serialize_entry
+
+__all__ = [
+    "BaseKVStore",
+    "CheckpointManifest",
+    "CodecStats",
+    "DEFAULT_FIELD_DTYPES",
+    "DiskKVStore",
+    "InMemoryKVStore",
+    "KVStoreError",
+    "ManifestRecord",
+    "PrecisionCodec",
+    "RecoveryFootprint",
+    "RetentionAuditor",
+    "SerializationError",
+    "StoredEntry",
+    "deserialize_entry",
+    "entry_nbytes",
+    "expected_entry_keys",
+    "expert_entry_key",
+    "meta_entry_key",
+    "non_expert_entry_key",
+    "parse_entry_key",
+    "prune_stale_entries",
+    "roundtrip_error",
+    "serialize_entry",
+]

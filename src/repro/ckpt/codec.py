@@ -1,0 +1,121 @@
+"""Precision codecs for checkpoint entries (a co-design extension).
+
+The paper's conclusion calls for further algorithm-system co-design on
+checkpoint efficiency; an orthogonal lever to PEC is *precision*: Adam
+moments tolerate lower precision than master weights, so a checkpoint
+can downcast selected fields on save and upcast on load, trading a
+bounded perturbation for bytes — exactly the trade PEC makes with
+staleness.
+
+:class:`PrecisionCodec` maps entry fields to storage dtypes (for
+example ``{"m": float16, "v": float16, "master": float32}``) and
+round-trips entries through them.  Integer fields pass through
+unchanged.  The codec composes with any KV store since stores operate
+on entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .serializer import entry_nbytes
+
+#: Sensible default: fp32 master, fp16 moments, fp16 weights.
+DEFAULT_FIELD_DTYPES: Dict[str, np.dtype] = {
+    "master": np.dtype(np.float32),
+    "m": np.dtype(np.float16),
+    "v": np.dtype(np.float16),
+    "weights": np.dtype(np.float16),
+}
+
+
+@dataclass
+class CodecStats:
+    """Byte accounting across a codec's lifetime."""
+
+    raw_bytes: int = 0
+    encoded_bytes: int = 0
+
+    @property
+    def ratio(self) -> float:
+        return self.encoded_bytes / self.raw_bytes if self.raw_bytes else 1.0
+
+
+class PrecisionCodec:
+    """Downcast configured float fields on encode; upcast on decode.
+
+    Fields not present in ``field_dtypes`` — and all non-float fields —
+    pass through untouched.  Decoding restores ``work_dtype``
+    (float64, the substrate's compute dtype) so training code never sees
+    reduced precision types.
+    """
+
+    def __init__(
+        self,
+        field_dtypes: Optional[Mapping[str, np.dtype]] = None,
+        work_dtype: np.dtype = np.dtype(np.float64),
+    ) -> None:
+        self.field_dtypes = dict(field_dtypes if field_dtypes is not None else DEFAULT_FIELD_DTYPES)
+        for name, dtype in self.field_dtypes.items():
+            if np.dtype(dtype).kind != "f":
+                raise ValueError(f"field {name!r}: storage dtype must be floating")
+        self.work_dtype = np.dtype(work_dtype)
+        self.stats = CodecStats()
+
+    def encode(self, entry: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Return a copy of ``entry`` with configured fields downcast."""
+        encoded: Dict[str, np.ndarray] = {}
+        for name, value in entry.items():
+            array = np.asarray(value)
+            target = self.field_dtypes.get(name)
+            if target is not None and array.dtype.kind == "f":
+                array = self._safe_downcast(array, np.dtype(target))
+            encoded[name] = array
+        self.stats.raw_bytes += entry_nbytes(entry)
+        self.stats.encoded_bytes += entry_nbytes(encoded)
+        return encoded
+
+    def decode(self, entry: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Upcast float fields back to the working dtype."""
+        decoded: Dict[str, np.ndarray] = {}
+        for name, value in entry.items():
+            array = np.asarray(value)
+            if array.dtype.kind == "f" and array.dtype != self.work_dtype:
+                array = array.astype(self.work_dtype)
+            decoded[name] = array
+        return decoded
+
+    @staticmethod
+    def _safe_downcast(array: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Downcast with clipping to the target dtype's finite range.
+
+        Without clipping, values beyond float16's ~65k range would become
+        inf and poison the optimizer on restore.
+        """
+        info = np.finfo(dtype)
+        return np.clip(array, info.min, info.max).astype(dtype)
+
+    def max_relative_error(self) -> float:
+        """Worst-case relative rounding error of the narrowest dtype."""
+        narrowest = min(
+            (np.dtype(d) for d in self.field_dtypes.values()),
+            key=lambda d: np.finfo(d).nmant,
+        )
+        return 2.0 ** (-np.finfo(narrowest).nmant - 1)
+
+
+def roundtrip_error(entry: Mapping[str, np.ndarray], codec: PrecisionCodec) -> float:
+    """Max relative error introduced by one encode/decode round trip."""
+    decoded = codec.decode(codec.encode(entry))
+    worst = 0.0
+    for name, original in entry.items():
+        original = np.asarray(original)
+        if original.dtype.kind != "f":
+            continue
+        restored = np.asarray(decoded[name])
+        denom = np.maximum(np.abs(original), 1e-12)
+        worst = max(worst, float((np.abs(restored - original) / denom).max()))
+    return worst

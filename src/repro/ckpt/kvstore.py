@@ -1,0 +1,210 @@
+"""Key-value checkpoint stores: the two tiers of Section 5.
+
+The paper stores checkpointed modules as key-value pairs "for efficient
+retrieval from both memory and distributed storage".  We provide:
+
+* :class:`InMemoryKVStore` — the CPU-memory snapshot tier.  Supports
+  node-scoped clearing (a node fault wipes the snapshots that lived on
+  that node).
+* :class:`DiskKVStore` — the persistent tier, a directory of entry files
+  plus a JSON index mapping keys to files and stamps.
+
+Every ``put`` records an iteration *stamp*; recovery uses stamps to pick
+the freshest available version of each entry and the PLT tracker uses
+them to charge update loss.  Stores meter bytes written/read so the tests
+and benches can assert transfer volumes exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .serializer import deserialize_entry, entry_nbytes, serialize_entry
+
+
+@dataclass
+class StoredEntry:
+    """An entry version held by a store."""
+
+    key: str
+    stamp: int  # iteration number the entry was captured at
+    nbytes: int
+    # Nodes whose CPU memory holds a copy (memory tier only).  An expert
+    # replicated across EP groups is snapshotted on every replica's node,
+    # so its in-memory copy survives until ALL hosting nodes fail.
+    nodes: Tuple[int, ...] = (0,)
+
+
+class KVStoreError(KeyError):
+    """Raised when a requested entry is missing."""
+
+
+class BaseKVStore:
+    """Common bookkeeping: byte meters and stamp queries."""
+
+    def __init__(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.put_count = 0
+
+    # -- interface ------------------------------------------------------
+    def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node: int = 0) -> int:
+        raise NotImplementedError
+
+    def get(self, key: str) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    def stamp_of(self, key: str) -> int:
+        raise NotImplementedError
+
+    def has(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+    def total_bytes(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryKVStore(BaseKVStore):
+    """CPU-memory snapshot tier.
+
+    Keeps only the latest version of each key (snapshots supersede).
+    ``drop_node`` models a node failure losing its in-memory snapshots.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._data: Dict[str, bytes] = {}
+        self._meta: Dict[str, StoredEntry] = {}
+
+    def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node=0) -> int:
+        payload = serialize_entry(entry)
+        nodes = (node,) if isinstance(node, int) else tuple(node)
+        self._data[key] = payload
+        self._meta[key] = StoredEntry(key=key, stamp=stamp, nbytes=len(payload), nodes=nodes)
+        self.bytes_written += len(payload)
+        self.put_count += 1
+        return len(payload)
+
+    def get(self, key: str) -> Dict[str, np.ndarray]:
+        if key not in self._data:
+            raise KVStoreError(key)
+        payload = self._data[key]
+        self.bytes_read += len(payload)
+        return deserialize_entry(payload)
+
+    def stamp_of(self, key: str) -> int:
+        if key not in self._meta:
+            raise KVStoreError(key)
+        return self._meta[key].stamp
+
+    def nodes_of(self, key: str) -> Tuple[int, ...]:
+        if key not in self._meta:
+            raise KVStoreError(key)
+        return self._meta[key].nodes
+
+    def has(self, key: str) -> bool:
+        return key in self._data
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def total_bytes(self) -> int:
+        return sum(meta.nbytes for meta in self._meta.values())
+
+    def drop_node(self, node: int) -> List[str]:
+        """A node fault: its memory copies vanish.
+
+        Entries replicated on other (surviving) nodes remain readable;
+        an entry is deleted only when its last hosting node fails.
+        Returns the keys that became fully unavailable.
+        """
+        lost = []
+        for key, meta in list(self._meta.items()):
+            if node not in meta.nodes:
+                continue
+            remaining = tuple(n for n in meta.nodes if n != node)
+            if remaining:
+                meta.nodes = remaining
+            else:
+                lost.append(key)
+                del self._data[key]
+                del self._meta[key]
+        return sorted(lost)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._meta.clear()
+
+
+class DiskKVStore(BaseKVStore):
+    """Persistent storage tier backed by a directory.
+
+    Layout: ``<root>/entries/<escaped key>.bin`` plus ``<root>/index.json``
+    recording stamps and sizes.  The index is rewritten on every put —
+    adequate for the scale of entries we handle and crash-consistent
+    enough for tests (index rewrite is atomic via os.replace).
+    """
+
+    def __init__(self, root: str) -> None:
+        super().__init__()
+        self.root = root
+        self._entries_dir = os.path.join(root, "entries")
+        self._index_path = os.path.join(root, "index.json")
+        os.makedirs(self._entries_dir, exist_ok=True)
+        self._index: Dict[str, Dict[str, int]] = {}
+        if os.path.exists(self._index_path):
+            with open(self._index_path, "r", encoding="utf-8") as handle:
+                self._index = json.load(handle)
+
+    @staticmethod
+    def _escape(key: str) -> str:
+        return key.replace("/", "__").replace(":", "_")
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._entries_dir, self._escape(key) + ".bin")
+
+    def _flush_index(self) -> None:
+        tmp = self._index_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self._index, handle)
+        os.replace(tmp, self._index_path)
+
+    def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node: int = 0) -> int:
+        payload = serialize_entry(entry)
+        with open(self._path(key), "wb") as handle:
+            handle.write(payload)
+        self._index[key] = {"stamp": stamp, "nbytes": len(payload)}
+        self._flush_index()
+        self.bytes_written += len(payload)
+        self.put_count += 1
+        return len(payload)
+
+    def get(self, key: str) -> Dict[str, np.ndarray]:
+        if key not in self._index:
+            raise KVStoreError(key)
+        with open(self._path(key), "rb") as handle:
+            payload = handle.read()
+        self.bytes_read += len(payload)
+        return deserialize_entry(payload)
+
+    def stamp_of(self, key: str) -> int:
+        if key not in self._index:
+            raise KVStoreError(key)
+        return int(self._index[key]["stamp"])
+
+    def has(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> List[str]:
+        return sorted(self._index)
+
+    def total_bytes(self) -> int:
+        return sum(int(meta["nbytes"]) for meta in self._index.values())

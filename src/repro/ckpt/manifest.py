@@ -1,0 +1,81 @@
+"""Checkpoint entry keys and manifests.
+
+Entries are addressed by structured keys:
+
+* ``ne:<param name>``                      — a non-expert parameter entry
+* ``expert:l<layer>:e<expert>:<param>``    — one expert parameter entry
+* ``meta:<name>``                          — iteration counter, RNG state…
+
+A :class:`CheckpointManifest` summarises what a completed checkpoint
+contains (entries, stamps, bytes) — the unit the recovery planner reasons
+over.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..models.serial import ExpertKey
+
+_EXPERT_KEY_RE = re.compile(r"^expert:l(?P<layer>\d+):e(?P<expert>\d+):(?P<param>.+)$")
+
+
+def non_expert_entry_key(param_name: str) -> str:
+    return f"ne:{param_name}"
+
+
+def expert_entry_key(key: ExpertKey, param_name: str) -> str:
+    return f"expert:l{key.moe_layer}:e{key.expert}:{param_name}"
+
+
+def meta_entry_key(name: str) -> str:
+    return f"meta:{name}"
+
+
+def parse_entry_key(entry_key: str) -> Tuple[str, Optional[ExpertKey], str]:
+    """Return ``(kind, expert_key_or_None, payload_name)``."""
+    if entry_key.startswith("ne:"):
+        return ("ne", None, entry_key[len("ne:"):])
+    if entry_key.startswith("meta:"):
+        return ("meta", None, entry_key[len("meta:"):])
+    match = _EXPERT_KEY_RE.match(entry_key)
+    if match is None:
+        raise ValueError(f"unparseable entry key {entry_key!r}")
+    return (
+        "expert",
+        ExpertKey(int(match.group("layer")), int(match.group("expert"))),
+        match.group("param"),
+    )
+
+
+@dataclass
+class ManifestRecord:
+    entry_key: str
+    stamp: int
+    nbytes: int
+
+
+@dataclass
+class CheckpointManifest:
+    """What one completed checkpoint wrote, per tier."""
+
+    checkpoint_index: int
+    iteration: int
+    snapshot_entries: List[ManifestRecord] = field(default_factory=list)
+    persist_entries: List[ManifestRecord] = field(default_factory=list)
+
+    def snapshot_bytes(self) -> int:
+        return sum(record.nbytes for record in self.snapshot_entries)
+
+    def persist_bytes(self) -> int:
+        return sum(record.nbytes for record in self.persist_entries)
+
+    def persisted_experts(self) -> List[ExpertKey]:
+        experts = set()
+        for record in self.persist_entries:
+            kind, expert_key, _ = parse_entry_key(record.entry_key)
+            if kind == "expert" and expert_key is not None:
+                experts.add(expert_key)
+        return sorted(experts)

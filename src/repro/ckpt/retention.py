@@ -1,0 +1,120 @@
+"""Checkpoint version retention for the persist tier.
+
+PEC complicates garbage collection: the newest checkpoint alone is NOT
+recoverable, because unselected experts' latest durable versions live in
+*older* checkpoints.  A retention policy must therefore keep, for every
+entry key, at least the newest stored version — and delete only versions
+that have been fully superseded.
+
+Our :class:`~repro.ckpt.kvstore.DiskKVStore` already keeps exactly one
+(the latest) version per key, so per-key supersession is implicit; what
+remains is bounding *metadata* growth and answering the operational
+question "which iterations are still recoverable, and what is the
+oldest stamp recovery would pull in?".  :class:`RetentionAuditor`
+answers it, and :func:`prune_stale_entries` removes entries that no
+longer belong to any tracked population (e.g. after an expert-count
+change on resume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .kvstore import BaseKVStore
+from .manifest import parse_entry_key
+
+
+@dataclass
+class RecoveryFootprint:
+    """What a recovery from the store's current contents would read."""
+
+    newest_stamp: int
+    oldest_stamp: int
+    total_entries: int
+    stale_entries: int  # entries older than the newest stamp
+
+    @property
+    def staleness_span(self) -> int:
+        """Iterations between the freshest and stalest restored entry."""
+        return self.newest_stamp - self.oldest_stamp
+
+
+class RetentionAuditor:
+    """Inspect a store's recoverability under PEC versioning."""
+
+    def __init__(self, store: BaseKVStore) -> None:
+        self.store = store
+
+    def footprint(self) -> RecoveryFootprint:
+        """Audit all non-meta entries in the store."""
+        stamps: List[int] = []
+        for key in self.store.keys():
+            kind, _, _ = parse_entry_key(key)
+            if kind == "meta":
+                continue
+            stamps.append(self.store.stamp_of(key))
+        if not stamps:
+            raise ValueError("store holds no checkpoint entries")
+        newest = max(stamps)
+        oldest = min(stamps)
+        stale = sum(1 for stamp in stamps if stamp < newest)
+        return RecoveryFootprint(
+            newest_stamp=newest,
+            oldest_stamp=oldest,
+            total_entries=len(stamps),
+            stale_entries=stale,
+        )
+
+    def stale_experts(self) -> Dict[Tuple[int, int], int]:
+        """Per-(layer, expert): the oldest stamp among its entries."""
+        result: Dict[Tuple[int, int], int] = {}
+        for key in self.store.keys():
+            kind, expert_key, _ = parse_entry_key(key)
+            if kind != "expert" or expert_key is None:
+                continue
+            identity = (expert_key.moe_layer, expert_key.expert)
+            stamp = self.store.stamp_of(key)
+            if identity not in result or stamp < result[identity]:
+                result[identity] = stamp
+        return result
+
+
+def expected_entry_keys(
+    non_expert_names: Iterable[str],
+    expert_entry_keys: Iterable[str],
+    meta_names: Iterable[str] = ("iteration",),
+) -> Set[str]:
+    """The full set of keys a live manager population owns."""
+    from .manifest import meta_entry_key, non_expert_entry_key
+
+    keys: Set[str] = {non_expert_entry_key(name) for name in non_expert_names}
+    keys.update(expert_entry_keys)
+    keys.update(meta_entry_key(name) for name in meta_names)
+    return keys
+
+
+def prune_stale_entries(store, expected_keys: Set[str]) -> List[str]:
+    """Delete entries not in ``expected_keys`` (orphans from an old run).
+
+    Only supported for :class:`~repro.ckpt.kvstore.InMemoryKVStore` and
+    :class:`~repro.ckpt.kvstore.DiskKVStore`.  Returns the deleted keys.
+    """
+    from .kvstore import DiskKVStore, InMemoryKVStore
+    import os
+
+    if not isinstance(store, (InMemoryKVStore, DiskKVStore)):
+        raise TypeError(f"unsupported store type {type(store).__name__}")
+    orphans = [key for key in store.keys() if key not in expected_keys]
+    if isinstance(store, InMemoryKVStore):
+        for key in orphans:
+            del store._data[key]  # noqa: SLF001 - same package
+            del store._meta[key]  # noqa: SLF001
+    elif isinstance(store, DiskKVStore):
+        for key in orphans:
+            path = store._path(key)  # noqa: SLF001
+            if os.path.exists(path):
+                os.remove(path)
+            del store._index[key]  # noqa: SLF001
+        store._flush_index()  # noqa: SLF001
+    return sorted(orphans)

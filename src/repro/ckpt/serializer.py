@@ -1,0 +1,86 @@
+"""Binary serialization of checkpoint entries.
+
+A checkpoint *entry* is a mapping from field names ("master", "m", "v",
+"step", ...) to numpy arrays.  We use a small self-describing binary
+format rather than pickle so the format is stable, portable, and the byte
+counts (which the paper's results are all about) are deterministic:
+
+``MOC1`` magic | u32 field count | per field:
+u16 name length | name utf-8 | u8 dtype-string length | dtype utf-8 |
+u8 ndim | u64 * ndim shape | u64 payload bytes | raw array bytes.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import Dict, Mapping
+
+import numpy as np
+
+_MAGIC = b"MOC1"
+
+
+class SerializationError(ValueError):
+    """Raised for malformed checkpoint payloads."""
+
+
+def serialize_entry(entry: Mapping[str, np.ndarray]) -> bytes:
+    """Encode a field->array mapping to bytes."""
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    out.write(struct.pack("<I", len(entry)))
+    for name in sorted(entry):
+        array = np.ascontiguousarray(np.asarray(entry[name]))
+        name_bytes = name.encode("utf-8")
+        dtype_bytes = array.dtype.str.encode("ascii")
+        out.write(struct.pack("<H", len(name_bytes)))
+        out.write(name_bytes)
+        out.write(struct.pack("<B", len(dtype_bytes)))
+        out.write(dtype_bytes)
+        out.write(struct.pack("<B", array.ndim))
+        for dim in array.shape:
+            out.write(struct.pack("<Q", dim))
+        payload = array.tobytes()
+        out.write(struct.pack("<Q", len(payload)))
+        out.write(payload)
+    return out.getvalue()
+
+
+def deserialize_entry(data: bytes) -> Dict[str, np.ndarray]:
+    """Decode bytes produced by :func:`serialize_entry`."""
+    view = io.BytesIO(data)
+    magic = view.read(4)
+    if magic != _MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    (count,) = struct.unpack("<I", _read(view, 4))
+    result: Dict[str, np.ndarray] = {}
+    for _ in range(count):
+        (name_len,) = struct.unpack("<H", _read(view, 2))
+        name = _read(view, name_len).decode("utf-8")
+        (dtype_len,) = struct.unpack("<B", _read(view, 1))
+        dtype = np.dtype(_read(view, dtype_len).decode("ascii"))
+        (ndim,) = struct.unpack("<B", _read(view, 1))
+        shape = tuple(
+            struct.unpack("<Q", _read(view, 8))[0] for _ in range(ndim)
+        )
+        (nbytes,) = struct.unpack("<Q", _read(view, 8))
+        payload = _read(view, nbytes)
+        array = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+        result[name] = array
+    trailing = view.read(1)
+    if trailing:
+        raise SerializationError("trailing bytes after final field")
+    return result
+
+
+def _read(view: io.BytesIO, size: int) -> bytes:
+    data = view.read(size)
+    if len(data) != size:
+        raise SerializationError(f"truncated payload: wanted {size}, got {len(data)}")
+    return data
+
+
+def entry_nbytes(entry: Mapping[str, np.ndarray]) -> int:
+    """Raw payload bytes of an entry (excluding format framing)."""
+    return int(sum(np.asarray(v).nbytes for v in entry.values()))

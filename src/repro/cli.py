@@ -1,0 +1,196 @@
+"""Command-line interface: ``moc-repro <command>``.
+
+Commands
+--------
+``size``      checkpoint-size arithmetic for a model spec (Figure 10(a))
+``plan``      adaptive two-level PEC configuration for a deployment
+              (Section 5.3)
+``simulate``  async-checkpoint timeline for given durations (Figure 11/12
+              mechanics)
+``demo``      a 60-iteration training run with a midpoint fault and PEC
+              recovery on the numpy substrate
+
+All commands print fixed-width tables and return 0 on success, making
+them scriptable; ``main`` accepts an ``argv`` list for testing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List, Optional
+
+from .analysis import render_kv, render_table
+
+
+def _cmd_size(args: argparse.Namespace) -> int:
+    from .distsim import GB, gpt_125m_8e, gpt_350m_16e, llama_moe
+
+    if args.model == "gpt-350m-16e":
+        spec = gpt_350m_16e()
+    elif args.model == "gpt-125m-8e":
+        spec = gpt_125m_8e()
+    else:
+        spec = llama_moe(num_experts=args.experts, hidden=args.hidden)
+    full = spec.full_checkpoint_bytes()
+    rows = []
+    k = spec.num_experts
+    while k >= 1:
+        size = spec.pec_checkpoint_bytes(k)
+        rows.append((k, size / GB, 100.0 * size / full))
+        k //= 2
+    print(render_kv(
+        f"{spec.name}",
+        [
+            ("total params (B)", spec.total_params / 1e9),
+            ("expert fraction", spec.expert_fraction),
+            ("full checkpoint (GB)", full / GB),
+        ],
+    ))
+    print(render_table(["K_pec", "size GB", "% of full"], rows, precision=1))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .core import recommend_for_deployment
+    from .distsim import A800_CLUSTER, H100_CLUSTER, Deployment, ParallelConfig, llama_moe
+
+    cluster = H100_CLUSTER if args.gpu == "h100" else A800_CLUSTER
+    spec = llama_moe(num_experts=args.gpus)
+    deployment = Deployment(
+        name="cli",
+        spec=spec,
+        parallel=ParallelConfig(d_dp=args.gpus, d_ep=args.gpus,
+                                tokens_per_gpu=args.tokens_per_gpu),
+        cluster=cluster,
+    )
+    iteration_seconds = deployment.iteration_times().total
+    fault_rate = iteration_seconds / (args.mtbf_hours * 3600.0)
+    plan = recommend_for_deployment(deployment, fault_rate)
+    print(render_kv(
+        f"Adaptive plan for {spec.name} on {args.gpus}x{cluster.gpu.name}",
+        [
+            ("iteration time (s)", iteration_seconds),
+            ("K_snapshot", plan.k_snapshot),
+            ("K_persist", plan.k_persist),
+            ("snapshot (s)", plan.snapshot_seconds),
+            ("persist (s)", plan.persist_seconds),
+            ("fully overlapped", str(plan.fully_overlapped)),
+            ("recommended I_ckpt (iters)", plan.checkpoint_interval),
+        ],
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .distsim import TimelineConfig, simulate_timeline
+
+    results = {}
+    for mode in ("blocking", "async"):
+        results[mode] = simulate_timeline(
+            TimelineConfig(
+                t_fb=args.fb, t_update=args.update, t_snapshot=args.snapshot,
+                t_persist=args.persist, num_iterations=args.iterations,
+                checkpoint_interval=args.interval, mode=mode,
+            )
+        )
+    rows = [
+        (
+            mode,
+            result.total_time,
+            result.checkpoint_iteration_time,
+            result.o_save,
+            result.checkpoints_started,
+            result.deferred_attempts,
+        )
+        for mode, result in results.items()
+    ]
+    print(render_table(
+        ["mode", "total s", "ckpt-iter s", "O_save s", "ckpts", "deferred"],
+        rows, precision=2,
+    ))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import MoCConfig, MoCCheckpointManager, PECConfig, TwoLevelConfig
+    from .models import Adam, MoEModelConfig, MoETransformerLM
+    from .train import FaultSchedule, MarkovCorpus, Trainer, TrainerConfig
+
+    model_config = MoEModelConfig(
+        vocab_size=48, max_seq_len=16, dim=16, num_layers=2, num_heads=2,
+        num_experts=args.experts, top_k=2, seed=0,
+    )
+    model = MoETransformerLM(model_config)
+    optimizer = Adam(model.named_parameters(), lr=3e-3)
+    corpus = MarkovCorpus(vocab_size=48, num_domains=2, seq_len=16, seed=1)
+    config = MoCConfig(
+        pec=PECConfig(k_snapshot=min(2, args.experts), k_persist=1),
+        two_level=TwoLevelConfig(checkpoint_interval=args.interval),
+    )
+    with tempfile.TemporaryDirectory() as storage:
+        manager = MoCCheckpointManager(model, optimizer, config, disk_root=storage)
+        trainer = Trainer(
+            model, optimizer, corpus,
+            TrainerConfig(total_iterations=args.iterations, batch_size=2),
+            manager=manager,
+            fault_schedule=FaultSchedule.midpoint(args.iterations),
+        )
+        history = trainer.run()
+    print(render_kv(
+        "demo run",
+        [
+            ("iterations (with replay)", history.executed_iterations),
+            ("fault at", history.fault_iterations[0]),
+            ("resumed from", history.recoveries[0].resume_iteration),
+            ("PLT %", 100 * history.final_plt),
+            ("final train loss", history.train_losses[args.iterations]),
+        ],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="moc-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    size = sub.add_parser("size", help="checkpoint size arithmetic")
+    size.add_argument("--model", choices=["gpt-350m-16e", "gpt-125m-8e", "llama-moe"],
+                      default="gpt-350m-16e")
+    size.add_argument("--experts", type=int, default=64)
+    size.add_argument("--hidden", type=int, default=2048)
+    size.set_defaults(func=_cmd_size)
+
+    plan = sub.add_parser("plan", help="adaptive PEC configuration")
+    plan.add_argument("--gpus", type=int, default=64)
+    plan.add_argument("--gpu", choices=["a800", "h100"], default="a800")
+    plan.add_argument("--mtbf-hours", type=float, default=8.0)
+    plan.add_argument("--tokens-per-gpu", type=int, default=16 * 1024)
+    plan.set_defaults(func=_cmd_plan)
+
+    simulate = sub.add_parser("simulate", help="async checkpoint timeline")
+    simulate.add_argument("--fb", type=float, default=2.0)
+    simulate.add_argument("--update", type=float, default=0.2)
+    simulate.add_argument("--snapshot", type=float, default=3.0)
+    simulate.add_argument("--persist", type=float, default=2.0)
+    simulate.add_argument("--iterations", type=int, default=40)
+    simulate.add_argument("--interval", type=int, default=4)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    demo = sub.add_parser("demo", help="tiny training run with a fault")
+    demo.add_argument("--iterations", type=int, default=40)
+    demo.add_argument("--interval", type=int, default=8)
+    demo.add_argument("--experts", type=int, default=4)
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""MoC-System core: PEC, PLT, sharding, two-level management, overhead model."""
+
+from .adaptive import (
+    AdaptivePlan,
+    choose_k_snapshot,
+    recommend_configuration,
+    recommend_for_deployment,
+)
+from .buffers import Buffer, BufferError, BufferStatus, TripleBuffer
+from .config import (
+    DEFAULT_PLT_THRESHOLD,
+    MoCConfig,
+    PECConfig,
+    SelectionStrategy,
+    ShardingPolicy,
+    TwoLevelConfig,
+)
+from .manager import MoCCheckpointManager, RecoveryResult
+from .overhead import (
+    OverheadBreakdown,
+    OverheadInputs,
+    equal_ratio_interval,
+    expected_faults,
+    moc_beats_full,
+    optimal_interval,
+    overhead_breakdown,
+    save_overhead,
+    total_overhead,
+)
+from .pec import PECPlan, PECPlanner, full_save_cycle_length
+from .plt import PERSIST_TIER, SNAPSHOT_TIER, FaultLoss, PLTTracker, analytic_plt
+from .recovery import (
+    RecoveryPlan,
+    build_recovery_plan,
+    default_expert_placement,
+    placement_from_topology,
+)
+from .verify import ConsistencyReport, EntryReport, verify_consistency
+from .selection import (
+    DynamicKController,
+    ExpertSelector,
+    FullSelector,
+    LoadAwareSelector,
+    SequentialSelector,
+    make_selector,
+)
+from .sharding import (
+    CheckpointWorkload,
+    ShardItem,
+    ShardPlan,
+    ShardTopology,
+    pec_imbalance_condition,
+    plan_checkpoint_shards,
+)
+
+__all__ = [
+    "AdaptivePlan",
+    "Buffer",
+    "BufferError",
+    "BufferStatus",
+    "CheckpointWorkload",
+    "ConsistencyReport",
+    "DEFAULT_PLT_THRESHOLD",
+    "DynamicKController",
+    "EntryReport",
+    "ExpertSelector",
+    "FaultLoss",
+    "FullSelector",
+    "LoadAwareSelector",
+    "MoCCheckpointManager",
+    "MoCConfig",
+    "OverheadBreakdown",
+    "OverheadInputs",
+    "PECConfig",
+    "PECPlan",
+    "PECPlanner",
+    "PERSIST_TIER",
+    "PLTTracker",
+    "RecoveryPlan",
+    "RecoveryResult",
+    "SNAPSHOT_TIER",
+    "SelectionStrategy",
+    "SequentialSelector",
+    "ShardItem",
+    "ShardPlan",
+    "ShardTopology",
+    "ShardingPolicy",
+    "TripleBuffer",
+    "TwoLevelConfig",
+    "analytic_plt",
+    "choose_k_snapshot",
+    "build_recovery_plan",
+    "default_expert_placement",
+    "equal_ratio_interval",
+    "expected_faults",
+    "full_save_cycle_length",
+    "make_selector",
+    "moc_beats_full",
+    "optimal_interval",
+    "overhead_breakdown",
+    "pec_imbalance_condition",
+    "placement_from_topology",
+    "plan_checkpoint_shards",
+    "recommend_configuration",
+    "recommend_for_deployment",
+    "save_overhead",
+    "total_overhead",
+    "verify_consistency",
+]

@@ -1,0 +1,143 @@
+"""Adaptive configuration of two-level PEC (Section 5.3).
+
+Turns the paper's configuration rules into an API: given the durations a
+deployment exhibits (F&B time, snapshot seconds per ``K_snapshot``,
+persist seconds per ``K_persist``) and the cluster's fault rate, choose
+
+* the largest ``K_snapshot`` whose snapshot fully hides under the next
+  iteration's F&B (zero stall => minimal ``O_save``, maximal PLT
+  protection from the memory tier);
+* a small ``K_persist`` (the two-level recovery path absorbs its PLT);
+* the checkpoint interval: at least the persist-phase lower bound, and
+  otherwise the Young-Daly optimum for the measured ``O_save``.
+
+The functions take plain duration callables so they work against the
+simulator (``repro.distsim``) and against real measurements alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from .overhead import optimal_interval, save_overhead
+
+
+@dataclass(frozen=True)
+class AdaptivePlan:
+    """The chosen two-level PEC configuration for a deployment."""
+
+    k_snapshot: int
+    k_persist: int
+    checkpoint_interval: float  # iterations
+    snapshot_seconds: float
+    persist_seconds: float
+    o_save_iterations: float  # per-checkpoint overhead, iteration units
+    fully_overlapped: bool
+
+    def __post_init__(self) -> None:
+        if self.k_persist > self.k_snapshot:
+            raise ValueError("k_persist must not exceed k_snapshot")
+
+
+def choose_k_snapshot(
+    num_experts: int,
+    snapshot_seconds_of: Callable[[int], float],
+    fb_seconds: float,
+) -> int:
+    """Largest ``K`` whose snapshot hides under F&B; 1 if none does.
+
+    ``snapshot_seconds_of(k)`` must be non-decreasing in ``k`` (more
+    experts can never be faster to copy), which lets us scan from the
+    top.
+    """
+    if num_experts < 1:
+        raise ValueError("num_experts must be >= 1")
+    for k in range(num_experts, 0, -1):
+        if snapshot_seconds_of(k) <= fb_seconds:
+            return k
+    return 1
+
+
+def recommend_configuration(
+    num_experts: int,
+    fb_seconds: float,
+    update_seconds: float,
+    snapshot_seconds_of: Callable[[int], float],
+    persist_seconds_of: Callable[[int], float],
+    fault_rate_per_iteration: float,
+    k_persist: int = 1,
+) -> AdaptivePlan:
+    """Apply Section 5.3's rules; see module docstring.
+
+    ``fault_rate_per_iteration`` of zero yields an interval bound only
+    by the persist phase (checkpoint as rarely as you like — we return
+    the persist lower bound as the floor recommendation).
+    """
+    if fb_seconds <= 0 or update_seconds < 0:
+        raise ValueError("invalid iteration durations")
+    k_snapshot = choose_k_snapshot(num_experts, snapshot_seconds_of, fb_seconds)
+    k_persist = min(k_persist, k_snapshot)
+    snapshot_seconds = snapshot_seconds_of(k_snapshot)
+    persist_seconds = persist_seconds_of(k_persist)
+    iteration_seconds = fb_seconds + update_seconds
+    o_save = save_overhead(snapshot_seconds, fb_seconds) / iteration_seconds
+
+    persist_floor = persist_seconds / iteration_seconds
+    if fault_rate_per_iteration > 0:
+        # Young-Daly needs a nonzero saving cost; a fully-overlapped
+        # snapshot still costs a small dispatch overhead in practice.
+        effective_o_save = max(o_save, 0.01)
+        young_daly = optimal_interval(effective_o_save, fault_rate_per_iteration)
+    else:
+        young_daly = persist_floor
+    interval = max(persist_floor, young_daly, 1.0)
+
+    return AdaptivePlan(
+        k_snapshot=k_snapshot,
+        k_persist=k_persist,
+        checkpoint_interval=interval,
+        snapshot_seconds=snapshot_seconds,
+        persist_seconds=persist_seconds,
+        o_save_iterations=o_save,
+        fully_overlapped=snapshot_seconds <= fb_seconds,
+    )
+
+
+def recommend_for_deployment(
+    deployment,
+    fault_rate_per_iteration: float,
+    k_persist: int = 1,
+    sharding_policy=None,
+) -> AdaptivePlan:
+    """Convenience wrapper binding the rules to a simulator deployment."""
+    from .config import ShardingPolicy
+
+    policy = sharding_policy if sharding_policy is not None else ShardingPolicy.EE_AN
+    from ..distsim.ckptsim import checkpoint_cost, pec_plan_for
+
+    times = deployment.iteration_times()
+
+    def snapshot_seconds_of(k: int) -> float:
+        cost = checkpoint_cost(
+            deployment.spec, deployment.topology, deployment.cluster, policy,
+            pec_plan=pec_plan_for(deployment.spec, k),
+        )
+        return cost.snapshot_seconds
+
+    def persist_seconds_of(k: int) -> float:
+        cost = checkpoint_cost(
+            deployment.spec, deployment.topology, deployment.cluster, policy,
+            pec_plan=pec_plan_for(deployment.spec, max(k, 1), k),
+        )
+        return cost.persist_seconds
+
+    return recommend_configuration(
+        deployment.spec.num_experts,
+        times.fb,
+        times.update,
+        snapshot_seconds_of,
+        persist_seconds_of,
+        fault_rate_per_iteration,
+        k_persist=k_persist,
+    )

@@ -1,0 +1,154 @@
+"""Triple-buffer state machine for asynchronous checkpointing (Fig. 9).
+
+Each node-level agent owns ``num_buffers`` (three, by default) buffers
+that rotate through the statuses of Figure 9:
+
+``SNAPSHOT`` (free / receiving a GPU->CPU snapshot) ->
+``PERSIST``  (being written to persistent storage)   ->
+``RECOVERY`` (holds the latest persisted checkpoint, used for restart)
+-> back to ``SNAPSHOT`` when another buffer finishes persisting.
+
+Invariants enforced (and asserted by the property tests):
+
+* at most one buffer is persisting at a time;
+* at most one buffer is in RECOVERY status;
+* a snapshot buffer only transitions to PERSIST when no other persist is
+  in flight — otherwise it waits, holding its (newer) snapshot.
+
+The machine is purely event-driven on logical timestamps, so the real
+trainer and the timeline simulator can both drive it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class BufferStatus(str, enum.Enum):
+    SNAPSHOT = "snapshot"  # free or being filled by a snapshot
+    SNAPSHOT_DONE = "snapshot_done"  # filled, waiting for the persist slot
+    PERSIST = "persist"  # being written to storage
+    RECOVERY = "recovery"  # latest persisted checkpoint
+
+
+@dataclass
+class Buffer:
+    index: int
+    status: BufferStatus = BufferStatus.SNAPSHOT
+    checkpoint_index: Optional[int] = None  # which checkpoint occupies it
+    snapshot_started: Optional[float] = None
+    snapshot_finished: Optional[float] = None
+    persist_started: Optional[float] = None
+    persist_finished: Optional[float] = None
+
+    def reset(self) -> None:
+        self.status = BufferStatus.SNAPSHOT
+        self.checkpoint_index = None
+        self.snapshot_started = None
+        self.snapshot_finished = None
+        self.persist_started = None
+        self.persist_finished = None
+
+
+class BufferError(RuntimeError):
+    """Raised on illegal buffer transitions."""
+
+
+@dataclass
+class TripleBuffer:
+    """The rotating buffer pool of Section 5.2."""
+
+    num_buffers: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_buffers < 2:
+            raise ValueError("need at least two buffers (snapshot + persist)")
+        self.buffers: List[Buffer] = [Buffer(i) for i in range(self.num_buffers)]
+        self._active_snapshot: Optional[Buffer] = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _with_status(self, status: BufferStatus) -> List[Buffer]:
+        return [b for b in self.buffers if b.status is status]
+
+    @property
+    def persisting(self) -> Optional[Buffer]:
+        persisting = self._with_status(BufferStatus.PERSIST)
+        if len(persisting) > 1:  # pragma: no cover - invariant guard
+            raise BufferError("multiple buffers persisting")
+        return persisting[0] if persisting else None
+
+    @property
+    def recovery_buffer(self) -> Optional[Buffer]:
+        buffers = self._with_status(BufferStatus.RECOVERY)
+        if len(buffers) > 1:  # pragma: no cover - invariant guard
+            raise BufferError("multiple recovery buffers")
+        return buffers[0] if buffers else None
+
+    def can_start_snapshot(self) -> bool:
+        return (
+            self._active_snapshot is None
+            and any(
+                b.status is BufferStatus.SNAPSHOT and b.checkpoint_index is None
+                for b in self.buffers
+            )
+        )
+
+    def latest_recoverable_checkpoint(self) -> Optional[int]:
+        buffer = self.recovery_buffer
+        return buffer.checkpoint_index if buffer else None
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def start_snapshot(self, checkpoint_index: int, time: float) -> Buffer:
+        if self._active_snapshot is not None:
+            raise BufferError("a snapshot is already in progress")
+        for buffer in self.buffers:
+            if buffer.status is BufferStatus.SNAPSHOT and buffer.checkpoint_index is None:
+                buffer.checkpoint_index = checkpoint_index
+                buffer.snapshot_started = time
+                self._active_snapshot = buffer
+                return buffer
+        raise BufferError("no free buffer for snapshot")
+
+    def finish_snapshot(self, time: float) -> Buffer:
+        """Snapshot complete; start persisting if the persist slot is free."""
+        buffer = self._active_snapshot
+        if buffer is None:
+            raise BufferError("no snapshot in progress")
+        buffer.snapshot_finished = time
+        self._active_snapshot = None
+        if self.persisting is None:
+            buffer.status = BufferStatus.PERSIST
+            buffer.persist_started = time
+        else:
+            buffer.status = BufferStatus.SNAPSHOT_DONE
+        return buffer
+
+    def finish_persist(self, time: float) -> Buffer:
+        """Persist complete: buffer becomes the recovery buffer.
+
+        The previous recovery buffer (if any) is recycled to SNAPSHOT, and
+        the oldest SNAPSHOT_DONE buffer (if any) starts persisting.
+        """
+        buffer = self.persisting
+        if buffer is None:
+            raise BufferError("no persist in progress")
+        buffer.persist_finished = time
+        previous = self.recovery_buffer
+        buffer.status = BufferStatus.RECOVERY
+        if previous is not None:
+            previous.reset()
+        waiting = sorted(
+            self._with_status(BufferStatus.SNAPSHOT_DONE),
+            key=lambda b: (b.snapshot_finished, b.index),
+        )
+        if waiting:
+            nxt = waiting[0]
+            nxt.status = BufferStatus.PERSIST
+            nxt.persist_started = time
+        return buffer

@@ -1,0 +1,120 @@
+"""Configuration objects for the MoC-System.
+
+Groups the knobs the paper exposes: PEC (``K_pec`` split into
+``K_snapshot``/``K_persist``, selection strategy, which state components
+PEC applies to), the sharding policy, and the two-level asynchronous
+checkpointing parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class SelectionStrategy(str, enum.Enum):
+    """How PEC picks which experts to save (Section 3.2)."""
+
+    SEQUENTIAL = "sequential"
+    LOAD_AWARE = "load_aware"
+    FULL = "full"
+
+
+class ShardingPolicy(str, enum.Enum):
+    """Checkpoint sharding strategies (Section 4 / Figure 10).
+
+    ``BASELINE``  — Megatron-DeepSpeed behaviour: rank 0 saves the
+                    non-expert parameters, EP-group-0 saves expert
+                    parameters, every rank saves its own ZeRO-2 optimizer
+                    shard.
+    ``EE``        — equal sharding of the expert part across EP groups.
+    ``EE_EN``     — EE plus equal (greedy) sharding of the non-expert part
+                    across all DP ranks.
+    ``EE_AN``     — EE plus adaptive non-expert sharding that balances
+                    against the PEC expert workload.
+    """
+
+    BASELINE = "baseline"
+    EE = "ee"
+    EE_EN = "ee+en"
+    EE_AN = "ee+an"
+
+
+# The accuracy-safe PLT budget observed in Figure 5 (Section 3.1.2).
+DEFAULT_PLT_THRESHOLD = 0.0375
+
+
+@dataclass
+class PECConfig:
+    """Partial Experts Checkpointing configuration (Section 3, 5.1).
+
+    ``k_snapshot`` experts per MoE layer are copied GPU->CPU each
+    checkpoint; ``k_persist`` of those are persisted to storage.  Setting
+    both to ``num_experts`` (or using ``SelectionStrategy.FULL``)
+    recovers conventional full checkpointing.
+
+    ``apply_to_weights`` / ``apply_to_moments`` select the "W" / "O"
+    variants of Table 3: a component not covered by PEC is saved in full
+    for every expert.  The fp32 master copy is always saved in full (the
+    recovery path needs a consistent master; this matches the paper's
+    measured checkpoint ratios — see DESIGN.md).
+    """
+
+    k_snapshot: int = 1
+    k_persist: int = 1
+    selection: SelectionStrategy = SelectionStrategy.SEQUENTIAL
+    apply_to_weights: bool = True
+    apply_to_moments: bool = True
+    dynamic_k: bool = False
+    plt_threshold: float = DEFAULT_PLT_THRESHOLD
+
+    def __post_init__(self) -> None:
+        if self.k_persist > self.k_snapshot:
+            raise ValueError(
+                f"k_persist ({self.k_persist}) must not exceed k_snapshot ({self.k_snapshot}):"
+                " persist-PEC selects from the snapshot set (Section 5.1)"
+            )
+        if self.k_snapshot < 1 or self.k_persist < 1:
+            raise ValueError("k_snapshot and k_persist must be >= 1")
+
+    @classmethod
+    def full(cls, num_experts: int) -> "PECConfig":
+        """Conventional full checkpointing expressed as a PEC config."""
+        return cls(
+            k_snapshot=num_experts,
+            k_persist=num_experts,
+            selection=SelectionStrategy.FULL,
+        )
+
+
+@dataclass
+class TwoLevelConfig:
+    """Two-level checkpointing management (Section 5)."""
+
+    checkpoint_interval: int = 10  # iterations between checkpoints (I_ckpt)
+    async_checkpointing: bool = True
+    num_buffers: int = 3  # triple buffering (Section 5.2)
+    two_level_recovery: bool = True  # recover surviving nodes from memory
+
+
+@dataclass
+class MoCConfig:
+    """Top-level MoC-System configuration."""
+
+    pec: PECConfig = field(default_factory=PECConfig)
+    sharding: ShardingPolicy = ShardingPolicy.EE_AN
+    two_level: TwoLevelConfig = field(default_factory=TwoLevelConfig)
+
+    @classmethod
+    def baseline(cls, num_experts: int, checkpoint_interval: int = 10) -> "MoCConfig":
+        """The Megatron-DeepSpeed baseline: blocking full checkpointing."""
+        return cls(
+            pec=PECConfig.full(num_experts),
+            sharding=ShardingPolicy.BASELINE,
+            two_level=TwoLevelConfig(
+                checkpoint_interval=checkpoint_interval,
+                async_checkpointing=False,
+                two_level_recovery=False,
+            ),
+        )

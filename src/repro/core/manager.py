@@ -1,0 +1,385 @@
+"""MoCCheckpointManager — the system's orchestration layer.
+
+Glues PEC planning, the two storage tiers, PLT tracking, Dynamic-K and
+recovery into the interface the trainer uses:
+
+* :meth:`note_routing`   — feed per-step routing counts (PLT bookkeeping)
+* :meth:`maybe_checkpoint` / :meth:`checkpoint` — run a two-level save
+* :meth:`recover`        — restore model + optimizer state after a fault
+
+State layout: every non-expert parameter maps to one entry carrying all
+components; every expert parameter maps to *two* entries — a weights
+entry and an optimizer entry — so the "W" / "O" PEC variants of Table 3
+can stale them independently.  Entries are only rewritten when their
+component is selected, so the stores naturally retain the last-saved
+version for stale experts (see DESIGN.md for how this relates to the
+paper's byte accounting, which is handled in ``repro.distsim``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from ..ckpt.codec import PrecisionCodec
+from ..ckpt.kvstore import DiskKVStore, InMemoryKVStore
+from ..ckpt.manifest import (
+    CheckpointManifest,
+    ManifestRecord,
+    expert_entry_key,
+    meta_entry_key,
+    non_expert_entry_key,
+)
+from ..models.optim import Adam
+from ..models.serial import ExpertKey, expert_param_names, non_expert_param_names
+from .config import MoCConfig, SelectionStrategy
+from .pec import PECPlan, PECPlanner
+from .plt import PERSIST_TIER, SNAPSHOT_TIER, PLTTracker
+from .recovery import RecoveryPlan, build_recovery_plan, default_expert_placement
+from .selection import DynamicKController
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of :meth:`MoCCheckpointManager.recover`."""
+
+    plan: RecoveryPlan
+    resume_iteration: int
+    plt_increment: float
+    cumulative_plt: float
+    k_after: int
+
+
+class MoCCheckpointManager:
+    """Two-level PEC checkpointing for a live model + optimizer pair.
+
+    Parameters
+    ----------
+    model:
+        Any model exposing ``named_parameters``/``moe_layers``/
+        ``routing_stats`` (``MoETransformerLM`` or ``MoEClassifier``).
+    optimizer:
+        The :class:`~repro.models.optim.Adam` instance holding master
+        weights and moments.
+    config:
+        Full MoC configuration.
+    memory_store / disk_store:
+        The snapshot and persist tiers.
+    expert_placement:
+        Hosting node(s) per expert for two-level recovery; defaults to a
+        two-node striping.
+    """
+
+    def __init__(
+        self,
+        model,
+        optimizer: Adam,
+        config: MoCConfig,
+        memory_store: Optional[InMemoryKVStore] = None,
+        disk_store: Optional[DiskKVStore] = None,
+        disk_root: Optional[str] = None,
+        expert_placement: Optional[Mapping[ExpertKey, Sequence[int]]] = None,
+        num_nodes: int = 2,
+        codec: Optional[PrecisionCodec] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.config = config
+        if disk_store is None:
+            if disk_root is None:
+                raise ValueError("provide disk_store or disk_root")
+            disk_store = DiskKVStore(disk_root)
+        self.memory_store = memory_store if memory_store is not None else InMemoryKVStore()
+        self.disk_store = disk_store
+        # Optional precision codec: entries are downcast on save and
+        # upcast on load (composes with PEC — orthogonal byte savings).
+        self.codec = codec
+
+        self._expert_params: Dict[ExpertKey, List[str]] = expert_param_names(model)
+        self._non_expert_params: List[str] = non_expert_param_names(model)
+        moe_layers = model.moe_layers()
+        self.num_moe_layers = len(moe_layers)
+        self.num_experts = moe_layers[0].num_experts if moe_layers else 0
+        top_k = moe_layers[0].top_k if moe_layers else 1
+
+        self.planner = PECPlanner(config.pec, self.num_moe_layers, self.num_experts)
+        self.plt_tracker = PLTTracker(self.num_moe_layers, self.num_experts, top_k=top_k)
+        self.dynamic_k: Optional[DynamicKController] = None
+        if config.pec.dynamic_k:
+            self.dynamic_k = DynamicKController(
+                num_experts=self.num_experts,
+                threshold=config.pec.plt_threshold,
+                initial_k=config.pec.k_persist,
+            )
+        if expert_placement is None:
+            expert_placement = default_expert_placement(
+                self.num_moe_layers, self.num_experts, num_nodes=num_nodes
+            )
+        self.expert_placement = dict(expert_placement)
+        self.num_nodes = max(
+            (max(nodes) for nodes in self.expert_placement.values()), default=0
+        ) + 1
+
+        self.checkpoint_count = 0
+        self.manifests: List[CheckpointManifest] = []
+
+    # ------------------------------------------------------------------
+    # Entry extraction / injection
+    # ------------------------------------------------------------------
+    def _weights_entry(self, param_name: str) -> Dict[str, np.ndarray]:
+        return {"weights": self.optimizer.params[param_name].data.copy()}
+
+    def _optimizer_entry(self, param_name: str) -> Dict[str, np.ndarray]:
+        state = self.optimizer.state[param_name]
+        return {
+            "master": state.master.copy(),
+            "m": state.m.copy(),
+            "v": state.v.copy(),
+            "step": np.asarray(state.step),
+        }
+
+    def _full_entry(self, param_name: str) -> Dict[str, np.ndarray]:
+        entry = self._optimizer_entry(param_name)
+        entry["weights"] = self.optimizer.params[param_name].data.copy()
+        return entry
+
+    def _encode(self, entry: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return self.codec.encode(entry) if self.codec is not None else entry
+
+    def _decode(self, entry: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return self.codec.decode(entry) if self.codec is not None else entry
+
+    def _load_entry(self, param_name: str, entry: Mapping[str, np.ndarray]) -> None:
+        param = self.optimizer.params[param_name]
+        state = self.optimizer.state[param_name]
+        if "weights" in entry:
+            param.data = np.array(entry["weights"], dtype=np.float64)
+        if "master" in entry:
+            state.master = np.array(entry["master"], dtype=np.float64)
+            state.m = np.array(entry["m"], dtype=np.float64)
+            state.v = np.array(entry["v"], dtype=np.float64)
+            state.step = int(np.asarray(entry["step"]).reshape(-1)[0])
+            if "weights" not in entry:
+                # Optimizer-only restore: the master copy governs the
+                # parameter value going forward (mixed-precision rule).
+                param.data = state.master.copy()
+
+    # ------------------------------------------------------------------
+    # Routing / PLT feed
+    # ------------------------------------------------------------------
+    def note_routing(self, tokens_per_expert: Sequence[np.ndarray]) -> None:
+        """Record one training step's per-layer expert token counts."""
+        self.plt_tracker.record_batch(tokens_per_expert)
+
+    def note_model_routing(self) -> None:
+        """Convenience: pull routing stats straight off the model."""
+        stats = self.model.routing_stats()
+        self.note_routing([s.tokens_per_expert for s in stats])
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, iteration: int) -> Optional[CheckpointManifest]:
+        interval = self.config.two_level.checkpoint_interval
+        if interval <= 0 or iteration == 0 or iteration % interval != 0:
+            return None
+        return self.checkpoint(iteration)
+
+    def _expert_nodes(self, key: ExpertKey) -> tuple:
+        return tuple(self.expert_placement.get(key, [0]))
+
+    def save_initial(self, iteration: int = 0) -> CheckpointManifest:
+        """Write a full (every expert, every component) baseline checkpoint.
+
+        Run once before training so that every entry exists in both tiers
+        — recovery from the very first fault would otherwise find experts
+        that were never saved.  Does not advance the PEC rotation.
+        """
+        manifest = CheckpointManifest(checkpoint_index=-1, iteration=iteration)
+        all_experts = {
+            ExpertKey(layer, expert)
+            for layer in range(self.num_moe_layers)
+            for expert in range(self.num_experts)
+        }
+        for name in self._non_expert_params:
+            key = non_expert_entry_key(name)
+            entry = self._encode(self._full_entry(name))
+            nbytes = self.memory_store.put(key, entry, stamp=iteration, node=0)
+            manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
+            nbytes = self.disk_store.put(key, entry, stamp=iteration)
+            manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+        for expert_key in sorted(all_experts):
+            node = self._expert_nodes(expert_key)
+            for name in self._expert_params[expert_key]:
+                w_key = expert_entry_key(expert_key, name) + ":w"
+                o_key = expert_entry_key(expert_key, name) + ":o"
+                w_entry = self._encode(self._weights_entry(name))
+                o_entry = self._encode(self._optimizer_entry(name))
+                for key, entry in ((w_key, w_entry), (o_key, o_entry)):
+                    nbytes = self.memory_store.put(key, entry, stamp=iteration, node=node)
+                    manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
+                    nbytes = self.disk_store.put(key, entry, stamp=iteration)
+                    manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+        meta_key = meta_entry_key("iteration")
+        self.memory_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
+        self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
+        self.plt_tracker.record_save(SNAPSHOT_TIER, all_experts)
+        self.plt_tracker.record_save(PERSIST_TIER, all_experts)
+        self.manifests.append(manifest)
+        return manifest
+
+    def checkpoint(self, iteration: int) -> CheckpointManifest:
+        """Run one two-level checkpoint at ``iteration``."""
+        unsaved = None
+        if self.config.pec.selection is SelectionStrategy.LOAD_AWARE:
+            unsaved = self.plt_tracker.unsaved_tokens(PERSIST_TIER)
+        if self.dynamic_k is not None:
+            self.planner.set_k(k_persist=self.dynamic_k.k, k_snapshot=max(
+                self.planner.k_snapshot, self.dynamic_k.k
+            ))
+        plan = self.planner.plan(self.checkpoint_count, unsaved_tokens=unsaved)
+        manifest = CheckpointManifest(
+            checkpoint_index=self.checkpoint_count, iteration=iteration
+        )
+
+        # --- snapshot tier (GPU -> CPU memory) -------------------------
+        for name in self._non_expert_params:
+            key = non_expert_entry_key(name)
+            nbytes = self.memory_store.put(
+                key, self._encode(self._full_entry(name)), stamp=iteration, node=0
+            )
+            manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
+        snapshot_weight_experts = self._component_experts(plan, "weights", tier="snapshot")
+        snapshot_moment_experts = self._component_experts(plan, "moments", tier="snapshot")
+        for expert_key in sorted(snapshot_weight_experts | snapshot_moment_experts):
+            node = self._expert_nodes(expert_key)
+            for name in self._expert_params[expert_key]:
+                if expert_key in snapshot_weight_experts:
+                    key = expert_entry_key(expert_key, name) + ":w"
+                    nbytes = self.memory_store.put(
+                        key, self._encode(self._weights_entry(name)), stamp=iteration, node=node
+                    )
+                    manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
+                if expert_key in snapshot_moment_experts:
+                    key = expert_entry_key(expert_key, name) + ":o"
+                    nbytes = self.memory_store.put(
+                        key, self._encode(self._optimizer_entry(name)), stamp=iteration, node=node
+                    )
+                    manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
+        meta_key = meta_entry_key("iteration")
+        self.memory_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
+        self.plt_tracker.record_save(
+            SNAPSHOT_TIER, snapshot_weight_experts & snapshot_moment_experts
+        )
+
+        # --- persist tier (CPU memory -> storage) ----------------------
+        for name in self._non_expert_params:
+            key = non_expert_entry_key(name)
+            nbytes = self.disk_store.put(key, self._encode(self._full_entry(name)), stamp=iteration)
+            manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+        persist_weight_experts = self._component_experts(plan, "weights", tier="persist")
+        persist_moment_experts = self._component_experts(plan, "moments", tier="persist")
+        for expert_key in sorted(persist_weight_experts | persist_moment_experts):
+            for name in self._expert_params[expert_key]:
+                if expert_key in persist_weight_experts:
+                    key = expert_entry_key(expert_key, name) + ":w"
+                    nbytes = self.disk_store.put(
+                        key, self._encode(self._weights_entry(name)), stamp=iteration
+                    )
+                    manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+                if expert_key in persist_moment_experts:
+                    key = expert_entry_key(expert_key, name) + ":o"
+                    nbytes = self.disk_store.put(
+                        key, self._encode(self._optimizer_entry(name)), stamp=iteration
+                    )
+                    manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+        self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
+        self.plt_tracker.record_save(
+            PERSIST_TIER, persist_weight_experts & persist_moment_experts
+        )
+
+        self.checkpoint_count += 1
+        self.manifests.append(manifest)
+        return manifest
+
+    def _component_experts(self, plan: PECPlan, component: str, tier: str) -> Set[ExpertKey]:
+        """Experts whose ``component`` is written at ``tier`` this checkpoint."""
+        restricted = plan.apply_to_weights if component == "weights" else plan.apply_to_moments
+        if not restricted:
+            return set(
+                ExpertKey(layer, expert)
+                for layer in range(self.num_moe_layers)
+                for expert in range(self.num_experts)
+            )
+        return set(plan.snapshot_experts if tier == "snapshot" else plan.persist_experts)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _entry_keys_by_expert(self) -> Dict[ExpertKey, List[str]]:
+        grouped: Dict[ExpertKey, List[str]] = {}
+        for expert_key, names in self._expert_params.items():
+            keys: List[str] = []
+            for name in names:
+                keys.append(expert_entry_key(expert_key, name) + ":w")
+                keys.append(expert_entry_key(expert_key, name) + ":o")
+            grouped[expert_key] = keys
+        return grouped
+
+    def recover(self, failed_nodes: Sequence[int] = (0,)) -> RecoveryResult:
+        """Restore model + optimizer state after a node fault.
+
+        ``failed_nodes`` lose their in-memory snapshots; everything else
+        may be restored from memory when two-level recovery is enabled.
+        Training must resume from the last *persisted* checkpoint's
+        iteration.
+        """
+        if not self.disk_store.has(meta_entry_key("iteration")):
+            raise RuntimeError("no persisted checkpoint to recover from")
+        for node in failed_nodes:
+            self.memory_store.drop_node(node)
+        resume_iteration = int(
+            np.asarray(self.disk_store.get(meta_entry_key("iteration"))["iteration"]).reshape(-1)[0]
+        )
+        plan = build_recovery_plan(
+            self.memory_store,
+            self.disk_store,
+            self._entry_keys_by_expert(),
+            [non_expert_entry_key(name) for name in self._non_expert_params],
+            self.expert_placement,
+            failed_nodes,
+            resume_iteration,
+            two_level=self.config.two_level.two_level_recovery,
+        )
+        # Apply: non-expert from storage, experts from their chosen tier.
+        for name in self._non_expert_params:
+            self._load_entry(name, self._decode(self.disk_store.get(non_expert_entry_key(name))))
+        for expert_key, names in self._expert_params.items():
+            tier = plan.tier_per_expert[expert_key]
+            store = self.memory_store if tier == SNAPSHOT_TIER else self.disk_store
+            for name in names:
+                weights_key = expert_entry_key(expert_key, name) + ":w"
+                optim_key = expert_entry_key(expert_key, name) + ":o"
+                entry: Dict[str, np.ndarray] = {}
+                entry.update(store.get(weights_key))
+                entry.update(store.get(optim_key))
+                self._load_entry(name, self._decode(entry))
+
+        fault_loss = self.plt_tracker.record_fault(
+            recovery_tier_per_expert=plan.tier_per_expert, default_tier=PERSIST_TIER
+        )
+        k_after = self.planner.k_persist
+        if self.dynamic_k is not None:
+            k_after = self.dynamic_k.record_fault(fault_loss.plt_increment)
+            self.planner.set_k(
+                k_persist=k_after, k_snapshot=max(self.planner.k_snapshot, k_after)
+            )
+        return RecoveryResult(
+            plan=plan,
+            resume_iteration=resume_iteration,
+            plt_increment=fault_loss.plt_increment,
+            cumulative_plt=self.plt_tracker.plt(),
+            k_after=k_after,
+        )

@@ -1,0 +1,120 @@
+"""Analytic fault-tolerance overhead model (Eqs. 3-4 and 10-16).
+
+Quantifies the total checkpoint overhead of a training run from the
+per-checkpoint saving overhead, the checkpoint interval, the fault rate
+and the restart cost — and derives the adaptive-configuration rules of
+Section 5.3 (optimal interval, MoC-vs-Full comparison).
+
+Times are in whatever unit the caller uses consistently (we use seconds
+for wall-clock quantities and iterations for intervals; ``iteration_time``
+converts between them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+def save_overhead(t_snapshot: float, t_fb: float) -> float:
+    """Eq. 10: snapshot overhead beyond what F&B can overlap.
+
+    The asynchronous snapshot hides behind the next iteration's forward
+    and backward passes; only the excess stalls training.
+    """
+    if t_snapshot < 0 or t_fb < 0:
+        raise ValueError("durations must be non-negative")
+    return max(t_snapshot - t_fb, 0.0)
+
+
+def expected_faults(fault_rate: float, total_iterations: int) -> float:
+    """Eq. 11: N_fault ~= lambda * I_total."""
+    if fault_rate < 0 or total_iterations < 0:
+        raise ValueError("fault_rate and total_iterations must be non-negative")
+    return fault_rate * total_iterations
+
+
+@dataclass(frozen=True)
+class OverheadInputs:
+    """Everything Eq. 12/13 needs for one checkpointing method."""
+
+    o_save: float  # per-checkpoint overhead, in iteration-time units
+    i_ckpt: float  # checkpoint interval, iterations
+    o_restart: float  # restart cost per fault, iteration-time units
+    fault_rate: float  # faults per iteration (lambda)
+    total_iterations: int
+
+    def __post_init__(self) -> None:
+        if self.i_ckpt <= 0:
+            raise ValueError("i_ckpt must be positive")
+        if min(self.o_save, self.o_restart, self.fault_rate) < 0:
+            raise ValueError("costs must be non-negative")
+        if self.total_iterations < 0:
+            raise ValueError("total_iterations must be non-negative")
+
+
+def total_overhead(inputs: OverheadInputs) -> float:
+    """Eq. 12/13: O_ckpt ~= O_save * I_total/I_ckpt + lambda*I_total*(O_restart + I_ckpt/2)."""
+    saving = inputs.o_save * inputs.total_iterations / inputs.i_ckpt
+    faults = expected_faults(inputs.fault_rate, inputs.total_iterations)
+    return saving + faults * (inputs.o_restart + inputs.i_ckpt / 2.0)
+
+
+def optimal_interval(o_save: float, fault_rate: float) -> float:
+    """Interval minimising Eq. 13: ``I* = sqrt(2 * O_save / lambda)``.
+
+    Derived by setting d/dI of ``O_save/I + lambda*I/2`` (per-iteration
+    overhead) to zero — the Young/Daly optimum for our cost model.
+    """
+    if o_save < 0:
+        raise ValueError("o_save must be non-negative")
+    if fault_rate <= 0:
+        return math.inf
+    return math.sqrt(2.0 * o_save / fault_rate)
+
+
+def moc_beats_full(moc: OverheadInputs, full: OverheadInputs) -> bool:
+    """Eq. 16's condition (restart terms cancel; Eq. 14-15 reduction).
+
+    Both sides must describe the same run (same fault rate and length).
+    """
+    if moc.fault_rate != full.fault_rate or moc.total_iterations != full.total_iterations:
+        raise ValueError("comparisons require identical fault environments")
+    lhs = moc.o_save / moc.i_ckpt + moc.fault_rate * moc.i_ckpt / 2.0
+    rhs = full.o_save / full.i_ckpt + full.fault_rate * full.i_ckpt / 2.0
+    return lhs < rhs
+
+
+def equal_ratio_interval(o_save_moc: float, o_save_full: float, i_ckpt_full: float) -> float:
+    """Section 6.2.5 strategy (2): shrink the interval to keep
+    ``O_save / I_ckpt`` constant — the lost-progress term then shrinks
+    proportionally, reducing total overhead.
+    """
+    if o_save_full <= 0:
+        raise ValueError("o_save_full must be positive")
+    if o_save_moc < 0 or i_ckpt_full <= 0:
+        raise ValueError("invalid inputs")
+    return i_ckpt_full * o_save_moc / o_save_full
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Readable decomposition of the total overhead."""
+
+    saving: float
+    lost_progress: float
+    restarts: float
+
+    @property
+    def total(self) -> float:
+        return self.saving + self.lost_progress + self.restarts
+
+
+def overhead_breakdown(inputs: OverheadInputs) -> OverheadBreakdown:
+    faults = expected_faults(inputs.fault_rate, inputs.total_iterations)
+    return OverheadBreakdown(
+        saving=inputs.o_save * inputs.total_iterations / inputs.i_ckpt,
+        lost_progress=faults * inputs.i_ckpt / 2.0,
+        restarts=faults * inputs.o_restart,
+    )

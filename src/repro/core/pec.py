@@ -1,0 +1,166 @@
+"""The Partial Experts Checkpointing planner (Section 3).
+
+``PECPlanner`` turns a :class:`~repro.core.config.PECConfig` plus the
+model's MoE topology into concrete *plans*: for checkpoint number ``c``,
+which experts go into the GPU->CPU snapshot and which of those are
+persisted to storage.  It also exposes the paper's size arithmetic
+(Eqs. 5-6) so the simulator and the benches share one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+import numpy as np
+
+from ..models.serial import ExpertKey
+from .config import PECConfig, SelectionStrategy
+from .selection import ExpertSelector, make_selector
+
+
+@dataclass(frozen=True)
+class PECPlan:
+    """The expert-selection outcome for one checkpointing event.
+
+    ``snapshot_experts`` are copied to CPU memory; ``persist_experts``
+    (a subset) continue to persistent storage.  The component flags say
+    whether PEC restricts weights and/or Adam moments — a component not
+    restricted is saved for *all* experts, not just the selected ones.
+    """
+
+    checkpoint_index: int
+    snapshot_experts: FrozenSet[ExpertKey]
+    persist_experts: FrozenSet[ExpertKey]
+    apply_to_weights: bool
+    apply_to_moments: bool
+
+    def __post_init__(self) -> None:
+        if not self.persist_experts <= self.snapshot_experts:
+            raise ValueError("persist experts must be a subset of snapshot experts")
+
+    def snapshot_includes(self, key: ExpertKey) -> bool:
+        return key in self.snapshot_experts
+
+    def persist_includes(self, key: ExpertKey) -> bool:
+        return key in self.persist_experts
+
+
+class PECPlanner:
+    """Produces per-checkpoint :class:`PECPlan` objects.
+
+    Parameters
+    ----------
+    config:
+        The PEC configuration (k values, strategy, component flags).
+    num_moe_layers, num_experts:
+        The model's MoE topology.
+    """
+
+    def __init__(self, config: PECConfig, num_moe_layers: int, num_experts: int) -> None:
+        self.config = config
+        self.num_moe_layers = num_moe_layers
+        self.num_experts = num_experts
+        self._selector: ExpertSelector = make_selector(
+            config.selection, num_moe_layers, num_experts
+        )
+        self._k_snapshot = min(config.k_snapshot, num_experts)
+        self._k_persist = min(config.k_persist, num_experts)
+
+    # ------------------------------------------------------------------
+    @property
+    def k_snapshot(self) -> int:
+        return self._k_snapshot
+
+    @property
+    def k_persist(self) -> int:
+        return self._k_persist
+
+    def set_k(self, k_snapshot: Optional[int] = None, k_persist: Optional[int] = None) -> None:
+        """Adjust K values at runtime (used by Dynamic-K)."""
+        if k_snapshot is not None:
+            self._k_snapshot = min(max(1, k_snapshot), self.num_experts)
+        if k_persist is not None:
+            self._k_persist = min(max(1, k_persist), self.num_experts)
+        if self._k_persist > self._k_snapshot:
+            self._k_persist = self._k_snapshot
+
+    def plan(
+        self,
+        checkpoint_index: int,
+        unsaved_tokens: Optional[np.ndarray] = None,
+    ) -> PECPlan:
+        """Build the plan for checkpoint ``checkpoint_index``.
+
+        Persist-PEC selects from within the snapshot set (Section 5.1):
+        the selector is asked for ``k_persist`` experts first, then the
+        snapshot set is grown to ``k_snapshot`` with the same strategy, so
+        the persisted experts are always snapshotted too.
+        """
+        if self.config.selection is SelectionStrategy.FULL:
+            every = self._selector.select(checkpoint_index, self.num_experts)
+            return PECPlan(
+                checkpoint_index=checkpoint_index,
+                snapshot_experts=frozenset(every),
+                persist_experts=frozenset(every),
+                apply_to_weights=self.config.apply_to_weights,
+                apply_to_moments=self.config.apply_to_moments,
+            )
+        snapshot = self._selector.select(
+            checkpoint_index, self._k_snapshot, unsaved_tokens=unsaved_tokens
+        )
+        persist = self._selector.select(
+            checkpoint_index, self._k_persist, unsaved_tokens=unsaved_tokens
+        )
+        # With rotation offsets the k_persist set is a prefix of the
+        # k_snapshot set per layer for the sequential strategy; for other
+        # strategies enforce the subset property explicitly.
+        if not persist <= snapshot:
+            persist = self._shrink_to_subset(persist, snapshot)
+        return PECPlan(
+            checkpoint_index=checkpoint_index,
+            snapshot_experts=frozenset(snapshot),
+            persist_experts=frozenset(persist),
+            apply_to_weights=self.config.apply_to_weights,
+            apply_to_moments=self.config.apply_to_moments,
+        )
+
+    def _shrink_to_subset(
+        self, persist: Set[ExpertKey], snapshot: Set[ExpertKey]
+    ) -> Set[ExpertKey]:
+        """Force persist ⊆ snapshot, replacing strays per layer."""
+        result: Set[ExpertKey] = set(persist & snapshot)
+        per_layer_needed: Dict[int, int] = {}
+        for layer in range(self.num_moe_layers):
+            have = sum(1 for key in result if key.moe_layer == layer)
+            per_layer_needed[layer] = self._k_persist - have
+        for layer, needed in per_layer_needed.items():
+            if needed <= 0:
+                continue
+            candidates = sorted(
+                key for key in snapshot if key.moe_layer == layer and key not in result
+            )
+            result.update(candidates[:needed])
+        return result
+
+    # ------------------------------------------------------------------
+    # Size arithmetic (Eqs. 5-6)
+    # ------------------------------------------------------------------
+    def checkpoint_fraction(self, k: Optional[int] = None, expert_fraction: float = 0.866) -> float:
+        """``C_pec / C_full`` for uniform per-parameter bytes (Eq. 6 / Eq. 5).
+
+        ``expert_fraction`` is ``P_e / (P_e + P_ne)``; the default matches
+        GPT-350M-16E.  This is the *uniform-bytes* ratio; component-aware
+        ratios (W/O variants) live in ``repro.distsim.modelspec``.
+        """
+        k = self._k_persist if k is None else k
+        if not 1 <= k <= self.num_experts:
+            raise ValueError(f"k={k} out of range")
+        return (1.0 - expert_fraction) + expert_fraction * k / self.num_experts
+
+
+def full_save_cycle_length(num_experts: int, k: int) -> int:
+    """Checkpoints needed for sequential selection to cover every expert."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return int(np.ceil(num_experts / k))

@@ -1,0 +1,133 @@
+"""Recovery planning: storage-only vs two-level (Section 5.1, Figure 8).
+
+After a fault, every entry of the model state must be restored from the
+freshest *available* tier:
+
+* entries whose in-memory snapshot lived on a surviving node can be
+  restored from CPU memory — these may be newer than the last persisted
+  checkpoint (snapshot-PEC runs with a larger ``K`` and the persist of
+  the newest snapshot may not have completed);
+* everything else falls back to persistent storage.
+
+The planner is a pure function over store contents + expert placement, so
+it is directly property-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from ..ckpt.kvstore import DiskKVStore, InMemoryKVStore
+from ..models.serial import ExpertKey
+from .plt import PERSIST_TIER, SNAPSHOT_TIER
+from .sharding import ShardTopology
+
+
+@dataclass
+class RecoveryPlan:
+    """Which tier each entry is restored from, plus PLT bookkeeping."""
+
+    sources: Dict[str, str] = field(default_factory=dict)  # entry key -> tier
+    resume_iteration: int = 0
+    tier_per_expert: Dict[ExpertKey, str] = field(default_factory=dict)
+    memory_bytes: int = 0
+    storage_bytes: int = 0
+
+    def tier_of(self, entry_key: str) -> str:
+        return self.sources[entry_key]
+
+
+def default_expert_placement(
+    num_moe_layers: int, num_experts: int, num_nodes: int = 2
+) -> Dict[ExpertKey, List[int]]:
+    """Stripe experts over nodes: expert ``e`` lives on one node.
+
+    Used when no full topology is supplied; matches a single-EP-group
+    deployment where each expert has exactly one hosting node.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    placement: Dict[ExpertKey, List[int]] = {}
+    for layer in range(num_moe_layers):
+        for expert in range(num_experts):
+            node = expert * num_nodes // num_experts
+            placement[ExpertKey(layer, expert)] = [node]
+    return placement
+
+
+def placement_from_topology(
+    topology: ShardTopology, num_moe_layers: int, num_experts: int
+) -> Dict[ExpertKey, List[int]]:
+    """Hosting nodes of every expert under a DP+EP topology.
+
+    With multiple EP groups an expert has one replica per group, so its
+    snapshot survives as long as *any* replica's node survives.
+    """
+    placement: Dict[ExpertKey, List[int]] = {}
+    for layer in range(num_moe_layers):
+        for expert in range(num_experts):
+            ranks = topology.ranks_hosting_expert(expert, num_experts)
+            nodes = sorted({topology.node_of(rank) for rank in ranks})
+            placement[ExpertKey(layer, expert)] = nodes
+    return placement
+
+
+def build_recovery_plan(
+    memory_store: InMemoryKVStore,
+    disk_store: DiskKVStore,
+    entry_keys_by_expert: Mapping[ExpertKey, Sequence[str]],
+    non_expert_entry_keys: Sequence[str],
+    expert_placement: Mapping[ExpertKey, Sequence[int]],
+    failed_nodes: Iterable[int],
+    resume_iteration: int,
+    two_level: bool = True,
+) -> RecoveryPlan:
+    """Assemble the per-entry recovery sources for a fault.
+
+    For each expert: if two-level recovery is enabled, the expert's
+    snapshot survived (some hosting node is alive) and the memory tier
+    actually holds its entries, restore from memory; otherwise from
+    storage.  Non-expert entries are restored from storage — they are
+    persisted in full every checkpoint so there is no staleness to avoid
+    (surviving nodes may read them from memory in practice, which only
+    changes transfer cost, not state; the cost saving is modelled in
+    ``distsim``).
+    """
+    failed = set(failed_nodes)
+    plan = RecoveryPlan(resume_iteration=resume_iteration)
+
+    for entry_key in non_expert_entry_keys:
+        if not disk_store.has(entry_key):
+            raise KeyError(f"non-expert entry {entry_key!r} missing from storage")
+        plan.sources[entry_key] = PERSIST_TIER
+        plan.storage_bytes += len_of(disk_store, entry_key)
+
+    for expert_key, entry_keys in entry_keys_by_expert.items():
+        hosting = expert_placement.get(expert_key, [0])
+        snapshot_alive = any(node not in failed for node in hosting)
+        use_memory = (
+            two_level
+            and snapshot_alive
+            and all(memory_store.has(key) for key in entry_keys)
+        )
+        tier = SNAPSHOT_TIER if use_memory else PERSIST_TIER
+        plan.tier_per_expert[expert_key] = tier
+        for entry_key in entry_keys:
+            store = memory_store if tier == SNAPSHOT_TIER else disk_store
+            if not store.has(entry_key):
+                raise KeyError(f"expert entry {entry_key!r} missing from {tier}")
+            plan.sources[entry_key] = tier
+            nbytes = len_of(store, entry_key)
+            if tier == SNAPSHOT_TIER:
+                plan.memory_bytes += nbytes
+            else:
+                plan.storage_bytes += nbytes
+    return plan
+
+
+def len_of(store, entry_key: str) -> int:
+    """Byte size of an entry (via store metadata, not a read)."""
+    if isinstance(store, InMemoryKVStore):
+        return store._meta[entry_key].nbytes  # noqa: SLF001 - same package
+    return int(store._index[entry_key]["nbytes"])  # noqa: SLF001

@@ -1,0 +1,191 @@
+"""Partial-expert selection strategies (Section 3.2) and Dynamic-K.
+
+A *selector* answers: at checkpoint number ``c``, which ``k`` experts of
+each MoE layer should be saved?  The sequential selector interleaves the
+choice across layers and checkpoints so the workload rotates over EP ranks
+(Figure 4); the load-aware selector prioritises experts with the most
+unsaved token updates; the full selector saves everything.
+
+``DynamicKController`` implements Section 5.3's fault-accumulation rule:
+it doubles ``K_pec`` whenever the PLT attributed to the current ``K``
+exhausts that ``K``'s share of the 3.75% budget, up to full checkpointing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..models.serial import ExpertKey
+from .config import DEFAULT_PLT_THRESHOLD, SelectionStrategy
+
+
+class ExpertSelector:
+    """Interface for partial expert selection."""
+
+    def __init__(self, num_moe_layers: int, num_experts: int) -> None:
+        if num_moe_layers < 1 or num_experts < 1:
+            raise ValueError("need at least one MoE layer and one expert")
+        self.num_moe_layers = num_moe_layers
+        self.num_experts = num_experts
+
+    def select(
+        self,
+        checkpoint_index: int,
+        k: int,
+        unsaved_tokens: Optional[np.ndarray] = None,
+    ) -> Set[ExpertKey]:
+        """Return the experts to save at this checkpoint.
+
+        ``unsaved_tokens`` is an optional (num_moe_layers, num_experts)
+        array of token updates accumulated since each expert was last
+        saved; only the load-aware strategy consumes it.
+        """
+        raise NotImplementedError
+
+    def _validate_k(self, k: int) -> int:
+        if not 1 <= k <= self.num_experts:
+            raise ValueError(f"k={k} out of range [1, {self.num_experts}]")
+        return k
+
+
+class SequentialSelector(ExpertSelector):
+    """Round-robin selection interleaved across MoE layers (Figure 4).
+
+    At checkpoint ``c`` with ``k`` experts per layer, MoE layer ``m``
+    saves experts ``{(m + c*k + j) mod N : j < k}``.  The per-layer offset
+    ``m`` staggers the selection across layers so the checkpoint workload
+    spreads over EP ranks; advancing by ``k`` each checkpoint guarantees
+    every expert is saved at least once every ``ceil(N/k)`` checkpoints.
+    """
+
+    def select(
+        self,
+        checkpoint_index: int,
+        k: int,
+        unsaved_tokens: Optional[np.ndarray] = None,
+    ) -> Set[ExpertKey]:
+        k = self._validate_k(k)
+        selected: Set[ExpertKey] = set()
+        for layer in range(self.num_moe_layers):
+            base = layer + checkpoint_index * k
+            for j in range(k):
+                selected.add(ExpertKey(layer, (base + j) % self.num_experts))
+        return selected
+
+
+class LoadAwareSelector(ExpertSelector):
+    """Select the ``k`` experts with the most unsaved token updates.
+
+    Ties are broken by expert index for determinism.  Falls back to the
+    sequential pattern when no load information is available (e.g. the
+    very first checkpoint).
+    """
+
+    def __init__(self, num_moe_layers: int, num_experts: int) -> None:
+        super().__init__(num_moe_layers, num_experts)
+        self._fallback = SequentialSelector(num_moe_layers, num_experts)
+
+    def select(
+        self,
+        checkpoint_index: int,
+        k: int,
+        unsaved_tokens: Optional[np.ndarray] = None,
+    ) -> Set[ExpertKey]:
+        k = self._validate_k(k)
+        if unsaved_tokens is None:
+            return self._fallback.select(checkpoint_index, k)
+        loads = np.asarray(unsaved_tokens)
+        if loads.shape != (self.num_moe_layers, self.num_experts):
+            raise ValueError(
+                f"unsaved_tokens shape {loads.shape} != "
+                f"({self.num_moe_layers}, {self.num_experts})"
+            )
+        selected: Set[ExpertKey] = set()
+        for layer in range(self.num_moe_layers):
+            # argsort on (-load, index) for deterministic tie-breaks.
+            order = np.lexsort((np.arange(self.num_experts), -loads[layer]))
+            for expert in order[:k]:
+                selected.add(ExpertKey(layer, int(expert)))
+        return selected
+
+
+class FullSelector(ExpertSelector):
+    """Save every expert — conventional checkpointing."""
+
+    def select(
+        self,
+        checkpoint_index: int,
+        k: int,
+        unsaved_tokens: Optional[np.ndarray] = None,
+    ) -> Set[ExpertKey]:
+        return {
+            ExpertKey(layer, expert)
+            for layer in range(self.num_moe_layers)
+            for expert in range(self.num_experts)
+        }
+
+
+def make_selector(
+    strategy: SelectionStrategy, num_moe_layers: int, num_experts: int
+) -> ExpertSelector:
+    if strategy is SelectionStrategy.SEQUENTIAL:
+        return SequentialSelector(num_moe_layers, num_experts)
+    if strategy is SelectionStrategy.LOAD_AWARE:
+        return LoadAwareSelector(num_moe_layers, num_experts)
+    if strategy is SelectionStrategy.FULL:
+        return FullSelector(num_moe_layers, num_experts)
+    raise ValueError(f"unknown selection strategy {strategy!r}")
+
+
+@dataclass
+class DynamicKController:
+    """Dynamic-K for fault accumulation (Section 5.3, Figure 15(b)).
+
+    The PLT budget (default 3.75%) is divided equally among the ladder of
+    ``K`` values ``1, 2, 4, ..., N``.  Each fault's PLT contribution is
+    attributed to the ``K`` in force when it struck; when a ``K`` exhausts
+    its share, ``K`` doubles.  Once ``K == N`` checkpointing is full and
+    no further PLT accrues.
+    """
+
+    num_experts: int
+    threshold: float = DEFAULT_PLT_THRESHOLD
+    initial_k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.initial_k < 1 or self.initial_k > self.num_experts:
+            raise ValueError("initial_k out of range")
+        self.k = self.initial_k
+        ladder: List[int] = []
+        k = self.initial_k
+        while k < self.num_experts:
+            ladder.append(k)
+            k *= 2
+        ladder.append(self.num_experts)
+        self._ladder = ladder
+        self._budget_per_stage = self.threshold / len(ladder)
+        self._attributed: Dict[int, float] = {k: 0.0 for k in ladder}
+        self.cumulative_plt = 0.0
+        self.history: List[int] = []
+
+    def record_fault(self, plt_increment: float) -> int:
+        """Record a fault's PLT contribution; return the new ``K``.
+
+        ``plt_increment`` is the PLT added by this fault under the current
+        ``K`` (computed by the PLT tracker).
+        """
+        if plt_increment < 0:
+            raise ValueError("plt_increment must be non-negative")
+        self.cumulative_plt += plt_increment
+        self._attributed[self.k] = self._attributed.get(self.k, 0.0) + plt_increment
+        while (
+            self.k < self.num_experts
+            and self._attributed.get(self.k, 0.0) >= self._budget_per_stage
+        ):
+            next_k = min(self.k * 2, self.num_experts)
+            self.k = next_k
+        self.history.append(self.k)
+        return self.k

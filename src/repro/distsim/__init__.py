@@ -1,0 +1,82 @@
+"""Distributed-training cluster simulation: specs, perf model, timelines."""
+
+from .ckptsim import (
+    CheckpointCost,
+    build_workload,
+    checkpoint_cost,
+    pec_plan_for,
+    persist_file_bytes,
+)
+from .faultsim import (
+    FaultSimConfig,
+    FaultSimResult,
+    expected_overhead,
+    mean_overhead,
+    simulate_many,
+    simulate_run,
+)
+from .hardware import A800, A800_CLUSTER, GB, H100, H100_CLUSTER, ClusterSpec, GPUSpec
+from .modelspec import (
+    B_MASTER,
+    B_MOMENTS,
+    B_OPT,
+    B_TOTAL,
+    B_W,
+    MoEModelSpec,
+    gpt_125m_8e,
+    gpt_350m_16e,
+    llama_moe,
+)
+from .perf import IterationTimes, ParallelConfig, ep_within_node, iteration_times
+from .timeline import (
+    IterationRecord,
+    TimelineConfig,
+    TimelineResult,
+    min_checkpoint_interval_iterations,
+    simulate_timeline,
+)
+from .topology import Deployment, case1, case2, case3, paper_cases
+
+__all__ = [
+    "A800",
+    "A800_CLUSTER",
+    "B_MASTER",
+    "B_MOMENTS",
+    "B_OPT",
+    "B_TOTAL",
+    "B_W",
+    "CheckpointCost",
+    "ClusterSpec",
+    "Deployment",
+    "FaultSimConfig",
+    "FaultSimResult",
+    "GB",
+    "GPUSpec",
+    "H100",
+    "H100_CLUSTER",
+    "IterationRecord",
+    "IterationTimes",
+    "MoEModelSpec",
+    "ParallelConfig",
+    "TimelineConfig",
+    "TimelineResult",
+    "build_workload",
+    "case1",
+    "case2",
+    "case3",
+    "checkpoint_cost",
+    "ep_within_node",
+    "expected_overhead",
+    "gpt_125m_8e",
+    "gpt_350m_16e",
+    "iteration_times",
+    "llama_moe",
+    "mean_overhead",
+    "min_checkpoint_interval_iterations",
+    "paper_cases",
+    "pec_plan_for",
+    "persist_file_bytes",
+    "simulate_many",
+    "simulate_run",
+    "simulate_timeline",
+]

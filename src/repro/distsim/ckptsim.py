@@ -1,0 +1,114 @@
+"""Per-rank checkpoint workloads and durations for a deployment.
+
+Bridges the model spec (bytes), the sharding planner (who writes what)
+and the hardware profile (how fast) into the quantities the figures
+plot: bottleneck-rank checkpoint bytes (Figure 10(b-d)), snapshot and
+persist durations (Figure 11), and total persisted file size
+(Figure 13(f)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import ShardingPolicy
+from ..core.pec import PECPlan, PECPlanner
+from ..core.sharding import (
+    CheckpointWorkload,
+    ShardPlan,
+    ShardTopology,
+    plan_checkpoint_shards,
+)
+from .hardware import ClusterSpec
+from .modelspec import B_MASTER, B_MOMENTS, B_W, MoEModelSpec
+
+
+def build_workload(spec: MoEModelSpec) -> CheckpointWorkload:
+    """Translate a model spec into the sharding planner's byte inputs."""
+    return CheckpointWorkload(
+        non_expert_param_items=spec.non_expert_param_items(),
+        expert_param_bytes=spec.expert_params * B_W,
+        num_moe_layers=spec.num_moe_layers,
+        num_experts=spec.num_experts,
+        non_expert_master_bytes=spec.non_expert_params * B_MASTER,
+        non_expert_moment_bytes=spec.non_expert_params * B_MOMENTS,
+        expert_master_bytes=spec.expert_params * B_MASTER,
+        expert_moment_bytes=spec.expert_params * B_MOMENTS,
+        other_bytes=spec.other_state_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class CheckpointCost:
+    """One checkpoint's cost under a given plan + hardware."""
+
+    plan: ShardPlan
+    bottleneck_rank_bytes: int
+    total_bytes: int
+    bottleneck_node_bytes: int
+    snapshot_seconds: float  # bottleneck rank GPU->CPU
+    persist_seconds: float  # bottleneck node CPU->storage
+
+
+def checkpoint_cost(
+    spec: MoEModelSpec,
+    topology: ShardTopology,
+    cluster: ClusterSpec,
+    policy: ShardingPolicy,
+    pec_plan: Optional[PECPlan] = None,
+) -> CheckpointCost:
+    """Cost of one checkpointing process for a deployment.
+
+    Snapshot time is governed by the rank with the largest assignment
+    (PCIe is per-GPU); persist time by the node with the largest
+    aggregate (the node's storage link is shared by its ranks).
+    """
+    workload = build_workload(spec)
+    plan = plan_checkpoint_shards(topology, workload, policy, pec_plan=pec_plan)
+    bottleneck = plan.bottleneck_bytes()
+    node_bytes = [plan.node_bytes(node) for node in range(topology.num_nodes)]
+    bottleneck_node = max(node_bytes) if node_bytes else 0
+    return CheckpointCost(
+        plan=plan,
+        bottleneck_rank_bytes=bottleneck,
+        total_bytes=plan.total_bytes(),
+        bottleneck_node_bytes=bottleneck_node,
+        snapshot_seconds=bottleneck / cluster.gpu.d2h_bandwidth,
+        persist_seconds=bottleneck_node / cluster.storage_bandwidth_per_node,
+    )
+
+
+def pec_plan_for(
+    spec: MoEModelSpec,
+    k_snapshot: int,
+    k_persist: Optional[int] = None,
+    checkpoint_index: int = 0,
+    apply_to_weights: bool = True,
+    apply_to_moments: bool = True,
+) -> PECPlan:
+    """Convenience: a sequential-selection PEC plan for a model spec."""
+    from ..core.config import PECConfig
+
+    k_persist = k_snapshot if k_persist is None else k_persist
+    config = PECConfig(
+        k_snapshot=min(k_snapshot, spec.num_experts),
+        k_persist=min(k_persist, spec.num_experts),
+        apply_to_weights=apply_to_weights,
+        apply_to_moments=apply_to_moments,
+    )
+    planner = PECPlanner(config, spec.num_moe_layers, spec.num_experts)
+    return planner.plan(checkpoint_index)
+
+
+def persist_file_bytes(
+    spec: MoEModelSpec, topology: ShardTopology, k_persist: Optional[int] = None
+) -> int:
+    """Total bytes landing on the cluster filesystem per checkpoint.
+
+    ``k_persist=None`` means full saving.  Used for Figure 13(f)'s
+    Base-Persist vs MoC-Persist comparison.
+    """
+    if k_persist is None:
+        return spec.full_checkpoint_bytes()
+    return spec.pec_checkpoint_bytes(k_persist)

@@ -1,0 +1,243 @@
+"""Parameter and checkpoint-byte accounting for MoE model specs.
+
+Implements the paper's size arithmetic exactly (Eqs. 5-6 plus the
+component-aware byte model calibrated in DESIGN.md):
+
+* per-parameter bytes: ``B_W = 2`` (bf16 weight), ``B_MASTER = 4`` (fp32
+  master copy), ``B_MOMENTS = 8`` (two fp32 Adam moments);
+* PEC applies to weights and/or moments of unselected experts; the
+  master copy is always written.
+
+With the GPT-350M-16E spec this reproduces Figure 2's checkpoint
+composition (~12% expert params / 2% non-expert params / 74% expert
+optimizer / 12% non-expert optimizer), Figure 10(a)'s size ladder
+(100/69.2/53.8/46.1/42.3 %) and Table 3's "Ckpt" column (W 0.88 /
+O 0.54 / WO 0.42).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+B_W = 2  # bf16 weight bytes per parameter
+B_MASTER = 4  # fp32 master copy
+B_MOMENTS = 8  # fp32 Adam m + v
+B_OPT = B_MASTER + B_MOMENTS
+B_TOTAL = B_W + B_OPT
+
+
+@dataclass(frozen=True)
+class MoEModelSpec:
+    """Architecture description sufficient for parameter accounting."""
+
+    name: str
+    vocab_size: int
+    hidden: int
+    num_layers: int
+    num_heads: int
+    head_dim: int
+    ffn_mult: int
+    num_moe_layers: int
+    num_experts: int
+    top_k: int = 1
+    seq_len: int = 2048
+    other_state_bytes: int = 1 << 20  # RNG states, iteration counters, ...
+
+    def __post_init__(self) -> None:
+        if self.num_moe_layers > self.num_layers:
+            raise ValueError("more MoE layers than transformer layers")
+        if self.num_heads * self.head_dim <= 0:
+            raise ValueError("invalid attention geometry")
+
+    # ------------------------------------------------------------------
+    # Parameter counts
+    # ------------------------------------------------------------------
+    @property
+    def attention_params_per_layer(self) -> int:
+        model_dim = self.hidden
+        attn_dim = self.num_heads * self.head_dim
+        # QKV projections + output projection (biases negligible).
+        return 3 * model_dim * attn_dim + attn_dim * model_dim
+
+    @property
+    def dense_ffn_params_per_layer(self) -> int:
+        return 2 * self.ffn_mult * self.hidden * self.hidden
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of ONE expert (an FFN of the dense shape)."""
+        return self.dense_ffn_params_per_layer
+
+    @property
+    def embedding_params(self) -> int:
+        return self.vocab_size * self.hidden + self.seq_len * self.hidden
+
+    @property
+    def gate_params(self) -> int:
+        return self.num_moe_layers * self.hidden * self.num_experts
+
+    @property
+    def num_dense_ffn_layers(self) -> int:
+        return self.num_layers - self.num_moe_layers
+
+    @property
+    def non_expert_params(self) -> int:
+        layernorms = self.num_layers * 4 * self.hidden + 2 * self.hidden
+        return (
+            self.embedding_params
+            + self.num_layers * self.attention_params_per_layer
+            + self.num_dense_ffn_layers * self.dense_ffn_params_per_layer
+            + self.gate_params
+            + layernorms
+        )
+
+    @property
+    def total_expert_params(self) -> int:
+        return self.num_moe_layers * self.num_experts * self.expert_params
+
+    @property
+    def total_params(self) -> int:
+        return self.non_expert_params + self.total_expert_params
+
+    @property
+    def expert_fraction(self) -> float:
+        return self.total_expert_params / self.total_params
+
+    @property
+    def active_params_per_token(self) -> int:
+        """Parameters touched per token (sparse activation)."""
+        return self.non_expert_params + self.num_moe_layers * self.top_k * self.expert_params
+
+    # ------------------------------------------------------------------
+    # Checkpoint bytes (Eqs. 5-6, component-aware)
+    # ------------------------------------------------------------------
+    def full_checkpoint_bytes(self) -> int:
+        """Eq. 5: C_full = (P_ne + P_e) * (B_w + B_o) + other."""
+        return self.total_params * B_TOTAL + self.other_state_bytes
+
+    def pec_checkpoint_bytes(
+        self,
+        k: int,
+        apply_to_weights: bool = True,
+        apply_to_moments: bool = True,
+    ) -> int:
+        """Eq. 6 generalised per component.
+
+        An expert not selected by PEC skips its weight bytes (if
+        ``apply_to_weights``) and its moment bytes (if
+        ``apply_to_moments``); master bytes are always written.
+        """
+        if not 1 <= k <= self.num_experts:
+            raise ValueError(f"k={k} out of range [1, {self.num_experts}]")
+        saved_fraction = k / self.num_experts
+        expert_bytes_per_param = B_MASTER
+        expert_bytes_per_param += B_W * (saved_fraction if apply_to_weights else 1.0)
+        expert_bytes_per_param += B_MOMENTS * (saved_fraction if apply_to_moments else 1.0)
+        expert_bytes = int(self.total_expert_params * expert_bytes_per_param)
+        return self.non_expert_params * B_TOTAL + expert_bytes + self.other_state_bytes
+
+    def checkpoint_composition(self) -> Dict[str, float]:
+        """Figure 2's pie: fraction of a full checkpoint per component."""
+        total = self.full_checkpoint_bytes()
+        return {
+            "expert_params": self.total_expert_params * B_W / total,
+            "non_expert_params": self.non_expert_params * B_W / total,
+            "expert_optimizer": self.total_expert_params * B_OPT / total,
+            "non_expert_optimizer": self.non_expert_params * B_OPT / total,
+            "other": self.other_state_bytes / total,
+        }
+
+    # ------------------------------------------------------------------
+    # Sharding inputs
+    # ------------------------------------------------------------------
+    def non_expert_param_items(self) -> List[Tuple[str, int]]:
+        """Layer-granularity non-expert weight items (Section 4.2)."""
+        items: List[Tuple[str, int]] = [
+            ("embedding", self.embedding_params * B_W),
+        ]
+        for layer in range(self.num_layers):
+            items.append((f"attn{layer}", self.attention_params_per_layer * B_W))
+        for layer in range(self.num_dense_ffn_layers):
+            items.append((f"ffn{layer}", self.dense_ffn_params_per_layer * B_W))
+        for layer in range(self.num_moe_layers):
+            items.append((f"gate{layer}", self.hidden * self.num_experts * B_W))
+        items.append(("final_norm", 2 * self.hidden * B_W))
+        return items
+
+    # ------------------------------------------------------------------
+    # Compute accounting
+    # ------------------------------------------------------------------
+    def train_flops_per_token(self) -> float:
+        """~6 FLOPs per active parameter per token (fwd 2x + bwd 4x)."""
+        return 6.0 * self.active_params_per_token
+
+    def a2a_bytes_per_token_per_layer(self, activation_bytes: int = 2) -> float:
+        """All-to-all payload per token per MoE layer, one direction.
+
+        Dispatch sends ``top_k`` copies of the hidden vector; combine
+        returns them — and backward mirrors both.
+        """
+        return self.top_k * self.hidden * activation_bytes
+
+
+# ----------------------------------------------------------------------
+# Paper model instances (Table 1 and Section 6.2.4)
+# ----------------------------------------------------------------------
+
+def gpt_350m_16e() -> MoEModelSpec:
+    """GPT-350M-16E: 24 layers, hidden 1024, 16 heads, 12 MoE x 16 experts."""
+    return MoEModelSpec(
+        name="GPT-350M-16E",
+        vocab_size=50257,
+        hidden=1024,
+        num_layers=24,
+        num_heads=16,
+        head_dim=64,
+        ffn_mult=4,
+        num_moe_layers=12,
+        num_experts=16,
+        top_k=1,
+        seq_len=2048,
+    )
+
+
+def gpt_125m_8e() -> MoEModelSpec:
+    """GPT-125M-8E: 12 layers, hidden 768, 12 heads, 6 MoE x 8 experts."""
+    return MoEModelSpec(
+        name="GPT-125M-8E",
+        vocab_size=50257,
+        hidden=768,
+        num_layers=12,
+        num_heads=12,
+        head_dim=64,
+        ffn_mult=4,
+        num_moe_layers=6,
+        num_experts=8,
+        top_k=1,
+        seq_len=2048,
+    )
+
+
+def llama_moe(
+    num_experts: int,
+    hidden: int = 2048,
+    num_layers: int = 24,
+    seq_len: int = 2048,
+    top_k: int = 1,
+) -> MoEModelSpec:
+    """The LLaMA-like MoE of Section 6.2.4: hidden 2048, 16 heads x 128,
+    expert intermediate 4x hidden, 24 layers, every layer MoE."""
+    return MoEModelSpec(
+        name=f"LLaMA-MoE-{num_experts}E-h{hidden}",
+        vocab_size=32000,
+        hidden=hidden,
+        num_heads=16,
+        head_dim=128,
+        num_layers=num_layers,
+        ffn_mult=4,
+        num_moe_layers=num_layers,
+        num_experts=num_experts,
+        top_k=top_k,
+        seq_len=seq_len,
+    )

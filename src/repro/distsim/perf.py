@@ -1,0 +1,146 @@
+"""Analytic iteration-time model (the ASTRA-sim substitute).
+
+Models one training iteration of ZeRO-2 DP + EP (optionally + TP) as:
+
+* **F&B compute** — ``6 * active_params * tokens_per_gpu`` FLOPs at the
+  GPU's effective throughput (Section 6.2.4's calibration);
+* **All-to-all** — expert dispatch/combine payloads per MoE layer,
+  forward and backward, over NVLink when EP stays inside a node and the
+  inter-node fabric otherwise;
+* **DP gradient reduction** — ring reduce-scatter of gradients (ZeRO-2)
+  over the slower of the fabrics crossed by the ring;
+* **Update** — the rank's ZeRO-2 optimizer shard streamed through HBM.
+
+The absolute constants are calibrated, not measured; what the figures
+need is the *relative* behaviour (which term dominates where, and how
+snapshot time compares to F&B), which an alpha-beta model captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.sharding import ShardTopology
+from .hardware import ClusterSpec
+from .modelspec import B_OPT, B_W, MoEModelSpec
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Degrees of the hybrid parallel strategy for one deployment.
+
+    ``d_pp`` adds pipeline parallelism: layers split into ``d_pp``
+    stages, with the usual bubble overhead of ``(d_pp - 1) / m`` for
+    ``m = num_microbatches`` (GPipe's schedule).
+    """
+
+    d_dp: int
+    d_ep: int
+    d_tp: int = 1
+    d_pp: int = 1
+    num_microbatches: int = 8
+    tokens_per_gpu: int = 32 * 1024  # micro-batch tokens processed per GPU
+
+    def __post_init__(self) -> None:
+        if self.d_dp % self.d_ep != 0:
+            raise ValueError("d_dp must be a multiple of d_ep")
+        if min(self.d_dp, self.d_ep, self.d_tp, self.d_pp) < 1:
+            raise ValueError("parallel degrees must be >= 1")
+        if self.num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.d_dp * self.d_tp * self.d_pp
+
+    @property
+    def pipeline_bubble_fraction(self) -> float:
+        """GPipe bubble: (stages - 1) / microbatches of extra time."""
+        if self.d_pp == 1:
+            return 0.0
+        return (self.d_pp - 1) / self.num_microbatches
+
+    def topology(self, gpus_per_node: int = 8) -> ShardTopology:
+        return ShardTopology(d_dp=self.d_dp, d_ep=self.d_ep, gpus_per_node=gpus_per_node)
+
+
+@dataclass(frozen=True)
+class IterationTimes:
+    """Breakdown of one iteration's duration (seconds)."""
+
+    compute: float
+    all_to_all: float
+    dp_reduce: float
+    update: float
+
+    @property
+    def fb(self) -> float:
+        """Forward + backward wall time (compute + comms that live in it)."""
+        return self.compute + self.all_to_all + self.dp_reduce
+
+    @property
+    def total(self) -> float:
+        return self.fb + self.update
+
+
+def ep_within_node(parallel: ParallelConfig, cluster: ClusterSpec) -> bool:
+    """Whether an EP group fits inside one node (Case 3 vs Case 2)."""
+    return parallel.d_ep * parallel.d_tp <= cluster.gpus_per_node
+
+
+def iteration_times(
+    spec: MoEModelSpec,
+    parallel: ParallelConfig,
+    cluster: ClusterSpec,
+) -> IterationTimes:
+    """Estimate the duration of one training iteration."""
+    tokens = parallel.tokens_per_gpu
+    # --- compute: F&B FLOPs sharded over TP and PP stages --------------
+    flops = spec.train_flops_per_token() * tokens / (parallel.d_tp * parallel.d_pp)
+    compute = flops / cluster.gpu.effective_flops
+    # pipeline bubble stretches the critical path
+    compute *= 1.0 + parallel.pipeline_bubble_fraction
+
+    # --- all-to-all: dispatch + combine, forward + backward -----------
+    a2a_payload = (
+        spec.num_moe_layers
+        * spec.a2a_bytes_per_token_per_layer()
+        * tokens
+        * 4  # dispatch+combine, x fwd+bwd
+    )
+    ep_nodes = -(-parallel.d_ep * parallel.d_tp // cluster.gpus_per_node)
+    a2a_bw = cluster.a2a_bandwidth(ep_within_node(parallel, cluster), num_nodes=ep_nodes)
+    all_to_all = a2a_payload / a2a_bw if parallel.d_ep > 1 else 0.0
+
+    # --- DP gradient reduce-scatter (ZeRO-2) --------------------------
+    # Non-expert grads reduce over all DP ranks; expert grads over the
+    # expert's replicas (num EP groups).  Ring volume ~ 2 * bytes.
+    model_shard = parallel.d_tp * parallel.d_pp
+    grad_bytes_ne = spec.non_expert_params * B_W / model_shard
+    local_experts = spec.num_moe_layers * spec.num_experts / (parallel.d_ep * parallel.d_pp)
+    grad_bytes_e = local_experts * spec.expert_params * B_W / parallel.d_tp
+    ring_crosses_nodes = parallel.num_gpus > cluster.gpus_per_node
+    ring_bw = (
+        cluster.inter_node_bandwidth if ring_crosses_nodes else cluster.intra_node_bandwidth
+    )
+    dp_reduce = 0.0
+    if parallel.d_dp > 1:
+        dp_reduce += 2 * grad_bytes_ne / ring_bw
+    num_ep_groups = parallel.d_dp // parallel.d_ep
+    if num_ep_groups > 1:
+        dp_reduce += 2 * grad_bytes_e / ring_bw
+
+    # --- optimizer update: stream the ZeRO-2 shard through HBM --------
+    shard_params = (
+        spec.non_expert_params / (parallel.d_dp * parallel.d_pp)
+        + local_experts * spec.expert_params / max(num_ep_groups, 1)
+    ) / parallel.d_tp
+    # Read master+moments+grad, write master+moments+weights: ~4x bytes.
+    update = shard_params * B_OPT * 4 / cluster.gpu.hbm_bandwidth
+    # Floor: kernel launch and weight broadcast overheads.
+    update = max(update, 0.2)
+
+    return IterationTimes(
+        compute=compute, all_to_all=all_to_all, dp_reduce=dp_reduce, update=update
+    )

@@ -1,0 +1,242 @@
+"""Event-driven timeline of training + asynchronous checkpointing.
+
+Simulates the Figure 3 / Figure 9 pipeline: iterations of (F&B, update)
+interleaved with two-phase checkpoints.  The GPU->CPU snapshot overlaps
+the *next* iteration's F&B but must finish before its weight update
+(stalling otherwise); the CPU->storage persist runs free of the GPU but
+serialises through the triple-buffer pool, which bounds how often
+checkpoints can start.
+
+Three modes reproduce Figure 12's methods:
+
+* ``blocking``  — the Megatron-DeepSpeed baseline: the checkpoint runs
+  synchronously inside the iteration (snapshot + persist back-to-back);
+* ``async``     — two-phase asynchronous checkpointing with the buffer
+  pool ("Base-Async" when fed full-checkpoint durations, "MoC-Async"
+  when fed PEC + fully-sharded durations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Literal, Optional
+
+from ..core.buffers import BufferStatus, TripleBuffer
+
+Mode = Literal["blocking", "async"]
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Durations (seconds) and schedule for a simulated run."""
+
+    t_fb: float
+    t_update: float
+    t_snapshot: float
+    t_persist: float
+    num_iterations: int = 50
+    checkpoint_interval: int = 1
+    mode: Mode = "async"
+    num_buffers: int = 3
+
+    def __post_init__(self) -> None:
+        if min(self.t_fb, self.t_update, self.t_snapshot, self.t_persist) < 0:
+            raise ValueError("durations must be non-negative")
+        if self.num_iterations < 1 or self.checkpoint_interval < 1:
+            raise ValueError("iterations and interval must be >= 1")
+
+
+@dataclass
+class IterationRecord:
+    index: int
+    fb: float
+    stall: float
+    update: float
+    blocking_checkpoint: float
+    checkpoint_started: bool
+    checkpoint_deferred: bool
+
+    @property
+    def duration(self) -> float:
+        return self.fb + self.stall + self.update + self.blocking_checkpoint
+
+
+@dataclass
+class TimelineResult:
+    records: List[IterationRecord]
+    total_time: float
+    checkpoints_started: int
+    checkpoints_persisted: int
+    deferred_attempts: int
+
+    @property
+    def plain_iteration_time(self) -> float:
+        """Iteration duration with no checkpointing activity."""
+        return min(record.duration for record in self.records)
+
+    @property
+    def checkpoint_iteration_time(self) -> float:
+        """Mean duration of iterations that carry checkpoint overhead.
+
+        For async mode the overhead (stall) lands on the iteration after
+        the snapshot starts; we attribute each checkpoint's overhead to
+        the window it affects by averaging over windows of
+        ``checkpoint_interval`` iterations that contain a start.
+        """
+        affected = [
+            record.duration
+            for record in self.records
+            if record.blocking_checkpoint > 0 or record.stall > 0
+        ]
+        if not affected:
+            started = [r.duration for r in self.records if r.checkpoint_started]
+            return max(started) if started else self.plain_iteration_time
+        return sum(affected) / len(affected)
+
+    @property
+    def o_save(self) -> float:
+        """Mean per-checkpoint overhead beyond normal training (O_save)."""
+        if self.checkpoints_started == 0:
+            return 0.0
+        base = self.plain_iteration_time
+        extra = sum(record.duration - base for record in self.records)
+        return max(extra, 0.0) / self.checkpoints_started
+
+    @property
+    def achieved_interval(self) -> float:
+        """Mean iterations between checkpoint starts (effective I_ckpt)."""
+        if self.checkpoints_started == 0:
+            return float("inf")
+        return len(self.records) / self.checkpoints_started
+
+
+def simulate_timeline(config: TimelineConfig) -> TimelineResult:
+    """Run the timeline; see module docstring for semantics."""
+    if config.mode == "blocking":
+        return _simulate_blocking(config)
+    return _simulate_async(config)
+
+
+def _simulate_blocking(config: TimelineConfig) -> TimelineResult:
+    records: List[IterationRecord] = []
+    now = 0.0
+    checkpoints = 0
+    for index in range(1, config.num_iterations + 1):
+        ckpt = index % config.checkpoint_interval == 0
+        blocking = (config.t_snapshot + config.t_persist) if ckpt else 0.0
+        if ckpt:
+            checkpoints += 1
+        record = IterationRecord(
+            index=index,
+            fb=config.t_fb,
+            stall=0.0,
+            update=config.t_update,
+            blocking_checkpoint=blocking,
+            checkpoint_started=ckpt,
+            checkpoint_deferred=False,
+        )
+        now += record.duration
+        records.append(record)
+    return TimelineResult(
+        records=records,
+        total_time=now,
+        checkpoints_started=checkpoints,
+        checkpoints_persisted=checkpoints,
+        deferred_attempts=0,
+    )
+
+
+def _simulate_async(config: TimelineConfig) -> TimelineResult:
+    records: List[IterationRecord] = []
+    buffers = TripleBuffer(num_buffers=config.num_buffers)
+    now = 0.0
+    snapshot_remaining = 0.0
+    snapshot_active = False
+    persist_done_at: Optional[float] = None
+    checkpoints_started = 0
+    checkpoints_persisted = 0
+    deferred = 0
+
+    def drain_persists(current: float) -> int:
+        """Complete any persist whose finish time has passed."""
+        nonlocal persist_done_at
+        finished = 0
+        while persist_done_at is not None and persist_done_at <= current:
+            done_time = persist_done_at
+            buffers.finish_persist(done_time)
+            finished += 1
+            if buffers.persisting is not None:
+                persist_done_at = done_time + config.t_persist
+            else:
+                persist_done_at = None
+        return finished
+
+    for index in range(1, config.num_iterations + 1):
+        # --- F&B phase: snapshot (if any) progresses underneath -------
+        fb = config.t_fb
+        stall = 0.0
+        if snapshot_active:
+            snapshot_remaining -= fb
+            if snapshot_remaining > 0:
+                stall = snapshot_remaining  # checkpoint stall "S"
+                snapshot_remaining = 0.0
+        now += fb + stall
+        checkpoints_persisted += drain_persists(now)
+        if snapshot_active and snapshot_remaining <= 0:
+            buffers.finish_snapshot(now)
+            snapshot_active = False
+            if buffers.persisting is not None and persist_done_at is None:
+                persist_done_at = now + config.t_persist
+
+        # --- update phase ---------------------------------------------
+        now += config.t_update
+        checkpoints_persisted += drain_persists(now)
+
+        # --- checkpoint trigger ----------------------------------------
+        started = False
+        was_deferred = False
+        if index % config.checkpoint_interval == 0:
+            if not snapshot_active and buffers.can_start_snapshot():
+                buffers.start_snapshot(checkpoints_started, now)
+                snapshot_active = True
+                snapshot_remaining = config.t_snapshot
+                checkpoints_started += 1
+                started = True
+            else:
+                deferred += 1
+                was_deferred = True
+
+        records.append(
+            IterationRecord(
+                index=index,
+                fb=fb,
+                stall=stall,
+                update=config.t_update,
+                blocking_checkpoint=0.0,
+                checkpoint_started=started,
+                checkpoint_deferred=was_deferred,
+            )
+        )
+
+    return TimelineResult(
+        records=records,
+        total_time=now,
+        checkpoints_started=checkpoints_started,
+        checkpoints_persisted=checkpoints_persisted,
+        deferred_attempts=deferred,
+    )
+
+
+def min_checkpoint_interval_iterations(
+    t_persist: float, iteration_time: float, num_buffers: int = 3
+) -> float:
+    """Lower bound on I_ckpt (iterations) imposed by the persist phase.
+
+    With one persist in flight at a time and ``num_buffers - 2`` queued
+    snapshots tolerated, sustained checkpointing cannot outpace one
+    persist per ``t_persist`` seconds (Section 5.3: persist duration
+    determines the lower bound for I_ckpt).
+    """
+    if iteration_time <= 0:
+        raise ValueError("iteration_time must be positive")
+    return t_persist / iteration_time

@@ -1,0 +1,77 @@
+"""The paper's deployment cases (Table 2) and deployment bundles.
+
+``Deployment`` ties together everything the benches need to cost a
+configuration: model spec, parallel degrees, rank topology and hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sharding import ShardTopology
+from .hardware import A800_CLUSTER, ClusterSpec
+from .modelspec import MoEModelSpec, gpt_350m_16e
+from .perf import IterationTimes, ParallelConfig, iteration_times
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A concrete training deployment to simulate."""
+
+    name: str
+    spec: MoEModelSpec
+    parallel: ParallelConfig
+    cluster: ClusterSpec
+
+    @property
+    def topology(self) -> ShardTopology:
+        return self.parallel.topology(self.cluster.gpus_per_node)
+
+    def iteration_times(self) -> IterationTimes:
+        return iteration_times(self.spec, self.parallel, self.cluster)
+
+    @property
+    def experts_per_gpu(self) -> int:
+        return self.spec.num_experts // self.parallel.d_ep
+
+
+# Tokens per GPU chosen so GPT-350M-16E F&B lands in the couple-of-seconds
+# range of Figure 11 under the A800 calibration.
+_CASE_TOKENS = 48 * 1024
+
+
+def case1(spec: MoEModelSpec = None, cluster: ClusterSpec = A800_CLUSTER) -> Deployment:
+    """Case 1: 1 node x 8 GPUs, DP=8, EP=8 (2 experts/GPU)."""
+    spec = spec or gpt_350m_16e()
+    return Deployment(
+        name="Case1",
+        spec=spec,
+        parallel=ParallelConfig(d_dp=8, d_ep=8, tokens_per_gpu=_CASE_TOKENS),
+        cluster=cluster,
+    )
+
+
+def case2(spec: MoEModelSpec = None, cluster: ClusterSpec = A800_CLUSTER) -> Deployment:
+    """Case 2: 2 nodes x 8 GPUs, DP=16, EP=16 (1 expert/GPU, EP crosses nodes)."""
+    spec = spec or gpt_350m_16e()
+    return Deployment(
+        name="Case2",
+        spec=spec,
+        parallel=ParallelConfig(d_dp=16, d_ep=16, tokens_per_gpu=_CASE_TOKENS),
+        cluster=cluster,
+    )
+
+
+def case3(spec: MoEModelSpec = None, cluster: ClusterSpec = A800_CLUSTER) -> Deployment:
+    """Case 3: 2 nodes x 8 GPUs, DP=16, EP=8 (2 EP groups, EP intra-node)."""
+    spec = spec or gpt_350m_16e()
+    return Deployment(
+        name="Case3",
+        spec=spec,
+        parallel=ParallelConfig(d_dp=16, d_ep=8, tokens_per_gpu=_CASE_TOKENS),
+        cluster=cluster,
+    )
+
+
+def paper_cases(cluster: ClusterSpec = A800_CLUSTER) -> list:
+    return [case1(cluster=cluster), case2(cluster=cluster), case3(cluster=cluster)]

@@ -1,0 +1,200 @@
+"""Neural-network building blocks over the autograd engine.
+
+Provides the ``Module`` container protocol plus the dense layers shared by
+the language and vision MoE models: ``Linear``, ``Embedding``,
+``LayerNorm``, ``FeedForward`` and causal ``MultiHeadAttention``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from . import autograd as ag
+from .autograd import Parameter, Tensor
+
+
+class Module:
+    """Minimal module container with recursive parameter discovery.
+
+    Subclasses assign :class:`Parameter` and ``Module`` instances as
+    attributes; ``named_parameters`` walks the attribute tree in definition
+    order, yielding dotted names that become checkpoint keys.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "Dict[str, Parameter]" = {}
+        self._modules: "Dict[str, Module]" = {}
+        self.training = True
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """An indexable sequence of sub-modules."""
+
+    def __init__(self, modules: Optional[list] = None) -> None:
+        super().__init__()
+        self._items: list = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        index = len(self._items)
+        self._items.append(module)
+        self._modules[str(index)] = module
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with scaled-normal init."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(rng.normal(0.0, scale, size=(in_features, out_features)))
+        self.has_bias = bias
+        if bias:
+            self.bias = Parameter(np.zeros(out_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.has_bias:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token (or position) embedding table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return ag.embedding(self.weight, indices)
+
+
+class LayerNorm(Module):
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class FeedForward(Module):
+    """Standard transformer FFN: Linear -> GELU -> Linear.
+
+    This is both the dense FFN sublayer and the expert network inside the
+    MoE layer (the paper's experts are FFNs of identical shape).
+    """
+
+    def __init__(self, dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.fc_in = Linear(dim, hidden_dim, rng)
+        self.fc_out = Linear(hidden_dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc_out(ag.gelu(self.fc_in(x)))
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Additive attention mask: 0 on/below diagonal, -inf above."""
+    mask = np.triu(np.full((seq_len, seq_len), -1e9), k=1)
+    return mask
+
+
+class MultiHeadAttention(Module):
+    """Multi-head self attention with optional causal masking."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, causal: bool = True) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, dim = x.shape
+        qkv = self.qkv(x)  # (B, S, 3D)
+        qkv = ag.reshape(qkv, (batch, seq, 3, self.num_heads, self.head_dim))
+        qkv = ag.transpose(qkv, (2, 0, 3, 1, 4))  # (3, B, H, S, hd)
+        # Slice out q, k, v without a dedicated slicing op: use take_rows on
+        # the flattened leading axis.
+        flat = ag.reshape(qkv, (3 * batch * self.num_heads, seq, self.head_dim))
+        n = batch * self.num_heads
+        q = ag.take_rows(flat, np.arange(0, n))
+        k = ag.take_rows(flat, np.arange(n, 2 * n))
+        v = ag.take_rows(flat, np.arange(2 * n, 3 * n))
+        scores = q @ ag.transpose(k, (0, 2, 1))  # (n, S, S)
+        scores = scores * Tensor(1.0 / np.sqrt(self.head_dim))
+        if self.causal:
+            scores = ag.add_constant(scores, causal_mask(seq)[None, :, :])
+        attn = ag.softmax(scores, axis=-1)
+        ctx = attn @ v  # (n, S, hd)
+        ctx = ag.reshape(ctx, (batch, self.num_heads, seq, self.head_dim))
+        ctx = ag.transpose(ctx, (0, 2, 1, 3))
+        ctx = ag.reshape(ctx, (batch, seq, dim))
+        return self.proj(ctx)

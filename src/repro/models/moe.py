@@ -1,0 +1,184 @@
+"""Sparse Mixture-of-Experts layer with noisy top-k gating.
+
+Implements the MoE layer of Shazeer et al. / GShard as described in
+Section 2.1 of the paper: a trainable gating network selects ``top_k`` of
+``num_experts`` FFN experts per token, with expert-capacity token dropping
+and a load-balancing auxiliary loss.  The layer records per-expert routing
+counts each forward pass; the PLT tracker (``repro.core.plt``) and the
+load-aware PEC selector consume those counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from . import autograd as ag
+from .autograd import Tensor
+from .layers import FeedForward, Linear, Module
+
+
+@dataclass
+class RoutingStats:
+    """Routing outcome of a single MoE forward pass.
+
+    Attributes
+    ----------
+    tokens_per_expert:
+        Number of tokens *processed* by each expert (after capacity drops).
+    dropped_tokens:
+        Tokens that exceeded expert capacity and were dropped.
+    total_assignments:
+        ``num_tokens * top_k`` — the denominator term of Eq. 7.
+    """
+
+    tokens_per_expert: np.ndarray
+    dropped_tokens: int
+    total_assignments: int
+
+    @property
+    def processed_tokens(self) -> int:
+        return int(self.tokens_per_expert.sum())
+
+
+@dataclass
+class MoEOutputAux:
+    """Auxiliary outputs of the MoE layer beyond the activations."""
+
+    load_balancing_loss: Tensor
+    stats: RoutingStats
+
+
+class TopKGate(Module):
+    """Noisy top-k softmax gate (Eq. 2 of the paper).
+
+    ``G(x) = TopK(Softmax(f(x) + eps))`` where ``f`` is a linear map and
+    ``eps`` is Gaussian noise applied only during training.  Gate values of
+    the selected experts are renormalised to sum to one per token.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_experts: int,
+        top_k: int,
+        rng: np.random.Generator,
+        noise_std: float = 1e-2,
+    ) -> None:
+        super().__init__()
+        if not 1 <= top_k <= num_experts:
+            raise ValueError(f"top_k={top_k} out of range for {num_experts} experts")
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.noise_std = noise_std
+        self.proj = Linear(dim, num_experts, rng, bias=False)
+        # Gate noise is keyed by (gate identity, routing_step) rather than a
+        # consumed stream: a training run replayed after fault recovery must
+        # see the *same* noise at the same iteration, or recovery from a
+        # full checkpoint would not reproduce the fault-free run.
+        self.noise_seed = int(rng.integers(2**31))
+        self.routing_step = 0
+
+    def forward(self, x: Tensor) -> tuple[Tensor, np.ndarray, Tensor]:
+        """Compute gating for flattened tokens ``x`` of shape (T, dim).
+
+        Returns ``(gates, topk_indices, load_balancing_loss)`` where
+        ``gates`` is a dense (T, num_experts) tensor that is zero outside
+        the top-k selections and whose nonzero entries are differentiable
+        softmax probabilities renormalised per token.
+        """
+        logits = self.proj(x)
+        if self.training and self.noise_std > 0:
+            noise_rng = np.random.default_rng((self.noise_seed, self.routing_step))
+            noise = noise_rng.normal(0.0, self.noise_std, size=logits.shape)
+            logits = ag.add_constant(logits, noise)
+        probs = ag.softmax(logits, axis=-1)
+        # Top-k mask is a constant w.r.t. gradients (straight-through
+        # selection, the standard practice).
+        topk_idx = np.argpartition(-probs.data, self.top_k - 1, axis=-1)[:, : self.top_k]
+        mask = np.zeros_like(probs.data)
+        np.put_along_axis(mask, topk_idx, 1.0, axis=-1)
+        masked = probs * Tensor(mask)
+        denom = ag.sum_(masked, axis=-1, keepdims=True) + Tensor(1e-9)
+        gates = masked / denom
+
+        # Switch-style load-balancing loss: N * sum_i f_i * P_i where f_i is
+        # the fraction of tokens routed to expert i and P_i the mean router
+        # probability for expert i.
+        fraction = Tensor(mask.mean(axis=0) * (self.num_experts / self.top_k))
+        mean_prob = ag.mean(probs, axis=0)
+        lb_loss = ag.sum_(mean_prob * fraction)
+        return gates, topk_idx, lb_loss
+
+
+class MoELayer(Module):
+    """Sparse MoE layer: gate + ``num_experts`` FFN experts with capacity.
+
+    Tokens routed beyond an expert's capacity are dropped (contributing
+    zero from that expert), mirroring GShard's capacity-factor behaviour
+    referenced in Eq. 7's footnote.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        hidden_dim: int,
+        num_experts: int,
+        top_k: int,
+        rng: np.random.Generator,
+        capacity_factor: float = 1.25,
+        noise_std: float = 1e-2,
+    ) -> None:
+        super().__init__()
+        self.dim = dim
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.capacity_factor = capacity_factor
+        self.gate = TopKGate(dim, num_experts, top_k, rng, noise_std=noise_std)
+        from .layers import ModuleList
+
+        self.experts = ModuleList([FeedForward(dim, hidden_dim, rng) for _ in range(num_experts)])
+        self.last_aux: Optional[MoEOutputAux] = None
+
+    def set_routing_step(self, step: int) -> None:
+        """Key the gate noise to a training-step number (replay-safe)."""
+        self.gate.routing_step = step
+
+    def expert_capacity(self, num_tokens: int) -> int:
+        cap = int(np.ceil(self.capacity_factor * num_tokens * self.top_k / self.num_experts))
+        return max(cap, 1)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the MoE layer to ``x`` of shape (T, dim) (flattened tokens)."""
+        num_tokens = x.shape[0]
+        gates, topk_idx, lb_loss = self.gate(x)
+        capacity = self.expert_capacity(num_tokens)
+
+        tokens_per_expert = np.zeros(self.num_experts, dtype=np.int64)
+        dropped = 0
+        out = Tensor(np.zeros_like(x.data))
+        for expert_id in range(self.num_experts):
+            token_ids = np.nonzero((topk_idx == expert_id).any(axis=-1))[0]
+            if token_ids.size > capacity:
+                dropped += token_ids.size - capacity
+                token_ids = token_ids[:capacity]
+            tokens_per_expert[expert_id] = token_ids.size
+            if token_ids.size == 0:
+                continue
+            rows = ag.take_rows(x, token_ids)
+            expert_out = self.experts[expert_id](rows)
+            weights = ag.take_elements(
+                gates, token_ids, np.full(token_ids.shape, expert_id)
+            )
+            weighted = expert_out * ag.reshape(weights, (token_ids.size, 1))
+            out = out + ag.scatter_rows(weighted, token_ids, num_tokens)
+
+        stats = RoutingStats(
+            tokens_per_expert=tokens_per_expert,
+            dropped_tokens=dropped,
+            total_assignments=num_tokens * self.top_k,
+        )
+        self.last_aux = MoEOutputAux(load_balancing_loss=lb_loss, stats=stats)
+        return out

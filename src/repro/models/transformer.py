@@ -1,0 +1,242 @@
+"""MoE transformer models: a GPT-style language model and a classifier.
+
+The language model mirrors the paper's GPT-125M-8E / GPT-350M-16E layout
+at laptop scale: a stack of transformer blocks where every second block
+replaces its dense FFN with an MoE layer (the DeepSpeed-MoE convention).
+The classifier stands in for SwinV2-MoE in the Figure 14(b) experiment:
+a small attention-free MoE network over feature vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from . import autograd as ag
+from .autograd import Tensor
+from .layers import (
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+)
+from .moe import MoELayer, RoutingStats
+
+
+@dataclass
+class MoEModelConfig:
+    """Architecture hyperparameters, mirroring the paper's Table 1 shape."""
+
+    vocab_size: int = 64
+    max_seq_len: int = 32
+    dim: int = 32
+    num_layers: int = 2
+    num_heads: int = 2
+    num_experts: int = 8
+    top_k: int = 2
+    moe_every: int = 2  # every `moe_every`-th block uses an MoE FFN
+    ffn_mult: int = 4
+    capacity_factor: float = 1.5
+    gate_noise_std: float = 1e-2
+    lb_loss_coeff: float = 1e-2
+    seed: int = 0
+
+    @property
+    def num_moe_layers(self) -> int:
+        return len(self.moe_block_indices())
+
+    def moe_block_indices(self) -> List[int]:
+        """Blocks carrying an MoE FFN (1, 3, 5, ... for moe_every=2)."""
+        return [i for i in range(self.num_layers) if (i + 1) % self.moe_every == 0]
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block with a dense or MoE FFN."""
+
+    def __init__(self, config: MoEModelConfig, use_moe: bool, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.use_moe = use_moe
+        self.ln_attn = LayerNorm(config.dim)
+        self.attn = MultiHeadAttention(config.dim, config.num_heads, rng, causal=True)
+        self.ln_ffn = LayerNorm(config.dim)
+        hidden = config.ffn_mult * config.dim
+        if use_moe:
+            self.moe = MoELayer(
+                config.dim,
+                hidden,
+                config.num_experts,
+                config.top_k,
+                rng,
+                capacity_factor=config.capacity_factor,
+                noise_std=config.gate_noise_std,
+            )
+        else:
+            self.ffn = FeedForward(config.dim, hidden, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln_attn(x))
+        batch, seq, dim = x.shape
+        normed = self.ln_ffn(x)
+        if self.use_moe:
+            flat = ag.reshape(normed, (batch * seq, dim))
+            ffn_out = ag.reshape(self.moe(flat), (batch, seq, dim))
+        else:
+            ffn_out = self.ffn(normed)
+        return x + ffn_out
+
+
+class MoETransformerLM(Module):
+    """GPT-like causal LM with interleaved MoE layers.
+
+    ``forward`` returns logits; :meth:`loss` adds next-token cross entropy
+    plus the load-balancing auxiliary losses of every MoE layer.
+    """
+
+    def __init__(self, config: MoEModelConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.tok_emb = Embedding(config.vocab_size, config.dim, rng)
+        self.pos_emb = Embedding(config.max_seq_len, config.dim, rng)
+        moe_blocks = set(config.moe_block_indices())
+        self.blocks = ModuleList(
+            [TransformerBlock(config, i in moe_blocks, rng) for i in range(config.num_layers)]
+        )
+        self.ln_final = LayerNorm(config.dim)
+        self.head = Linear(config.dim, config.vocab_size, rng, bias=False)
+
+    # ------------------------------------------------------------------
+    def moe_layers(self) -> List[MoELayer]:
+        return [block.moe for block in self.blocks if block.use_moe]
+
+    def set_routing_step(self, step: int) -> None:
+        """Propagate the training-step number to every gate (replay-safe
+        noise; see ``TopKGate``)."""
+        for layer in self.moe_layers():
+            layer.set_routing_step(step)
+
+    def routing_stats(self) -> List[RoutingStats]:
+        """Per-MoE-layer routing stats from the most recent forward."""
+        stats = []
+        for layer in self.moe_layers():
+            if layer.last_aux is not None:
+                stats.append(layer.last_aux.stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        _, seq = tokens.shape
+        if seq > self.config.max_seq_len:
+            raise ValueError(f"sequence length {seq} exceeds max {self.config.max_seq_len}")
+        x = self.tok_emb(tokens) + self.pos_emb(np.arange(seq))
+        for block in self.blocks:
+            x = block(x)
+        x = self.ln_final(x)
+        return self.head(x)
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Next-token CE over (B, S) tokens/targets plus aux losses."""
+        logits = self.forward(tokens)
+        batch, seq, vocab = logits.shape
+        flat_logits = ag.reshape(logits, (batch * seq, vocab))
+        ce = ag.cross_entropy_logits(flat_logits, np.asarray(targets).reshape(-1))
+        total = ce
+        if self.config.lb_loss_coeff > 0:
+            for layer in self.moe_layers():
+                if layer.last_aux is not None:
+                    total = total + layer.last_aux.load_balancing_loss * Tensor(
+                        self.config.lb_loss_coeff
+                    )
+        return total
+
+
+@dataclass
+class MoEClassifierConfig:
+    """Config for the vision-model stand-in (Figure 14(b))."""
+
+    input_dim: int = 16
+    dim: int = 32
+    num_classes: int = 4
+    num_blocks: int = 2
+    num_experts: int = 8
+    top_k: int = 2
+    ffn_mult: int = 2
+    capacity_factor: float = 1.5
+    gate_noise_std: float = 1e-2
+    lb_loss_coeff: float = 1e-2
+    seed: int = 0
+
+    @property
+    def num_moe_layers(self) -> int:
+        return self.num_blocks
+
+
+class MoEClassifier(Module):
+    """MoE MLP classifier over feature vectors (SwinV2-MoE stand-in).
+
+    Each block is LayerNorm -> MoE FFN with a residual connection; a final
+    linear head produces class logits.
+    """
+
+    def __init__(self, config: MoEClassifierConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.proj_in = Linear(config.input_dim, config.dim, rng)
+        self.norms = ModuleList([LayerNorm(config.dim) for _ in range(config.num_blocks)])
+        self.moes = ModuleList(
+            [
+                MoELayer(
+                    config.dim,
+                    config.ffn_mult * config.dim,
+                    config.num_experts,
+                    config.top_k,
+                    rng,
+                    capacity_factor=config.capacity_factor,
+                    noise_std=config.gate_noise_std,
+                )
+                for _ in range(config.num_blocks)
+            ]
+        )
+        self.head = Linear(config.dim, config.num_classes, rng)
+
+    def moe_layers(self) -> List[MoELayer]:
+        return list(self.moes)
+
+    def set_routing_step(self, step: int) -> None:
+        for layer in self.moe_layers():
+            layer.set_routing_step(step)
+
+    def routing_stats(self) -> List[RoutingStats]:
+        return [m.last_aux.stats for m in self.moes if m.last_aux is not None]
+
+    def forward(self, x: np.ndarray) -> Tensor:
+        h = self.proj_in(Tensor(np.asarray(x)))
+        for norm, moe in zip(self.norms, self.moes):
+            h = h + moe(norm(h))
+        return self.head(h)
+
+    def loss(self, x: np.ndarray, labels: np.ndarray) -> Tensor:
+        logits = self.forward(x)
+        ce = ag.cross_entropy_logits(logits, np.asarray(labels))
+        total = ce
+        if self.config.lb_loss_coeff > 0:
+            for moe in self.moes:
+                if moe.last_aux is not None:
+                    total = total + moe.last_aux.load_balancing_loss * Tensor(
+                        self.config.lb_loss_coeff
+                    )
+        return total
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        logits = self.forward(x)
+        predictions = logits.data.argmax(axis=-1)
+        return float((predictions == np.asarray(labels)).mean())

@@ -1,0 +1,49 @@
+"""Training substrate: data, trainer, faults, evaluation, fine-tuning."""
+
+from .data import (
+    MarkovCorpus,
+    PROBE_TASK_NAMES,
+    ProbeTask,
+    VisionDataset,
+    make_finetune_corpus,
+    make_probe_suite,
+    make_vision_dataset,
+)
+from .evaluate import (
+    ProbeSuiteResult,
+    continuation_log_likelihood,
+    evaluate_probe_suite,
+    evaluate_probe_task,
+    lm_validation_loss,
+)
+from .faults import FaultEvent, FaultSchedule
+from .finetune import FinetuneResult, FinetuneVariant, clone_model_state, run_finetune
+from .resume import ResumedRun, continue_run, latest_persisted_iteration, resume_training
+from .trainer import TrainHistory, Trainer, TrainerConfig
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FinetuneResult",
+    "FinetuneVariant",
+    "MarkovCorpus",
+    "PROBE_TASK_NAMES",
+    "ProbeSuiteResult",
+    "ProbeTask",
+    "ResumedRun",
+    "TrainHistory",
+    "Trainer",
+    "TrainerConfig",
+    "VisionDataset",
+    "clone_model_state",
+    "continuation_log_likelihood",
+    "continue_run",
+    "evaluate_probe_suite",
+    "evaluate_probe_task",
+    "latest_persisted_iteration",
+    "lm_validation_loss",
+    "make_finetune_corpus",
+    "make_probe_suite",
+    "make_vision_dataset",
+    "resume_training",
+]

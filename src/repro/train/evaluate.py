@@ -1,0 +1,96 @@
+"""Evaluation harnesses: validation loss and multiple-choice probes.
+
+Downstream evaluation follows the mechanics of the paper's Table 3/4
+suites: for each example, score every candidate continuation by its
+log-likelihood under the LM and count the example correct when the true
+continuation scores highest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..models import autograd as ag
+from .data import ProbeTask
+
+
+def lm_validation_loss(model, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> float:
+    """Mean next-token cross entropy over a fixed validation set.
+
+    Pure CE (no load-balancing auxiliary term) in eval mode, matching how
+    validation loss is reported in the paper's figures.
+    """
+    was_training = model.training
+    model.eval()
+    losses = []
+    for tokens, targets in batches:
+        logits = model(tokens)
+        batch, seq, vocab = logits.shape
+        flat = ag.reshape(logits, (batch * seq, vocab))
+        loss = ag.cross_entropy_logits(flat, np.asarray(targets).reshape(-1))
+        losses.append(loss.item())
+    if was_training:
+        model.train()
+    return float(np.mean(losses))
+
+
+def continuation_log_likelihood(
+    model, prompt: np.ndarray, continuation: np.ndarray
+) -> float:
+    """Sum of log p(continuation tokens | preceding context)."""
+    prompt = np.asarray(prompt)
+    continuation = np.asarray(continuation)
+    full = np.concatenate([prompt, continuation])
+    logits = model(full[None, :]).data[0]  # (S, V)
+    log_probs = logits - _logsumexp(logits)
+    total = 0.0
+    start = len(prompt) - 1  # logits at position t predict token t+1
+    for offset, token in enumerate(continuation):
+        total += float(log_probs[start + offset, token])
+    return total
+
+
+def _logsumexp(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return (
+        np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        + logits.max(axis=-1, keepdims=True)
+    )
+
+
+def evaluate_probe_task(model, task: ProbeTask) -> float:
+    """Accuracy on one multiple-choice task."""
+    was_training = model.training
+    model.eval()
+    correct = 0
+    for example in range(len(task.prompts)):
+        scores = [
+            continuation_log_likelihood(
+                model, task.prompts[example], task.choices[example, choice]
+            )
+            for choice in range(task.choices.shape[1])
+        ]
+        if int(np.argmax(scores)) == int(task.answers[example]):
+            correct += 1
+    if was_training:
+        model.train()
+    return correct / len(task.prompts)
+
+
+@dataclass
+class ProbeSuiteResult:
+    per_task: Dict[str, float]
+
+    @property
+    def average(self) -> float:
+        return float(np.mean(list(self.per_task.values())))
+
+
+def evaluate_probe_suite(model, tasks: Sequence[ProbeTask]) -> ProbeSuiteResult:
+    """Accuracy on every task plus the Table-3-style average."""
+    return ProbeSuiteResult(
+        per_task={task.name: evaluate_probe_task(model, task) for task in tasks}
+    )

@@ -1,0 +1,86 @@
+"""Fault schedules and injection for training runs.
+
+A :class:`FaultSchedule` lists the iterations at which node failures
+strike and which nodes fail.  The trainer consults it after each
+completed iteration; on a hit it invokes the checkpoint manager's
+recovery path and rewinds to the resumed iteration, replaying the same
+deterministic data stream the original run saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault: which iteration it interrupts and which nodes die."""
+
+    iteration: int
+    failed_nodes: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.iteration < 1:
+            raise ValueError("faults can only strike at iteration >= 1")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered set of fault events over a training run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        iterations = [event.iteration for event in self.events]
+        if len(set(iterations)) != len(iterations):
+            raise ValueError("duplicate fault iterations")
+        self.events = sorted(self.events, key=lambda event: event.iteration)
+        self._by_iteration: Dict[int, FaultEvent] = {
+            event.iteration: event for event in self.events
+        }
+
+    def fault_at(self, iteration: int) -> FaultEvent | None:
+        return self._by_iteration.get(iteration)
+
+    def consume(self, iteration: int) -> FaultEvent | None:
+        """Pop the fault at ``iteration`` so a replayed iteration (after
+        rollback) does not re-trigger it."""
+        event = self._by_iteration.pop(iteration, None)
+        if event is not None:
+            self.events.remove(event)
+        return event
+
+    @property
+    def num_faults(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # Constructors matching the paper's experiment setups
+    # ------------------------------------------------------------------
+    @classmethod
+    def midpoint(cls, total_iterations: int, failed_nodes: Sequence[int] = (0,)) -> "FaultSchedule":
+        """One fault at the midpoint (Figure 5 / Table 4 setup)."""
+        return cls([FaultEvent(max(1, total_iterations // 2), tuple(failed_nodes))])
+
+    @classmethod
+    def periodic(
+        cls,
+        every: int,
+        total_iterations: int,
+        failed_nodes: Sequence[int] = (0,),
+        start: int | None = None,
+    ) -> "FaultSchedule":
+        """Faults every ``every`` iterations (Figure 14(a) setup)."""
+        if every < 1:
+            raise ValueError("fault period must be >= 1")
+        start = every if start is None else start
+        events = [
+            FaultEvent(iteration, tuple(failed_nodes))
+            for iteration in range(start, total_iterations, every)
+        ]
+        return cls(events)
+
+    @classmethod
+    def none(cls) -> "FaultSchedule":
+        return cls([])

@@ -1,0 +1,143 @@
+"""Cold-restart orchestration: resume training from a persisted store.
+
+A node fault handled by :meth:`MoCCheckpointManager.recover` keeps the
+process alive; a *job* failure (or preemption) loses everything but the
+persist tier.  This module rebuilds the full training stack from a disk
+store — fresh model, fresh optimizer, manager, trainer — restores the
+mixed-version PEC state, and continues the run to completion, replaying
+the deterministic data stream from the resume iteration.
+
+This is the paper's "restart" path (the O_restart of Eq. 3) made
+concrete, and is what `examples/quickstart.py`-style jobs would wrap in
+a supervisor loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..ckpt.kvstore import DiskKVStore
+from ..ckpt.manifest import meta_entry_key
+from ..core.config import MoCConfig
+from ..core.manager import MoCCheckpointManager
+from ..models.optim import Adam
+from .faults import FaultSchedule
+from .trainer import TrainHistory, Trainer, TrainerConfig
+
+
+@dataclass
+class ResumedRun:
+    """Everything reconstructed by :func:`resume_training`."""
+
+    trainer: Trainer
+    manager: MoCCheckpointManager
+    model: object
+    optimizer: Adam
+    resume_iteration: int
+
+
+def latest_persisted_iteration(disk_root: str) -> int:
+    """The iteration of the newest durable checkpoint, or -1 if none."""
+    store = DiskKVStore(disk_root)
+    key = meta_entry_key("iteration")
+    if not store.has(key):
+        return -1
+    import numpy as np
+
+    return int(np.asarray(store.get(key)["iteration"]).reshape(-1)[0])
+
+
+def resume_training(
+    model_factory: Callable[[], object],
+    optimizer_factory: Callable[[object], Adam],
+    corpus,
+    moc_config: MoCConfig,
+    trainer_config: TrainerConfig,
+    disk_root: str,
+    fault_schedule: Optional[FaultSchedule] = None,
+    val_fn_factory: Optional[Callable[[object], Callable[[], float]]] = None,
+) -> ResumedRun:
+    """Rebuild a training stack from a persisted store.
+
+    ``model_factory`` must construct the same architecture the store was
+    written from (entry keys are parameter names); ``optimizer_factory``
+    receives the model and returns its Adam.  The returned trainer is
+    positioned to continue from the persisted iteration — call
+    :func:`continue_run` (or ``trainer.run`` manually after adjusting
+    iteration bookkeeping) to finish the job.
+    """
+    resume_iteration = latest_persisted_iteration(disk_root)
+    if resume_iteration < 0:
+        raise FileNotFoundError(
+            f"no persisted checkpoint under {disk_root!r} — cannot resume"
+        )
+    model = model_factory()
+    optimizer = optimizer_factory(model)
+    manager = MoCCheckpointManager(model, optimizer, moc_config, disk_root=disk_root)
+    # A cold restart has no surviving CPU memory anywhere: every node of
+    # the placement is "failed" from the snapshot tier's perspective.
+    all_nodes = sorted(
+        {node for nodes in manager.expert_placement.values() for node in nodes}
+    )
+    result = manager.recover(failed_nodes=all_nodes)
+    trainer = Trainer(
+        model,
+        optimizer,
+        corpus,
+        trainer_config,
+        manager=manager,
+        fault_schedule=fault_schedule,
+        val_fn=val_fn_factory(model) if val_fn_factory is not None else None,
+    )
+    return ResumedRun(
+        trainer=trainer,
+        manager=manager,
+        model=model,
+        optimizer=optimizer,
+        resume_iteration=result.resume_iteration,
+    )
+
+
+def continue_run(resumed: ResumedRun) -> TrainHistory:
+    """Run the remaining iterations of a resumed job.
+
+    The trainer's loop normally begins at iteration 1 and writes an
+    initial full checkpoint; for a resumed job we skip both and continue
+    from ``resume_iteration + 1``, replaying the deterministic stream.
+    """
+    trainer = resumed.trainer
+    config = trainer.config
+    history = TrainHistory()
+    iteration = resumed.resume_iteration + 1
+    executed = 0
+    while iteration <= config.total_iterations:
+        executed += 1
+        if executed > config.max_replayed_iterations:
+            raise RuntimeError("exceeded max_replayed_iterations")
+        loss_value = trainer.train_step(iteration)
+        history.train_losses[iteration] = loss_value
+        trainer.manager.note_model_routing()
+
+        fault = trainer.faults.consume(iteration)
+        if fault is not None:
+            history.fault_iterations.append(iteration)
+            result = trainer.manager.recover(failed_nodes=list(fault.failed_nodes))
+            history.recoveries.append(result)
+            iteration = result.resume_iteration + 1
+            continue
+
+        trainer.manager.maybe_checkpoint(iteration)
+        if (
+            trainer.val_fn is not None
+            and config.eval_every > 0
+            and iteration % config.eval_every == 0
+        ):
+            history.val_losses[iteration] = trainer.val_fn()
+        iteration += 1
+
+    history.executed_iterations = executed
+    history.final_plt = trainer.manager.plt_tracker.plt()
+    if trainer.val_fn is not None:
+        history.final_val_loss = trainer.val_fn()
+    return history

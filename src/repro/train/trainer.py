@@ -1,0 +1,130 @@
+"""Training loop with checkpoint hooks and fault injection.
+
+The :class:`Trainer` drives any model exposing ``loss`` /
+``routing_stats`` over a deterministic iteration-addressed data source.
+After each completed iteration it (1) feeds routing counts to the
+checkpoint manager's PLT tracker, (2) consults the fault schedule —
+a fault rolls state and the iteration counter back through the manager's
+recovery path — and (3) otherwise lets the manager checkpoint.
+
+Because batches are a pure function of the iteration number, a recovered
+run replays the exact token stream, so differences between checkpointing
+strategies are attributable to the recovered state alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.manager import MoCCheckpointManager, RecoveryResult
+from .faults import FaultSchedule
+
+
+@dataclass
+class TrainerConfig:
+    total_iterations: int = 100
+    batch_size: int = 4
+    eval_every: int = 0  # 0 disables periodic eval
+    max_replayed_iterations: int = 100_000  # safety valve
+
+    def __post_init__(self) -> None:
+        if self.total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+@dataclass
+class TrainHistory:
+    """Everything a run produced, keyed by *progress* iteration."""
+
+    train_losses: Dict[int, float] = field(default_factory=dict)
+    val_losses: Dict[int, float] = field(default_factory=dict)
+    fault_iterations: List[int] = field(default_factory=list)
+    recoveries: List[RecoveryResult] = field(default_factory=list)
+    executed_iterations: int = 0
+    final_val_loss: Optional[float] = None
+    # Eq. 7's denominator spans the whole run, so the final PLT is read
+    # from the tracker after training completes (a recovery-time reading
+    # would overstate it).
+    final_plt: float = 0.0
+
+
+class Trainer:
+    """Orchestrates train steps, checkpointing and fault recovery."""
+
+    def __init__(
+        self,
+        model,
+        optimizer,
+        data_source,
+        config: TrainerConfig,
+        manager: Optional[MoCCheckpointManager] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
+        val_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.data = data_source
+        self.config = config
+        self.manager = manager
+        self.faults = fault_schedule if fault_schedule is not None else FaultSchedule.none()
+        self.val_fn = val_fn
+
+    # ------------------------------------------------------------------
+    def train_step(self, iteration: int) -> float:
+        inputs, targets = self.data.batch(iteration, self.config.batch_size)
+        if hasattr(self.model, "set_routing_step"):
+            self.model.set_routing_step(iteration)
+        self.optimizer.zero_grad()
+        loss = self.model.loss(inputs, targets)
+        loss.backward()
+        self.optimizer.step()
+        return loss.item()
+
+    def run(self) -> TrainHistory:
+        history = TrainHistory()
+        if self.manager is not None:
+            self.manager.save_initial(0)
+        iteration = 1
+        executed = 0
+        while iteration <= self.config.total_iterations:
+            executed += 1
+            if executed > self.config.max_replayed_iterations:
+                raise RuntimeError("exceeded max_replayed_iterations — runaway replay loop")
+            loss_value = self.train_step(iteration)
+            history.train_losses[iteration] = loss_value
+            if self.manager is not None:
+                self.manager.note_model_routing()
+
+            fault = self.faults.consume(iteration)
+            if fault is not None:
+                history.fault_iterations.append(iteration)
+                if self.manager is None:
+                    raise RuntimeError(
+                        f"fault at iteration {iteration} but no checkpoint manager"
+                    )
+                result = self.manager.recover(failed_nodes=list(fault.failed_nodes))
+                history.recoveries.append(result)
+                iteration = result.resume_iteration + 1
+                continue
+
+            if self.manager is not None:
+                self.manager.maybe_checkpoint(iteration)
+            if (
+                self.val_fn is not None
+                and self.config.eval_every > 0
+                and iteration % self.config.eval_every == 0
+            ):
+                history.val_losses[iteration] = self.val_fn()
+            iteration += 1
+
+        history.executed_iterations = executed
+        if self.manager is not None:
+            history.final_plt = self.manager.plt_tracker.plt()
+        if self.val_fn is not None:
+            history.final_val_loss = self.val_fn()
+        return history

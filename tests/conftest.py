@@ -1,0 +1,74 @@
+"""Shared fixtures: tiny models, corpora and managers for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MoCConfig, MoCCheckpointManager, PECConfig, TwoLevelConfig
+from repro.models import Adam, MoEModelConfig, MoETransformerLM
+from repro.train import MarkovCorpus
+
+
+TINY = MoEModelConfig(
+    vocab_size=32,
+    max_seq_len=12,
+    dim=16,
+    num_layers=2,
+    num_heads=2,
+    num_experts=4,
+    top_k=2,
+    seed=0,
+)
+
+
+@pytest.fixture
+def tiny_config() -> MoEModelConfig:
+    return TINY
+
+
+@pytest.fixture
+def tiny_model() -> MoETransformerLM:
+    return MoETransformerLM(TINY)
+
+
+@pytest.fixture
+def tiny_optimizer(tiny_model) -> Adam:
+    return Adam(tiny_model.named_parameters(), lr=1e-2)
+
+
+@pytest.fixture
+def tiny_corpus() -> MarkovCorpus:
+    return MarkovCorpus(vocab_size=32, num_domains=2, seq_len=12, seed=5)
+
+
+@pytest.fixture
+def tiny_manager(tiny_model, tiny_optimizer, tmp_path) -> MoCCheckpointManager:
+    config = MoCConfig(
+        pec=PECConfig(k_snapshot=2, k_persist=1),
+        two_level=TwoLevelConfig(checkpoint_interval=2),
+    )
+    return MoCCheckpointManager(
+        tiny_model, tiny_optimizer, config, disk_root=str(tmp_path / "ckpt")
+    )
+
+
+def train_steps(model, optimizer, corpus, iterations, start=1, batch_size=2):
+    """Run a few deterministic training steps; returns final loss."""
+    loss_value = float("nan")
+    for iteration in range(start, start + iterations):
+        tokens, targets = corpus.batch(iteration, batch_size)
+        optimizer.zero_grad()
+        loss = model.loss(tokens, targets)
+        loss.backward()
+        optimizer.step()
+        loss_value = loss.item()
+    return loss_value
+
+
+def snapshot_params(model) -> dict:
+    return {name: param.data.copy() for name, param in model.named_parameters()}
+
+
+def params_equal(a: dict, b: dict) -> bool:
+    return all(np.array_equal(a[name], b[name]) for name in a)

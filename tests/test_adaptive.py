@@ -1,0 +1,132 @@
+"""Adaptive configuration tests (Section 5.3 API)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AdaptivePlan,
+    ShardingPolicy,
+    choose_k_snapshot,
+    recommend_configuration,
+    recommend_for_deployment,
+)
+from repro.distsim import case1, case3
+
+
+def linear_snapshot(per_expert: float, base: float = 0.0):
+    return lambda k: base + per_expert * k
+
+
+class TestChooseKSnapshot:
+    def test_picks_largest_overlappable(self):
+        # snapshot(k) = 0.5k; F&B = 2.1 => k=4 fits, k=5 does not
+        k = choose_k_snapshot(8, linear_snapshot(0.5), fb_seconds=2.1)
+        assert k == 4
+
+    def test_full_checkpointing_when_everything_fits(self):
+        k = choose_k_snapshot(8, linear_snapshot(0.1), fb_seconds=10.0)
+        assert k == 8
+
+    def test_floor_of_one(self):
+        k = choose_k_snapshot(8, linear_snapshot(5.0), fb_seconds=1.0)
+        assert k == 1
+
+    def test_invalid_experts(self):
+        with pytest.raises(ValueError):
+            choose_k_snapshot(0, linear_snapshot(1.0), 1.0)
+
+
+class TestRecommendConfiguration:
+    def recommend(self, **kwargs):
+        defaults = dict(
+            num_experts=8,
+            fb_seconds=2.0,
+            update_seconds=0.2,
+            snapshot_seconds_of=linear_snapshot(0.4),
+            persist_seconds_of=linear_snapshot(1.0, base=1.0),
+            fault_rate_per_iteration=1e-4,
+        )
+        defaults.update(kwargs)
+        return recommend_configuration(**defaults)
+
+    def test_full_overlap_flag(self):
+        plan = self.recommend()
+        assert plan.fully_overlapped
+        assert plan.o_save_iterations == 0.0
+        assert plan.k_snapshot == 5  # 0.4 * 5 = 2.0 <= fb
+
+    def test_persist_floor_respected(self):
+        plan = self.recommend(
+            persist_seconds_of=linear_snapshot(0.0, base=50.0),
+            fault_rate_per_iteration=1e-2,
+        )
+        assert plan.checkpoint_interval >= 50.0 / 2.2 - 1e-9
+
+    def test_zero_fault_rate(self):
+        plan = self.recommend(fault_rate_per_iteration=0.0)
+        assert plan.checkpoint_interval >= 1.0
+        assert math.isfinite(plan.checkpoint_interval)
+
+    def test_k_persist_clamped_to_snapshot(self):
+        plan = self.recommend(
+            snapshot_seconds_of=linear_snapshot(5.0), k_persist=4
+        )
+        assert plan.k_snapshot == 1
+        assert plan.k_persist == 1
+
+    def test_invalid_durations(self):
+        with pytest.raises(ValueError):
+            self.recommend(fb_seconds=0.0)
+
+    def test_plan_validates_subset(self):
+        with pytest.raises(ValueError):
+            AdaptivePlan(
+                k_snapshot=1, k_persist=2, checkpoint_interval=1.0,
+                snapshot_seconds=1.0, persist_seconds=1.0,
+                o_save_iterations=0.0, fully_overlapped=True,
+            )
+
+
+class TestDeploymentBinding:
+    def test_case1_recommendation(self):
+        plan = recommend_for_deployment(case1(), fault_rate_per_iteration=1e-4)
+        assert 1 <= plan.k_snapshot <= 16
+        assert plan.fully_overlapped  # chosen K must hide under F&B
+        assert plan.checkpoint_interval >= 1.0
+
+    def test_case3_pec_needed_under_baseline_sharding(self):
+        """Paper Section 6.2.2: with the baseline (unsharded) layout,
+        Case 3 must save fewer than four experts to overlap; fully
+        sharded checkpointing lifts that budget to full saving."""
+        baseline_plan = recommend_for_deployment(
+            case3(), fault_rate_per_iteration=1e-4,
+            sharding_policy=ShardingPolicy.BASELINE,
+        )
+        assert baseline_plan.k_snapshot < 16
+        sharded_plan = recommend_for_deployment(case3(), fault_rate_per_iteration=1e-4)
+        assert sharded_plan.k_snapshot >= baseline_plan.k_snapshot
+
+    def test_higher_fault_rate_shortens_interval(self):
+        low = recommend_for_deployment(case1(), fault_rate_per_iteration=1e-5)
+        high = recommend_for_deployment(case1(), fault_rate_per_iteration=1e-3)
+        assert high.checkpoint_interval <= low.checkpoint_interval
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    per_expert=st.floats(0.05, 2.0),
+    fb=st.floats(0.5, 10.0),
+    experts=st.sampled_from([4, 8, 16]),
+)
+def test_property_chosen_k_is_maximal(per_expert, fb, experts):
+    """The chosen K overlaps, and K+1 (if any) would not."""
+    snapshot = linear_snapshot(per_expert)
+    k = choose_k_snapshot(experts, snapshot, fb)
+    if snapshot(k) <= fb and k < experts:
+        assert snapshot(k + 1) > fb
+    assert 1 <= k <= experts

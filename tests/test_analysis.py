@@ -1,0 +1,72 @@
+"""Rendering helper tests (tables and series)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Series, render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(["name", "value"], [("a", 1.5), ("bb", 2.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert lines[0].endswith("value")
+        assert "1.500" in lines[2]
+
+    def test_precision(self):
+        text = render_table(["x"], [(3.14159,)], precision=2)
+        assert "3.14" in text and "3.142" not in text
+
+    def test_mixed_types(self):
+        text = render_table(["a", "b"], [(1, "yes")])
+        assert "yes" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_wide_cells_stretch_columns(self):
+        text = render_table(["h"], [("a-very-long-cell-value",)])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row)
+
+
+class TestRenderKV:
+    def test_contains_pairs(self):
+        text = render_kv("Title", [("alpha", 1.0), ("beta", "x")])
+        assert text.startswith("Title")
+        assert "alpha: 1.000" in text
+        assert "beta: x" in text
+
+
+class TestSeries:
+    def test_append_and_len(self):
+        series = Series("s")
+        series.append(1, 2.0)
+        series.append(2, 3.0)
+        assert len(series) == 2
+
+    def test_sparkline_monotone(self):
+        series = Series("s", [1, 2, 3], [0.0, 0.5, 1.0])
+        spark = series.sparkline()
+        assert len(spark) == 3
+        assert spark[0] == "▁" and spark[-1] == "█"
+
+    def test_sparkline_constant(self):
+        series = Series("s", [1, 2], [5.0, 5.0])
+        assert len(series.sparkline()) == 2
+
+    def test_sparkline_empty(self):
+        assert Series("s").sparkline() == ""
+
+    def test_render_contains_points(self):
+        series = Series("curve", [1, 2], [0.5, 0.25])
+        text = series.render(precision=2)
+        assert "curve" in text and "(1, 0.50)" in text
+
+    def test_render_series_block(self):
+        text = render_series("Fig", [Series("a", [0], [1.0]), Series("b", [0], [2.0])])
+        assert text.startswith("Fig")
+        assert "a:" in text and "b:" in text

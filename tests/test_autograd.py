@@ -1,0 +1,338 @@
+"""Autograd engine tests: analytic gradients vs finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import autograd as ag
+from repro.models.autograd import Parameter, Tensor, gradient_check
+
+
+def rand(shape, seed=0, scale=1.0):
+    return np.random.default_rng(seed).normal(0.0, scale, size=shape)
+
+
+small_shapes = st.sampled_from([(2, 3), (3,), (4, 2), (2, 2, 3)])
+
+
+class TestBasicOps:
+    def test_add_forward(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_backward_broadcast(self):
+        a = Parameter(rand((2, 3)))
+        b = Parameter(rand((3,)))
+        out = (a + b).sum()
+        out.backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, np.full(3, 2.0))
+
+    def test_mul_backward(self):
+        a = Parameter(np.array([2.0, 3.0]))
+        b = Parameter(np.array([5.0, 7.0]))
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [5.0, 7.0])
+        assert np.allclose(b.grad, [2.0, 3.0])
+
+    def test_scalar_ops(self):
+        a = Parameter(np.array([1.0, 2.0]))
+        out = (2.0 * a + 1.0 - 0.5).sum()
+        out.backward()
+        assert np.allclose(a.grad, [2.0, 2.0])
+
+    def test_division(self):
+        a = Parameter(np.array([4.0]))
+        b = Parameter(np.array([2.0]))
+        (a / b).backward()
+        assert np.allclose(a.grad, [0.5])
+        assert np.allclose(b.grad, [-1.0])
+
+    def test_power(self):
+        a = Parameter(np.array([3.0]))
+        (a**2).backward()
+        assert np.allclose(a.grad, [6.0])
+
+    def test_neg(self):
+        a = Parameter(np.array([1.0, -2.0]))
+        (-a).sum().backward()
+        assert np.allclose(a.grad, [-1.0, -1.0])
+
+    def test_matmul_shapes(self):
+        a = Tensor(rand((2, 3)))
+        b = Tensor(rand((3, 4)))
+        assert (a @ b).shape == (2, 4)
+
+    def test_matmul_batched(self):
+        a = Tensor(rand((5, 2, 3)))
+        b = Tensor(rand((5, 3, 4)))
+        assert (a @ b).shape == (5, 2, 4)
+
+    def test_requires_grad_propagation(self):
+        a = Tensor(rand((2, 2)))
+        b = Parameter(rand((2, 2)))
+        assert not (a + a).requires_grad
+        assert (a + b).requires_grad
+
+    def test_detach_breaks_graph(self):
+        a = Parameter(np.array([1.0]))
+        d = (a * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_backward_accumulates_across_uses(self):
+        a = Parameter(np.array([2.0]))
+        out = (a * 3.0) + (a * 4.0)
+        out.backward()
+        assert np.allclose(a.grad, [7.0])
+
+    def test_zero_grad(self):
+        a = Parameter(np.array([1.0]))
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        a = Parameter(rand((3, 4)))
+        out = ag.sum_(a, axis=0)
+        assert out.shape == (4,)
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 4)))
+
+    def test_sum_keepdims(self):
+        a = Parameter(rand((3, 4)))
+        out = ag.sum_(a, axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_mean(self):
+        a = Parameter(np.ones((2, 4)))
+        ag.mean(a).backward()
+        assert np.allclose(a.grad, np.full((2, 4), 1.0 / 8))
+
+    def test_mean_axis(self):
+        a = Parameter(np.ones((2, 4)))
+        ag.mean(a, axis=1).sum().backward()
+        assert np.allclose(a.grad, np.full((2, 4), 0.25))
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_grad(self):
+        a = Parameter(rand((2, 6)))
+        ag.reshape(a, (3, 4)).sum().backward()
+        assert a.grad.shape == (2, 6)
+
+    def test_transpose_axes(self):
+        a = Parameter(rand((2, 3, 4)))
+        out = ag.transpose(a, (2, 0, 1))
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_concatenate(self):
+        a = Parameter(rand((2, 3), seed=1))
+        b = Parameter(rand((3, 3), seed=2))
+        out = ag.concatenate([a, b], axis=0)
+        assert out.shape == (5, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3) and b.grad.shape == (3, 3)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("fn", [ag.tanh, ag.relu, ag.gelu, ag.exp])
+    def test_gradcheck_elementwise(self, fn):
+        p = Parameter(rand((3, 2), seed=3, scale=0.5))
+        assert gradient_check(lambda: fn(p).sum(), [p])
+
+    def test_log_gradcheck(self):
+        p = Parameter(np.abs(rand((3, 2), seed=4)) + 0.5)
+        assert gradient_check(lambda: ag.log(p).sum(), [p])
+
+    def test_softmax_rows_sum_to_one(self):
+        out = ag.softmax(Tensor(rand((4, 5))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradcheck(self):
+        p = Parameter(rand((3, 4), seed=5))
+        weights = rand((3, 4), seed=6)
+        assert gradient_check(lambda: (ag.softmax(p) * Tensor(weights)).sum(), [p])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = rand((3, 4), seed=7)
+        assert np.allclose(
+            ag.log_softmax(Tensor(x)).data, np.log(ag.softmax(Tensor(x)).data)
+        )
+
+    def test_log_softmax_gradcheck(self):
+        p = Parameter(rand((2, 5), seed=8))
+        weights = rand((2, 5), seed=9)
+        assert gradient_check(lambda: (ag.log_softmax(p) * Tensor(weights)).sum(), [p])
+
+    def test_softmax_stability_large_values(self):
+        out = ag.softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        assert np.allclose(out.data, [[0.5, 0.5]])
+
+
+class TestLayerNorm:
+    def test_output_normalised(self):
+        x = Tensor(rand((4, 8), seed=10, scale=3.0))
+        w = Parameter(np.ones(8))
+        b = Parameter(np.zeros(8))
+        out = ag.layer_norm(x, w, b)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradcheck_all_inputs(self):
+        x = Parameter(rand((2, 6), seed=11))
+        w = Parameter(np.abs(rand(6, seed=12)) + 0.5)
+        b = Parameter(rand(6, seed=13))
+        weights = rand((2, 6), seed=14)
+        assert gradient_check(
+            lambda: (ag.layer_norm(x, w, b) * Tensor(weights)).sum(), [x, w, b]
+        )
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = rand((4, 5), seed=15)
+        targets = np.array([0, 2, 4, 1])
+        loss = ag.cross_entropy_logits(Tensor(logits), targets)
+        probs = np.exp(logits) / np.exp(logits).sum(axis=-1, keepdims=True)
+        manual = -np.log(probs[np.arange(4), targets]).mean()
+        assert np.isclose(loss.item(), manual)
+
+    def test_gradcheck(self):
+        p = Parameter(rand((3, 4), seed=16))
+        targets = np.array([1, 3, 0])
+        assert gradient_check(lambda: ag.cross_entropy_logits(p, targets), [p])
+
+    def test_ignore_index(self):
+        logits = rand((4, 5), seed=17)
+        targets = np.array([0, -100, 4, -100])
+        loss = ag.cross_entropy_logits(Tensor(logits), targets)
+        sub = ag.cross_entropy_logits(Tensor(logits[[0, 2]]), targets[[0, 2]])
+        assert np.isclose(loss.item(), sub.item())
+
+    def test_ignored_rows_get_zero_grad(self):
+        p = Parameter(rand((3, 4), seed=18))
+        loss = ag.cross_entropy_logits(p, np.array([1, -100, 2]))
+        loss.backward()
+        assert np.allclose(p.grad[1], 0.0)
+
+    def test_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            ag.cross_entropy_logits(Tensor(rand((2, 3))), np.array([-100, -100]))
+
+    def test_rejects_3d_logits(self):
+        with pytest.raises(ValueError):
+            ag.cross_entropy_logits(Tensor(rand((2, 3, 4))), np.zeros(6, dtype=int))
+
+
+class TestIndexingOps:
+    def test_embedding_forward_backward(self):
+        table = Parameter(rand((10, 4), seed=19))
+        idx = np.array([[1, 1], [3, 0]])
+        out = ag.embedding(table, idx)
+        assert out.shape == (2, 2, 4)
+        out.sum().backward()
+        assert np.allclose(table.grad[1], 2.0)  # index 1 used twice
+        assert np.allclose(table.grad[2], 0.0)
+
+    def test_take_rows_scatter_adjoint(self):
+        a = Parameter(rand((6, 3), seed=20))
+        idx = np.array([0, 2, 2, 5])
+        out = ag.take_rows(a, idx)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        assert np.allclose(a.grad[2], 2.0)
+        assert np.allclose(a.grad[1], 0.0)
+
+    def test_scatter_rows_accumulates_duplicates(self):
+        a = Tensor(np.ones((3, 2)))
+        out = ag.scatter_rows(a, np.array([1, 1, 0]), n_rows=4)
+        assert np.allclose(out.data[1], 2.0)
+        assert np.allclose(out.data[3], 0.0)
+
+    def test_scatter_rows_gradcheck(self):
+        p = Parameter(rand((3, 2), seed=21))
+        idx = np.array([0, 2, 0])
+        weights = rand((4, 2), seed=22)
+        assert gradient_check(
+            lambda: (ag.scatter_rows(p, idx, 4) * Tensor(weights)).sum(), [p]
+        )
+
+    def test_take_elements(self):
+        a = Parameter(rand((4, 5), seed=23))
+        out = ag.take_elements(a, np.array([0, 1]), np.array([2, 3]))
+        assert np.allclose(out.data, [a.data[0, 2], a.data[1, 3]])
+        out.sum().backward()
+        assert a.grad[0, 2] == 1.0 and a.grad[1, 3] == 1.0
+
+    def test_take_elements_gradcheck(self):
+        p = Parameter(rand((3, 4), seed=24))
+        rows = np.array([0, 2, 2])
+        cols = np.array([1, 1, 3])
+        assert gradient_check(lambda: ag.take_elements(p, rows, cols).sum(), [p])
+
+
+class TestDropoutAndConstants:
+    def test_dropout_eval_identity(self):
+        x = Tensor(rand((5, 5)))
+        out = ag.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_dropout_scales(self):
+        x = Tensor(np.ones((1000, 10)))
+        out = ag.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        assert abs(out.data.mean() - 1.0) < 0.1
+
+    def test_add_constant_not_differentiable_wrt_constant(self):
+        p = Parameter(np.zeros((2, 2)))
+        out = ag.add_constant(p, np.ones((2, 2)))
+        out.sum().backward()
+        assert np.allclose(p.grad, 1.0)
+
+
+class TestGradientCheckHarness:
+    def test_detects_correct_gradients(self):
+        p = Parameter(rand((2, 2), seed=25))
+        assert gradient_check(lambda: (p * p).sum(), [p])
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=small_shapes, seed=st.integers(0, 1000))
+def test_property_sum_mul_chain_gradients(shape, seed):
+    """Random composite expressions pass finite-difference checks."""
+    p = Parameter(rand(shape, seed=seed, scale=0.7))
+    q = Parameter(rand(shape, seed=seed + 1, scale=0.7))
+    assert gradient_check(lambda: (p * q + ag.tanh(p)).sum(), [p, q])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(2, 5),
+    cols=st.integers(2, 5),
+    seed=st.integers(0, 500),
+)
+def test_property_softmax_cross_entropy_grad_sums_to_zero(rows, cols, seed):
+    """CE-through-softmax gradients sum to zero across the class axis."""
+    p = Parameter(rand((rows, cols), seed=seed))
+    targets = np.random.default_rng(seed).integers(0, cols, size=rows)
+    loss = ag.cross_entropy_logits(p, targets)
+    loss.backward()
+    assert np.allclose(p.grad.sum(axis=-1), 0.0, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_unbroadcast_consistency(seed):
+    """Broadcast add: gradient of the smaller operand sums correctly."""
+    a = Parameter(rand((3, 4), seed=seed))
+    b = Parameter(rand((1, 4), seed=seed + 7))
+    weights = rand((3, 4), seed=seed + 13)
+    ((a + b) * Tensor(weights)).sum().backward()
+    assert np.allclose(b.grad, weights.sum(axis=0, keepdims=True))

@@ -1,0 +1,136 @@
+"""Triple-buffer state machine tests (Section 5.2 / Figure 9)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BufferError, BufferStatus, TripleBuffer
+
+
+class TestBasicRotation:
+    def test_initial_state(self):
+        pool = TripleBuffer()
+        assert pool.can_start_snapshot()
+        assert pool.persisting is None
+        assert pool.recovery_buffer is None
+        assert pool.latest_recoverable_checkpoint() is None
+
+    def test_snapshot_then_persist_then_recovery(self):
+        pool = TripleBuffer()
+        buffer = pool.start_snapshot(0, time=0.0)
+        assert buffer.checkpoint_index == 0
+        pool.finish_snapshot(time=1.0)
+        assert buffer.status is BufferStatus.PERSIST
+        pool.finish_persist(time=3.0)
+        assert buffer.status is BufferStatus.RECOVERY
+        assert pool.latest_recoverable_checkpoint() == 0
+
+    def test_second_checkpoint_replaces_recovery(self):
+        pool = TripleBuffer()
+        pool.start_snapshot(0, 0.0)
+        pool.finish_snapshot(1.0)
+        pool.finish_persist(2.0)
+        pool.start_snapshot(1, 2.0)
+        pool.finish_snapshot(3.0)
+        pool.finish_persist(4.0)
+        assert pool.latest_recoverable_checkpoint() == 1
+        # exactly one recovery buffer; the old one was recycled
+        statuses = [buffer.status for buffer in pool.buffers]
+        assert statuses.count(BufferStatus.RECOVERY) == 1
+        assert statuses.count(BufferStatus.SNAPSHOT) == 2
+
+    def test_snapshot_done_waits_for_persist_slot(self):
+        pool = TripleBuffer()
+        first = pool.start_snapshot(0, 0.0)
+        pool.finish_snapshot(1.0)  # starts persisting
+        second = pool.start_snapshot(1, 1.0)
+        pool.finish_snapshot(2.0)  # must wait: first still persisting
+        assert second.status is BufferStatus.SNAPSHOT_DONE
+        pool.finish_persist(5.0)  # first done; second auto-promoted
+        assert second.status is BufferStatus.PERSIST
+        assert second.persist_started == 5.0
+
+    def test_timestamps_recorded(self):
+        pool = TripleBuffer()
+        buffer = pool.start_snapshot(0, 1.5)
+        pool.finish_snapshot(2.5)
+        pool.finish_persist(7.0)
+        assert buffer.snapshot_started == 1.5
+        assert buffer.snapshot_finished == 2.5
+        assert buffer.persist_started == 2.5
+        assert buffer.persist_finished == 7.0
+
+
+class TestErrors:
+    def test_double_snapshot_rejected(self):
+        pool = TripleBuffer()
+        pool.start_snapshot(0, 0.0)
+        with pytest.raises(BufferError):
+            pool.start_snapshot(1, 0.5)
+
+    def test_finish_without_snapshot_rejected(self):
+        with pytest.raises(BufferError):
+            TripleBuffer().finish_snapshot(0.0)
+
+    def test_finish_persist_without_persist_rejected(self):
+        with pytest.raises(BufferError):
+            TripleBuffer().finish_persist(0.0)
+
+    def test_exhausted_buffers(self):
+        pool = TripleBuffer(num_buffers=2)
+        pool.start_snapshot(0, 0.0)
+        pool.finish_snapshot(1.0)  # persisting
+        pool.start_snapshot(1, 1.0)
+        pool.finish_snapshot(2.0)  # queued (SNAPSHOT_DONE)
+        assert not pool.can_start_snapshot()
+        with pytest.raises(BufferError):
+            pool.start_snapshot(2, 2.0)
+
+    def test_minimum_buffer_count(self):
+        with pytest.raises(ValueError):
+            TripleBuffer(num_buffers=1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.sampled_from(["snap", "fsnap", "fpersist"]), max_size=30))
+def test_property_invariants_under_random_event_sequences(ops):
+    """Drive the machine with arbitrary event orders: illegal transitions
+    raise, and the invariants (<=1 persisting, <=1 recovery) always hold."""
+    pool = TripleBuffer()
+    clock = 0.0
+    checkpoint = 0
+    for op in ops:
+        clock += 1.0
+        try:
+            if op == "snap":
+                pool.start_snapshot(checkpoint, clock)
+                checkpoint += 1
+            elif op == "fsnap":
+                pool.finish_snapshot(clock)
+            else:
+                pool.finish_persist(clock)
+        except BufferError:
+            pass
+        statuses = [buffer.status for buffer in pool.buffers]
+        assert statuses.count(BufferStatus.PERSIST) <= 1
+        assert statuses.count(BufferStatus.RECOVERY) <= 1
+        assert len(pool.buffers) == 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(num_checkpoints=st.integers(1, 10))
+def test_property_sequential_checkpoints_always_complete(num_checkpoints):
+    """A well-behaved driver can always rotate checkpoints through the pool
+    and the recovery buffer always ends at the last persisted index."""
+    pool = TripleBuffer()
+    clock = 0.0
+    for index in range(num_checkpoints):
+        assert pool.can_start_snapshot()
+        pool.start_snapshot(index, clock)
+        clock += 1.0
+        pool.finish_snapshot(clock)
+        clock += 1.0
+        pool.finish_persist(clock)
+    assert pool.latest_recoverable_checkpoint() == num_checkpoints - 1

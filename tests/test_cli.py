@@ -1,0 +1,69 @@
+"""CLI smoke tests: every subcommand runs and prints sensible output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestSize:
+    def test_default_model(self, capsys):
+        assert main(["size"]) == 0
+        out = capsys.readouterr().out
+        assert "GPT-350M-16E" in out
+        assert "K_pec" in out
+        assert "42." in out  # the 42.x% K=1 row
+
+    def test_llama_moe(self, capsys):
+        assert main(["size", "--model", "llama-moe", "--experts", "32"]) == 0
+        assert "LLaMA-MoE-32E" in capsys.readouterr().out
+
+    def test_gpt_125m(self, capsys):
+        assert main(["size", "--model", "gpt-125m-8e"]) == 0
+        assert "GPT-125M-8E" in capsys.readouterr().out
+
+
+class TestPlan:
+    def test_plan_runs(self, capsys):
+        assert main(["plan", "--gpus", "16", "--mtbf-hours", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "K_snapshot" in out
+        assert "recommended I_ckpt" in out
+
+    def test_h100(self, capsys):
+        assert main(["plan", "--gpus", "16", "--gpu", "h100"]) == 0
+        assert "H100" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_both_modes_reported(self, capsys):
+        assert main(["simulate", "--iterations", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "blocking" in out and "async" in out
+
+    def test_async_beats_blocking_in_output(self, capsys):
+        main(["simulate", "--snapshot", "5", "--persist", "5", "--iterations", "20"])
+        out = capsys.readouterr().out.splitlines()
+        table = [line for line in out if line.strip().startswith(("blocking", "async"))]
+        blocking_total = float(table[0].split()[1])
+        async_total = float(table[1].split()[1])
+        assert async_total < blocking_total
+
+
+class TestDemo:
+    def test_demo_runs_with_fault(self, capsys):
+        assert main(["demo", "--iterations", "12", "--interval", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fault at" in out
+        assert "PLT %" in out

@@ -1,0 +1,136 @@
+"""Precision codec tests (checkpoint compression extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckpt import (
+    DEFAULT_FIELD_DTYPES,
+    InMemoryKVStore,
+    PrecisionCodec,
+    roundtrip_error,
+)
+from repro.ckpt.serializer import entry_nbytes
+
+
+def sample_entry(scale=1.0, size=64, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "master": rng.normal(0.0, scale, size),
+        "m": rng.normal(0.0, scale * 0.01, size),
+        "v": np.abs(rng.normal(0.0, scale * 0.001, size)),
+        "step": np.asarray(7),
+    }
+
+
+class TestEncode:
+    def test_downcasts_configured_fields(self):
+        codec = PrecisionCodec()
+        encoded = codec.encode(sample_entry())
+        assert encoded["master"].dtype == np.float32
+        assert encoded["m"].dtype == np.float16
+        assert encoded["v"].dtype == np.float16
+
+    def test_integers_pass_through(self):
+        codec = PrecisionCodec()
+        encoded = codec.encode(sample_entry())
+        assert encoded["step"].dtype.kind in "iu"
+        assert int(np.asarray(encoded["step"]).reshape(-1)[0]) == 7
+
+    def test_unconfigured_fields_untouched(self):
+        codec = PrecisionCodec(field_dtypes={"m": np.float16})
+        entry = sample_entry()
+        encoded = codec.encode(entry)
+        assert encoded["master"].dtype == np.float64
+
+    def test_size_reduction(self):
+        codec = PrecisionCodec()
+        entry = sample_entry(size=512)
+        encoded = codec.encode(entry)
+        assert entry_nbytes(encoded) < entry_nbytes(entry) / 2
+        assert codec.stats.ratio < 0.5
+
+    def test_overflow_clipped_not_inf(self):
+        codec = PrecisionCodec(field_dtypes={"m": np.float16})
+        entry = {"m": np.array([1e10, -1e10])}
+        encoded = codec.encode(entry)
+        assert np.isfinite(encoded["m"]).all()
+
+    def test_non_float_storage_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionCodec(field_dtypes={"m": np.int32})
+
+
+class TestDecode:
+    def test_restores_work_dtype(self):
+        codec = PrecisionCodec()
+        decoded = codec.decode(codec.encode(sample_entry()))
+        assert decoded["master"].dtype == np.float64
+        assert decoded["m"].dtype == np.float64
+
+    def test_roundtrip_error_bounded(self):
+        codec = PrecisionCodec()
+        error = roundtrip_error(sample_entry(scale=2.0), codec)
+        # float16 has ~3 decimal digits: relative error below 1e-3
+        assert error < 1e-3
+
+    def test_fp32_only_codec_tighter(self):
+        codec = PrecisionCodec(field_dtypes={name: np.float32 for name in ("master", "m", "v")})
+        error = roundtrip_error(sample_entry(scale=2.0), codec)
+        assert error < 1e-6
+
+    def test_max_relative_error_reflects_narrowest(self):
+        wide = PrecisionCodec(field_dtypes={"m": np.float32})
+        narrow = PrecisionCodec(field_dtypes={"m": np.float16})
+        assert narrow.max_relative_error() > wide.max_relative_error()
+
+
+class TestStoreComposition:
+    def test_codec_through_kvstore(self):
+        codec = PrecisionCodec()
+        store = InMemoryKVStore()
+        entry = sample_entry(size=256)
+        store.put("k", codec.encode(entry), stamp=1)
+        restored = codec.decode(store.get("k"))
+        assert restored["master"].dtype == np.float64
+        assert np.allclose(restored["master"], entry["master"], rtol=1e-6)
+        assert np.allclose(restored["m"], entry["m"], rtol=1e-3, atol=1e-6)
+
+    def test_encoded_store_smaller(self):
+        codec = PrecisionCodec()
+        plain, encoded = InMemoryKVStore(), InMemoryKVStore()
+        entry = sample_entry(size=1024)
+        plain.put("k", entry, stamp=0)
+        encoded.put("k", codec.encode(entry), stamp=0)
+        assert encoded.total_bytes() < plain.total_bytes() / 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scale=st.floats(1e-2, 100.0),
+    seed=st.integers(0, 200),
+)
+def test_property_roundtrip_error_within_dtype_bound(scale, seed):
+    """For values in float16's *normal* range, round-trip error stays
+    within a small multiple of the unit roundoff.  (Subnormals — values
+    below ~6e-5 — have unboundedly large relative error by construction,
+    which is why the default codec keeps the master copy at float32.)"""
+    rng = np.random.default_rng(seed)
+    magnitudes = rng.uniform(0.1 * scale, scale, 64)
+    signs = rng.choice([-1.0, 1.0], 64)
+    entry = {"master": magnitudes * signs, "m": magnitudes, "v": magnitudes}
+    codec = PrecisionCodec()
+    error = roundtrip_error(entry, codec)
+    assert error <= 4 * codec.max_relative_error()
+
+
+def test_subnormal_values_documented_hazard():
+    """Below float16's normal range, relative error blows up — the
+    reason moments (which can be tiny) default to fp16 only because the
+    optimizer tolerates it, while the master stays fp32."""
+    codec = PrecisionCodec(field_dtypes={"m": np.float16})
+    entry = {"m": np.array([1e-7, 2e-7])}
+    assert roundtrip_error(entry, codec) > 4 * codec.max_relative_error()

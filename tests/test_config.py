@@ -1,0 +1,68 @@
+"""Configuration object tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DEFAULT_PLT_THRESHOLD,
+    MoCConfig,
+    PECConfig,
+    SelectionStrategy,
+    ShardingPolicy,
+    TwoLevelConfig,
+)
+
+
+class TestPECConfig:
+    def test_defaults(self):
+        config = PECConfig()
+        assert config.k_snapshot == 1 and config.k_persist == 1
+        assert config.selection is SelectionStrategy.SEQUENTIAL
+        assert config.apply_to_weights and config.apply_to_moments
+        assert config.plt_threshold == DEFAULT_PLT_THRESHOLD
+
+    def test_full_factory(self):
+        config = PECConfig.full(32)
+        assert config.k_snapshot == config.k_persist == 32
+        assert config.selection is SelectionStrategy.FULL
+
+    def test_subset_invariant(self):
+        with pytest.raises(ValueError):
+            PECConfig(k_snapshot=2, k_persist=3)
+
+    def test_positive_k(self):
+        with pytest.raises(ValueError):
+            PECConfig(k_snapshot=1, k_persist=0)
+
+
+class TestTwoLevelConfig:
+    def test_defaults(self):
+        config = TwoLevelConfig()
+        assert config.num_buffers == 3
+        assert config.async_checkpointing
+        assert config.two_level_recovery
+
+
+class TestMoCConfig:
+    def test_default_is_full_system(self):
+        config = MoCConfig()
+        assert config.sharding is ShardingPolicy.EE_AN
+
+    def test_baseline_factory(self):
+        config = MoCConfig.baseline(16, checkpoint_interval=5)
+        assert config.pec.selection is SelectionStrategy.FULL
+        assert config.sharding is ShardingPolicy.BASELINE
+        assert not config.two_level.async_checkpointing
+        assert not config.two_level.two_level_recovery
+        assert config.two_level.checkpoint_interval == 5
+
+
+class TestEnums:
+    def test_selection_values(self):
+        assert SelectionStrategy("sequential") is SelectionStrategy.SEQUENTIAL
+        assert SelectionStrategy("load_aware") is SelectionStrategy.LOAD_AWARE
+
+    def test_sharding_values(self):
+        assert ShardingPolicy("ee+an") is ShardingPolicy.EE_AN
+        assert len(list(ShardingPolicy)) == 4

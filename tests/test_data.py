@@ -1,0 +1,150 @@
+"""Synthetic dataset tests: determinism, addressing, probe construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.train import (
+    MarkovCorpus,
+    make_finetune_corpus,
+    make_probe_suite,
+    make_vision_dataset,
+)
+
+
+class TestMarkovCorpus:
+    def test_transitions_are_stochastic(self):
+        corpus = MarkovCorpus(vocab_size=16, num_domains=3, seed=0)
+        assert corpus.transitions.shape == (3, 16, 16)
+        assert np.allclose(corpus.transitions.sum(axis=-1), 1.0)
+
+    def test_batch_deterministic_by_iteration(self):
+        corpus = MarkovCorpus(vocab_size=16, seed=1)
+        a_tokens, a_targets = corpus.batch(7, 4)
+        b_tokens, b_targets = corpus.batch(7, 4)
+        assert np.array_equal(a_tokens, b_tokens)
+        assert np.array_equal(a_targets, b_targets)
+
+    def test_different_iterations_differ(self):
+        corpus = MarkovCorpus(vocab_size=16, seed=1)
+        a, _ = corpus.batch(1, 4)
+        b, _ = corpus.batch(2, 4)
+        assert not np.array_equal(a, b)
+
+    def test_targets_are_shifted_tokens(self):
+        corpus = MarkovCorpus(vocab_size=16, seed=2)
+        tokens, targets = corpus.batch(0, 2)
+        assert np.array_equal(targets[:, :-1], tokens[:, 1:])
+
+    def test_tokens_in_vocab(self):
+        corpus = MarkovCorpus(vocab_size=16, seed=3)
+        tokens, _ = corpus.batch(5, 8)
+        assert tokens.min() >= 0 and tokens.max() < 16
+
+    def test_validation_disjoint_stream(self):
+        corpus = MarkovCorpus(vocab_size=16, seed=4)
+        val = corpus.validation_set(2, 3)
+        train_tokens, _ = corpus.batch(0, 3)
+        assert len(val) == 2
+        assert not np.array_equal(val[0][0], train_tokens)
+
+    def test_domain_conditioning(self):
+        corpus = MarkovCorpus(vocab_size=16, num_domains=2, seed=5)
+        rng = np.random.default_rng(0)
+        tokens, domain = corpus.sample_sequence(rng, domain=1, length=10)
+        assert domain == 1 and len(tokens) == 10
+
+    def test_invalid_vocab(self):
+        with pytest.raises(ValueError):
+            MarkovCorpus(vocab_size=1)
+
+
+class TestProbeSuite:
+    def test_suite_shape(self):
+        corpus = MarkovCorpus(vocab_size=16, num_domains=2, seed=6)
+        tasks = make_probe_suite(corpus, num_tasks=4, examples_per_task=5,
+                                 num_choices=3, prompt_len=6, cont_len=4)
+        assert len(tasks) == 4
+        for task in tasks:
+            assert task.prompts.shape == (5, 6)
+            assert task.choices.shape == (5, 3, 4)
+            assert task.answers.shape == (5,)
+            assert task.answers.min() >= 0 and task.answers.max() < 3
+
+    def test_names_cycle_through_paper_tasks(self):
+        corpus = MarkovCorpus(vocab_size=16, seed=7)
+        tasks = make_probe_suite(corpus, num_tasks=8, examples_per_task=2)
+        assert tasks[0].name == "HellaSwag"
+        assert tasks[3].name == "BoolQ"
+
+    def test_deterministic(self):
+        corpus = MarkovCorpus(vocab_size=16, seed=8)
+        a = make_probe_suite(corpus, num_tasks=2, examples_per_task=3)
+        b = make_probe_suite(corpus, num_tasks=2, examples_per_task=3)
+        assert np.array_equal(a[0].choices, b[0].choices)
+
+    def test_correct_choice_is_true_continuation(self):
+        """The answer choice continues under the real chain, so its mean
+        transition probability exceeds the distractors'."""
+        corpus = MarkovCorpus(vocab_size=24, num_domains=2, seed=9)
+        tasks = make_probe_suite(corpus, num_tasks=1, examples_per_task=20,
+                                 prompt_len=8, cont_len=6)
+        task = tasks[0]
+        domain = 0
+        def chain_logprob(prompt, cont):
+            prev = prompt[-1]
+            total = 0.0
+            for token in cont:
+                total += np.log(corpus.transitions[domain, prev, token] + 1e-12)
+                prev = token
+            return total
+        wins = 0
+        for example in range(20):
+            scores = [
+                chain_logprob(task.prompts[example], task.choices[example, c])
+                for c in range(task.choices.shape[1])
+            ]
+            if int(np.argmax(scores)) == int(task.answers[example]):
+                wins += 1
+        assert wins / 20 > 0.6  # oracle separates true from distractor
+
+    def test_inconsistent_shapes_rejected(self):
+        from repro.train.data import ProbeTask
+
+        with pytest.raises(ValueError):
+            ProbeTask(
+                name="bad",
+                prompts=np.zeros((2, 3), dtype=np.int64),
+                choices=np.zeros((3, 2, 2), dtype=np.int64),
+                answers=np.zeros(2, dtype=np.int64),
+            )
+
+
+class TestVisionDataset:
+    def test_shapes_and_split(self):
+        data = make_vision_dataset(num_classes=3, input_dim=8, train_per_class=10,
+                                   test_per_class=4)
+        assert data.train_x.shape == (30, 8)
+        assert data.test_x.shape == (12, 8)
+        assert data.num_classes == 3
+
+    def test_batch_addressing(self):
+        data = make_vision_dataset()
+        x1, y1 = data.batch(3, 8)
+        x2, y2 = data.batch(3, 8)
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_classes_separable_by_centroid(self):
+        data = make_vision_dataset(num_classes=2, input_dim=8, cluster_std=0.2)
+        c0 = data.train_x[data.train_y == 0].mean(axis=0)
+        c1 = data.train_x[data.train_y == 1].mean(axis=0)
+        assert np.linalg.norm(c0 - c1) > 0.5
+
+
+class TestFinetuneCorpus:
+    def test_shifted_domains(self):
+        base = MarkovCorpus(vocab_size=16, seed=10)
+        shifted = make_finetune_corpus(base)
+        assert shifted.vocab_size == base.vocab_size
+        assert not np.allclose(shifted.transitions, base.transitions)

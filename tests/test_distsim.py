@@ -1,0 +1,190 @@
+"""Perf model, checkpoint-cost and deployment-case tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ShardingPolicy
+from repro.distsim import (
+    A800_CLUSTER,
+    H100_CLUSTER,
+    ParallelConfig,
+    case1,
+    case2,
+    case3,
+    checkpoint_cost,
+    ep_within_node,
+    gpt_350m_16e,
+    iteration_times,
+    llama_moe,
+    paper_cases,
+    pec_plan_for,
+    persist_file_bytes,
+)
+
+
+class TestPerfModel:
+    def test_h100_faster_than_a800(self):
+        spec = llama_moe(num_experts=32)
+        parallel = ParallelConfig(d_dp=32, d_ep=32)
+        a800 = iteration_times(spec, parallel, A800_CLUSTER)
+        h100 = iteration_times(spec, parallel, H100_CLUSTER)
+        assert h100.compute < a800.compute
+        assert h100.fb < a800.fb
+
+    def test_tp_reduces_compute(self):
+        spec = llama_moe(num_experts=8)
+        base = iteration_times(spec, ParallelConfig(d_dp=8, d_ep=8), A800_CLUSTER)
+        tp = iteration_times(spec, ParallelConfig(d_dp=8, d_ep=8, d_tp=4), A800_CLUSTER)
+        assert tp.compute < base.compute
+
+    def test_longer_sequences_scale_fb_only(self):
+        """Figure 13(d): sequence length changes F&B, not checkpoint data."""
+        spec_short = llama_moe(num_experts=16, seq_len=512)
+        spec_long = llama_moe(num_experts=16, seq_len=4096)
+        parallel_short = ParallelConfig(d_dp=16, d_ep=16, tokens_per_gpu=8 * 512)
+        parallel_long = ParallelConfig(d_dp=16, d_ep=16, tokens_per_gpu=8 * 4096)
+        short = iteration_times(spec_short, parallel_short, A800_CLUSTER)
+        long = iteration_times(spec_long, parallel_long, A800_CLUSTER)
+        assert long.fb > short.fb
+        # checkpoint volume is (near-)constant: only the position embedding
+        # depends on sequence length, a <0.1% effect
+        short_bytes = spec_short.full_checkpoint_bytes()
+        long_bytes = spec_long.full_checkpoint_bytes()
+        assert abs(long_bytes - short_bytes) / short_bytes < 1e-3
+
+    def test_ep_within_node_detection(self):
+        assert ep_within_node(ParallelConfig(d_dp=16, d_ep=8), A800_CLUSTER)
+        assert not ep_within_node(ParallelConfig(d_dp=16, d_ep=16), A800_CLUSTER)
+
+    def test_inter_node_a2a_slower(self):
+        """Case 3 vs Case 2: intra-node EP keeps all-to-all cheaper."""
+        spec = gpt_350m_16e()
+        intra = iteration_times(spec, ParallelConfig(d_dp=16, d_ep=8), A800_CLUSTER)
+        inter = iteration_times(spec, ParallelConfig(d_dp=16, d_ep=16), A800_CLUSTER)
+        assert intra.all_to_all < inter.all_to_all
+
+    def test_invalid_degrees(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(d_dp=6, d_ep=4)
+
+
+class TestPaperCases:
+    def test_case_shapes(self):
+        one, two, three = paper_cases()
+        assert one.topology.num_ep_groups == 1 and one.experts_per_gpu == 2
+        assert two.topology.num_ep_groups == 1 and two.experts_per_gpu == 1
+        assert three.topology.num_ep_groups == 2 and three.experts_per_gpu == 2
+
+    def test_case3_fb_faster_than_case2(self):
+        """Section 6.2.2: confining EP within a node is faster."""
+        assert case3().iteration_times().fb < case2().iteration_times().fb
+
+    def test_case1_baseline_snapshot_exceeds_fb(self):
+        """Figure 11(a): the baseline snapshot cannot be fully overlapped."""
+        dep = case1()
+        cost = checkpoint_cost(dep.spec, dep.topology, dep.cluster, ShardingPolicy.BASELINE)
+        assert cost.snapshot_seconds > dep.iteration_times().fb
+
+
+class TestCheckpointCost:
+    def test_sharding_reduces_bottleneck(self):
+        dep = case1()
+        baseline = checkpoint_cost(dep.spec, dep.topology, dep.cluster, ShardingPolicy.BASELINE)
+        sharded = checkpoint_cost(dep.spec, dep.topology, dep.cluster, ShardingPolicy.EE_AN)
+        assert sharded.bottleneck_rank_bytes < baseline.bottleneck_rank_bytes
+        # paper reports 12%-28% bottleneck reduction for full saving
+        reduction = 1 - sharded.bottleneck_rank_bytes / baseline.bottleneck_rank_bytes
+        assert 0.05 < reduction < 0.40
+
+    def test_ee_only_helps_with_multiple_groups(self):
+        """Figure 10(b) vs (d): EE is a no-op with a single EP group."""
+        for dep, should_help in ((case1(), False), (case3(), True)):
+            baseline = checkpoint_cost(
+                dep.spec, dep.topology, dep.cluster, ShardingPolicy.BASELINE
+            )
+            ee = checkpoint_cost(dep.spec, dep.topology, dep.cluster, ShardingPolicy.EE)
+            if should_help:
+                assert ee.bottleneck_rank_bytes < baseline.bottleneck_rank_bytes
+            else:
+                assert ee.bottleneck_rank_bytes == baseline.bottleneck_rank_bytes
+
+    def test_pec_shrinks_cost_monotonically(self):
+        dep = case2()
+        costs = [
+            checkpoint_cost(
+                dep.spec, dep.topology, dep.cluster, ShardingPolicy.EE_AN,
+                pec_plan=pec_plan_for(dep.spec, k),
+            ).bottleneck_rank_bytes
+            for k in (1, 2, 4, 8, 16)
+        ]
+        assert costs == sorted(costs)
+
+    def test_an_at_most_en_bottleneck(self):
+        dep = case3()
+        plan = pec_plan_for(dep.spec, 1)
+        en = checkpoint_cost(dep.spec, dep.topology, dep.cluster, ShardingPolicy.EE_EN, pec_plan=plan)
+        an = checkpoint_cost(dep.spec, dep.topology, dep.cluster, ShardingPolicy.EE_AN, pec_plan=plan)
+        assert an.bottleneck_rank_bytes <= en.bottleneck_rank_bytes
+
+    def test_total_bytes_policy_invariant(self):
+        dep = case3()
+        totals = {
+            policy: checkpoint_cost(dep.spec, dep.topology, dep.cluster, policy).total_bytes
+            for policy in ShardingPolicy
+        }
+        assert len(set(totals.values())) == 1
+
+
+class TestPersistFileSize:
+    def test_full_vs_pec(self):
+        """Figure 13(f): MoC-Persist is a constant fraction of Base-Persist."""
+        for num_experts in (32, 64, 128):
+            spec = llama_moe(num_experts=num_experts)
+            topo = ParallelConfig(d_dp=num_experts, d_ep=num_experts).topology()
+            base = persist_file_bytes(spec, topo, None)
+            moc = persist_file_bytes(spec, topo, k_persist=max(1, num_experts // 8))
+            assert moc < base
+
+    def test_grows_with_gpus(self):
+        sizes = [
+            persist_file_bytes(
+                llama_moe(num_experts=n),
+                ParallelConfig(d_dp=n, d_ep=n).topology(),
+                None,
+            )
+            for n in (32, 64, 128)
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestPipelineParallel:
+    def test_pp_reduces_per_gpu_compute(self):
+        spec = llama_moe(num_experts=8)
+        base = iteration_times(spec, ParallelConfig(d_dp=8, d_ep=8), A800_CLUSTER)
+        pp = iteration_times(
+            spec, ParallelConfig(d_dp=8, d_ep=8, d_pp=4, num_microbatches=16), A800_CLUSTER
+        )
+        assert pp.compute < base.compute
+
+    def test_bubble_fraction(self):
+        parallel = ParallelConfig(d_dp=4, d_ep=4, d_pp=4, num_microbatches=12)
+        assert parallel.pipeline_bubble_fraction == pytest.approx(3 / 12)
+        assert ParallelConfig(d_dp=4, d_ep=4).pipeline_bubble_fraction == 0.0
+
+    def test_more_microbatches_shrink_bubble(self):
+        spec = llama_moe(num_experts=8)
+        few = iteration_times(
+            spec, ParallelConfig(d_dp=8, d_ep=8, d_pp=4, num_microbatches=4), A800_CLUSTER
+        )
+        many = iteration_times(
+            spec, ParallelConfig(d_dp=8, d_ep=8, d_pp=4, num_microbatches=64), A800_CLUSTER
+        )
+        assert many.compute < few.compute
+
+    def test_gpu_count_includes_pp(self):
+        assert ParallelConfig(d_dp=8, d_ep=8, d_tp=2, d_pp=2).num_gpus == 32
+
+    def test_invalid_microbatches(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(d_dp=4, d_ep=4, num_microbatches=0)

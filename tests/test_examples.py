@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example runs end-to-end and prints results.
+
+Examples are the public face of the library; these tests keep them
+executable as the API evolves.  Each runs in-process via runpy so
+coverage tools see them and failures carry full tracebacks.
+"""
+
+from __future__ import annotations
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, argv=None, capsys=None) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    old_argv = sys.argv
+    sys.argv = [path] + list(argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys=capsys)
+        assert "proportion of lost tokens" in out.lower()
+        assert "recovered from CPU memory" in out
+
+    def test_strategy_comparison(self, capsys):
+        out = run_example("checkpoint_strategy_comparison.py", capsys=capsys)
+        assert "Baseline (full)" in out
+        assert "Dynamic-K" in out
+
+    def test_cluster_planning(self, capsys):
+        out = run_example(
+            "cluster_checkpoint_planning.py",
+            argv=["--gpus", "16", "--mtbf-hours", "4"],
+            capsys=capsys,
+        )
+        assert "Recommended configuration" in out
+        assert "K_snapshot" in out
+
+    def test_finetune_with_pec(self, capsys):
+        out = run_example("finetune_with_pec.py", capsys=capsys)
+        assert "FT-PEC" in out
+        assert "downstream avg %" in out

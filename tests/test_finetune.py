@@ -1,0 +1,112 @@
+"""Fine-tuning harness tests (Table 4 mechanics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import TINY, snapshot_params
+from repro.models import Adam, MoETransformerLM, expert_param_names, non_expert_param_names
+from repro.train import (
+    FinetuneVariant,
+    MarkovCorpus,
+    clone_model_state,
+    make_finetune_corpus,
+    run_finetune,
+)
+
+
+@pytest.fixture(scope="module")
+def pretrained():
+    corpus = MarkovCorpus(vocab_size=TINY.vocab_size, num_domains=2, seq_len=12, seed=21)
+    model = MoETransformerLM(TINY)
+    optimizer = Adam(model.named_parameters(), lr=5e-3)
+    for iteration in range(15):
+        tokens, targets = corpus.batch(iteration, 2)
+        optimizer.zero_grad()
+        model.loss(tokens, targets).backward()
+        optimizer.step()
+    return model, corpus
+
+
+def factory():
+    return MoETransformerLM(TINY)
+
+
+class TestCloneState:
+    def test_copy_exact(self, pretrained):
+        model, _ = pretrained
+        clone = factory()
+        clone_model_state(model, clone)
+        for (name, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            assert np.array_equal(a.data, b.data), name
+
+    def test_clone_independent(self, pretrained):
+        model, _ = pretrained
+        clone = factory()
+        clone_model_state(model, clone)
+        next(iter(clone.parameters())).data += 1.0
+        original = dict(model.named_parameters())
+        cloned = dict(clone.named_parameters())
+        name = next(iter(original))
+        assert not np.array_equal(original[name].data, cloned[name].data)
+
+
+class TestVariants:
+    def test_base_returns_pretrained_unchanged(self, pretrained):
+        model, corpus = pretrained
+        before = snapshot_params(model)
+        result = run_finetune(model, factory, corpus, FinetuneVariant.BASE)
+        assert result.model is model
+        after = snapshot_params(model)
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_freeze_experts_leaves_expert_params(self, pretrained):
+        model, _ = pretrained
+        ft_corpus = make_finetune_corpus(
+            MarkovCorpus(vocab_size=TINY.vocab_size, num_domains=2, seq_len=12, seed=21)
+        )
+        result = run_finetune(
+            model, factory, ft_corpus, FinetuneVariant.FT_WO_E, iterations=6, batch_size=2
+        )
+        tuned = dict(result.model.named_parameters())
+        original = dict(model.named_parameters())
+        for key, names in expert_param_names(result.model).items():
+            for name in names:
+                assert np.array_equal(tuned[name].data, original[name].data), (
+                    f"frozen expert {key} changed"
+                )
+        changed = [
+            name
+            for name in non_expert_param_names(result.model)
+            if not np.array_equal(tuned[name].data, original[name].data)
+        ]
+        assert changed, "non-expert parameters should have been updated"
+
+    @pytest.mark.parametrize(
+        "variant", [FinetuneVariant.FT_FULL, FinetuneVariant.FT_PEC]
+    )
+    def test_checkpointed_variants_survive_midpoint_fault(self, pretrained, variant):
+        model, _ = pretrained
+        ft_corpus = make_finetune_corpus(
+            MarkovCorpus(vocab_size=TINY.vocab_size, num_domains=2, seq_len=12, seed=21)
+        )
+        result = run_finetune(
+            model, factory, ft_corpus, variant,
+            iterations=8, batch_size=2, checkpoint_interval=3,
+        )
+        assert result.history is not None
+        assert len(result.history.fault_iterations) == 1
+        assert result.history.executed_iterations > 8  # replayed some
+
+    def test_pec_uses_fraction_of_experts(self, pretrained):
+        model, _ = pretrained
+        ft_corpus = make_finetune_corpus(
+            MarkovCorpus(vocab_size=TINY.vocab_size, num_domains=2, seq_len=12, seed=21)
+        )
+        result = run_finetune(
+            model, factory, ft_corpus, FinetuneVariant.FT_PEC,
+            iterations=6, batch_size=2, checkpoint_interval=3, k_pec_fraction=4,
+        )
+        # 4 experts / fraction 4 => k = 1: PLT can be nonzero
+        assert result.history.final_plt >= 0.0

@@ -1,0 +1,161 @@
+"""Layer and Module-container tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import autograd as ag
+from repro.models.autograd import Parameter, Tensor
+from repro.models.layers import (
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    causal_mask,
+)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModule:
+    def test_named_parameters_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.zeros(2))
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.bias = Parameter(np.zeros(3))
+
+        names = [name for name, _ in Outer().named_parameters()]
+        assert names == ["bias", "inner.w"]
+
+    def test_num_parameters(self):
+        layer = Linear(4, 5, rng())
+        assert layer.num_parameters() == 4 * 5 + 5
+
+    def test_train_eval_recursion(self):
+        ffn = FeedForward(4, 8, rng())
+        ffn.eval()
+        assert not ffn.fc_in.training
+        ffn.train()
+        assert ffn.fc_out.training
+
+    def test_zero_grad(self):
+        layer = Linear(3, 3, rng())
+        layer(Tensor(np.ones((2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward()
+
+
+class TestModuleList:
+    def test_indexing_and_iteration(self):
+        layers = ModuleList([Linear(2, 2, rng()) for _ in range(3)])
+        assert len(layers) == 3
+        assert layers[1] is list(layers)[1]
+
+    def test_parameters_discovered(self):
+        layers = ModuleList([Linear(2, 2, rng()), Linear(2, 2, rng())])
+        names = [name for name, _ in layers.named_parameters()]
+        assert "0.weight" in names and "1.weight" in names
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        layer = Linear(3, 2, rng())
+        x = np.ones((4, 3))
+        out = layer(Tensor(x))
+        assert np.allclose(out.data, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, rng(), bias=False)
+        assert "bias" not in dict(layer.named_parameters())
+
+    def test_gradients_flow(self):
+        layer = Linear(3, 2, rng())
+        layer(Tensor(np.ones((1, 3)))).sum().backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert layer.bias.grad.shape == (2,)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, rng())
+        out = emb(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out.data[0, 0], emb.weight.data[0])
+
+
+class TestLayerNorm:
+    def test_normalises(self):
+        ln = LayerNorm(6)
+        out = ln(Tensor(np.random.default_rng(1).normal(3.0, 2.0, (5, 6))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-8)
+
+
+class TestCausalMask:
+    def test_upper_triangle_blocked(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] < -1e8
+        assert mask[1, 0] == 0.0
+        assert mask[2, 2] == 0.0
+
+
+class TestMultiHeadAttention:
+    def test_output_shape(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        out = attn(Tensor(np.random.default_rng(2).normal(size=(3, 5, 8))))
+        assert out.shape == (3, 5, 8)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(7, 2, rng())
+
+    def test_causality(self):
+        """Changing a later token must not affect earlier positions."""
+        attn = MultiHeadAttention(8, 2, rng(), causal=True)
+        x = np.random.default_rng(3).normal(size=(1, 6, 8))
+        out1 = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 5] += 10.0  # perturb the last token
+        out2 = attn(Tensor(x2)).data
+        assert np.allclose(out1[0, :5], out2[0, :5])
+        assert not np.allclose(out1[0, 5], out2[0, 5])
+
+    def test_non_causal_attends_everywhere(self):
+        attn = MultiHeadAttention(8, 2, rng(), causal=False)
+        x = np.random.default_rng(4).normal(size=(1, 4, 8))
+        out1 = attn(Tensor(x)).data.copy()
+        x2 = x.copy()
+        x2[0, 3] += 5.0
+        out2 = attn(Tensor(x2)).data
+        assert not np.allclose(out1[0, 0], out2[0, 0])
+
+    def test_gradients_reach_qkv(self):
+        attn = MultiHeadAttention(8, 2, rng())
+        attn(Tensor(np.random.default_rng(5).normal(size=(2, 4, 8)))).sum().backward()
+        assert attn.qkv.weight.grad is not None
+        assert attn.proj.weight.grad is not None
+
+
+class TestFeedForward:
+    def test_shapes_and_grad(self):
+        ffn = FeedForward(6, 12, rng())
+        out = ffn(Tensor(np.ones((3, 6))))
+        assert out.shape == (3, 6)
+        out.sum().backward()
+        assert ffn.fc_in.weight.grad is not None

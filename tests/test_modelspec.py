@@ -1,0 +1,128 @@
+"""Model spec byte-accounting tests: the paper's published numbers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distsim import (
+    B_OPT,
+    B_TOTAL,
+    B_W,
+    MoEModelSpec,
+    gpt_125m_8e,
+    gpt_350m_16e,
+    llama_moe,
+)
+
+
+class TestGPT350M16E:
+    """This spec must reproduce Figure 2, Figure 10(a) and Table 3 'Ckpt'."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return gpt_350m_16e()
+
+    def test_total_params_near_paper(self, spec):
+        # Table 1 reports 1.7G; our accounting lands at ~1.87G (embeddings
+        # and layer norms included) — same ballpark, expert-dominated.
+        assert 1.5e9 < spec.total_params < 2.1e9
+
+    def test_expert_fraction(self, spec):
+        assert 0.85 < spec.expert_fraction < 0.88
+
+    def test_figure2_composition(self, spec):
+        comp = spec.checkpoint_composition()
+        assert comp["expert_params"] == pytest.approx(0.12, abs=0.01)
+        assert comp["non_expert_params"] == pytest.approx(0.02, abs=0.01)
+        assert comp["expert_optimizer"] == pytest.approx(0.74, abs=0.01)
+        assert comp["non_expert_optimizer"] == pytest.approx(0.12, abs=0.01)
+        assert sum(comp.values()) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "k,expected",
+        [(16, 1.0), (8, 0.692), (4, 0.538), (2, 0.461), (1, 0.423)],
+    )
+    def test_figure10a_ladder(self, spec, k, expected):
+        ratio = spec.pec_checkpoint_bytes(k) / spec.full_checkpoint_bytes()
+        assert ratio == pytest.approx(expected, abs=0.005)
+
+    @pytest.mark.parametrize(
+        "apply_w,apply_o,expected",
+        [(True, False, 0.88), (False, True, 0.54), (True, True, 0.42)],
+    )
+    def test_table3_ckpt_column(self, spec, apply_w, apply_o, expected):
+        ratio = spec.pec_checkpoint_bytes(1, apply_w, apply_o) / spec.full_checkpoint_bytes()
+        assert ratio == pytest.approx(expected, abs=0.005)
+
+
+class TestGPT125M8E:
+    def test_table1_shape(self):
+        spec = gpt_125m_8e()
+        assert spec.num_layers == 12
+        assert spec.hidden == 768
+        assert spec.num_moe_layers == 6
+        assert spec.num_experts == 8
+        # Table 1 reports 323M total parameters.
+        assert 2.5e8 < spec.total_params < 4.0e8
+
+
+class TestLLaMAMoE:
+    def test_section624_shape(self):
+        spec = llama_moe(num_experts=64)
+        assert spec.hidden == 2048
+        assert spec.num_heads == 16 and spec.head_dim == 128
+        assert spec.num_moe_layers == spec.num_layers == 24
+
+    def test_experts_scale_params(self):
+        small = llama_moe(num_experts=32)
+        big = llama_moe(num_experts=64)
+        assert big.total_params > small.total_params
+        assert big.non_expert_params == small.non_expert_params + 24 * 2048 * 32
+
+
+class TestAccountingInvariants:
+    def test_non_expert_items_sum_to_param_bytes(self):
+        spec = gpt_350m_16e()
+        items_total = sum(size for _, size in spec.non_expert_param_items())
+        # items cover embeddings + attention + dense FFN + gates + final
+        # norm; per-layer layernorm weights are the only omission.
+        assert items_total <= spec.non_expert_params * B_W
+        assert items_total >= spec.non_expert_params * B_W * 0.99
+
+    def test_full_bytes_formula(self):
+        spec = gpt_125m_8e()
+        expected = spec.total_params * B_TOTAL + spec.other_state_bytes
+        assert spec.full_checkpoint_bytes() == expected
+
+    def test_pec_bytes_monotone_in_k(self):
+        spec = gpt_125m_8e()
+        sizes = [spec.pec_checkpoint_bytes(k) for k in range(1, 9)]
+        assert sizes == sorted(sizes)
+
+    def test_pec_k_bounds(self):
+        spec = gpt_125m_8e()
+        with pytest.raises(ValueError):
+            spec.pec_checkpoint_bytes(0)
+        with pytest.raises(ValueError):
+            spec.pec_checkpoint_bytes(9)
+
+    def test_active_params_sparse(self):
+        spec = gpt_350m_16e()
+        assert spec.active_params_per_token < spec.total_params
+        assert spec.active_params_per_token == (
+            spec.non_expert_params + spec.num_moe_layers * spec.top_k * spec.expert_params
+        )
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MoEModelSpec(
+                name="bad", vocab_size=100, hidden=64, num_layers=2, num_heads=2,
+                head_dim=32, ffn_mult=4, num_moe_layers=3, num_experts=4,
+            )
+
+    def test_flops_per_token(self):
+        spec = gpt_125m_8e()
+        assert spec.train_flops_per_token() == pytest.approx(
+            6.0 * spec.active_params_per_token
+        )

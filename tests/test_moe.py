@@ -1,0 +1,161 @@
+"""MoE layer tests: gating, capacity, dispatch, statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.autograd import Tensor
+from repro.models.moe import MoELayer, TopKGate
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def make_layer(num_experts=4, top_k=2, dim=8, capacity_factor=2.0, noise=0.0, seed=0):
+    return MoELayer(
+        dim=dim,
+        hidden_dim=2 * dim,
+        num_experts=num_experts,
+        top_k=top_k,
+        rng=rng(seed),
+        capacity_factor=capacity_factor,
+        noise_std=noise,
+    )
+
+
+class TestTopKGate:
+    def test_gates_zero_outside_topk(self):
+        gate = TopKGate(8, 4, 2, rng(), noise_std=0.0)
+        gates, topk_idx, _ = gate(Tensor(rng(1).normal(size=(5, 8))))
+        for token in range(5):
+            nonzero = set(np.nonzero(gates.data[token])[0])
+            assert nonzero <= set(topk_idx[token])
+            assert len(nonzero) == 2
+
+    def test_gates_renormalised(self):
+        gate = TopKGate(8, 4, 2, rng(), noise_std=0.0)
+        gates, _, _ = gate(Tensor(rng(2).normal(size=(6, 8))))
+        assert np.allclose(gates.data.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_top1(self):
+        gate = TopKGate(8, 4, 1, rng(), noise_std=0.0)
+        gates, _, _ = gate(Tensor(rng(3).normal(size=(5, 8))))
+        assert ((gates.data > 0).sum(axis=-1) == 1).all()
+
+    def test_invalid_topk(self):
+        with pytest.raises(ValueError):
+            TopKGate(8, 4, 5, rng())
+        with pytest.raises(ValueError):
+            TopKGate(8, 4, 0, rng())
+
+    def test_noise_only_during_training(self):
+        gate = TopKGate(8, 4, 2, rng(), noise_std=0.5)
+        x = Tensor(rng(4).normal(size=(5, 8)))
+        gate.eval()
+        a, _, _ = gate(x)
+        b, _, _ = gate(x)
+        assert np.allclose(a.data, b.data)
+
+    def test_lb_loss_scalar_and_positive(self):
+        gate = TopKGate(8, 4, 2, rng(), noise_std=0.0)
+        _, _, lb = gate(Tensor(rng(5).normal(size=(16, 8))))
+        assert lb.data.shape == ()
+        assert lb.item() > 0
+
+    def test_lb_loss_near_one_when_balanced(self):
+        """Uniform logits => f_i = 1/N scaled, P_i = 1/N => loss ~ 1."""
+        gate = TopKGate(8, 4, 2, rng(), noise_std=0.0)
+        gate.proj.weight.data[:] = 0.0
+        _, _, lb = gate(Tensor(rng(6).normal(size=(64, 8))))
+        assert abs(lb.item() - 1.0) < 0.2
+
+
+class TestMoELayer:
+    def test_output_shape(self):
+        layer = make_layer()
+        out = layer(Tensor(rng(7).normal(size=(10, 8))))
+        assert out.shape == (10, 8)
+
+    def test_stats_recorded(self):
+        layer = make_layer()
+        layer(Tensor(rng(8).normal(size=(12, 8))))
+        stats = layer.last_aux.stats
+        assert stats.total_assignments == 12 * 2
+        assert stats.tokens_per_expert.sum() + stats.dropped_tokens == 24
+
+    def test_capacity_drops_tokens(self):
+        layer = make_layer(capacity_factor=0.25)
+        layer(Tensor(rng(9).normal(size=(16, 8))))
+        stats = layer.last_aux.stats
+        capacity = layer.expert_capacity(16)
+        assert (stats.tokens_per_expert <= capacity).all()
+        assert stats.dropped_tokens > 0
+
+    def test_no_drops_with_generous_capacity(self):
+        layer = make_layer(capacity_factor=10.0)
+        layer(Tensor(rng(10).normal(size=(16, 8))))
+        assert layer.last_aux.stats.dropped_tokens == 0
+
+    def test_expert_capacity_minimum_one(self):
+        layer = make_layer(capacity_factor=0.001)
+        assert layer.expert_capacity(1) == 1
+
+    def test_gradients_reach_active_experts_only(self):
+        layer = make_layer(num_experts=4, top_k=1, capacity_factor=8.0)
+        out = layer(Tensor(rng(11).normal(size=(6, 8))))
+        out.sum().backward()
+        stats = layer.last_aux.stats
+        for expert_id in range(4):
+            grad = layer.experts[expert_id].fc_in.weight.grad
+            if stats.tokens_per_expert[expert_id] > 0:
+                assert grad is not None and np.abs(grad).sum() > 0
+            else:
+                assert grad is None or np.allclose(grad, 0.0)
+
+    def test_gate_receives_gradient(self):
+        layer = make_layer()
+        layer(Tensor(rng(12).normal(size=(8, 8)))).sum().backward()
+        assert layer.gate.proj.weight.grad is not None
+
+    def test_deterministic_in_eval(self):
+        layer = make_layer(noise=0.1)
+        layer.eval()
+        x = Tensor(rng(13).normal(size=(8, 8)))
+        assert np.allclose(layer(x).data, layer(x).data)
+
+    def test_output_is_convex_combination_scale(self):
+        """With top-1 and identity-ish experts, output magnitude is bounded
+        by the largest expert response (gates sum to 1)."""
+        layer = make_layer(num_experts=2, top_k=1, capacity_factor=8.0)
+        x = Tensor(rng(14).normal(size=(5, 8)))
+        out = layer(x)
+        assert np.isfinite(out.data).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_tokens=st.integers(1, 24),
+    num_experts=st.sampled_from([2, 4, 8]),
+    top_k=st.integers(1, 2),
+    seed=st.integers(0, 100),
+)
+def test_property_token_conservation(num_tokens, num_experts, top_k, seed):
+    """processed + dropped == tokens * top_k, always."""
+    layer = make_layer(num_experts=num_experts, top_k=top_k, capacity_factor=1.0, seed=seed)
+    layer(Tensor(rng(seed).normal(size=(num_tokens, 8))))
+    stats = layer.last_aux.stats
+    assert stats.processed_tokens + stats.dropped_tokens == num_tokens * top_k
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_property_capacity_never_exceeded(seed):
+    layer = make_layer(num_experts=4, top_k=2, capacity_factor=0.5, seed=seed)
+    tokens = int(rng(seed).integers(4, 32))
+    layer(Tensor(rng(seed + 1).normal(size=(tokens, 8))))
+    capacity = layer.expert_capacity(tokens)
+    assert (layer.last_aux.stats.tokens_per_expert <= capacity).all()

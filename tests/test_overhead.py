@@ -1,0 +1,132 @@
+"""Analytic overhead model tests (Eqs. 3-4, 10-16)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OverheadInputs,
+    equal_ratio_interval,
+    expected_faults,
+    moc_beats_full,
+    optimal_interval,
+    overhead_breakdown,
+    save_overhead,
+    total_overhead,
+)
+
+
+class TestSaveOverhead:
+    def test_fully_overlapped(self):
+        assert save_overhead(t_snapshot=1.0, t_fb=2.0) == 0.0
+
+    def test_excess_stalls(self):
+        assert save_overhead(t_snapshot=3.0, t_fb=2.0) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            save_overhead(-1.0, 1.0)
+
+
+class TestExpectedFaults:
+    def test_eq11(self):
+        assert expected_faults(1e-4, 100_000) == pytest.approx(10.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            expected_faults(-1.0, 10)
+
+
+class TestTotalOverhead:
+    def make(self, **kwargs):
+        defaults = dict(
+            o_save=2.0, i_ckpt=10.0, o_restart=50.0, fault_rate=1e-3,
+            total_iterations=10_000,
+        )
+        defaults.update(kwargs)
+        return OverheadInputs(**defaults)
+
+    def test_eq12_value(self):
+        inputs = self.make()
+        expected = 2.0 * 10_000 / 10 + (1e-3 * 10_000) * (50.0 + 5.0)
+        assert total_overhead(inputs) == pytest.approx(expected)
+
+    def test_breakdown_sums_to_total(self):
+        inputs = self.make()
+        breakdown = overhead_breakdown(inputs)
+        assert breakdown.total == pytest.approx(total_overhead(inputs))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            self.make(i_ckpt=0)
+
+    def test_moc_beats_full_true_case(self):
+        moc = self.make(o_save=0.1)
+        full = self.make(o_save=2.0)
+        assert moc_beats_full(moc, full)
+
+    def test_moc_beats_full_requires_same_environment(self):
+        moc = self.make(fault_rate=1e-3)
+        full = self.make(fault_rate=2e-3)
+        with pytest.raises(ValueError):
+            moc_beats_full(moc, full)
+
+    def test_smaller_interval_strategy(self):
+        """Section 6.2.5 strategy (2): equal O_save/I ratio with a smaller
+        interval strictly reduces total overhead via the lost-time term."""
+        full = self.make(o_save=2.0, i_ckpt=10.0)
+        interval = equal_ratio_interval(0.2, 2.0, 10.0)
+        moc = self.make(o_save=0.2, i_ckpt=interval)
+        assert interval == pytest.approx(1.0)
+        assert moc_beats_full(moc, full)
+        assert total_overhead(moc) < total_overhead(full)
+
+
+class TestOptimalInterval:
+    def test_young_daly_form(self):
+        assert optimal_interval(o_save=2.0, fault_rate=1e-4) == pytest.approx(
+            math.sqrt(2 * 2.0 / 1e-4)
+        )
+
+    def test_zero_fault_rate_infinite(self):
+        assert optimal_interval(1.0, 0.0) == math.inf
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_interval(-1.0, 1e-4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        o_save=st.floats(0.01, 100.0),
+        fault_rate=st.floats(1e-6, 1e-2),
+    )
+    def test_property_optimum_is_minimum(self, o_save, fault_rate):
+        """Perturbing the optimal interval never reduces the overhead."""
+        best = optimal_interval(o_save, fault_rate)
+
+        def per_iteration_cost(interval):
+            return o_save / interval + fault_rate * interval / 2.0
+
+        assert per_iteration_cost(best) <= per_iteration_cost(best * 1.3) + 1e-12
+        assert per_iteration_cost(best) <= per_iteration_cost(best * 0.7) + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    o_save_moc=st.floats(0.001, 1.0),
+    o_save_full=st.floats(1.01, 50.0),
+    i_ckpt=st.floats(1.0, 100.0),
+    fault_rate=st.floats(1e-6, 1e-3),
+)
+def test_property_same_interval_smaller_osave_always_wins(
+    o_save_moc, o_save_full, i_ckpt, fault_rate
+):
+    """Section 6.2.5 strategy (1): MoC at the same interval always beats
+    full checkpointing if its per-checkpoint overhead is smaller."""
+    moc = OverheadInputs(o_save_moc, i_ckpt, 50.0, fault_rate, 10_000)
+    full = OverheadInputs(o_save_full, i_ckpt, 50.0, fault_rate, 10_000)
+    assert moc_beats_full(moc, full)

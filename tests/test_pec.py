@@ -1,0 +1,175 @@
+"""PEC planner tests (Section 3): plans, subset invariants, Eq. 6."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PECConfig, PECPlanner, SelectionStrategy, full_save_cycle_length
+from repro.core.pec import PECPlan
+from repro.models.serial import ExpertKey
+
+
+def planner(k_snapshot=2, k_persist=1, layers=3, experts=8, **kwargs):
+    return PECPlanner(
+        PECConfig(k_snapshot=k_snapshot, k_persist=k_persist, **kwargs), layers, experts
+    )
+
+
+class TestPECConfig:
+    def test_persist_must_not_exceed_snapshot(self):
+        with pytest.raises(ValueError):
+            PECConfig(k_snapshot=1, k_persist=2)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PECConfig(k_snapshot=0, k_persist=0)
+
+    def test_full_constructor(self):
+        config = PECConfig.full(16)
+        assert config.k_snapshot == 16
+        assert config.selection is SelectionStrategy.FULL
+
+
+class TestPECPlan:
+    def test_subset_enforced(self):
+        with pytest.raises(ValueError):
+            PECPlan(
+                checkpoint_index=0,
+                snapshot_experts=frozenset({ExpertKey(0, 0)}),
+                persist_experts=frozenset({ExpertKey(0, 1)}),
+                apply_to_weights=True,
+                apply_to_moments=True,
+            )
+
+    def test_membership_queries(self):
+        plan = planner().plan(0)
+        for key in plan.persist_experts:
+            assert plan.persist_includes(key)
+            assert plan.snapshot_includes(key)
+
+
+class TestPlanner:
+    def test_counts(self):
+        plan = planner(k_snapshot=4, k_persist=2, layers=2, experts=8).plan(0)
+        assert len(plan.snapshot_experts) == 2 * 4
+        assert len(plan.persist_experts) == 2 * 2
+
+    def test_persist_subset_of_snapshot(self):
+        p = planner(k_snapshot=4, k_persist=2, layers=3, experts=8)
+        for checkpoint in range(20):
+            plan = p.plan(checkpoint)
+            assert plan.persist_experts <= plan.snapshot_experts
+
+    def test_full_selection(self):
+        p = PECPlanner(PECConfig.full(8), 2, 8)
+        plan = p.plan(5)
+        assert len(plan.persist_experts) == 16
+        assert plan.snapshot_experts == plan.persist_experts
+
+    def test_set_k_clamps(self):
+        p = planner()
+        p.set_k(k_snapshot=100, k_persist=100)
+        assert p.k_snapshot == 8 and p.k_persist == 8
+        p.set_k(k_snapshot=1)
+        assert p.k_persist <= p.k_snapshot
+        p2 = planner()  # persist alone clamps to the current snapshot k
+        p2.set_k(k_persist=100)
+        assert p2.k_persist == p2.k_snapshot == 2
+
+    def test_component_flags_propagate(self):
+        p = planner(apply_to_weights=False, apply_to_moments=True)
+        plan = p.plan(0)
+        assert not plan.apply_to_weights
+        assert plan.apply_to_moments
+
+    def test_load_aware_uses_loads(self):
+        p = PECPlanner(
+            PECConfig(k_snapshot=1, k_persist=1, selection=SelectionStrategy.LOAD_AWARE),
+            1,
+            4,
+        )
+        loads = np.array([[0, 0, 100, 0]])
+        plan = p.plan(0, unsaved_tokens=loads)
+        assert plan.persist_experts == frozenset({ExpertKey(0, 2)})
+
+    def test_k_larger_than_experts_clamped(self):
+        p = PECPlanner(PECConfig(k_snapshot=100, k_persist=50), 1, 4)
+        assert p.k_snapshot == 4 and p.k_persist == 4
+
+
+class TestCheckpointFraction:
+    def test_eq6_k1(self):
+        """Uniform-bytes Eq. 6: (1-f) + f*k/N with f=0.866, k=1, N=16.
+
+        (The paper's measured 42.3% uses the component-aware byte model
+        in ``repro.distsim.modelspec`` — covered in test_modelspec.)
+        """
+        p = planner(layers=12, experts=16)
+        expected = (1 - 0.866) + 0.866 / 16
+        assert p.checkpoint_fraction(k=1) == pytest.approx(expected)
+
+    def test_full_is_one(self):
+        p = planner(layers=2, experts=8)
+        assert p.checkpoint_fraction(k=8) == pytest.approx(1.0)
+
+    def test_monotone_in_k(self):
+        p = planner(layers=2, experts=8)
+        fractions = [p.checkpoint_fraction(k=k) for k in range(1, 9)]
+        assert fractions == sorted(fractions)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            planner().checkpoint_fraction(k=0)
+
+
+class TestCycleLength:
+    @pytest.mark.parametrize("experts,k,expected", [(8, 1, 8), (8, 2, 4), (8, 3, 3), (16, 16, 1)])
+    def test_cycle(self, experts, k, expected):
+        assert full_save_cycle_length(experts, k) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            full_save_cycle_length(8, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    layers=st.integers(1, 6),
+    experts=st.sampled_from([2, 4, 8, 16]),
+    k_snap=st.integers(1, 16),
+    k_pers=st.integers(1, 16),
+    checkpoint=st.integers(0, 100),
+)
+def test_property_plan_invariants(layers, experts, k_snap, k_pers, checkpoint):
+    """Every plan: persist ⊆ snapshot, per-layer counts equal k, keys valid."""
+    k_snap = min(k_snap, experts)
+    k_pers = min(k_pers, k_snap)
+    p = PECPlanner(PECConfig(k_snapshot=k_snap, k_persist=k_pers), layers, experts)
+    plan = p.plan(checkpoint)
+    assert plan.persist_experts <= plan.snapshot_experts
+    for collection, k in ((plan.snapshot_experts, k_snap), (plan.persist_experts, k_pers)):
+        per_layer = {}
+        for key in collection:
+            assert 0 <= key.moe_layer < layers
+            assert 0 <= key.expert < experts
+            per_layer[key.moe_layer] = per_layer.get(key.moe_layer, 0) + 1
+        assert all(count == k for count in per_layer.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    experts=st.sampled_from([4, 8, 16]),
+    k=st.integers(1, 16),
+)
+def test_property_sequential_persist_coverage(experts, k):
+    """Persist-tier rotation covers every expert within ceil(N/k) ckpts."""
+    k = min(k, experts)
+    p = PECPlanner(PECConfig(k_snapshot=k, k_persist=k), 2, experts)
+    cycle = full_save_cycle_length(experts, k)
+    seen = set()
+    for checkpoint in range(cycle):
+        seen |= p.plan(checkpoint).persist_experts
+    assert len(seen) == 2 * experts

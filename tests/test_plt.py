@@ -1,0 +1,222 @@
+"""PLT metric tests (Eq. 7): accounting, rollback, two-level stamps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PERSIST_TIER, SNAPSHOT_TIER, PLTTracker, analytic_plt
+from repro.models.serial import ExpertKey
+
+
+def all_experts(layers, experts):
+    return [ExpertKey(l, e) for l in range(layers) for e in range(experts)]
+
+
+def tracker(layers=2, experts=4):
+    return PLTTracker(num_moe_layers=layers, num_experts=experts, top_k=2)
+
+
+class TestRecording:
+    def test_batch_accumulates(self):
+        t = tracker()
+        t.record_batch([np.array([1, 2, 3, 4]), np.array([4, 3, 2, 1])])
+        assert t.total_assignments.tolist() == [10, 10]
+
+    def test_bad_layer_count_rejected(self):
+        t = tracker()
+        with pytest.raises(ValueError):
+            t.record_batch([np.zeros(4)])
+
+    def test_bad_expert_count_rejected(self):
+        t = tracker()
+        with pytest.raises(ValueError):
+            t.record_batch([np.zeros(3), np.zeros(4)])
+
+    def test_unknown_tier_rejected(self):
+        t = tracker()
+        with pytest.raises(ValueError):
+            t.record_save("tape", [])
+        with pytest.raises(ValueError):
+            t.record_fault(default_tier="tape")
+
+
+class TestFaultAccounting:
+    def test_no_loss_when_everything_saved(self):
+        t = tracker(1, 2)
+        t.record_batch([np.array([5, 5])])
+        t.record_save(PERSIST_TIER, all_experts(1, 2))
+        loss = t.record_fault()
+        assert loss.plt_increment == 0.0
+        assert t.plt() == 0.0
+
+    def test_nothing_persisted_means_restart_from_scratch(self):
+        """With no persist checkpoint the resume point is iteration 0:
+        everything is replayed, nothing is *permanently* lost."""
+        t = tracker(1, 2)
+        t.record_batch([np.array([6, 4])])
+        loss = t.record_fault()
+        assert loss.plt_increment == 0.0
+
+    def test_full_loss_for_never_saved_expert(self):
+        """An expert absent from every persist checkpoint loses all its
+        updates up to the resume point."""
+        t = tracker(1, 2)
+        t.record_batch([np.array([6, 4])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 0)])  # resume point = (6, 4)
+        loss = t.record_fault()
+        assert loss.lost_tokens_per_layer.tolist() == [4]
+        assert loss.plt_increment == pytest.approx(4 / 10)
+
+    def test_partial_save(self):
+        t = tracker(1, 2)
+        t.record_batch([np.array([6, 4])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 0)])
+        loss = t.record_fault()
+        assert loss.lost_tokens_per_layer.tolist() == [4]
+
+    def test_two_level_recovery_uses_snapshot_stamp(self):
+        """A newer in-memory snapshot rescues an expert the persist tier
+        only has a stale copy of (Figure 8 / Figure 15(a))."""
+        t = tracker(1, 2)
+        t.record_batch([np.array([5, 5])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 0)])  # resume point = (5, 5)
+        t.record_save(SNAPSHOT_TIER, [ExpertKey(0, 1)])  # e1 snapshotted at 5
+        # storage-only recovery: e1's persist stamp is 0 => loses 5
+        storage_only = t.record_fault()
+        assert storage_only.lost_tokens_per_layer.tolist() == [5]
+        # replay and snapshot again; two-level recovery saves e1 from memory
+        t2 = tracker(1, 2)
+        t2.record_batch([np.array([5, 5])])
+        t2.record_save(PERSIST_TIER, [ExpertKey(0, 0)])
+        t2.record_save(SNAPSHOT_TIER, [ExpertKey(0, 1)])
+        two_level = t2.record_fault({ExpertKey(0, 1): SNAPSHOT_TIER})
+        assert two_level.lost_tokens_per_layer.tolist() == [0]
+
+    def test_persist_save_refreshes_snapshot_stamp(self):
+        t = tracker(1, 1)
+        t.record_batch([np.array([8])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 0)])
+        loss = t.record_fault({ExpertKey(0, 0): SNAPSHOT_TIER})
+        assert loss.plt_increment == 0.0
+
+    def test_rollback_resets_counts_to_resume_point(self):
+        t = tracker(1, 2)
+        t.record_batch([np.array([10, 10])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 0)])  # resume = (10, 10)
+        t.record_batch([np.array([7, 7])])
+        t.record_fault()
+        # e1 lost its 10 pre-resume tokens; the 7 after are replayed
+        assert t.lost_tokens.tolist() == [10]
+        assert t.unsaved_tokens(PERSIST_TIER)[0, 0] == 0
+        assert t.unsaved_tokens(PERSIST_TIER)[0, 1] == 10
+        # replay, checkpoint e0 again (e1 still never saved), fault again
+        t.record_batch([np.array([7, 7])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 0)])  # resume = (17, 17)
+        t.record_fault()
+        assert t.lost_tokens.tolist() == [10 + 17]
+
+    def test_snapshot_stamp_rolled_back_after_persist_recovery(self):
+        """Recovering from persist must invalidate newer snapshot stamps."""
+        t = tracker(1, 1)
+        t.record_batch([np.array([4])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 0)])
+        t.record_batch([np.array([4])])
+        t.record_save(SNAPSHOT_TIER, [ExpertKey(0, 0)])
+        t.record_batch([np.array([4])])
+        t.record_fault(default_tier=PERSIST_TIER)
+        # snapshot stamp (8) was ahead of the recovered state (4): reset.
+        assert t.unsaved_tokens(SNAPSHOT_TIER)[0, 0] == 0
+
+    def test_num_faults_counted(self):
+        t = tracker(1, 1)
+        t.record_batch([np.array([1])])
+        t.record_fault()
+        t.record_batch([np.array([1])])
+        t.record_fault()
+        assert t.num_faults == 2
+
+
+class TestPLTFormula:
+    def test_mean_over_layers(self):
+        t = tracker(2, 1)
+        t.record_batch([np.array([10]), np.array([20])])
+        t.record_save(PERSIST_TIER, [ExpertKey(1, 0)])
+        t.record_fault()
+        # layer0 lost 10/10 = 1.0; layer1 lost 0/20 = 0
+        assert t.plt() == pytest.approx(0.5)
+
+    def test_zero_assignments_layer_contributes_zero(self):
+        t = tracker(2, 1)
+        t.record_batch([np.array([10]), np.array([0])])
+        t.record_save(PERSIST_TIER, [ExpertKey(1, 0)])  # layer-0 expert never saved
+        t.record_fault()
+        assert t.plt() == pytest.approx(0.5)
+
+    def test_unsaved_tokens_signal(self):
+        t = tracker(1, 3)
+        t.record_batch([np.array([3, 7, 1])])
+        t.record_save(PERSIST_TIER, [ExpertKey(0, 1)])
+        t.record_batch([np.array([2, 2, 2])])
+        assert t.unsaved_tokens(PERSIST_TIER)[0].tolist() == [5, 2, 3]
+
+
+class TestAnalyticPLT:
+    def test_decreases_with_k(self):
+        values = [analytic_plt(8, k, 16, 1, 1000) for k in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increases_with_interval(self):
+        values = [analytic_plt(8, 2, interval, 1, 1000) for interval in (4, 8, 16, 32)]
+        assert values == sorted(values)
+
+    def test_scales_with_faults(self):
+        one = analytic_plt(8, 1, 16, 1, 1000)
+        four = analytic_plt(8, 1, 16, 4, 1000)
+        assert four == pytest.approx(4 * one)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    layers=st.integers(1, 3),
+    experts=st.integers(1, 6),
+    batches=st.lists(st.integers(0, 20), min_size=1, max_size=10),
+    seed=st.integers(0, 100),
+)
+def test_property_plt_bounded_zero_one(layers, experts, batches, seed):
+    """PLT from any single fault is within [0, 1]."""
+    rng = np.random.default_rng(seed)
+    t = PLTTracker(layers, experts)
+    for scale in batches:
+        t.record_batch([rng.integers(0, scale + 1, size=experts) for _ in range(layers)])
+    saved = [
+        ExpertKey(l, e)
+        for l in range(layers)
+        for e in range(experts)
+        if rng.random() < 0.5
+    ]
+    t.record_save(PERSIST_TIER, saved)
+    t.record_batch([rng.integers(0, 5, size=experts) for _ in range(layers)])
+    loss = t.record_fault()
+    assert 0.0 <= loss.plt_increment <= 1.0
+    assert 0.0 <= t.plt() <= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_property_saving_more_experts_never_increases_plt(seed):
+    """Charging a fault after saving a superset of experts loses <= tokens."""
+    rng = np.random.default_rng(seed)
+    counts = [rng.integers(0, 10, size=4) for _ in range(2)]
+    small = [ExpertKey(0, 0), ExpertKey(1, 1)]
+    big = small + [ExpertKey(0, 1), ExpertKey(1, 2)]
+    results = []
+    for saved in (small, big):
+        t = PLTTracker(2, 4)
+        t.record_batch(counts)
+        t.record_save(PERSIST_TIER, saved)
+        t.record_batch(counts)
+        results.append(t.record_fault().plt_increment)
+    assert results[1] <= results[0]

@@ -1,0 +1,124 @@
+"""Retention / recoverability auditing tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    DiskKVStore,
+    InMemoryKVStore,
+    RetentionAuditor,
+    expected_entry_keys,
+    expert_entry_key,
+    meta_entry_key,
+    non_expert_entry_key,
+    prune_stale_entries,
+)
+from repro.models.serial import ExpertKey
+
+
+def seeded_store(store):
+    store.put(non_expert_entry_key("attn.weight"), {"x": np.ones(2)}, stamp=20)
+    store.put(expert_entry_key(ExpertKey(0, 0), "w") + ":w", {"x": np.ones(2)}, stamp=20)
+    store.put(expert_entry_key(ExpertKey(0, 1), "w") + ":w", {"x": np.ones(2)}, stamp=10)
+    store.put(meta_entry_key("iteration"), {"iteration": np.asarray(20)}, stamp=20)
+    return store
+
+
+class TestAuditor:
+    def test_footprint(self):
+        auditor = RetentionAuditor(seeded_store(InMemoryKVStore()))
+        footprint = auditor.footprint()
+        assert footprint.newest_stamp == 20
+        assert footprint.oldest_stamp == 10
+        assert footprint.staleness_span == 10
+        assert footprint.total_entries == 3  # meta excluded
+        assert footprint.stale_entries == 1
+
+    def test_footprint_empty_store_raises(self):
+        with pytest.raises(ValueError):
+            RetentionAuditor(InMemoryKVStore()).footprint()
+
+    def test_stale_experts(self):
+        auditor = RetentionAuditor(seeded_store(InMemoryKVStore()))
+        stale = auditor.stale_experts()
+        assert stale[(0, 0)] == 20
+        assert stale[(0, 1)] == 10
+
+    def test_works_on_disk_store(self, tmp_path):
+        auditor = RetentionAuditor(seeded_store(DiskKVStore(str(tmp_path))))
+        assert auditor.footprint().staleness_span == 10
+
+
+class TestPruning:
+    def test_prune_memory_orphans(self):
+        store = seeded_store(InMemoryKVStore())
+        store.put(non_expert_entry_key("ghost.weight"), {"x": np.ones(1)}, stamp=1)
+        expected = expected_entry_keys(
+            ["attn.weight"],
+            [
+                expert_entry_key(ExpertKey(0, 0), "w") + ":w",
+                expert_entry_key(ExpertKey(0, 1), "w") + ":w",
+            ],
+        )
+        removed = prune_stale_entries(store, expected)
+        assert removed == [non_expert_entry_key("ghost.weight")]
+        assert not store.has(non_expert_entry_key("ghost.weight"))
+        assert store.has(non_expert_entry_key("attn.weight"))
+
+    def test_prune_disk_orphans(self, tmp_path):
+        store = seeded_store(DiskKVStore(str(tmp_path)))
+        store.put("ne:old.param", {"x": np.ones(1)}, stamp=1)
+        expected = expected_entry_keys(
+            ["attn.weight"],
+            [
+                expert_entry_key(ExpertKey(0, 0), "w") + ":w",
+                expert_entry_key(ExpertKey(0, 1), "w") + ":w",
+            ],
+        )
+        removed = prune_stale_entries(store, expected)
+        assert removed == ["ne:old.param"]
+        reopened = DiskKVStore(str(tmp_path))
+        assert not reopened.has("ne:old.param")
+        assert reopened.has(non_expert_entry_key("attn.weight"))
+
+    def test_prune_unsupported_store(self):
+        with pytest.raises(TypeError):
+            prune_stale_entries(object(), set())
+
+    def test_prune_noop_when_all_expected(self):
+        store = seeded_store(InMemoryKVStore())
+        expected = set(store.keys())
+        assert prune_stale_entries(store, expected) == []
+
+
+class TestManagerIntegration:
+    def test_pec_store_staleness_matches_cycle(self, tmp_path):
+        """After several PEC checkpoints, the auditor's staleness span is
+        bounded by a full selection cycle of intervals."""
+        from conftest import TINY, train_steps
+        from repro.core import MoCConfig, MoCCheckpointManager, PECConfig, TwoLevelConfig
+        from repro.models import Adam, MoETransformerLM
+        from repro.train import MarkovCorpus
+
+        model = MoETransformerLM(TINY)
+        optimizer = Adam(model.named_parameters(), lr=1e-2)
+        manager = MoCCheckpointManager(
+            model, optimizer,
+            MoCConfig(
+                pec=PECConfig(k_snapshot=1, k_persist=1),
+                two_level=TwoLevelConfig(checkpoint_interval=2),
+            ),
+            disk_root=str(tmp_path),
+        )
+        corpus = MarkovCorpus(vocab_size=TINY.vocab_size, seq_len=12, seed=2)
+        manager.save_initial(0)
+        for iteration in range(1, 13):
+            train_steps(model, optimizer, corpus, 1, start=iteration)
+            manager.note_model_routing()
+            manager.maybe_checkpoint(iteration)
+        footprint = RetentionAuditor(manager.disk_store).footprint()
+        # cycle = 4 experts / k=1 => span <= 4 intervals * 2 iters
+        assert footprint.newest_stamp == 12
+        assert footprint.staleness_span <= 4 * 2

@@ -1,0 +1,177 @@
+"""Expert selection strategy tests (Section 3.2) and Dynamic-K."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DynamicKController,
+    FullSelector,
+    LoadAwareSelector,
+    SelectionStrategy,
+    SequentialSelector,
+    make_selector,
+)
+from repro.models.serial import ExpertKey
+
+
+class TestSequentialSelector:
+    def test_selects_k_per_layer(self):
+        selector = SequentialSelector(num_moe_layers=3, num_experts=8)
+        for k in (1, 2, 4):
+            chosen = selector.select(0, k)
+            per_layer = {layer: 0 for layer in range(3)}
+            for key in chosen:
+                per_layer[key.moe_layer] += 1
+            assert all(count == k for count in per_layer.values())
+
+    def test_figure4_pattern(self):
+        """The Figure 4 example: 4 MoE layers, 3 experts, k=1.
+
+        First checkpoint saves expert (layer + 0) mod 3 per layer; the
+        next shifts by one.
+        """
+        selector = SequentialSelector(num_moe_layers=4, num_experts=3)
+        first = selector.select(0, 1)
+        assert first == {ExpertKey(0, 0), ExpertKey(1, 1), ExpertKey(2, 2), ExpertKey(3, 0)}
+        second = selector.select(1, 1)
+        assert second == {ExpertKey(0, 1), ExpertKey(1, 2), ExpertKey(2, 0), ExpertKey(3, 1)}
+
+    def test_covers_all_experts_within_cycle(self):
+        selector = SequentialSelector(num_moe_layers=2, num_experts=8)
+        for k in (1, 2, 3, 8):
+            cycle = int(np.ceil(8 / k))
+            seen = set()
+            for checkpoint in range(cycle):
+                seen |= selector.select(checkpoint, k)
+            assert len(seen) == 2 * 8, f"k={k} missed experts"
+
+    def test_invalid_k(self):
+        selector = SequentialSelector(2, 4)
+        with pytest.raises(ValueError):
+            selector.select(0, 0)
+        with pytest.raises(ValueError):
+            selector.select(0, 5)
+
+    def test_invalid_topology(self):
+        with pytest.raises(ValueError):
+            SequentialSelector(0, 4)
+
+
+class TestLoadAwareSelector:
+    def test_picks_highest_load(self):
+        selector = LoadAwareSelector(num_moe_layers=2, num_experts=4)
+        loads = np.array([[0, 10, 5, 1], [7, 0, 0, 9]])
+        chosen = selector.select(0, 1, unsaved_tokens=loads)
+        assert chosen == {ExpertKey(0, 1), ExpertKey(1, 3)}
+
+    def test_k2(self):
+        selector = LoadAwareSelector(1, 4)
+        loads = np.array([[3, 9, 1, 5]])
+        chosen = selector.select(0, 2, unsaved_tokens=loads)
+        assert chosen == {ExpertKey(0, 1), ExpertKey(0, 3)}
+
+    def test_tie_break_deterministic(self):
+        selector = LoadAwareSelector(1, 4)
+        loads = np.array([[5, 5, 5, 5]])
+        chosen = selector.select(0, 2, unsaved_tokens=loads)
+        assert chosen == {ExpertKey(0, 0), ExpertKey(0, 1)}
+
+    def test_falls_back_to_sequential(self):
+        load_aware = LoadAwareSelector(2, 4)
+        sequential = SequentialSelector(2, 4)
+        assert load_aware.select(3, 1) == sequential.select(3, 1)
+
+    def test_bad_shape_rejected(self):
+        selector = LoadAwareSelector(2, 4)
+        with pytest.raises(ValueError):
+            selector.select(0, 1, unsaved_tokens=np.zeros((3, 4)))
+
+
+class TestFullSelector:
+    def test_selects_everything(self):
+        selector = FullSelector(2, 4)
+        assert len(selector.select(0, 1)) == 8
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "strategy, cls",
+        [
+            (SelectionStrategy.SEQUENTIAL, SequentialSelector),
+            (SelectionStrategy.LOAD_AWARE, LoadAwareSelector),
+            (SelectionStrategy.FULL, FullSelector),
+        ],
+    )
+    def test_make_selector(self, strategy, cls):
+        assert isinstance(make_selector(strategy, 2, 4), cls)
+
+
+class TestDynamicK:
+    def test_doubles_on_budget_exhaustion(self):
+        controller = DynamicKController(num_experts=8, threshold=0.03, initial_k=1)
+        # ladder = [1, 2, 4, 8], budget per stage = 0.0075
+        controller.record_fault(0.008)
+        assert controller.k == 2
+
+    def test_stays_small_with_tiny_plt(self):
+        controller = DynamicKController(num_experts=8, threshold=0.03)
+        for _ in range(5):
+            controller.record_fault(0.0001)
+        assert controller.k == 1
+
+    def test_reaches_full_checkpointing(self):
+        controller = DynamicKController(num_experts=8, threshold=0.03)
+        for _ in range(16):
+            controller.record_fault(0.01)
+        assert controller.k == 8
+
+    def test_history_recorded(self):
+        controller = DynamicKController(num_experts=4)
+        controller.record_fault(0.001)
+        controller.record_fault(0.001)
+        assert len(controller.history) == 2
+
+    def test_negative_increment_rejected(self):
+        controller = DynamicKController(num_experts=4)
+        with pytest.raises(ValueError):
+            controller.record_fault(-0.1)
+
+    def test_invalid_initial_k(self):
+        with pytest.raises(ValueError):
+            DynamicKController(num_experts=4, initial_k=5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        increments=st.lists(st.floats(0.0, 0.01), min_size=1, max_size=30),
+        num_experts=st.sampled_from([4, 8, 16]),
+    )
+    def test_property_k_monotone_and_bounded(self, increments, num_experts):
+        """K never decreases and never exceeds the expert count."""
+        controller = DynamicKController(num_experts=num_experts)
+        previous = controller.k
+        for increment in increments:
+            k = controller.record_fault(increment)
+            assert k >= previous
+            assert 1 <= k <= num_experts
+            previous = k
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_property_sequential_rotation_uniform_coverage(self, seed):
+        """Over any window of N checkpoints with k=1, each expert of each
+        layer is saved exactly once."""
+        rng = np.random.default_rng(seed)
+        layers = int(rng.integers(1, 5))
+        experts = int(rng.integers(2, 9))
+        start = int(rng.integers(0, 50))
+        selector = SequentialSelector(layers, experts)
+        counts = {}
+        for checkpoint in range(start, start + experts):
+            for key in selector.select(checkpoint, 1):
+                counts[key] = counts.get(key, 0) + 1
+        assert all(count == 1 for count in counts.values())
+        assert len(counts) == layers * experts

@@ -1,0 +1,87 @@
+"""Parameter classification tests (expert vs non-expert populations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import TINY
+from repro.models import (
+    MoEClassifier,
+    MoEClassifierConfig,
+    MoETransformerLM,
+    classify_parameters,
+    expert_param_names,
+    non_expert_param_names,
+    parameter_counts,
+)
+from repro.models.serial import ExpertKey
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MoETransformerLM(TINY)
+
+
+class TestClassification:
+    def test_every_parameter_classified(self, model):
+        classes = classify_parameters(model)
+        assert set(classes) == {name for name, _ in model.named_parameters()}
+
+    def test_expert_params_detected(self, model):
+        classes = classify_parameters(model)
+        cls = classes["blocks.1.moe.experts.2.fc_in.weight"]
+        assert cls.expert_key == ExpertKey(0, 2)
+
+    def test_gate_is_non_expert(self, model):
+        classes = classify_parameters(model)
+        assert not classes["blocks.1.moe.gate.proj.weight"].is_expert
+
+    def test_attention_is_non_expert(self, model):
+        classes = classify_parameters(model)
+        assert not classes["blocks.0.attn.qkv.weight"].is_expert
+
+    def test_expert_grouping_complete(self, model):
+        grouped = expert_param_names(model)
+        assert len(grouped) == TINY.num_moe_layers * TINY.num_experts
+        for names in grouped.values():
+            # fc_in/fc_out x weight/bias
+            assert len(names) == 4
+
+    def test_expert_and_non_expert_partition(self, model):
+        grouped = expert_param_names(model)
+        non_expert = set(non_expert_param_names(model))
+        expert = {name for names in grouped.values() for name in names}
+        all_names = {name for name, _ in model.named_parameters()}
+        assert expert | non_expert == all_names
+        assert expert & non_expert == set()
+
+    def test_parameter_counts_sum(self, model):
+        non_expert, expert = parameter_counts(model)
+        assert non_expert + expert == model.num_parameters()
+        assert expert > 0 and non_expert > 0
+
+    def test_expert_count_formula(self, model):
+        _, expert = parameter_counts(model)
+        dim, mult = TINY.dim, TINY.ffn_mult
+        per_expert = dim * (mult * dim) + mult * dim + (mult * dim) * dim + dim
+        assert expert == per_expert * TINY.num_experts * TINY.num_moe_layers
+
+
+class TestClassifierModel:
+    def test_classifier_experts_found(self):
+        config = MoEClassifierConfig(num_blocks=2, num_experts=4)
+        model = MoEClassifier(config)
+        grouped = expert_param_names(model)
+        assert len(grouped) == 2 * 4
+        layers = {key.moe_layer for key in grouped}
+        assert layers == {0, 1}
+
+
+class TestExpertKey:
+    def test_ordering(self):
+        assert ExpertKey(0, 1) < ExpertKey(1, 0)
+        assert ExpertKey(1, 0) < ExpertKey(1, 2)
+
+    def test_hashable(self):
+        assert len({ExpertKey(0, 0), ExpertKey(0, 0), ExpertKey(0, 1)}) == 2

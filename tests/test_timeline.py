@@ -1,0 +1,139 @@
+"""Timeline simulator tests (Figures 3, 9, 11, 12 mechanics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distsim import (
+    TimelineConfig,
+    min_checkpoint_interval_iterations,
+    simulate_timeline,
+)
+
+
+def run(mode="async", t_fb=2.0, t_update=0.2, t_snapshot=1.0, t_persist=1.0,
+        iterations=30, interval=2, buffers=3):
+    return simulate_timeline(
+        TimelineConfig(
+            t_fb=t_fb, t_update=t_update, t_snapshot=t_snapshot,
+            t_persist=t_persist, num_iterations=iterations,
+            checkpoint_interval=interval, mode=mode, num_buffers=buffers,
+        )
+    )
+
+
+class TestBlockingMode:
+    def test_checkpoint_adds_full_cost(self):
+        result = run(mode="blocking", t_snapshot=3.0, t_persist=2.0, interval=5)
+        ckpt_iters = [r for r in result.records if r.checkpoint_started]
+        plain = [r for r in result.records if not r.checkpoint_started]
+        assert ckpt_iters[0].duration == pytest.approx(plain[0].duration + 5.0)
+
+    def test_o_save_equals_blocking_cost(self):
+        result = run(mode="blocking", t_snapshot=3.0, t_persist=2.0, interval=5)
+        assert result.o_save == pytest.approx(5.0)
+
+    def test_all_checkpoints_persist(self):
+        result = run(mode="blocking", interval=3, iterations=30)
+        assert result.checkpoints_started == 10
+        assert result.checkpoints_persisted == 10
+
+
+class TestAsyncMode:
+    def test_full_overlap_zero_overhead(self):
+        """Snapshot shorter than F&B: no stall, O_save ~= 0 (Eq. 10)."""
+        result = run(t_fb=2.0, t_snapshot=1.0, t_persist=0.5, interval=2)
+        assert result.o_save == pytest.approx(0.0, abs=1e-9)
+        assert all(record.stall == 0.0 for record in result.records)
+
+    def test_partial_overlap_stalls(self):
+        """Snapshot longer than F&B: stall = t_snapshot - t_fb."""
+        result = run(t_fb=2.0, t_snapshot=3.5, t_persist=0.5, interval=3)
+        stalls = [record.stall for record in result.records if record.stall > 0]
+        assert stalls
+        assert stalls[0] == pytest.approx(1.5)
+
+    def test_stall_lands_on_following_iteration(self):
+        result = run(t_fb=2.0, t_snapshot=3.0, t_persist=0.5, interval=5, iterations=12)
+        for record in result.records:
+            if record.checkpoint_started:
+                follower = result.records[record.index]  # next iteration
+                assert follower.stall > 0
+
+    def test_async_beats_blocking(self):
+        async_result = run(mode="async", t_snapshot=3.0, t_persist=2.0, interval=2)
+        blocking_result = run(mode="blocking", t_snapshot=3.0, t_persist=2.0, interval=2)
+        assert async_result.total_time < blocking_result.total_time
+
+    def test_slow_persist_defers_checkpoints(self):
+        """When persists cannot keep up, the buffer pool forces a larger
+        effective interval (Section 5.3's I_ckpt lower bound)."""
+        result = run(t_fb=1.0, t_snapshot=0.5, t_persist=50.0, interval=1, iterations=40)
+        assert result.deferred_attempts > 0
+        assert result.achieved_interval > 1.0
+
+    def test_persisted_never_exceeds_started(self):
+        result = run(t_persist=10.0, interval=1, iterations=20)
+        assert result.checkpoints_persisted <= result.checkpoints_started
+
+    def test_min_interval_bound(self):
+        assert min_checkpoint_interval_iterations(10.0, 2.0) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            min_checkpoint_interval_iterations(1.0, 0.0)
+
+    def test_more_buffers_fewer_deferrals(self):
+        few = run(t_persist=8.0, interval=1, iterations=30, buffers=2)
+        many = run(t_persist=8.0, interval=1, iterations=30, buffers=4)
+        assert many.deferred_attempts <= few.deferred_attempts
+
+
+class TestConfigValidation:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineConfig(t_fb=-1, t_update=0, t_snapshot=0, t_persist=0)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineConfig(t_fb=1, t_update=0, t_snapshot=0, t_persist=0, num_iterations=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t_fb=st.floats(0.5, 5.0),
+    t_snapshot=st.floats(0.1, 10.0),
+    t_persist=st.floats(0.1, 10.0),
+    interval=st.integers(1, 5),
+)
+def test_property_async_never_slower_than_blocking(t_fb, t_snapshot, t_persist, interval):
+    common = dict(
+        t_fb=t_fb, t_update=0.2, t_snapshot=t_snapshot, t_persist=t_persist,
+        num_iterations=25, checkpoint_interval=interval,
+    )
+    async_result = simulate_timeline(TimelineConfig(mode="async", **common))
+    blocking_result = simulate_timeline(TimelineConfig(mode="blocking", **common))
+    assert async_result.total_time <= blocking_result.total_time + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t_fb=st.floats(0.5, 5.0),
+    t_snapshot=st.floats(0.1, 10.0),
+    interval=st.integers(1, 4),
+)
+def test_property_osave_matches_eq10_when_persist_fast(t_fb, t_snapshot, interval):
+    """With a fast persist, the simulated O_save equals Eq. 10's
+    max(t_snapshot - t_fb, 0) per checkpoint."""
+    result = simulate_timeline(
+        TimelineConfig(
+            t_fb=t_fb, t_update=0.2, t_snapshot=t_snapshot, t_persist=0.01,
+            num_iterations=24, checkpoint_interval=interval, mode="async",
+        )
+    )
+    expected = max(t_snapshot - t_fb, 0.0)
+    # the final checkpoint's stall may fall beyond the simulation horizon,
+    # so the mean sits between (n-1)/n * expected and expected
+    n = result.checkpoints_started
+    assert result.o_save <= expected + 1e-6
+    assert result.o_save >= expected * (n - 1) / n - 1e-6

@@ -1,0 +1,127 @@
+"""MoE transformer LM and classifier tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import TINY, train_steps
+from repro.models import (
+    Adam,
+    MoEClassifier,
+    MoEClassifierConfig,
+    MoEModelConfig,
+    MoETransformerLM,
+)
+from repro.train import MarkovCorpus, make_vision_dataset
+
+
+class TestConfig:
+    def test_moe_block_indices_every_second(self):
+        config = MoEModelConfig(num_layers=4, moe_every=2)
+        assert config.moe_block_indices() == [1, 3]
+        assert config.num_moe_layers == 2
+
+    def test_moe_every_one(self):
+        config = MoEModelConfig(num_layers=3, moe_every=1)
+        assert config.moe_block_indices() == [0, 1, 2]
+
+
+class TestLM:
+    def test_logits_shape(self):
+        model = MoETransformerLM(TINY)
+        tokens = np.zeros((2, 8), dtype=np.int64)
+        assert model(tokens).shape == (2, 8, TINY.vocab_size)
+
+    def test_1d_input_promoted(self):
+        model = MoETransformerLM(TINY)
+        assert model(np.zeros(6, dtype=np.int64)).shape == (1, 6, TINY.vocab_size)
+
+    def test_too_long_sequence_rejected(self):
+        model = MoETransformerLM(TINY)
+        with pytest.raises(ValueError):
+            model(np.zeros((1, TINY.max_seq_len + 1), dtype=np.int64))
+
+    def test_moe_layers_count(self):
+        model = MoETransformerLM(TINY)
+        assert len(model.moe_layers()) == TINY.num_moe_layers
+
+    def test_routing_stats_after_forward(self):
+        model = MoETransformerLM(TINY)
+        model(np.zeros((2, 8), dtype=np.int64))
+        stats = model.routing_stats()
+        assert len(stats) == TINY.num_moe_layers
+        assert stats[0].tokens_per_expert.shape == (TINY.num_experts,)
+
+    def test_loss_includes_aux(self):
+        model = MoETransformerLM(TINY)
+        tokens = np.zeros((2, 8), dtype=np.int64)
+        loss_with = model.loss(tokens, tokens).item()
+        model.config.lb_loss_coeff = 0.0
+        loss_without = model.loss(tokens, tokens).item()
+        assert loss_with > loss_without
+
+    def test_training_reduces_loss(self):
+        corpus = MarkovCorpus(vocab_size=TINY.vocab_size, num_domains=2, seq_len=12, seed=1)
+        model = MoETransformerLM(TINY)
+        optimizer = Adam(model.named_parameters(), lr=5e-3)
+        tokens, targets = corpus.batch(0, 4)
+        initial = model.loss(tokens, targets).item()
+        train_steps(model, optimizer, corpus, 20)
+        final = model.loss(tokens, targets).item()
+        assert final < initial
+
+    def test_deterministic_construction(self):
+        a = MoETransformerLM(TINY)
+        b = MoETransformerLM(TINY)
+        for (name_a, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data), name_a
+
+    def test_parameter_names_stable(self):
+        model = MoETransformerLM(TINY)
+        names = {name for name, _ in model.named_parameters()}
+        assert "tok_emb.weight" in names
+        assert "blocks.1.moe.gate.proj.weight" in names
+        assert "blocks.1.moe.experts.0.fc_in.weight" in names
+
+
+class TestClassifier:
+    def make(self):
+        config = MoEClassifierConfig(
+            input_dim=8, dim=16, num_classes=3, num_blocks=2, num_experts=4, top_k=2
+        )
+        return MoEClassifier(config), config
+
+    def test_forward_shape(self):
+        model, config = self.make()
+        x = np.random.default_rng(0).normal(size=(5, 8))
+        assert model(x).shape == (5, config.num_classes)
+
+    def test_accuracy_range(self):
+        model, _ = self.make()
+        x = np.random.default_rng(1).normal(size=(10, 8))
+        y = np.random.default_rng(2).integers(0, 3, size=10)
+        assert 0.0 <= model.accuracy(x, y) <= 1.0
+
+    def test_learns_separable_data(self):
+        data = make_vision_dataset(num_classes=3, input_dim=8, train_per_class=24,
+                                   test_per_class=12, seed=3)
+        config = MoEClassifierConfig(
+            input_dim=8, dim=16, num_classes=3, num_blocks=2, num_experts=4, top_k=2
+        )
+        model = MoEClassifier(config)
+        optimizer = Adam(model.named_parameters(), lr=5e-3)
+        before = model.accuracy(data.test_x, data.test_y)
+        for iteration in range(40):
+            x, y = data.batch(iteration, 16)
+            optimizer.zero_grad()
+            model.loss(x, y).backward()
+            optimizer.step()
+        after = model.accuracy(data.test_x, data.test_y)
+        assert after > before
+        assert after > 0.5
+
+    def test_routing_stats(self):
+        model, config = self.make()
+        model(np.random.default_rng(4).normal(size=(6, 8)))
+        assert len(model.routing_stats()) == config.num_blocks
