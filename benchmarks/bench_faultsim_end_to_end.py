@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import render_table
 from repro.core import ShardingPolicy, equal_ratio_interval
 from repro.distsim import (

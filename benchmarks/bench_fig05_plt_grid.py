@@ -12,7 +12,7 @@ non-fault run.  The paper's findings to reproduce:
 
 from __future__ import annotations
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import render_table
 from repro.core import DEFAULT_PLT_THRESHOLD, PECConfig, analytic_plt
 from _workloads import NUM_EXPERTS, pretrain

@@ -12,7 +12,7 @@ Regenerates:
 
 from __future__ import annotations
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import render_table
 from repro.core import ShardingPolicy
 from repro.distsim import GB, checkpoint_cost, gpt_350m_16e, paper_cases, pec_plan_for

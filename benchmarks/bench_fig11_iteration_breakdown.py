@@ -12,7 +12,7 @@ checkpointing — the paper's key observations being:
 
 from __future__ import annotations
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import render_table
 from repro.core import ShardingPolicy
 from repro.distsim import checkpoint_cost, paper_cases, pec_plan_for

@@ -13,7 +13,7 @@ Base-Async / MoC-Async (MoC saves 1/8 of experts per checkpoint):
 
 from __future__ import annotations
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import Series, render_series, render_table
 from repro.core import ShardingPolicy
 from repro.distsim import (

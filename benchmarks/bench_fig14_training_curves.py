@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import Series, render_series, render_table
 from repro.core import (
     MoCConfig,

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import render_table
 from repro.core import (
     OverheadInputs,

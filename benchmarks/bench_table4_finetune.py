@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import once
+from repro.testing import once
 from repro.analysis import render_table
 from repro.models import Adam
 from repro.train import (

@@ -36,6 +36,6 @@ def report(results_dir):
     return _report
 
 
-def once(benchmark, fn):
-    """Run ``fn`` exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+# Re-exported for any remaining `from conftest import once` users; the
+# canonical home is repro.testing (immune to conftest module shadowing).
+from repro.testing import once  # noqa: E402,F401

@@ -1,6 +1,15 @@
-"""Checkpoint storage substrate: serialization, KV tiers, manifests."""
+"""Checkpoint storage substrate: serialization, backends, manifests."""
 
-from .kvstore import BaseKVStore, DiskKVStore, InMemoryKVStore, KVStoreError, StoredEntry
+from .backend import (
+    CheckpointBackend,
+    KVStoreError,
+    escape_key,
+    make_backend,
+    unescape_key,
+)
+from .kvstore import BaseKVStore, DiskKVStore, InMemoryKVStore, StoredEntry
+from .sharded import ShardedDiskKVStore
+from .async_writer import AsyncWriteBackend, AsyncWriteError
 from .codec import (
     CodecStats,
     DEFAULT_FIELD_DTYPES,
@@ -24,7 +33,10 @@ from .manifest import (
 from .serializer import SerializationError, deserialize_entry, entry_nbytes, serialize_entry
 
 __all__ = [
+    "AsyncWriteBackend",
+    "AsyncWriteError",
     "BaseKVStore",
+    "CheckpointBackend",
     "CheckpointManifest",
     "CodecStats",
     "DEFAULT_FIELD_DTYPES",
@@ -36,15 +48,19 @@ __all__ = [
     "RecoveryFootprint",
     "RetentionAuditor",
     "SerializationError",
+    "ShardedDiskKVStore",
     "StoredEntry",
     "deserialize_entry",
     "entry_nbytes",
+    "escape_key",
     "expected_entry_keys",
     "expert_entry_key",
+    "make_backend",
     "meta_entry_key",
     "non_expert_entry_key",
     "parse_entry_key",
     "prune_stale_entries",
     "roundtrip_error",
     "serialize_entry",
+    "unescape_key",
 ]

@@ -1,0 +1,248 @@
+"""Asynchronous double-buffered write pipeline for any backend.
+
+:class:`AsyncWriteBackend` decorates a :class:`CheckpointBackend` so the
+training loop's checkpoint call returns as soon as entries are
+*serialized and staged*, while a worker thread drains them to the inner
+backend — the software analogue of the paper's two-phase asynchronous
+persist (snapshot into a buffer, persist overlapped with compute).
+
+Semantics
+---------
+* ``put`` serializes in the caller's thread (the "snapshot": after it
+  returns the caller may freely mutate the arrays) and stages the
+  payload on a bounded queue.  When the queue is full the caller blocks
+  until the worker frees a slot — the backpressure that bounds staging
+  memory, exactly like the paper's buffer pool.
+* Writes drain **in submission order**, so the inner store's state is
+  always a prefix of the accepted puts.  Meta/commit entries written
+  last therefore land last.
+* ``flush`` is a barrier: it returns once every accepted put has been
+  written by the inner backend (or raises the first worker error).
+* Reads (``get``/``stamp_of``/``has``/``keys``/``total_bytes``/
+  ``nbytes_of``/``delete``) flush first, so readers always observe every
+  accepted write — recovery never races the pipeline.
+* A write error in the worker is captured and re-raised from the *next*
+  ``put`` or ``flush`` — i.e. at the next checkpoint boundary, where the
+  manager can surface it.  Until then the worker *discards* queued
+  writes rather than executing them, preserving the prefix property: a
+  later commit entry can never become durable over a hole left by the
+  failure.  Writing resumes once the error has been raised.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+from .backend import CheckpointBackend
+
+
+class AsyncWriteError(RuntimeError):
+    """A deferred write failed; raised at the next put/flush boundary."""
+
+
+_STOP = object()
+
+
+class _Batch(NamedTuple):
+    """A put_many staged as one unit so the inner backend can amortise
+    index maintenance over the whole batch."""
+
+    items: List[Tuple[str, bytes, int, object]]
+
+
+class AsyncWriteBackend(CheckpointBackend):
+    """Stage serialized entries through a worker thread.
+
+    Parameters
+    ----------
+    inner:
+        The backend that actually stores entries.
+    max_pending:
+        Queue bound, in entries.  The default comfortably double-buffers
+        two checkpoints' worth of entries for the models we run; lower it
+        to model tighter staging memory (more backpressure stalls).
+    """
+
+    def __init__(self, inner: CheckpointBackend, max_pending: int = 256) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        # No super().__init__(): bytes_read is a delegating property here
+        # and must not be shadowed by an instance attribute.
+        self.inner = inner
+        self.max_pending = max_pending
+        self.bytes_written = 0  # accepted (staged) payload bytes
+        self.put_count = 0
+        # Backpressure is accounted per ENTRY (via the semaphore), not
+        # per queue item: a staged batch holds one permit per entry, so
+        # max_pending bounds staging memory even on the batched path.
+        self._queue: "queue.Queue" = queue.Queue()
+        self._slots = threading.Semaphore(max_pending)
+        self._closed = False
+        self._error: BaseException | None = None
+        self._error_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._drain, name="ckpt-async-writer", daemon=True
+        )
+        self._worker.start()
+
+    # -- worker ---------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                # Once a write has failed, discard queued writes instead
+                # of executing them: otherwise a later meta/commit entry
+                # could become durable over a hole left by the failure,
+                # and recovery would trust an incomplete checkpoint.
+                # Writing resumes after the error is surfaced (consumed)
+                # at a put/flush boundary.
+                with self._error_lock:
+                    poisoned = self._error is not None
+                if not poisoned:
+                    try:
+                        if isinstance(item, _Batch):
+                            self.inner.put_many_serialized(item.items)
+                        else:
+                            key, payload, stamp, node = item
+                            self.inner.put_serialized(key, payload, stamp, node)
+                    except BaseException as exc:  # noqa: BLE001 - propagate later
+                        with self._error_lock:
+                            if self._error is None:
+                                self._error = exc
+            finally:
+                if item is not _STOP:
+                    permits = len(item.items) if isinstance(item, _Batch) else 1
+                    for _ in range(permits):
+                        self._slots.release()
+                self._queue.task_done()
+
+    def _raise_pending(self) -> None:
+        with self._error_lock:
+            failed = self._error is not None
+        if not failed:
+            return
+        # Let the worker finish discarding everything staged behind the
+        # failure before the error is consumed — clearing it earlier
+        # would let stale queued items be written over the hole.
+        self._queue.join()
+        with self._error_lock:
+            error, self._error = self._error, None
+        raise AsyncWriteError("deferred checkpoint write failed") from error
+
+    # -- writes ---------------------------------------------------------
+    # put()/put_many() come from the base class: they serialize in the
+    # caller's thread and land here with the payload bytes.
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("AsyncWriteBackend is closed")
+
+    def put_serialized(self, key: str, payload: bytes, stamp: int, node=0) -> int:
+        self._check_open()
+        self._raise_pending()
+        self._slots.acquire()
+        self._queue.put((key, payload, stamp, node))
+        self.bytes_written += len(payload)
+        self.put_count += 1
+        return len(payload)
+
+    def put_many_serialized(self, items) -> List[int]:
+        """Stage batches that the worker hands to
+        ``inner.put_many_serialized``, preserving the inner backend's
+        batched index maintenance (one journal append / index rewrite
+        per checkpoint, not per entry).
+
+        Batches larger than ``max_pending`` are chunked so entry-level
+        backpressure still applies (acquiring more permits than exist
+        would deadlock).
+        """
+        self._check_open()
+        self._raise_pending()
+        items = list(items)
+        sizes: List[int] = []
+        for start in range(0, len(items), self.max_pending):
+            chunk = items[start : start + self.max_pending]
+            for _ in chunk:
+                self._slots.acquire()
+            self._queue.put(_Batch(chunk))
+            for _key, payload, _stamp, _node in chunk:
+                self.bytes_written += len(payload)
+                self.put_count += 1
+                sizes.append(len(payload))
+        return sizes
+
+    def flush(self) -> None:
+        """Block until every accepted put is written; raise worker errors."""
+        self._queue.join()
+        self._raise_pending()
+
+    def pending(self) -> int:
+        """Entries accepted but not yet written (approximate)."""
+        return self._queue.unfinished_tasks
+
+    def close(self) -> None:
+        """Flush, stop the worker thread, and close the inner backend.
+
+        Further writes raise ``RuntimeError`` (they would otherwise
+        queue with no consumer and deadlock the next flush)."""
+        self._closed = True
+        if self._worker.is_alive():
+            self._queue.join()
+            self._queue.put(_STOP)
+            self._worker.join()
+        self.inner.close()
+        self._raise_pending()
+
+    def __enter__(self) -> "AsyncWriteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads (flush-first so readers see all accepted writes) ---------
+    @property
+    def bytes_read(self) -> int:
+        return self.inner.bytes_read
+
+    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+        raise AssertionError("unused: put/put_serialized are overridden")
+
+    def _read(self, key: str) -> bytes:
+        raise AssertionError("unused: get is overridden")
+
+    def get(self, key: str) -> Dict[str, np.ndarray]:
+        self.flush()
+        return self.inner.get(key)
+
+    def stamp_of(self, key: str) -> int:
+        self.flush()
+        return self.inner.stamp_of(key)
+
+    def nbytes_of(self, key: str) -> int:
+        self.flush()
+        return self.inner.nbytes_of(key)
+
+    def has(self, key: str) -> bool:
+        self.flush()
+        return self.inner.has(key)
+
+    def keys(self) -> List[str]:
+        self.flush()
+        return self.inner.keys()
+
+    def total_bytes(self) -> int:
+        self.flush()
+        return self.inner.total_bytes()
+
+    def delete(self, key: str) -> None:
+        self.flush()
+        self.inner.delete(key)
+
+    def delete_many(self, keys: Sequence[str]) -> None:
+        self.flush()
+        self.inner.delete_many(keys)

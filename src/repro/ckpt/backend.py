@@ -1,0 +1,191 @@
+"""The pluggable checkpoint-backend layer.
+
+Every storage tier — CPU-memory snapshots, a flat on-disk directory, the
+sharded journal store, or the async write pipeline that decorates any of
+them — implements one contract, :class:`CheckpointBackend`.  The manager,
+recovery planner, retention auditor and resume path all program against
+this interface only, so new tiers (remote object stores, compression
+stages, parallel shard writers) drop in without touching the core.
+
+Contract highlights
+-------------------
+* ``put`` serializes an entry (field -> ndarray mapping) and stores it
+  under a key with an iteration *stamp*; it returns the payload size.
+* ``put_many`` is the batched form — backends may amortise index
+  maintenance over the batch (the disk store flushes its index once).
+* ``get`` / ``stamp_of`` / ``nbytes_of`` raise :class:`KVStoreError`
+  (a ``KeyError`` subclass) for missing keys.
+* Byte meters (``bytes_written`` / ``bytes_read`` / ``put_count``) count
+  serialized payload bytes exactly; tests and benches assert transfer
+  volumes against them, so backends must not double- or under-count.
+* ``flush`` is a write barrier: after it returns, every previously
+  accepted ``put`` is durable (synchronous backends are trivially
+  flushed).  ``delete`` removes a key outright.
+
+Key escaping
+------------
+Keys contain ``/`` and ``:`` (parameter paths, entry-key prefixes); the
+file-backed stores need them as file names.  :func:`escape_key` is a
+reversible percent-encoding — injective, so distinct keys can never
+collide on disk (the historical ``replace("/", "__")`` scheme mapped
+``a/b`` and ``a__b`` to the same file).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .serializer import deserialize_entry, serialize_entry
+
+# Characters stored literally in escaped file names; everything else
+# (including "%" itself, so the encoding stays injective) is written as
+# %XX per UTF-8 byte.
+_SAFE = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789.-_"
+)
+
+
+def escape_key(key: str) -> str:
+    """Encode ``key`` into a filesystem-safe name, reversibly."""
+    out: List[str] = []
+    for char in key:
+        if char in _SAFE and char != "%":
+            out.append(char)
+        else:
+            out.extend(f"%{byte:02X}" for byte in char.encode("utf-8"))
+    return "".join(out)
+
+
+def unescape_key(name: str) -> str:
+    """Invert :func:`escape_key`."""
+    data = bytearray()
+    i = 0
+    while i < len(name):
+        if name[i] == "%":
+            data.append(int(name[i + 1 : i + 3], 16))
+            i += 3
+        else:
+            data.append(ord(name[i]))
+            i += 1
+    return data.decode("utf-8")
+
+
+class KVStoreError(KeyError):
+    """Raised when a requested entry is missing."""
+
+
+# One put_many work item: (key, entry, stamp, node).
+PutItem = Tuple[str, Mapping[str, np.ndarray], int, Union[int, Sequence[int]]]
+
+
+class CheckpointBackend(abc.ABC):
+    """Abstract storage tier for checkpoint entries.
+
+    Concrete backends implement the ``_write``/``_read`` payload hooks
+    plus the metadata queries; the base class owns serialization and the
+    byte meters so accounting is uniform across tiers.
+    """
+
+    def __init__(self) -> None:
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.put_count = 0
+
+    # -- payload hooks --------------------------------------------------
+    @abc.abstractmethod
+    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+        """Store ``payload`` under ``key`` (metadata included)."""
+
+    @abc.abstractmethod
+    def _read(self, key: str) -> bytes:
+        """Return the payload for ``key`` or raise :class:`KVStoreError`."""
+
+    # -- public interface ----------------------------------------------
+    def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node=0) -> int:
+        """Serialize and store one entry; returns payload bytes."""
+        return self.put_serialized(key, serialize_entry(entry), stamp, node)
+
+    def put_serialized(self, key: str, payload: bytes, stamp: int, node=0) -> int:
+        """Store an already-serialized payload (meters included)."""
+        self._write(key, payload, stamp, node)
+        self.bytes_written += len(payload)
+        self.put_count += 1
+        return len(payload)
+
+    def put_many(self, items: Sequence[PutItem]) -> List[int]:
+        """Store a batch of entries; backends may amortise index work."""
+        return self.put_many_serialized(
+            [(key, serialize_entry(entry), stamp, node) for key, entry, stamp, node in items]
+        )
+
+    def put_many_serialized(
+        self, items: Sequence[Tuple[str, bytes, int, Union[int, Sequence[int]]]]
+    ) -> List[int]:
+        """Batched form of :meth:`put_serialized` — the override point
+        for backends that amortise index maintenance over a batch."""
+        return [self.put_serialized(key, payload, stamp, node)
+                for key, payload, stamp, node in items]
+
+    def get(self, key: str) -> Dict[str, np.ndarray]:
+        payload = self._read(key)
+        self.bytes_read += len(payload)
+        return deserialize_entry(payload)
+
+    @abc.abstractmethod
+    def stamp_of(self, key: str) -> int:
+        """Iteration stamp of ``key``; raises :class:`KVStoreError`."""
+
+    @abc.abstractmethod
+    def nbytes_of(self, key: str) -> int:
+        """Payload size of ``key`` without reading it."""
+
+    @abc.abstractmethod
+    def has(self, key: str) -> bool:
+        ...
+
+    @abc.abstractmethod
+    def keys(self) -> List[str]:
+        """All stored keys, sorted."""
+
+    @abc.abstractmethod
+    def total_bytes(self) -> int:
+        """Sum of stored payload sizes."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``; raises :class:`KVStoreError` if missing."""
+
+    def delete_many(self, keys: Sequence[str]) -> None:
+        """Remove a batch of keys; backends may amortise index work."""
+        for key in keys:
+            self.delete(key)
+
+    def flush(self) -> None:
+        """Write barrier: block until accepted puts are durable."""
+
+    def close(self) -> None:
+        """Release resources (worker threads, handles)."""
+        self.flush()
+
+
+def make_backend(kind: str, root: Optional[str] = None) -> CheckpointBackend:
+    """Construct a persist-tier backend by name.
+
+    ``memory`` ignores ``root`` (useful for demos and tests); ``disk``
+    and ``sharded`` require a directory.
+    """
+    from .kvstore import DiskKVStore, InMemoryKVStore
+    from .sharded import ShardedDiskKVStore
+
+    if kind == "memory":
+        return InMemoryKVStore()
+    if root is None:
+        raise ValueError(f"backend {kind!r} requires a root directory")
+    if kind == "disk":
+        return DiskKVStore(root)
+    if kind == "sharded":
+        return ShardedDiskKVStore(root)
+    raise ValueError(f"unknown backend kind {kind!r}")

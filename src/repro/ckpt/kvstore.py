@@ -1,13 +1,17 @@
 """Key-value checkpoint stores: the two tiers of Section 5.
 
 The paper stores checkpointed modules as key-value pairs "for efficient
-retrieval from both memory and distributed storage".  We provide:
+retrieval from both memory and distributed storage".  Both stores here
+implement the :class:`~repro.ckpt.backend.CheckpointBackend` contract:
 
 * :class:`InMemoryKVStore` — the CPU-memory snapshot tier.  Supports
   node-scoped clearing (a node fault wipes the snapshots that lived on
   that node).
-* :class:`DiskKVStore` — the persistent tier, a directory of entry files
-  plus a JSON index mapping keys to files and stamps.
+* :class:`DiskKVStore` — the flat persistent tier, a directory of entry
+  files plus a JSON index mapping keys to files and stamps.  The index
+  is rewritten per put (O(n) each, O(n²) across a run) — see
+  :class:`~repro.ckpt.sharded.ShardedDiskKVStore` for the journal-backed
+  store that eliminates the rewrites.
 
 Every ``put`` records an iteration *stamp*; recovery uses stamps to pick
 the freshest available version of each entry and the PLT tracker uses
@@ -19,12 +23,13 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-import numpy as np
+from .backend import CheckpointBackend, KVStoreError, escape_key
 
-from .serializer import deserialize_entry, entry_nbytes, serialize_entry
+# Back-compat alias: the pre-backend base class name.
+BaseKVStore = CheckpointBackend
 
 
 @dataclass
@@ -40,39 +45,7 @@ class StoredEntry:
     nodes: Tuple[int, ...] = (0,)
 
 
-class KVStoreError(KeyError):
-    """Raised when a requested entry is missing."""
-
-
-class BaseKVStore:
-    """Common bookkeeping: byte meters and stamp queries."""
-
-    def __init__(self) -> None:
-        self.bytes_written = 0
-        self.bytes_read = 0
-        self.put_count = 0
-
-    # -- interface ------------------------------------------------------
-    def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node: int = 0) -> int:
-        raise NotImplementedError
-
-    def get(self, key: str) -> Dict[str, np.ndarray]:
-        raise NotImplementedError
-
-    def stamp_of(self, key: str) -> int:
-        raise NotImplementedError
-
-    def has(self, key: str) -> bool:
-        raise NotImplementedError
-
-    def keys(self) -> List[str]:
-        raise NotImplementedError
-
-    def total_bytes(self) -> int:
-        raise NotImplementedError
-
-
-class InMemoryKVStore(BaseKVStore):
+class InMemoryKVStore(CheckpointBackend):
     """CPU-memory snapshot tier.
 
     Keeps only the latest version of each key (snapshots supersede).
@@ -84,26 +57,25 @@ class InMemoryKVStore(BaseKVStore):
         self._data: Dict[str, bytes] = {}
         self._meta: Dict[str, StoredEntry] = {}
 
-    def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node=0) -> int:
-        payload = serialize_entry(entry)
+    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
         nodes = (node,) if isinstance(node, int) else tuple(node)
         self._data[key] = payload
         self._meta[key] = StoredEntry(key=key, stamp=stamp, nbytes=len(payload), nodes=nodes)
-        self.bytes_written += len(payload)
-        self.put_count += 1
-        return len(payload)
 
-    def get(self, key: str) -> Dict[str, np.ndarray]:
+    def _read(self, key: str) -> bytes:
         if key not in self._data:
             raise KVStoreError(key)
-        payload = self._data[key]
-        self.bytes_read += len(payload)
-        return deserialize_entry(payload)
+        return self._data[key]
 
     def stamp_of(self, key: str) -> int:
         if key not in self._meta:
             raise KVStoreError(key)
         return self._meta[key].stamp
+
+    def nbytes_of(self, key: str) -> int:
+        if key not in self._meta:
+            raise KVStoreError(key)
+        return self._meta[key].nbytes
 
     def nodes_of(self, key: str) -> Tuple[int, ...]:
         if key not in self._meta:
@@ -118,6 +90,12 @@ class InMemoryKVStore(BaseKVStore):
 
     def total_bytes(self) -> int:
         return sum(meta.nbytes for meta in self._meta.values())
+
+    def delete(self, key: str) -> None:
+        if key not in self._data:
+            raise KVStoreError(key)
+        del self._data[key]
+        del self._meta[key]
 
     def drop_node(self, node: int) -> List[str]:
         """A node fault: its memory copies vanish.
@@ -144,13 +122,13 @@ class InMemoryKVStore(BaseKVStore):
         self._meta.clear()
 
 
-class DiskKVStore(BaseKVStore):
-    """Persistent storage tier backed by a directory.
+class DiskKVStore(CheckpointBackend):
+    """Flat persistent tier backed by a directory.
 
     Layout: ``<root>/entries/<escaped key>.bin`` plus ``<root>/index.json``
-    recording stamps and sizes.  The index is rewritten on every put —
-    adequate for the scale of entries we handle and crash-consistent
-    enough for tests (index rewrite is atomic via os.replace).
+    recording stamps and sizes.  The index is rewritten on every put
+    (``index_rewrites`` counts them) — atomic via os.replace, but O(n)
+    per put.  ``put_many`` amortises the rewrite over the batch.
     """
 
     def __init__(self, root: str) -> None:
@@ -160,45 +138,89 @@ class DiskKVStore(BaseKVStore):
         self._index_path = os.path.join(root, "index.json")
         os.makedirs(self._entries_dir, exist_ok=True)
         self._index: Dict[str, Dict[str, int]] = {}
+        self._defer_index_flush = False
+        self.index_rewrites = 0
         if os.path.exists(self._index_path):
             with open(self._index_path, "r", encoding="utf-8") as handle:
                 self._index = json.load(handle)
 
-    @staticmethod
-    def _escape(key: str) -> str:
-        return key.replace("/", "__").replace(":", "_")
-
     def _path(self, key: str) -> str:
-        return os.path.join(self._entries_dir, self._escape(key) + ".bin")
+        return os.path.join(self._entries_dir, escape_key(key) + ".bin")
+
+    def _legacy_path(self, key: str) -> str:
+        """File name under the pre-backend escaping scheme.
+
+        Stores written before the reversible encoding used
+        ``"/" -> "__"`` / ``":" -> "_"``; reads fall back to it so an
+        existing checkpoint directory stays resumable (rewrites land
+        under the new, injective names).
+        """
+        name = key.replace("/", "__").replace(":", "_")
+        return os.path.join(self._entries_dir, name + ".bin")
 
     def _flush_index(self) -> None:
         tmp = self._index_path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(self._index, handle)
         os.replace(tmp, self._index_path)
+        self.index_rewrites += 1
 
-    def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node: int = 0) -> int:
-        payload = serialize_entry(entry)
-        with open(self._path(key), "wb") as handle:
+    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+        path = self._path(key)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
             handle.write(payload)
+        os.replace(tmp, path)
         self._index[key] = {"stamp": stamp, "nbytes": len(payload)}
-        self._flush_index()
-        self.bytes_written += len(payload)
-        self.put_count += 1
-        return len(payload)
+        if not self._defer_index_flush:
+            self._flush_index()
 
-    def get(self, key: str) -> Dict[str, np.ndarray]:
+    def put_many_serialized(self, items) -> List[int]:
+        """Batched puts with a single index rewrite at the end.
+
+        The index is flushed even when an item fails mid-batch, so the
+        on-disk index never lags payload files that were already
+        written.
+        """
+        self._defer_index_flush = True
+        try:
+            sizes = [self.put_serialized(key, payload, stamp, node)
+                     for key, payload, stamp, node in items]
+        finally:
+            self._defer_index_flush = False
+            if items:
+                self._flush_index()
+        return sizes
+
+    def _read(self, key: str) -> bytes:
         if key not in self._index:
             raise KVStoreError(key)
-        with open(self._path(key), "rb") as handle:
-            payload = handle.read()
-        self.bytes_read += len(payload)
-        return deserialize_entry(payload)
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            pass
+        # Legacy fallback, gated on the indexed size: legacy names are
+        # not unique per key (the old escaping collided), so a payload
+        # is only trusted when it matches the index metadata exactly.
+        try:
+            with open(self._legacy_path(key), "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
+            raise KVStoreError(key) from None
+        if len(payload) != int(self._index[key]["nbytes"]):
+            raise KVStoreError(key)
+        return payload
 
     def stamp_of(self, key: str) -> int:
         if key not in self._index:
             raise KVStoreError(key)
         return int(self._index[key]["stamp"])
+
+    def nbytes_of(self, key: str) -> int:
+        if key not in self._index:
+            raise KVStoreError(key)
+        return int(self._index[key]["nbytes"])
 
     def has(self, key: str) -> bool:
         return key in self._index
@@ -208,3 +230,35 @@ class DiskKVStore(BaseKVStore):
 
     def total_bytes(self) -> int:
         return sum(int(meta["nbytes"]) for meta in self._index.values())
+
+    def delete(self, key: str) -> None:
+        if key not in self._index:
+            raise KVStoreError(key)
+        path = self._path(key)
+        if os.path.exists(path):
+            os.remove(path)
+        else:
+            # The entry may predate the reversible escaping — but legacy
+            # names collide across keys, so (like _read) only trust the
+            # file when its size matches the index metadata.
+            legacy = self._legacy_path(key)
+            try:
+                legacy_size = os.path.getsize(legacy)
+            except OSError:
+                legacy_size = -1
+            if legacy_size == int(self._index[key]["nbytes"]):
+                os.remove(legacy)
+        del self._index[key]
+        if not self._defer_index_flush:
+            self._flush_index()
+
+    def delete_many(self, keys) -> None:
+        """Batched deletes with a single index rewrite at the end."""
+        self._defer_index_flush = True
+        try:
+            for key in keys:
+                self.delete(key)
+        finally:
+            self._defer_index_flush = False
+            if keys:
+                self._flush_index()

@@ -97,24 +97,13 @@ def expected_entry_keys(
 def prune_stale_entries(store, expected_keys: Set[str]) -> List[str]:
     """Delete entries not in ``expected_keys`` (orphans from an old run).
 
-    Only supported for :class:`~repro.ckpt.kvstore.InMemoryKVStore` and
-    :class:`~repro.ckpt.kvstore.DiskKVStore`.  Returns the deleted keys.
+    Works on any :class:`~repro.ckpt.backend.CheckpointBackend` via its
+    ``delete`` method.  Returns the deleted keys.
     """
-    from .kvstore import DiskKVStore, InMemoryKVStore
-    import os
+    from .backend import CheckpointBackend
 
-    if not isinstance(store, (InMemoryKVStore, DiskKVStore)):
+    if not isinstance(store, CheckpointBackend):
         raise TypeError(f"unsupported store type {type(store).__name__}")
     orphans = [key for key in store.keys() if key not in expected_keys]
-    if isinstance(store, InMemoryKVStore):
-        for key in orphans:
-            del store._data[key]  # noqa: SLF001 - same package
-            del store._meta[key]  # noqa: SLF001
-    elif isinstance(store, DiskKVStore):
-        for key in orphans:
-            path = store._path(key)  # noqa: SLF001
-            if os.path.exists(path):
-                os.remove(path)
-            del store._index[key]  # noqa: SLF001
-        store._flush_index()  # noqa: SLF001
+    store.delete_many(orphans)
     return sorted(orphans)

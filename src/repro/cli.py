@@ -114,6 +114,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    from .ckpt import AsyncWriteBackend, make_backend
     from .core import MoCConfig, MoCCheckpointManager, PECConfig, TwoLevelConfig
     from .models import Adam, MoEModelConfig, MoETransformerLM
     from .train import FaultSchedule, MarkovCorpus, Trainer, TrainerConfig
@@ -130,7 +131,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         two_level=TwoLevelConfig(checkpoint_interval=args.interval),
     )
     with tempfile.TemporaryDirectory() as storage:
-        manager = MoCCheckpointManager(model, optimizer, config, disk_root=storage)
+        store = make_backend(args.backend, storage)
+        if args.async_writes:
+            store = AsyncWriteBackend(store)
+        manager = MoCCheckpointManager(model, optimizer, config, disk_store=store)
         trainer = Trainer(
             model, optimizer, corpus,
             TrainerConfig(total_iterations=args.iterations, batch_size=2),
@@ -138,9 +142,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             fault_schedule=FaultSchedule.midpoint(args.iterations),
         )
         history = trainer.run()
+        manager.close()
     print(render_kv(
         "demo run",
         [
+            ("backend", args.backend + (" (async)" if args.async_writes else "")),
             ("iterations (with replay)", history.executed_iterations),
             ("fault at", history.fault_iterations[0]),
             ("resumed from", history.recoveries[0].resume_iteration),
@@ -182,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--iterations", type=int, default=40)
     demo.add_argument("--interval", type=int, default=8)
     demo.add_argument("--experts", type=int, default=4)
+    demo.add_argument("--backend", choices=["memory", "disk", "sharded"],
+                      default="disk", help="persist-tier storage backend")
+    demo.add_argument("--async-writes", action="store_true",
+                      help="drain persist writes through the async pipeline")
     demo.set_defaults(func=_cmd_demo)
     return parser
 

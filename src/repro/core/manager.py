@@ -23,8 +23,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
+from ..ckpt.async_writer import AsyncWriteBackend
+from ..ckpt.backend import CheckpointBackend, make_backend
 from ..ckpt.codec import PrecisionCodec
-from ..ckpt.kvstore import DiskKVStore, InMemoryKVStore
+from ..ckpt.kvstore import InMemoryKVStore
 from ..ckpt.manifest import (
     CheckpointManifest,
     ManifestRecord,
@@ -66,7 +68,19 @@ class MoCCheckpointManager:
     config:
         Full MoC configuration.
     memory_store / disk_store:
-        The snapshot and persist tiers.
+        The snapshot and persist tiers — any
+        :class:`~repro.ckpt.backend.CheckpointBackend` pair.
+    backend:
+        When building the persist tier from ``disk_root``: one of
+        ``"memory"``, ``"disk"``, ``"sharded"``
+        (see :func:`~repro.ckpt.backend.make_backend`).
+    async_writes:
+        Route persist-tier saves through an
+        :class:`~repro.ckpt.async_writer.AsyncWriteBackend` so
+        ``checkpoint`` returns once entries are staged; a deferred write
+        error surfaces at the next checkpoint boundary.  Call
+        :meth:`flush` for a durability barrier (``recover`` does so
+        automatically).
     expert_placement:
         Hosting node(s) per expert for two-level recovery; defaults to a
         two-node striping.
@@ -78,8 +92,10 @@ class MoCCheckpointManager:
         optimizer: Adam,
         config: MoCConfig,
         memory_store: Optional[InMemoryKVStore] = None,
-        disk_store: Optional[DiskKVStore] = None,
+        disk_store: Optional[CheckpointBackend] = None,
         disk_root: Optional[str] = None,
+        backend: str = "disk",
+        async_writes: bool = False,
         expert_placement: Optional[Mapping[ExpertKey, Sequence[int]]] = None,
         num_nodes: int = 2,
         codec: Optional[PrecisionCodec] = None,
@@ -88,9 +104,11 @@ class MoCCheckpointManager:
         self.optimizer = optimizer
         self.config = config
         if disk_store is None:
-            if disk_root is None:
+            if disk_root is None and backend != "memory":
                 raise ValueError("provide disk_store or disk_root")
-            disk_store = DiskKVStore(disk_root)
+            disk_store = make_backend(backend, disk_root)
+        if async_writes and not isinstance(disk_store, AsyncWriteBackend):
+            disk_store = AsyncWriteBackend(disk_store)
         self.memory_store = memory_store if memory_store is not None else InMemoryKVStore()
         self.disk_store = disk_store
         # Optional precision codec: entries are downcast on save and
@@ -203,13 +221,13 @@ class MoCCheckpointManager:
             for layer in range(self.num_moe_layers)
             for expert in range(self.num_experts)
         }
+        snapshot_items: List = []
+        persist_items: List = []
         for name in self._non_expert_params:
             key = non_expert_entry_key(name)
             entry = self._encode(self._full_entry(name))
-            nbytes = self.memory_store.put(key, entry, stamp=iteration, node=0)
-            manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
-            nbytes = self.disk_store.put(key, entry, stamp=iteration)
-            manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+            snapshot_items.append((key, entry, iteration, 0))
+            persist_items.append((key, entry, iteration, 0))
         for expert_key in sorted(all_experts):
             node = self._expert_nodes(expert_key)
             for name in self._expert_params[expert_key]:
@@ -218,10 +236,12 @@ class MoCCheckpointManager:
                 w_entry = self._encode(self._weights_entry(name))
                 o_entry = self._encode(self._optimizer_entry(name))
                 for key, entry in ((w_key, w_entry), (o_key, o_entry)):
-                    nbytes = self.memory_store.put(key, entry, stamp=iteration, node=node)
-                    manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
-                    nbytes = self.disk_store.put(key, entry, stamp=iteration)
-                    manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+                    snapshot_items.append((key, entry, iteration, node))
+                    persist_items.append((key, entry, iteration, 0))
+        self._record(manifest.snapshot_entries, snapshot_items,
+                     self.memory_store.put_many(snapshot_items))
+        self._record(manifest.persist_entries, persist_items,
+                     self.disk_store.put_many(persist_items))
         meta_key = meta_entry_key("iteration")
         self.memory_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
         self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
@@ -245,12 +265,10 @@ class MoCCheckpointManager:
         )
 
         # --- snapshot tier (GPU -> CPU memory) -------------------------
+        snapshot_items: List = []
         for name in self._non_expert_params:
             key = non_expert_entry_key(name)
-            nbytes = self.memory_store.put(
-                key, self._encode(self._full_entry(name)), stamp=iteration, node=0
-            )
-            manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
+            snapshot_items.append((key, self._encode(self._full_entry(name)), iteration, 0))
         snapshot_weight_experts = self._component_experts(plan, "weights", tier="snapshot")
         snapshot_moment_experts = self._component_experts(plan, "moments", tier="snapshot")
         for expert_key in sorted(snapshot_weight_experts | snapshot_moment_experts):
@@ -258,16 +276,16 @@ class MoCCheckpointManager:
             for name in self._expert_params[expert_key]:
                 if expert_key in snapshot_weight_experts:
                     key = expert_entry_key(expert_key, name) + ":w"
-                    nbytes = self.memory_store.put(
-                        key, self._encode(self._weights_entry(name)), stamp=iteration, node=node
+                    snapshot_items.append(
+                        (key, self._encode(self._weights_entry(name)), iteration, node)
                     )
-                    manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
                 if expert_key in snapshot_moment_experts:
                     key = expert_entry_key(expert_key, name) + ":o"
-                    nbytes = self.memory_store.put(
-                        key, self._encode(self._optimizer_entry(name)), stamp=iteration, node=node
+                    snapshot_items.append(
+                        (key, self._encode(self._optimizer_entry(name)), iteration, node)
                     )
-                    manifest.snapshot_entries.append(ManifestRecord(key, iteration, nbytes))
+        self._record(manifest.snapshot_entries, snapshot_items,
+                     self.memory_store.put_many(snapshot_items))
         meta_key = meta_entry_key("iteration")
         self.memory_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
         self.plt_tracker.record_save(
@@ -275,26 +293,30 @@ class MoCCheckpointManager:
         )
 
         # --- persist tier (CPU memory -> storage) ----------------------
+        # Batched; with async_writes the batch is staged on the write
+        # pipeline and drains while training computes.  The meta entry
+        # goes last so a durable meta stamp implies its checkpoint's
+        # entries were accepted before it.
+        persist_items: List = []
         for name in self._non_expert_params:
             key = non_expert_entry_key(name)
-            nbytes = self.disk_store.put(key, self._encode(self._full_entry(name)), stamp=iteration)
-            manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+            persist_items.append((key, self._encode(self._full_entry(name)), iteration, 0))
         persist_weight_experts = self._component_experts(plan, "weights", tier="persist")
         persist_moment_experts = self._component_experts(plan, "moments", tier="persist")
         for expert_key in sorted(persist_weight_experts | persist_moment_experts):
             for name in self._expert_params[expert_key]:
                 if expert_key in persist_weight_experts:
                     key = expert_entry_key(expert_key, name) + ":w"
-                    nbytes = self.disk_store.put(
-                        key, self._encode(self._weights_entry(name)), stamp=iteration
+                    persist_items.append(
+                        (key, self._encode(self._weights_entry(name)), iteration, 0)
                     )
-                    manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
                 if expert_key in persist_moment_experts:
                     key = expert_entry_key(expert_key, name) + ":o"
-                    nbytes = self.disk_store.put(
-                        key, self._encode(self._optimizer_entry(name)), stamp=iteration
+                    persist_items.append(
+                        (key, self._encode(self._optimizer_entry(name)), iteration, 0)
                     )
-                    manifest.persist_entries.append(ManifestRecord(key, iteration, nbytes))
+        self._record(manifest.persist_entries, persist_items,
+                     self.disk_store.put_many(persist_items))
         self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
         self.plt_tracker.record_save(
             PERSIST_TIER, persist_weight_experts & persist_moment_experts
@@ -303,6 +325,21 @@ class MoCCheckpointManager:
         self.checkpoint_count += 1
         self.manifests.append(manifest)
         return manifest
+
+    @staticmethod
+    def _record(records: List[ManifestRecord], items, sizes: Sequence[int]) -> None:
+        for (key, _entry, stamp, _node), nbytes in zip(items, sizes):
+            records.append(ManifestRecord(key, stamp, nbytes))
+
+    def flush(self) -> None:
+        """Durability barrier over both tiers (async persist included)."""
+        self.memory_store.flush()
+        self.disk_store.flush()
+
+    def close(self) -> None:
+        """Flush and release store resources (async worker threads)."""
+        self.memory_store.close()
+        self.disk_store.close()
 
     def _component_experts(self, plan: PECPlan, component: str, tier: str) -> Set[ExpertKey]:
         """Experts whose ``component`` is written at ``tier`` this checkpoint."""
@@ -336,6 +373,9 @@ class MoCCheckpointManager:
         Training must resume from the last *persisted* checkpoint's
         iteration.
         """
+        # Drain any in-flight async writes before reading: recovery must
+        # observe every accepted put (and surface deferred write errors).
+        self.disk_store.flush()
         if not self.disk_store.has(meta_entry_key("iteration")):
             raise RuntimeError("no persisted checkpoint to recover from")
         for node in failed_nodes:

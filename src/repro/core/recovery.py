@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
-from ..ckpt.kvstore import DiskKVStore, InMemoryKVStore
+from ..ckpt.backend import CheckpointBackend
 from ..models.serial import ExpertKey
 from .plt import PERSIST_TIER, SNAPSHOT_TIER
 from .sharding import ShardTopology
@@ -74,8 +74,8 @@ def placement_from_topology(
 
 
 def build_recovery_plan(
-    memory_store: InMemoryKVStore,
-    disk_store: DiskKVStore,
+    memory_store: CheckpointBackend,
+    disk_store: CheckpointBackend,
     entry_keys_by_expert: Mapping[ExpertKey, Sequence[str]],
     non_expert_entry_keys: Sequence[str],
     expert_placement: Mapping[ExpertKey, Sequence[int]],
@@ -126,8 +126,6 @@ def build_recovery_plan(
     return plan
 
 
-def len_of(store, entry_key: str) -> int:
+def len_of(store: CheckpointBackend, entry_key: str) -> int:
     """Byte size of an entry (via store metadata, not a read)."""
-    if isinstance(store, InMemoryKVStore):
-        return store._meta[entry_key].nbytes  # noqa: SLF001 - same package
-    return int(store._index[entry_key]["nbytes"])  # noqa: SLF001
+    return store.nbytes_of(entry_key)

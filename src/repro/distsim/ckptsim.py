@@ -101,6 +101,52 @@ def pec_plan_for(
     return planner.plan(checkpoint_index)
 
 
+@dataclass(frozen=True)
+class AsyncWriteWindow:
+    """Overlap model for the double-buffered persist pipeline.
+
+    Mirrors :class:`~repro.ckpt.async_writer.AsyncWriteBackend`: once a
+    checkpoint's entries are staged, the write drains during subsequent
+    training compute.  With ``queue_depth`` checkpoints' worth of staging
+    buffers, a persist may keep draining until the buffer is needed again
+    — ``queue_depth * checkpoint_interval`` iterations later.  Whatever
+    does not fit in that window stalls the training loop.
+    """
+
+    window_seconds: float  # compute time available to hide the persist
+    stall_seconds: float  # residual blocking time per checkpoint
+    hidden_fraction: float  # share of the persist hidden under compute
+
+    @property
+    def fully_overlapped(self) -> bool:
+        return self.stall_seconds == 0.0
+
+
+def overlapped_write_window(
+    persist_seconds: float,
+    iteration_seconds: float,
+    checkpoint_interval: int,
+    queue_depth: int = 2,
+) -> AsyncWriteWindow:
+    """Stall per checkpoint under the async double-buffered pipeline.
+
+    ``persist_seconds`` is the synchronous persist duration (e.g.
+    :attr:`CheckpointCost.persist_seconds`); the returned stall is what
+    remains after overlapping it with ``queue_depth`` checkpoint
+    intervals of compute.
+    """
+    if iteration_seconds <= 0:
+        raise ValueError("iteration_seconds must be positive")
+    if checkpoint_interval < 1 or queue_depth < 1:
+        raise ValueError("checkpoint_interval and queue_depth must be >= 1")
+    window = queue_depth * checkpoint_interval * iteration_seconds
+    stall = max(0.0, persist_seconds - window)
+    hidden = 1.0 if persist_seconds <= 0 else (persist_seconds - stall) / persist_seconds
+    return AsyncWriteWindow(
+        window_seconds=window, stall_seconds=stall, hidden_fraction=hidden
+    )
+
+
 def persist_file_bytes(
     spec: MoEModelSpec, topology: ShardTopology, k_persist: Optional[int] = None
 ) -> int:

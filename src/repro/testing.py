@@ -1,0 +1,60 @@
+"""Shared tiny fixtures for the test suite and benchmarks.
+
+Lives inside the package (rather than a ``conftest.py``) so both
+``tests/`` and ``benchmarks/`` can import it without relying on pytest's
+conftest module shadowing — ``from conftest import TINY`` broke whenever
+another directory's conftest loaded first.
+"""
+
+from __future__ import annotations
+
+from .models import Adam, MoEModelConfig, MoETransformerLM
+
+# The smallest model exercising every subsystem: 2 MoE layers, 4 experts.
+TINY = MoEModelConfig(
+    vocab_size=32,
+    max_seq_len=12,
+    dim=16,
+    num_layers=2,
+    num_heads=2,
+    num_experts=4,
+    top_k=2,
+    seed=0,
+)
+
+
+def tiny_model(config: MoEModelConfig = TINY) -> MoETransformerLM:
+    return MoETransformerLM(config)
+
+
+def tiny_model_and_optimizer(config: MoEModelConfig = TINY, lr: float = 1e-2):
+    model = MoETransformerLM(config)
+    return model, Adam(model.named_parameters(), lr=lr)
+
+
+def train_steps(model, optimizer, corpus, iterations, start=1, batch_size=2):
+    """Run a few deterministic training steps; returns final loss."""
+    loss_value = float("nan")
+    for iteration in range(start, start + iterations):
+        tokens, targets = corpus.batch(iteration, batch_size)
+        optimizer.zero_grad()
+        loss = model.loss(tokens, targets)
+        loss.backward()
+        optimizer.step()
+        loss_value = loss.item()
+    return loss_value
+
+
+def snapshot_params(model) -> dict:
+    return {name: param.data.copy() for name, param in model.named_parameters()}
+
+
+def params_equal(a: dict, b: dict) -> bool:
+    import numpy as np
+
+    return all(np.array_equal(a[name], b[name]) for name in a)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the pytest-benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

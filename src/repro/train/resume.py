@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from ..ckpt.kvstore import DiskKVStore
+from ..ckpt.backend import make_backend
 from ..ckpt.manifest import meta_entry_key
 from ..core.config import MoCConfig
 from ..core.manager import MoCCheckpointManager
@@ -37,9 +37,13 @@ class ResumedRun:
     resume_iteration: int
 
 
-def latest_persisted_iteration(disk_root: str) -> int:
+def latest_persisted_iteration(disk_root: str, backend: str = "disk") -> int:
     """The iteration of the newest durable checkpoint, or -1 if none."""
-    store = DiskKVStore(disk_root)
+    if backend == "memory":
+        # A fresh InMemoryKVStore is always empty: nothing in-process
+        # survives the job failure a resume recovers from.
+        raise ValueError("the 'memory' backend is not resumable across processes")
+    store = make_backend(backend, disk_root)
     key = meta_entry_key("iteration")
     if not store.has(key):
         return -1
@@ -55,6 +59,8 @@ def resume_training(
     moc_config: MoCConfig,
     trainer_config: TrainerConfig,
     disk_root: str,
+    backend: str = "disk",
+    async_writes: bool = False,
     fault_schedule: Optional[FaultSchedule] = None,
     val_fn_factory: Optional[Callable[[object], Callable[[], float]]] = None,
 ) -> ResumedRun:
@@ -67,14 +73,17 @@ def resume_training(
     :func:`continue_run` (or ``trainer.run`` manually after adjusting
     iteration bookkeeping) to finish the job.
     """
-    resume_iteration = latest_persisted_iteration(disk_root)
+    resume_iteration = latest_persisted_iteration(disk_root, backend=backend)
     if resume_iteration < 0:
         raise FileNotFoundError(
             f"no persisted checkpoint under {disk_root!r} — cannot resume"
         )
     model = model_factory()
     optimizer = optimizer_factory(model)
-    manager = MoCCheckpointManager(model, optimizer, moc_config, disk_root=disk_root)
+    manager = MoCCheckpointManager(
+        model, optimizer, moc_config, disk_root=disk_root,
+        backend=backend, async_writes=async_writes,
+    )
     # A cold restart has no surviving CPU memory anywhere: every node of
     # the placement is "failed" from the snapshot tier's perspective.
     all_nodes = sorted(

@@ -7,19 +7,8 @@ import pytest
 
 from repro.core import MoCConfig, MoCCheckpointManager, PECConfig, TwoLevelConfig
 from repro.models import Adam, MoEModelConfig, MoETransformerLM
+from repro.testing import TINY, params_equal, snapshot_params, train_steps
 from repro.train import MarkovCorpus
-
-
-TINY = MoEModelConfig(
-    vocab_size=32,
-    max_seq_len=12,
-    dim=16,
-    num_layers=2,
-    num_heads=2,
-    num_experts=4,
-    top_k=2,
-    seed=0,
-)
 
 
 @pytest.fixture
@@ -53,22 +42,5 @@ def tiny_manager(tiny_model, tiny_optimizer, tmp_path) -> MoCCheckpointManager:
     )
 
 
-def train_steps(model, optimizer, corpus, iterations, start=1, batch_size=2):
-    """Run a few deterministic training steps; returns final loss."""
-    loss_value = float("nan")
-    for iteration in range(start, start + iterations):
-        tokens, targets = corpus.batch(iteration, batch_size)
-        optimizer.zero_grad()
-        loss = model.loss(tokens, targets)
-        loss.backward()
-        optimizer.step()
-        loss_value = loss.item()
-    return loss_value
-
-
-def snapshot_params(model) -> dict:
-    return {name: param.data.copy() for name, param in model.named_parameters()}
-
-
-def params_equal(a: dict, b: dict) -> bool:
-    return all(np.array_equal(a[name], b[name]) for name in a)
+# train_steps / snapshot_params / params_equal live in repro.testing and
+# are re-imported above for any remaining `from conftest import` users.

@@ -1,0 +1,515 @@
+"""Shared contract suite: every backend honours the same storage rules.
+
+Parametrized over all four backends (memory, disk, sharded journal, and
+the async pipeline wrapping the sharded store).  Backend-specific
+behaviour — journal crash-consistency, async error propagation, the
+no-index-rewrite property — is covered in dedicated classes below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    AsyncWriteBackend,
+    AsyncWriteError,
+    CheckpointBackend,
+    DiskKVStore,
+    InMemoryKVStore,
+    KVStoreError,
+    ShardedDiskKVStore,
+    escape_key,
+    make_backend,
+    unescape_key,
+)
+
+BACKENDS = ["memory", "disk", "sharded", "async"]
+
+
+@pytest.fixture(params=BACKENDS)
+def store(request, tmp_path) -> CheckpointBackend:
+    kind = request.param
+    if kind == "memory":
+        backend = InMemoryKVStore()
+    elif kind == "disk":
+        backend = DiskKVStore(str(tmp_path / "disk"))
+    elif kind == "sharded":
+        backend = ShardedDiskKVStore(str(tmp_path / "sharded"))
+    else:
+        backend = AsyncWriteBackend(ShardedDiskKVStore(str(tmp_path / "async")))
+    yield backend
+    backend.close()
+
+
+class TestContract:
+    def test_put_get_roundtrip(self, store):
+        store.put("ne:layer.weight", {"x": np.arange(4.0)}, stamp=3)
+        assert np.array_equal(store.get("ne:layer.weight")["x"], np.arange(4.0))
+        assert store.stamp_of("ne:layer.weight") == 3
+
+    def test_overwrite_updates_stamp(self, store):
+        store.put("k", {"x": np.ones(2)}, stamp=1)
+        store.put("k", {"x": np.zeros(2)}, stamp=9)
+        assert store.stamp_of("k") == 9
+        assert np.array_equal(store.get("k")["x"], np.zeros(2))
+
+    def test_missing_key_raises(self, store):
+        for accessor in (store.get, store.stamp_of, store.nbytes_of, store.delete):
+            with pytest.raises(KVStoreError):
+                accessor("nope")
+
+    def test_byte_meters(self, store):
+        n = store.put("k", {"x": np.ones(8)}, stamp=0)
+        assert store.bytes_written == n
+        store.get("k")
+        assert store.bytes_read == n
+        assert store.total_bytes() == n
+        assert store.nbytes_of("k") == n
+        assert store.put_count == 1
+
+    def test_put_many_batches(self, store):
+        items = [
+            (f"k{i}", {"x": np.full(i + 1, float(i))}, 7, 0) for i in range(5)
+        ]
+        sizes = store.put_many(items)
+        assert len(sizes) == 5
+        assert store.keys() == sorted(f"k{i}" for i in range(5))
+        assert store.total_bytes() == sum(sizes)
+        assert store.bytes_written == sum(sizes)
+        for i in range(5):
+            assert store.stamp_of(f"k{i}") == 7
+            assert np.array_equal(store.get(f"k{i}")["x"], np.full(i + 1, float(i)))
+
+    def test_delete(self, store):
+        store.put("a", {"x": np.ones(1)}, stamp=0)
+        store.put("b", {"x": np.ones(1)}, stamp=0)
+        store.delete("a")
+        assert not store.has("a")
+        assert store.keys() == ["b"]
+        with pytest.raises(KVStoreError):
+            store.get("a")
+
+    def test_delete_many(self, store):
+        for name in ("a", "b", "c"):
+            store.put(name, {"x": np.ones(1)}, stamp=0)
+        store.delete_many(["a", "c"])
+        assert store.keys() == ["b"]
+
+    def test_colliding_keys_stay_distinct(self, store):
+        # Regression: the old escaping mapped "a/b" and "a__b" to one file.
+        store.put("a/b", {"x": np.ones(1)}, stamp=1)
+        store.put("a__b", {"x": np.zeros(1)}, stamp=2)
+        assert np.array_equal(store.get("a/b")["x"], np.ones(1))
+        assert np.array_equal(store.get("a__b")["x"], np.zeros(1))
+        assert store.stamp_of("a/b") == 1
+        assert store.stamp_of("a__b") == 2
+
+    def test_flush_is_idempotent_barrier(self, store):
+        store.put("k", {"x": np.ones(3)}, stamp=1)
+        store.flush()
+        store.flush()
+        assert store.has("k")
+
+
+class TestEscaping:
+    @pytest.mark.parametrize(
+        "key",
+        ["a/b", "a__b", "expert:l0:e1:blocks.1.moe/experts.1.fc_in.weight",
+         "meta:iteration", "100%", "naïve/κey"],
+    )
+    def test_roundtrip(self, key):
+        assert unescape_key(escape_key(key)) == key
+
+    def test_injective_on_historic_collision(self):
+        assert escape_key("a/b") != escape_key("a__b")
+        assert "/" not in escape_key("a/b")
+        assert ":" not in escape_key("meta:iteration")
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("kind", ["disk", "sharded"])
+    def test_survives_reopen(self, kind, tmp_path):
+        store = make_backend(kind, str(tmp_path))
+        store.put("a/b", {"x": np.ones(5)}, stamp=7)
+        store.put("k", {"x": np.zeros(2)}, stamp=8)
+        store.delete("k")
+        reopened = make_backend(kind, str(tmp_path))
+        assert reopened.keys() == ["a/b"]
+        assert reopened.stamp_of("a/b") == 7
+        assert np.array_equal(reopened.get("a/b")["x"], np.ones(5))
+
+
+class TestShardedJournal:
+    def test_partial_journal_line_ignored_on_reopen(self, tmp_path):
+        store = ShardedDiskKVStore(str(tmp_path))
+        store.put("a", {"x": np.ones(2)}, stamp=1)
+        store.put("b", {"x": np.ones(3)}, stamp=2)
+        # simulate a crash mid-append: torn trailing record
+        with open(store._journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "put", "key": "c", "st')
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        assert reopened.keys() == ["a", "b"]
+        assert reopened.stamp_of("b") == 2
+
+    def test_torn_tail_truncated_so_post_crash_writes_survive(self, tmp_path):
+        # Reopen after a torn append must truncate the fragment —
+        # otherwise the next append concatenates onto it and the *next*
+        # replay silently drops every post-crash record.
+        store = ShardedDiskKVStore(str(tmp_path))
+        store.put("a", {"x": np.ones(2)}, stamp=1)
+        with open(store._journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "put", "key": "c", "st')
+        recovered = ShardedDiskKVStore(str(tmp_path))
+        recovered.put("d", {"x": np.ones(3)}, stamp=2)
+        final = ShardedDiskKVStore(str(tmp_path))
+        assert final.keys() == ["a", "d"]
+        assert final.stamp_of("d") == 2
+
+    def test_no_index_rewrites_for_sequential_puts(self, tmp_path):
+        store = ShardedDiskKVStore(str(tmp_path))
+        for i in range(1000):
+            store.put(f"k{i}", {"x": np.ones(1)}, stamp=i)
+        assert store.index_rewrites == 0
+        assert store.compactions == 0
+        assert store.journal_appends == 1000
+
+    def test_put_many_routes_through_write_hook(self, tmp_path):
+        # Subclasses overriding _write (e.g. latency throttles) must see
+        # every batched entry, and the batch still journals only once.
+        seen = []
+
+        class Spy(ShardedDiskKVStore):
+            def _write(self, key, payload, stamp, node):
+                seen.append(key)
+                super()._write(key, payload, stamp, node)
+
+        store = Spy(str(tmp_path))
+        appends_before = store.journal_appends
+        store.put_many([(f"k{i}", {"x": np.ones(1)}, 0, 0) for i in range(4)])
+        assert seen == [f"k{i}" for i in range(4)]
+        assert store.journal_appends == appends_before + 4
+        # records landed in one physical append: replayable and complete
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        assert reopened.keys() == sorted(f"k{i}" for i in range(4))
+
+    def test_put_many_journals_completed_prefix_on_failure(self, tmp_path):
+        class Flaky(ShardedDiskKVStore):
+            def _write(self, key, payload, stamp, node):
+                if key == "boom":
+                    raise OSError("write failed")
+                super()._write(key, payload, stamp, node)
+
+        store = Flaky(str(tmp_path))
+        items = [
+            ("a", {"x": np.ones(1)}, 0, 0),
+            ("b", {"x": np.ones(1)}, 0, 0),
+            ("boom", {"x": np.ones(1)}, 0, 0),
+            ("never", {"x": np.ones(1)}, 0, 0),
+        ]
+        with pytest.raises(OSError):
+            store.put_many(items)
+        # the completed prefix survives a reopen — the journal never
+        # lags payloads that were already written
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        assert reopened.keys() == ["a", "b"]
+
+    def test_overwrites_trigger_compaction_and_preserve_state(self, tmp_path):
+        store = ShardedDiskKVStore(str(tmp_path), compact_min_records=32)
+        for stamp in range(200):
+            store.put("hot", {"x": np.full(2, float(stamp))}, stamp=stamp)
+        assert store.compactions > 0
+        assert store.index_rewrites == 0
+        assert store.stamp_of("hot") == 199
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        assert reopened.stamp_of("hot") == 199
+        # journal was compacted down to ~one record per live key
+        assert reopened.journal_records < 200
+
+    def test_torn_payload_overwrite_preserves_old_version(self, tmp_path, monkeypatch):
+        # Payload files are replaced atomically: a crash between writing
+        # the tmp file and renaming it must leave the journaled version
+        # intact (an in-place overwrite would have corrupted it).
+        import os as os_mod
+
+        store = ShardedDiskKVStore(str(tmp_path))
+        store.put("k", {"x": np.ones(2)}, stamp=1)
+
+        def crash_mid_replace(src, dst):
+            raise OSError("crash before rename")
+
+        monkeypatch.setattr(os_mod, "replace", crash_mid_replace)
+        with pytest.raises(OSError):
+            store.put("k", {"x": np.zeros(2)}, stamp=2)
+        monkeypatch.undo()
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        assert reopened.stamp_of("k") == 1
+        assert np.array_equal(reopened.get("k")["x"], np.ones(2))
+
+    def test_tombstone_survives_reopen(self, tmp_path):
+        store = ShardedDiskKVStore(str(tmp_path))
+        store.put("gone", {"x": np.ones(1)}, stamp=0)
+        store.put("kept", {"x": np.ones(1)}, stamp=0)
+        store.delete("gone")
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        assert reopened.keys() == ["kept"]
+
+    def test_indexed_key_with_missing_payload_raises_typed_error(self, tmp_path):
+        import os
+
+        store = ShardedDiskKVStore(str(tmp_path))
+        store.put("k", {"x": np.ones(1)}, stamp=0)
+        os.remove(store._path("k"))
+        with pytest.raises(KVStoreError):
+            store.get("k")
+
+
+class TestAsyncPipeline:
+    def test_flush_drains_everything(self, tmp_path):
+        inner = ShardedDiskKVStore(str(tmp_path))
+        with AsyncWriteBackend(inner) as store:
+            for i in range(50):
+                store.put(f"k{i}", {"x": np.ones(4)}, stamp=i)
+            store.flush()
+            assert store.pending() == 0
+            assert inner.put_count == 50
+            assert inner.bytes_written == store.bytes_written
+
+    def test_put_many_stays_batched_through_the_pipeline(self, tmp_path):
+        # The async wrapper must hand whole batches to the inner store,
+        # preserving its batched index maintenance: one index rewrite
+        # for the whole batch, not one per entry.
+        inner = DiskKVStore(str(tmp_path))
+        with AsyncWriteBackend(inner) as store:
+            store.put_many([(f"k{i}", {"x": np.ones(1)}, 0, 0) for i in range(8)])
+            store.flush()
+            assert inner.put_count == 8
+            assert inner.index_rewrites == 1
+            assert inner.keys() == sorted(f"k{i}" for i in range(8))
+
+    def test_writes_drain_in_submission_order(self, tmp_path):
+        order = []
+        inner = ShardedDiskKVStore(str(tmp_path))
+        original = inner.put_serialized
+
+        def tracking(key, payload, stamp, node=0):
+            order.append(key)
+            return original(key, payload, stamp, node)
+
+        inner.put_serialized = tracking
+        with AsyncWriteBackend(inner) as store:
+            for i in range(20):
+                store.put(f"k{i:02d}", {"x": np.ones(1)}, stamp=i)
+            store.flush()
+        assert order == [f"k{i:02d}" for i in range(20)]
+
+    def test_entry_mutation_after_put_is_safe(self, tmp_path):
+        # put() serializes in the caller thread: later mutation of the
+        # source arrays must not corrupt the stored version.
+        array = np.ones(8)
+        with AsyncWriteBackend(ShardedDiskKVStore(str(tmp_path))) as store:
+            store.put("k", {"x": array}, stamp=0)
+            array[:] = -1.0
+            assert np.array_equal(store.get("k")["x"], np.ones(8))
+
+    def test_write_error_raised_at_next_boundary(self, tmp_path):
+        inner = ShardedDiskKVStore(str(tmp_path))
+
+        def explode(key, payload, stamp, node=0):
+            raise OSError("disk full")
+
+        inner.put_serialized = explode
+        store = AsyncWriteBackend(inner)
+        store.put("k", {"x": np.ones(1)}, stamp=0)  # accepted; fails async
+        with pytest.raises(AsyncWriteError):
+            store.flush()
+        # error is consumed; pipeline is usable again afterwards
+        inner.put_serialized = ShardedDiskKVStore.put_serialized.__get__(inner)
+        store.put("k2", {"x": np.ones(1)}, stamp=1)
+        store.flush()
+        assert inner.has("k2")
+        store.close()
+
+    def test_failed_write_never_leaves_a_hole_under_later_writes(self, tmp_path):
+        # After a write fails, queued writes are discarded until the
+        # error is surfaced: the commit/meta entry must not become
+        # durable over the hole.
+        inner = ShardedDiskKVStore(str(tmp_path))
+        original = ShardedDiskKVStore.put_serialized.__get__(inner)
+
+        def fail_on_bad(key, payload, stamp, node=0):
+            if key == "bad":
+                raise OSError("disk full")
+            return original(key, payload, stamp, node)
+
+        inner.put_serialized = fail_on_bad
+        store = AsyncWriteBackend(inner)
+        with pytest.raises(AsyncWriteError):
+            store.put("bad", {"x": np.ones(1)}, stamp=0)
+            store.put("meta:iteration", {"iteration": np.asarray(1)}, stamp=1)
+            store.flush()
+        assert not inner.has("meta:iteration")
+        # pipeline resumes once the error was surfaced
+        store.put("k", {"x": np.ones(1)}, stamp=2)
+        store.flush()
+        assert inner.has("k")
+        store.close()
+
+    def test_backpressure_bounds_staging(self, tmp_path):
+        with pytest.raises(ValueError):
+            AsyncWriteBackend(ShardedDiskKVStore(str(tmp_path)), max_pending=0)
+
+    def test_put_surfacing_error_discards_stale_queue_first(self, tmp_path):
+        # When put() (not flush) surfaces the deferred error, items
+        # staged behind the failure must be discarded before the error
+        # flag clears — not written over the hole afterwards.
+        import threading
+        import time
+
+        inner = ShardedDiskKVStore(str(tmp_path))
+        original = ShardedDiskKVStore.put_serialized.__get__(inner)
+        release = threading.Event()
+
+        def gated(key, payload, stamp, node=0):
+            if key == "bad":
+                release.wait(timeout=5)
+                raise OSError("boom")
+            return original(key, payload, stamp, node)
+
+        inner.put_serialized = gated
+        store = AsyncWriteBackend(inner)
+        store.put("bad", {"x": np.ones(1)}, stamp=0)
+        store.put("stale", {"x": np.ones(1)}, stamp=1)
+        release.set()
+        with pytest.raises(AsyncWriteError):
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                store.put("probe", {"x": np.ones(1)}, stamp=2)
+                time.sleep(0.001)
+        store.flush()
+        assert not inner.has("stale")
+        assert not inner.has("probe")
+        # pipeline is writable again after the error was consumed
+        store.put("after", {"x": np.ones(1)}, stamp=3)
+        store.flush()
+        assert inner.has("after")
+        store.close()
+
+    def test_closed_backend_rejects_writes(self, tmp_path):
+        store = AsyncWriteBackend(ShardedDiskKVStore(str(tmp_path)))
+        store.put("k", {"x": np.ones(1)}, stamp=0)
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.put("late", {"x": np.ones(1)}, stamp=1)
+
+    def test_batch_larger_than_max_pending_is_chunked(self, tmp_path):
+        inner = ShardedDiskKVStore(str(tmp_path))
+        with AsyncWriteBackend(inner, max_pending=4) as store:
+            sizes = store.put_many(
+                [(f"k{i}", {"x": np.ones(1)}, 0, 0) for i in range(11)]
+            )
+            assert len(sizes) == 11
+            store.flush()
+            assert inner.put_count == 11
+            assert inner.keys() == sorted(f"k{i}" for i in range(11))
+
+    def test_reads_see_all_accepted_writes(self, tmp_path):
+        with AsyncWriteBackend(ShardedDiskKVStore(str(tmp_path))) as store:
+            store.put("meta:iteration", {"iteration": np.asarray(12)}, stamp=12)
+            assert store.has("meta:iteration")
+            assert store.stamp_of("meta:iteration") == 12
+            assert store.keys() == ["meta:iteration"]
+
+
+class TestManagerIntegration:
+    """The manager drives any backend pair, sync or async."""
+
+    def _run(self, tmp_path, **manager_kwargs):
+        from repro.core import (
+            MoCConfig,
+            MoCCheckpointManager,
+            PECConfig,
+            TwoLevelConfig,
+        )
+        from repro.testing import tiny_model_and_optimizer
+
+        model, optimizer = tiny_model_and_optimizer()
+        config = MoCConfig(
+            pec=PECConfig(k_snapshot=2, k_persist=1),
+            two_level=TwoLevelConfig(checkpoint_interval=2),
+        )
+        manager = MoCCheckpointManager(
+            model, optimizer, config, disk_root=str(tmp_path), **manager_kwargs
+        )
+        manager.save_initial(0)
+        counts = [np.full(4, 2)] * manager.num_moe_layers
+        for iteration in (2, 4):
+            manager.note_routing(counts)
+            manager.checkpoint(iteration)
+        return manager
+
+    @pytest.mark.parametrize("backend", ["disk", "sharded"])
+    @pytest.mark.parametrize("async_writes", [False, True])
+    def test_checkpoint_and_recover(self, tmp_path, backend, async_writes):
+        manager = self._run(tmp_path, backend=backend, async_writes=async_writes)
+        result = manager.recover(failed_nodes=[0])
+        assert result.resume_iteration == 4
+        manager.disk_store.close()
+
+    def test_async_wraps_given_store(self, tmp_path):
+        manager = self._run(tmp_path, backend="sharded", async_writes=True)
+        assert isinstance(manager.disk_store, AsyncWriteBackend)
+        assert isinstance(manager.disk_store.inner, ShardedDiskKVStore)
+        manifest = manager.manifests[-1]
+        manager.flush()
+        # manifest byte accounting matches the inner store's meters
+        assert manager.disk_store.inner.bytes_written == manager.disk_store.bytes_written
+        assert manifest.persist_bytes() <= manager.disk_store.bytes_written
+        manager.disk_store.close()
+
+    def test_resume_rejects_memory_backend(self, tmp_path):
+        from repro.train.resume import latest_persisted_iteration
+
+        with pytest.raises(ValueError):
+            latest_persisted_iteration(str(tmp_path), backend="memory")
+
+    def test_memory_backend_needs_no_root(self):
+        from repro.core import MoCConfig, MoCCheckpointManager
+        from repro.testing import tiny_model_and_optimizer
+
+        model, optimizer = tiny_model_and_optimizer()
+        manager = MoCCheckpointManager(model, optimizer, MoCConfig(), backend="memory")
+        assert isinstance(manager.disk_store, InMemoryKVStore)
+
+
+class TestOverlappedWriteWindow:
+    def test_fully_hidden_when_window_covers_persist(self):
+        from repro.distsim import overlapped_write_window
+
+        window = overlapped_write_window(
+            persist_seconds=3.0, iteration_seconds=1.0,
+            checkpoint_interval=2, queue_depth=2,
+        )
+        assert window.window_seconds == pytest.approx(4.0)
+        assert window.stall_seconds == 0.0
+        assert window.fully_overlapped
+        assert window.hidden_fraction == pytest.approx(1.0)
+
+    def test_residual_stall_when_persist_exceeds_window(self):
+        from repro.distsim import overlapped_write_window
+
+        window = overlapped_write_window(
+            persist_seconds=10.0, iteration_seconds=1.0,
+            checkpoint_interval=2, queue_depth=2,
+        )
+        assert window.stall_seconds == pytest.approx(6.0)
+        assert not window.fully_overlapped
+        assert window.hidden_fraction == pytest.approx(0.4)
+
+    def test_invalid_inputs_rejected(self):
+        from repro.distsim import overlapped_write_window
+
+        with pytest.raises(ValueError):
+            overlapped_write_window(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            overlapped_write_window(1.0, 1.0, 0)

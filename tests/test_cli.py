@@ -67,3 +67,22 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "fault at" in out
         assert "PLT %" in out
+
+    @pytest.mark.parametrize("backend", ["memory", "disk", "sharded"])
+    def test_demo_backend_choices(self, capsys, backend):
+        assert main(
+            ["demo", "--iterations", "8", "--interval", "4", "--backend", backend]
+        ) == 0
+        assert backend in capsys.readouterr().out
+
+    def test_demo_async_writes(self, capsys):
+        assert main(
+            ["demo", "--iterations", "8", "--interval", "4",
+             "--backend", "sharded", "--async-writes"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded (async)" in out
+
+    def test_demo_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--backend", "tape"])

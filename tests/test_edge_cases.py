@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import TINY
 from repro.ckpt import InMemoryKVStore
+from repro.testing import TINY
 from repro.core import (
     MoCConfig,
     MoCCheckpointManager,

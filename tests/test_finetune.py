@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import TINY, snapshot_params
+from repro.testing import TINY, snapshot_params
 from repro.models import Adam, MoETransformerLM, expert_param_names, non_expert_param_names
 from repro.train import (
     FinetuneVariant,

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import TINY, params_equal, snapshot_params
+from repro.testing import TINY, params_equal, snapshot_params
 from repro.core import (
     MoCConfig,
     MoCCheckpointManager,

@@ -97,7 +97,7 @@ class TestManagerIntegration:
     def test_pec_store_staleness_matches_cycle(self, tmp_path):
         """After several PEC checkpoints, the auditor's staleness span is
         bounded by a full selection cycle of intervals."""
-        from conftest import TINY, train_steps
+        from repro.testing import TINY, train_steps
         from repro.core import MoCConfig, MoCCheckpointManager, PECConfig, TwoLevelConfig
         from repro.models import Adam, MoETransformerLM
         from repro.train import MarkovCorpus

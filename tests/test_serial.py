@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import TINY
+from repro.testing import TINY
 from repro.models import (
     MoEClassifier,
     MoEClassifierConfig,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from conftest import TINY, train_steps
+from repro.testing import TINY, train_steps
 from repro.models import (
     Adam,
     MoEClassifier,
