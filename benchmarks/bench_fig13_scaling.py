@@ -8,14 +8,16 @@ Base-Async / MoC-Async (MoC saves 1/8 of experts per checkpoint):
 (c) #GPUs with DP+EP on H100;
 (d) sequence length at 256 GPUs;
 (e) model size (hidden 1024/2048/3072) at 256 GPUs;
-(f) total persisted bytes: Base-Persist vs MoC-Persist.
+(f) total persisted bytes: Base-Persist vs MoC-Persist;
+(g) topology-change recovery: resharded restore after shrinking the
+    cluster to half its GPUs, serial vs the parallel restore pipeline.
 """
 
 from __future__ import annotations
 
 from repro.testing import once
 from repro.analysis import Series, render_series, render_table
-from repro.core import ShardingPolicy
+from repro.core import ShardingPolicy, ShardTopology
 from repro.distsim import (
     A800_CLUSTER,
     GB,
@@ -27,6 +29,7 @@ from repro.distsim import (
     llama_moe,
     pec_plan_for,
     persist_file_bytes,
+    reshard_recovery_cost,
     simulate_timeline,
 )
 
@@ -114,6 +117,20 @@ def compute_all():
         moc = persist_file_bytes(spec, topo, k_persist=max(1, gpus // 8))
         persist_rows.append((gpus, base / GB, moc / GB))
     panels["f_persist_size"] = persist_rows
+
+    # (g) topology-change recovery: shrink to half the GPUs, restore the
+    # full checkpoint resharded — serial reader vs parallel pipeline
+    reshard_rows = []
+    for gpus in GPU_SWEEP:
+        spec = llama_moe(num_experts=gpus)
+        source = ShardTopology(d_dp=gpus, d_ep=gpus)
+        target = ShardTopology(d_dp=gpus // 2, d_ep=gpus // 2)
+        cost = reshard_recovery_cost(spec, source, target, A800_CLUSTER)
+        reshard_rows.append(
+            (gpus, gpus // 2, cost.total_bytes / GB,
+             cost.serial_seconds, cost.parallel_seconds, cost.speedup)
+        )
+    panels["g_reshard_recovery"] = reshard_rows
     return panels
 
 
@@ -135,6 +152,14 @@ def test_fig13_scaling(benchmark, report):
         "Figure 13(f): persisted bytes per checkpoint\n"
         + render_table(["#GPUs", "Base-Persist GB", "MoC-Persist GB"],
                        panels["f_persist_size"], precision=1)
+    )
+    blocks.append(
+        "Figure 13(g): topology-change recovery (shrink to half the GPUs)\n"
+        + render_table(
+            ["#GPUs", "resume GPUs", "restore GB", "serial s", "parallel s",
+             "speedup x"],
+            panels["g_reshard_recovery"], precision=2,
+        )
     )
     report("fig13_scaling", "\n\n".join(blocks))
 
@@ -175,3 +200,10 @@ def test_fig13_scaling(benchmark, report):
     moc_sizes = [row[2] for row in panels["f_persist_size"]]
     assert base_sizes == sorted(base_sizes)
     assert all(m < b * 0.5 for m, b in zip(moc_sizes, base_sizes))
+
+    # (g) the parallel restore pipeline never loses to a serial reader,
+    # and its advantage grows with the cluster (more concurrent nodes)
+    speedups = [row[5] for row in panels["g_reshard_recovery"]]
+    assert all(row[4] <= row[3] for row in panels["g_reshard_recovery"])
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0

@@ -2,11 +2,13 @@
 
 from .backend import (
     CheckpointBackend,
+    CrashInjected,
     KVStoreError,
     escape_key,
     make_backend,
     unescape_key,
 )
+from .restore import ParallelRestorer, ReadRequest, RestoreStats, fetch_entries
 from .kvstore import BaseKVStore, DiskKVStore, InMemoryKVStore, StoredEntry
 from .sharded import ShardedDiskKVStore
 from .async_writer import AsyncWriteBackend, AsyncWriteError
@@ -39,6 +41,11 @@ __all__ = [
     "CheckpointBackend",
     "CheckpointManifest",
     "CodecStats",
+    "CrashInjected",
+    "ParallelRestorer",
+    "ReadRequest",
+    "RestoreStats",
+    "fetch_entries",
     "DEFAULT_FIELD_DTYPES",
     "DiskKVStore",
     "InMemoryKVStore",

@@ -34,7 +34,8 @@ collide on disk (the historical ``replace("/", "__")`` scheme mapped
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+import threading
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -77,6 +78,16 @@ class KVStoreError(KeyError):
     """Raised when a requested entry is missing."""
 
 
+class CrashInjected(RuntimeError):
+    """Raised by a test fault hook to model a process dying mid-operation.
+
+    The crash-injection suite installs a ``fault_hook`` on a disk-backed
+    store, raises this at a chosen fault point, abandons the instance
+    (the "process" is dead) and reopens the directory to assert what
+    replay recovers.
+    """
+
+
 # One put_many work item: (key, entry, stamp, node).
 PutItem = Tuple[str, Mapping[str, np.ndarray], int, Union[int, Sequence[int]]]
 
@@ -89,10 +100,22 @@ class CheckpointBackend(abc.ABC):
     byte meters so accounting is uniform across tiers.
     """
 
+    #: Test seam for crash injection: when set, disk-backed stores call it
+    #: at named fault points ("payload:durable", "journal:mid-append", …)
+    #: so a test can raise :class:`CrashInjected` mid-operation.
+    fault_hook: Optional[Callable[[str], None]] = None
+
     def __init__(self) -> None:
         self.bytes_written = 0
         self.bytes_read = 0
         self.put_count = 0
+        # Byte meters must stay exact under the parallel restore
+        # pipeline's concurrent readers (and a reader racing a writer).
+        self._meter_lock = threading.Lock()
+
+    def _fault(self, point: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(point)
 
     # -- payload hooks --------------------------------------------------
     @abc.abstractmethod
@@ -111,8 +134,9 @@ class CheckpointBackend(abc.ABC):
     def put_serialized(self, key: str, payload: bytes, stamp: int, node=0) -> int:
         """Store an already-serialized payload (meters included)."""
         self._write(key, payload, stamp, node)
-        self.bytes_written += len(payload)
-        self.put_count += 1
+        with self._meter_lock:
+            self.bytes_written += len(payload)
+            self.put_count += 1
         return len(payload)
 
     def put_many(self, items: Sequence[PutItem]) -> List[int]:
@@ -131,7 +155,8 @@ class CheckpointBackend(abc.ABC):
 
     def get(self, key: str) -> Dict[str, np.ndarray]:
         payload = self._read(key)
-        self.bytes_read += len(payload)
+        with self._meter_lock:
+            self.bytes_read += len(payload)
         return deserialize_entry(payload)
 
     @abc.abstractmethod

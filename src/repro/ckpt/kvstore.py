@@ -162,6 +162,7 @@ class DiskKVStore(CheckpointBackend):
         tmp = self._index_path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(self._index, handle)
+        self._fault("index:tmp-written")
         os.replace(tmp, self._index_path)
         self.index_rewrites += 1
 
@@ -170,7 +171,14 @@ class DiskKVStore(CheckpointBackend):
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
             handle.write(payload)
+        self._fault("payload:tmp-written")
         os.replace(tmp, path)
+        # NB: unlike the sharded store's versioned files, an overwrite
+        # here replaces the payload in place before the index flush — a
+        # crash in that window leaves the new bytes under the old index
+        # metadata.  The crash-injection suite pins this (weaker)
+        # contract; the journal store is the hardened tier.
+        self._fault("payload:durable")
         self._index[key] = {"stamp": stamp, "nbytes": len(payload)}
         if not self._defer_index_flush:
             self._flush_index()

@@ -83,7 +83,7 @@ class RetentionAuditor:
 def expected_entry_keys(
     non_expert_names: Iterable[str],
     expert_entry_keys: Iterable[str],
-    meta_names: Iterable[str] = ("iteration",),
+    meta_names: Iterable[str] = ("iteration", "topology"),
 ) -> Set[str]:
     """The full set of keys a live manager population owns."""
     from .manifest import meta_entry_key, non_expert_entry_key

@@ -31,7 +31,11 @@ def serialize_entry(entry: Mapping[str, np.ndarray]) -> bytes:
     out.write(_MAGIC)
     out.write(struct.pack("<I", len(entry)))
     for name in sorted(entry):
-        array = np.ascontiguousarray(np.asarray(entry[name]))
+        array = np.asarray(entry[name])
+        if array.ndim:
+            # ascontiguousarray promotes 0-d to 1-d — only call it when
+            # there is a layout to normalize, so scalars keep shape ().
+            array = np.ascontiguousarray(array)
         name_bytes = name.encode("utf-8")
         dtype_bytes = array.dtype.str.encode("ascii")
         out.write(struct.pack("<H", len(name_bytes)))

@@ -6,24 +6,44 @@ hot directory holding every entry file.  This store fixes both:
 
 * **Sharded layout** — entries live under ``<root>/shards/<hh>/`` where
   ``hh`` is a hash prefix of the key, keeping directories small and
-  letting future parallel writers fan out across shards.
+  letting parallel readers/writers fan out across shards.
 * **Journal index** — metadata is an append-only JSONL file.  A put
   appends one line (O(1)); opening the store replays the journal, last
   record per key winning.  Deletes append tombstones.  A torn final
-  line (crash mid-append) is ignored on replay, so the store recovers to
-  the last complete record.
+  line (crash mid-append) is truncated on replay, so the store recovers
+  to the last complete record.
 * **Periodic compaction** — when the journal holds far more records
   than live keys, it is rewritten to one record per key (atomic via
   ``os.replace``).  ``compactions`` counts them; ``journal_appends``
   counts appended records, and ``index_rewrites`` stays 0 by
   construction (the property the microbenchmark asserts).
 
-Write ordering: the payload file is written *before* its journal record,
-so a journal record always refers to a complete payload; a crash between
-the two leaves an orphan file that is invisible to the index.  Payload
-files are replaced atomically (tmp + ``os.replace``) so an overwrite
-torn mid-write cannot corrupt the previous version that the journal
-still references.
+Crash consistency
+-----------------
+Payload files are *versioned*: entry ``k`` at stamp ``s`` lives in
+``<escaped k>@<s>.bin`` (``<escaped k>@<s>.<gen>.bin`` for repeated
+writes at the same stamp — see :meth:`ShardedDiskKVStore._path` for why
+the ``@`` separator matters), and the journal record for a put names
+the stamp whose file it refers to.  An overwrite therefore writes a **new**
+file and only then appends the journal record; the previous version's
+file is unlinked only after the record naming its successor is durable.
+Every crash window leaves the store consistent:
+
+* crash before the new payload's ``os.replace`` — old file + old record
+  intact, a stray ``.tmp`` is ignored;
+* crash after the payload lands but before the journal append — the new
+  file is an invisible orphan; replay serves the previous version with
+  matching metadata (stamp, nbytes and bytes all agree — unlike a flat
+  store that overwrites payloads in place);
+* crash mid-append — the torn journal line is truncated on replay;
+* crash mid-compaction — the compacted file is still a ``.tmp``; the
+  original journal is untouched.
+
+Batched puts defer both the journal append and superseded-file removal
+to the end of the batch, so payloads never outlive the records that
+reference them in the wrong order.  The crash-injection test suite
+(``tests/test_crash_injection.py``) drives every window above through
+the ``fault_hook`` seam on :class:`~repro.ckpt.backend.CheckpointBackend`.
 """
 
 from __future__ import annotations
@@ -33,11 +53,11 @@ import json
 import os
 from typing import Dict, List
 
-from .backend import CheckpointBackend, KVStoreError, escape_key
+from .backend import CheckpointBackend, CrashInjected, KVStoreError, escape_key
 
 
 class ShardedDiskKVStore(CheckpointBackend):
-    """Persistent tier: hash-sharded entry files + JSONL journal index."""
+    """Persistent tier: hash-sharded versioned entry files + JSONL journal."""
 
     def __init__(
         self,
@@ -62,6 +82,9 @@ class ShardedDiskKVStore(CheckpointBackend):
         self._shard_dirs_made: set = set()
         self._defer_journal = False
         self._pending_records: List[dict] = []
+        # Superseded / deleted payload files whose removal must wait for
+        # the journal records that stop referencing them (batched path).
+        self._pending_unlinks: List[str] = []
         self.journal_records = 0  # records currently in the journal file
         self.journal_appends = 0  # records appended by this instance
         self.compactions = 0
@@ -83,6 +106,13 @@ class ShardedDiskKVStore(CheckpointBackend):
         valid_bytes = 0
         with open(self._journal_path, "rb") as handle:
             for line in handle:
+                if not line.endswith(b"\n"):
+                    # A complete record always ends with the newline its
+                    # append wrote before acknowledging; a parseable tail
+                    # without one is still a torn write, and accepting it
+                    # would let the next append concatenate onto it and
+                    # a later replay drop acknowledged records.
+                    break
                 try:
                     record = json.loads(line.decode("utf-8"))
                 except (json.JSONDecodeError, UnicodeDecodeError):
@@ -93,6 +123,7 @@ class ShardedDiskKVStore(CheckpointBackend):
                     self._index[record["key"]] = {
                         "stamp": int(record["stamp"]),
                         "nbytes": int(record["nbytes"]),
+                        "gen": int(record.get("gen", 0)),
                     }
                 elif record["op"] == "del":
                     self._index.pop(record["key"], None)
@@ -110,9 +141,19 @@ class ShardedDiskKVStore(CheckpointBackend):
         """Append journal records in one write, then maybe compact."""
         text = "".join(json.dumps(record) + "\n" for record in records)
         with open(self._journal_path, "a", encoding="utf-8") as handle:
-            handle.write(text)
+            if self.fault_hook is not None and len(text) > 1:
+                # Crash-injection seam: split the append so a hook can
+                # model a torn line (partial bytes durable, then death).
+                half = len(text) // 2
+                handle.write(text[:half])
+                handle.flush()
+                self._fault("journal:mid-append")
+                handle.write(text[half:])
+            else:
+                handle.write(text)
         self.journal_records += len(records)
         self.journal_appends += len(records)
+        self._fault("journal:appended")
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:
@@ -126,24 +167,45 @@ class ShardedDiskKVStore(CheckpointBackend):
         with open(tmp, "w", encoding="utf-8") as handle:
             for key in sorted(self._index):
                 meta = self._index[key]
-                handle.write(
-                    json.dumps(
-                        {"op": "put", "key": key,
-                         "stamp": meta["stamp"], "nbytes": meta["nbytes"]}
-                    )
-                    + "\n"
-                )
+                record = {"op": "put", "key": key,
+                          "stamp": meta["stamp"], "nbytes": meta["nbytes"]}
+                if meta.get("gen"):
+                    record["gen"] = meta["gen"]
+                handle.write(json.dumps(record) + "\n")
+        self._fault("compact:tmp-written")
         os.replace(tmp, self._journal_path)
         self.journal_records = len(self._index)
         self.compactions += 1
 
     # -- layout ---------------------------------------------------------
-    def _path(self, key: str) -> str:
-        """Pure path computation — no filesystem side effects, so reads
-        and deletes never create shard directories."""
+    def _shard_of(self, key: str) -> str:
         digest = hashlib.sha1(key.encode("utf-8")).hexdigest()
-        shard = os.path.join(self._shards_dir, digest[: self.shard_width])
-        return os.path.join(shard, escape_key(key) + ".bin")
+        return os.path.join(self._shards_dir, digest[: self.shard_width])
+
+    def _path(self, key: str, stamp: int, gen: int = 0) -> str:
+        """Versioned payload path — pure computation, no side effects.
+
+        ``gen`` disambiguates successive writes of the *same* key at the
+        *same* stamp: without it, such an overwrite would replace the
+        referenced payload in place, reopening the torn-overwrite window
+        the stamp-versioned names exist to close.
+
+        The version suffix is joined with ``@`` — a character
+        :func:`escape_key` never emits — so distinct ``(key, stamp,
+        gen)`` triples can never compose to the same file name (a ``.``
+        separator would let ``k`` at stamp 5/gen 3 collide with key
+        ``k.5`` at stamp 3).
+        """
+        suffix = f"@{stamp}.bin" if gen == 0 else f"@{stamp}.{gen}.bin"
+        return os.path.join(self._shard_of(key), escape_key(key) + suffix)
+
+    def _legacy_path(self, key: str) -> str:
+        """Pre-versioning payload path (PR-1 layout: no stamp suffix).
+
+        Reads fall back to it so an existing checkpoint directory stays
+        resumable; rewrites land under versioned names.
+        """
+        return os.path.join(self._shard_of(key), escape_key(key) + ".bin")
 
     def _ensure_shard_dir(self, path: str) -> None:
         shard = os.path.dirname(path)
@@ -151,21 +213,74 @@ class ShardedDiskKVStore(CheckpointBackend):
             os.makedirs(shard, exist_ok=True)
             self._shard_dirs_made.add(shard)
 
-    def _write_payload(self, key: str, payload: bytes) -> None:
-        """Atomic payload replace: a torn overwrite never clobbers the
-        previous version the journal still points at."""
-        path = self._path(key)
+    def _write_payload(self, path: str, payload: bytes) -> None:
+        """Atomic payload replace: a torn write never clobbers any
+        version a journal record can reference."""
         self._ensure_shard_dir(path)
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
             handle.write(payload)
+        self._fault("payload:tmp-written")
         os.replace(tmp, path)
+
+    def _unlink_after_journal(self, path: str) -> None:
+        """Remove a no-longer-referenced payload file.
+
+        Deferred inside a batch: the file must survive until the journal
+        records that stop referencing it are durable, or a crash would
+        leave the index pointing at a deleted payload.
+        """
+        if self._defer_journal:
+            self._pending_unlinks.append(path)
+            return
+        if os.path.exists(path):
+            os.remove(path)
+
+    def _superseded_path(self, key: str, old_meta: Dict[str, int]) -> str:
+        """The payload file an overwrite/delete makes unreferenced."""
+        path = self._path(key, int(old_meta["stamp"]), int(old_meta.get("gen", 0)))
+        if os.path.exists(path):
+            return path
+        return self._legacy_path(key)
 
     # -- backend contract -----------------------------------------------
     def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
-        self._write_payload(key, payload)
-        self._index[key] = {"stamp": stamp, "nbytes": len(payload)}
-        self._journal({"op": "put", "key": key, "stamp": stamp, "nbytes": len(payload)})
+        old_meta = self._index.get(key)
+        gen = 0
+        if old_meta is not None and int(old_meta["stamp"]) == stamp:
+            # Same-key same-stamp overwrite: bump the generation so the
+            # new payload lands in a fresh file and the journaled old
+            # version survives a crash before the new record is durable.
+            gen = int(old_meta.get("gen", 0)) + 1
+        self._write_payload(self._path(key, stamp, gen), payload)
+        self._fault("payload:durable")
+        self._index[key] = {"stamp": stamp, "nbytes": len(payload), "gen": gen}
+        record = {"op": "put", "key": key, "stamp": stamp, "nbytes": len(payload)}
+        if gen:
+            record["gen"] = gen
+        self._journal(record)
+        if old_meta is not None:
+            self._unlink_after_journal(self._superseded_path(key, old_meta))
+
+    def _finish_batch(self, crashed: bool = False) -> None:
+        """Flush deferred journal records, then deferred file unlinks.
+
+        ``crashed`` models a process death mid-batch (the crash-injection
+        suite's :class:`CrashInjected`): a dead process appends nothing
+        and unlinks nothing, so the deferred work is *discarded* — the
+        reopened store must see only what was durable at the fault
+        point (orphan payload files, the old journal).
+        """
+        records, self._pending_records = self._pending_records, []
+        unlinks, self._pending_unlinks = self._pending_unlinks, []
+        self._defer_journal = False
+        if crashed:
+            return
+        if records:
+            self._append_records(records)
+        for path in unlinks:
+            if os.path.exists(path):
+                os.remove(path)
 
     def put_many_serialized(self, items) -> List[int]:
         """Batched puts: one journal append for the whole batch.
@@ -174,27 +289,39 @@ class ShardedDiskKVStore(CheckpointBackend):
         so subclasses see every entry) with journaling deferred.  If an
         item fails mid-batch, the records of the completed prefix are
         still appended before the error propagates — the journal never
-        lags payloads that were already written.
+        lags payloads that were already written.  Superseded payload
+        files are unlinked only after the batch's records are durable.
         """
         self._defer_journal = True
         try:
             sizes = [self.put_serialized(key, payload, stamp, node)
                      for key, payload, stamp, node in items]
-        finally:
-            records, self._pending_records = self._pending_records, []
-            self._defer_journal = False
-            if records:
-                self._append_records(records)
+        except BaseException as exc:
+            self._finish_batch(crashed=isinstance(exc, CrashInjected))
+            raise
+        self._finish_batch()
         return sizes
 
     def _read(self, key: str) -> bytes:
         if key not in self._index:
             raise KVStoreError(key)
+        meta = self._index[key]
         try:
-            with open(self._path(key), "rb") as handle:
+            path = self._path(key, int(meta["stamp"]), int(meta.get("gen", 0)))
+            with open(path, "rb") as handle:
                 return handle.read()
         except FileNotFoundError:
+            pass
+        # Pre-versioning layout fallback, gated on the indexed size so a
+        # stale unversioned file can never masquerade as a newer stamp.
+        try:
+            with open(self._legacy_path(key), "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
             raise KVStoreError(key) from None
+        if len(payload) != int(meta["nbytes"]):
+            raise KVStoreError(key)
+        return payload
 
     def stamp_of(self, key: str) -> int:
         if key not in self._index:
@@ -222,11 +349,9 @@ class ShardedDiskKVStore(CheckpointBackend):
         # leaks an orphan payload file (invisible to the index), while
         # the reverse order would leave a journal that still indexes a
         # key whose payload is gone.
-        del self._index[key]
+        old_meta = self._index.pop(key)
         self._journal({"op": "del", "key": key})
-        path = self._path(key)
-        if os.path.exists(path):
-            os.remove(path)
+        self._unlink_after_journal(self._superseded_path(key, old_meta))
 
     def delete_many(self, keys) -> None:
         """Batched deletes: one journal append for all tombstones."""
@@ -234,8 +359,7 @@ class ShardedDiskKVStore(CheckpointBackend):
         try:
             for key in keys:
                 self.delete(key)
-        finally:
-            records, self._pending_records = self._pending_records, []
-            self._defer_journal = False
-            if records:
-                self._append_records(records)
+        except BaseException as exc:
+            self._finish_batch(crashed=isinstance(exc, CrashInjected))
+            raise
+        self._finish_batch()

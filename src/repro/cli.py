@@ -114,8 +114,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
     from .ckpt import AsyncWriteBackend, make_backend
-    from .core import MoCConfig, MoCCheckpointManager, PECConfig, TwoLevelConfig
+    from .core import (
+        MoCConfig,
+        MoCCheckpointManager,
+        PECConfig,
+        TwoLevelConfig,
+        grid_topology,
+    )
     from .models import Adam, MoEModelConfig, MoETransformerLM
     from .train import FaultSchedule, MarkovCorpus, Trainer, TrainerConfig
 
@@ -130,11 +138,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         pec=PECConfig(k_snapshot=min(2, args.experts), k_persist=1),
         two_level=TwoLevelConfig(checkpoint_interval=args.interval),
     )
+    topology = grid_topology(args.dp, args.ep, gpus_per_node=args.gpus_per_node)
+    resharding = args.resume_dp is not None or args.resume_ep is not None
+    rows = []
     with tempfile.TemporaryDirectory() as storage:
         store = make_backend(args.backend, storage)
         if args.async_writes:
             store = AsyncWriteBackend(store)
-        manager = MoCCheckpointManager(model, optimizer, config, disk_store=store)
+        manager = MoCCheckpointManager(
+            model, optimizer, config, disk_store=store, topology=topology
+        )
         trainer = Trainer(
             model, optimizer, corpus,
             TrainerConfig(total_iterations=args.iterations, batch_size=2),
@@ -142,18 +155,57 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             fault_schedule=FaultSchedule.midpoint(args.iterations),
         )
         history = trainer.run()
-        manager.close()
-    print(render_kv(
-        "demo run",
-        [
+        rows = [
             ("backend", args.backend + (" (async)" if args.async_writes else "")),
+            ("save topology", f"DP={args.dp} EP={args.ep}"),
             ("iterations (with replay)", history.executed_iterations),
             ("fault at", history.fault_iterations[0]),
             ("resumed from", history.recoveries[0].resume_iteration),
             ("PLT %", 100 * history.final_plt),
             ("final train loss", history.train_losses[args.iterations]),
-        ],
-    ))
+        ]
+        if resharding:
+            target = grid_topology(
+                args.resume_dp if args.resume_dp is not None else args.dp,
+                args.resume_ep if args.resume_ep is not None else args.ep,
+                gpus_per_node=args.gpus_per_node,
+            )
+
+            def resumed_params(restore_topology, workers):
+                fresh = MoETransformerLM(model_config)
+                fresh_opt = Adam(fresh.named_parameters(), lr=3e-3)
+                fresh_manager = MoCCheckpointManager(
+                    fresh, fresh_opt, config, disk_store=store,
+                    topology=restore_topology,
+                )
+                result = fresh_manager.restore(
+                    topology=restore_topology, workers=workers
+                )
+                return fresh, result
+
+            resharded, result = resumed_params(target, args.restore_workers)
+            reference, _ = resumed_params(topology, 1)
+            bit_exact = all(
+                np.array_equal(a.data, b.data)
+                for (_, a), (_, b) in zip(
+                    sorted(resharded.named_parameters()),
+                    sorted(reference.named_parameters()),
+                )
+            )
+            reshard = result.reshard
+            rows.extend([
+                ("resume topology", f"DP={target.num_ep_groups} EP={target.d_ep}"),
+                ("resharded resume from", result.resume_iteration),
+                ("moved experts", len(reshard.moved_experts)),
+                ("persist-tier fallbacks", len(reshard.fallback_experts)),
+                ("entries read", result.restore_stats.entries),
+                ("restore workers", result.restore_stats.workers),
+                ("restore wall ms", 1e3 * result.restore_stats.wall_seconds),
+                ("read imbalance (bottleneck/mean)", reshard.imbalance()),
+                ("matches source-topology restore", str(bit_exact)),
+            ])
+        manager.close()
+    print(render_kv("demo run", rows))
     return 0
 
 
@@ -192,6 +244,22 @@ def build_parser() -> argparse.ArgumentParser:
                       default="disk", help="persist-tier storage backend")
     demo.add_argument("--async-writes", action="store_true",
                       help="drain persist writes through the async pipeline")
+    demo.add_argument("--dp", type=int, default=2,
+                      help="data-parallel degree of the save topology "
+                           "(DP x EP ranks total)")
+    demo.add_argument("--ep", type=int, default=2,
+                      help="expert-parallel degree of the save topology")
+    demo.add_argument("--gpus-per-node", type=int, default=2,
+                      help="ranks per node for snapshot placement")
+    demo.add_argument("--resume-dp", type=int, default=None,
+                      help="after the run, reshard-resume the checkpoint "
+                           "at this data-parallel degree and verify the "
+                           "restored state matches a source-topology restore")
+    demo.add_argument("--resume-ep", type=int, default=None,
+                      help="expert-parallel degree of the resharded resume "
+                           "(must divide --experts)")
+    demo.add_argument("--restore-workers", type=int, default=4,
+                      help="parallel readers for the resharded restore")
     demo.set_defaults(func=_cmd_demo)
     return parser
 

@@ -34,13 +34,28 @@ from ..ckpt.manifest import (
     meta_entry_key,
     non_expert_entry_key,
 )
+from ..ckpt.restore import ParallelRestorer, ReadRequest, RestoreStats
 from ..models.optim import Adam
 from ..models.serial import ExpertKey, expert_param_names, non_expert_param_names
 from .config import MoCConfig, SelectionStrategy
 from .pec import PECPlan, PECPlanner
 from .plt import PERSIST_TIER, SNAPSHOT_TIER, PLTTracker
-from .recovery import RecoveryPlan, build_recovery_plan, default_expert_placement
+from .recovery import (
+    RecoveryPlan,
+    build_recovery_plan,
+    default_expert_placement,
+    placement_from_topology,
+)
+from .reshard import (
+    ReshardPlan,
+    TOPOLOGY_META_NAME,
+    load_saved_topology,
+    plan_reshard,
+    reshard_read_requests,
+    topology_meta_entry,
+)
 from .selection import DynamicKController
+from .sharding import ShardTopology
 
 
 @dataclass
@@ -52,6 +67,12 @@ class RecoveryResult:
     plt_increment: float
     cumulative_plt: float
     k_after: int
+    #: Topology-change bookkeeping; None for same-topology recovery on a
+    #: topology-unaware manager.
+    reshard: Optional[ReshardPlan] = None
+    #: Read-pipeline stats (every recovery drains through the restore
+    #: pipeline; ``restore_workers=1`` is a serial read loop).
+    restore_stats: Optional[RestoreStats] = None
 
 
 class MoCCheckpointManager:
@@ -83,7 +104,12 @@ class MoCCheckpointManager:
         automatically).
     expert_placement:
         Hosting node(s) per expert for two-level recovery; defaults to a
-        two-node striping.
+        two-node striping (or is derived from ``topology`` when given).
+    topology:
+        The DP+EP rank layout this run trains under.  When set, it is
+        persisted with every checkpoint (``meta:topology``) so an
+        elastic resume can reshard onto a different layout, and the
+        expert placement is derived from it.
     """
 
     def __init__(
@@ -99,6 +125,7 @@ class MoCCheckpointManager:
         expert_placement: Optional[Mapping[ExpertKey, Sequence[int]]] = None,
         num_nodes: int = 2,
         codec: Optional[PrecisionCodec] = None,
+        topology: Optional[ShardTopology] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -131,10 +158,22 @@ class MoCCheckpointManager:
                 threshold=config.pec.plt_threshold,
                 initial_k=config.pec.k_persist,
             )
+        self.topology = topology
+        if topology is not None and self.num_experts > 0:
+            if self.num_experts % topology.d_ep != 0:
+                raise ValueError(
+                    f"topology d_ep={topology.d_ep} does not divide "
+                    f"num_experts={self.num_experts}"
+                )
         if expert_placement is None:
-            expert_placement = default_expert_placement(
-                self.num_moe_layers, self.num_experts, num_nodes=num_nodes
-            )
+            if topology is not None:
+                expert_placement = placement_from_topology(
+                    topology, self.num_moe_layers, self.num_experts
+                )
+            else:
+                expert_placement = default_expert_placement(
+                    self.num_moe_layers, self.num_experts, num_nodes=num_nodes
+                )
         self.expert_placement = dict(expert_placement)
         self.num_nodes = max(
             (max(nodes) for nodes in self.expert_placement.values()), default=0
@@ -242,6 +281,7 @@ class MoCCheckpointManager:
                      self.memory_store.put_many(snapshot_items))
         self._record(manifest.persist_entries, persist_items,
                      self.disk_store.put_many(persist_items))
+        self._persist_topology(iteration)
         meta_key = meta_entry_key("iteration")
         self.memory_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
         self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
@@ -317,6 +357,10 @@ class MoCCheckpointManager:
                     )
         self._record(manifest.persist_entries, persist_items,
                      self.disk_store.put_many(persist_items))
+        # Topology before the iteration meta: the iteration entry is the
+        # commit record, so a durable stamp implies the topology (and
+        # every state entry) of its checkpoint was accepted first.
+        self._persist_topology(iteration)
         self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
         self.plt_tracker.record_save(
             PERSIST_TIER, persist_weight_experts & persist_moment_experts
@@ -330,6 +374,16 @@ class MoCCheckpointManager:
     def _record(records: List[ManifestRecord], items, sizes: Sequence[int]) -> None:
         for (key, _entry, stamp, _node), nbytes in zip(items, sizes):
             records.append(ManifestRecord(key, stamp, nbytes))
+
+    def _persist_topology(self, iteration: int) -> None:
+        """Record the save-time topology inside the checkpoint."""
+        if self.topology is None:
+            return
+        self.disk_store.put(
+            meta_entry_key(TOPOLOGY_META_NAME),
+            topology_meta_entry(self.topology),
+            stamp=iteration,
+        )
 
     def flush(self) -> None:
         """Durability barrier over both tiers (async persist included)."""
@@ -365,13 +419,24 @@ class MoCCheckpointManager:
             grouped[expert_key] = keys
         return grouped
 
-    def recover(self, failed_nodes: Sequence[int] = (0,)) -> RecoveryResult:
+    def recover(
+        self,
+        failed_nodes: Sequence[int] = (0,),
+        target_topology: Optional[ShardTopology] = None,
+        restore_workers: int = 1,
+    ) -> RecoveryResult:
         """Restore model + optimizer state after a node fault.
 
         ``failed_nodes`` lose their in-memory snapshots; everything else
         may be restored from memory when two-level recovery is enabled.
         Training must resume from the last *persisted* checkpoint's
         iteration.
+
+        ``target_topology`` reshards the restore onto a different DP+EP
+        layout: entry reads are re-assigned to target ranks, experts
+        whose snapshot nodes no longer exist fall back to the persist
+        tier, and the manager adopts the target placement afterwards.
+        ``restore_workers`` sizes the parallel read pipeline (1 = serial).
         """
         # Drain any in-flight async writes before reading: recovery must
         # observe every accepted put (and surface deferred write errors).
@@ -383,29 +448,50 @@ class MoCCheckpointManager:
         resume_iteration = int(
             np.asarray(self.disk_store.get(meta_entry_key("iteration"))["iteration"]).reshape(-1)[0]
         )
-        plan = build_recovery_plan(
-            self.memory_store,
-            self.disk_store,
-            self._entry_keys_by_expert(),
-            [non_expert_entry_key(name) for name in self._non_expert_params],
-            self.expert_placement,
-            failed_nodes,
-            resume_iteration,
-            two_level=self.config.two_level.two_level_recovery,
-        )
-        # Apply: non-expert from storage, experts from their chosen tier.
-        for name in self._non_expert_params:
-            self._load_entry(name, self._decode(self.disk_store.get(non_expert_entry_key(name))))
-        for expert_key, names in self._expert_params.items():
-            tier = plan.tier_per_expert[expert_key]
-            store = self.memory_store if tier == SNAPSHOT_TIER else self.disk_store
-            for name in names:
-                weights_key = expert_entry_key(expert_key, name) + ":w"
-                optim_key = expert_entry_key(expert_key, name) + ":o"
-                entry: Dict[str, np.ndarray] = {}
-                entry.update(store.get(weights_key))
-                entry.update(store.get(optim_key))
-                self._load_entry(name, self._decode(entry))
+        reshard: Optional[ReshardPlan] = None
+        target = target_topology if target_topology is not None else self.topology
+        if target is not None:
+            reshard = plan_reshard(
+                self.memory_store,
+                self.disk_store,
+                self._entry_keys_by_expert(),
+                [non_expert_entry_key(name) for name in self._non_expert_params],
+                self.expert_placement,
+                self.num_experts,
+                target=target,
+                source=load_saved_topology(self.disk_store) or self.topology,
+                failed_nodes=failed_nodes,
+                resume_iteration=resume_iteration,
+                two_level=self.config.two_level.two_level_recovery,
+            )
+            plan = reshard.recovery
+            requests = reshard_read_requests(reshard, self.memory_store, self.disk_store)
+        else:
+            plan = build_recovery_plan(
+                self.memory_store,
+                self.disk_store,
+                self._entry_keys_by_expert(),
+                [non_expert_entry_key(name) for name in self._non_expert_params],
+                self.expert_placement,
+                failed_nodes,
+                resume_iteration,
+                two_level=self.config.two_level.two_level_recovery,
+            )
+            requests = [
+                ReadRequest(
+                    key=entry_key,
+                    store=(
+                        self.memory_store
+                        if plan.sources[entry_key] == SNAPSHOT_TIER
+                        else self.disk_store
+                    ),
+                )
+                for entry_key in plan.sources
+            ]
+        entries, restore_stats = ParallelRestorer(workers=restore_workers).fetch(requests)
+        self._apply_entries(entries)
+        if target_topology is not None:
+            self._adopt_topology(target_topology)
 
         fault_loss = self.plt_tracker.record_fault(
             recovery_tier_per_expert=plan.tier_per_expert, default_tier=PERSIST_TIER
@@ -422,4 +508,56 @@ class MoCCheckpointManager:
             plt_increment=fault_loss.plt_increment,
             cumulative_plt=self.plt_tracker.plt(),
             k_after=k_after,
+            reshard=reshard,
+            restore_stats=restore_stats,
+        )
+
+    def _apply_entries(self, entries: Mapping[str, Dict[str, np.ndarray]]) -> None:
+        """Load fetched checkpoint entries into the model + optimizer."""
+        for name in self._non_expert_params:
+            self._load_entry(name, self._decode(entries[non_expert_entry_key(name)]))
+        for expert_key, names in self._expert_params.items():
+            for name in names:
+                entry: Dict[str, np.ndarray] = {}
+                entry.update(entries[expert_entry_key(expert_key, name) + ":w"])
+                entry.update(entries[expert_entry_key(expert_key, name) + ":o"])
+                self._load_entry(name, self._decode(entry))
+
+    def _adopt_topology(self, topology: ShardTopology) -> None:
+        """Switch the manager onto a new rank layout after a reshard.
+
+        Future checkpoints persist the new topology; snapshots on nodes
+        that no longer exist are dropped from the memory tier.
+        """
+        old_nodes = self.num_nodes
+        self.topology = topology
+        self.expert_placement = placement_from_topology(
+            topology, self.num_moe_layers, self.num_experts
+        )
+        for node in range(topology.num_nodes, old_nodes):
+            self.memory_store.drop_node(node)
+        self.num_nodes = topology.num_nodes
+
+    def restore(
+        self,
+        topology: Optional[ShardTopology] = None,
+        workers: int = 4,
+        failed_nodes: Optional[Sequence[int]] = None,
+    ) -> RecoveryResult:
+        """Elastic restore: rebuild full state, optionally resharded.
+
+        The cold-restart entry point: by default every save-time node is
+        treated as failed (no CPU memory survives a job restart), so all
+        state comes back from the persist tier through the parallel read
+        pipeline.  Pass ``failed_nodes`` explicitly for a warm resize
+        where surviving nodes keep their snapshots.
+        """
+        if failed_nodes is None:
+            failed_nodes = sorted(
+                {node for nodes in self.expert_placement.values() for node in nodes}
+            )
+        return self.recover(
+            failed_nodes=failed_nodes,
+            target_topology=topology if topology is not None else self.topology,
+            restore_workers=workers,
         )

@@ -35,7 +35,15 @@ class RecoveryPlan:
     storage_bytes: int = 0
 
     def tier_of(self, entry_key: str) -> str:
-        return self.sources[entry_key]
+        try:
+            return self.sources[entry_key]
+        except KeyError:
+            tiers = sorted(set(self.sources.values()))
+            raise KeyError(
+                f"no recovery source for entry {entry_key!r}: this plan covers "
+                f"{len(self.sources)} entries"
+                + (f" across tiers {tiers}" if tiers else " (the plan is empty)")
+            ) from None
 
 
 def default_expert_placement(
@@ -73,6 +81,20 @@ def placement_from_topology(
     return placement
 
 
+def lost_nodes_for_target(
+    expert_placement: Mapping[ExpertKey, Sequence[int]],
+    target_topology: ShardTopology,
+) -> Set[int]:
+    """Snapshot-hosting nodes that do not exist in ``target_topology``.
+
+    An elastic resume may land on fewer nodes than the save ran on; any
+    node index beyond the target's node count is gone along with its CPU
+    memory, exactly like a failed node.
+    """
+    known = {node for nodes in expert_placement.values() for node in nodes}
+    return {node for node in known if node >= target_topology.num_nodes}
+
+
 def build_recovery_plan(
     memory_store: CheckpointBackend,
     disk_store: CheckpointBackend,
@@ -82,6 +104,7 @@ def build_recovery_plan(
     failed_nodes: Iterable[int],
     resume_iteration: int,
     two_level: bool = True,
+    target_topology: Optional[ShardTopology] = None,
 ) -> RecoveryPlan:
     """Assemble the per-entry recovery sources for a fault.
 
@@ -93,8 +116,14 @@ def build_recovery_plan(
     (surviving nodes may read them from memory in practice, which only
     changes transfer cost, not state; the cost saving is modelled in
     ``distsim``).
+
+    ``target_topology`` enables topology-change recovery: nodes of the
+    save-time placement that no longer exist under the target count as
+    failed, so their experts fall back to the persist tier.
     """
     failed = set(failed_nodes)
+    if target_topology is not None:
+        failed |= lost_nodes_for_target(expert_placement, target_topology)
     plan = RecoveryPlan(resume_iteration=resume_iteration)
 
     for entry_key in non_expert_entry_keys:

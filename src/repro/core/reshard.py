@@ -1,0 +1,290 @@
+"""Elastic reshard-on-resume: topology-change recovery planning.
+
+The sharded-checkpoint planner (``core/sharding.py``) and the recovery
+planner (``core/recovery.py``) both historically assumed the restore
+topology equals the save topology.  Production MoE runs routinely resume
+on a different DP×EP layout after node loss or a cluster resize; this
+module drops that assumption.
+
+A :class:`ReshardPlan` maps every persisted entry from the saved
+:class:`~repro.core.sharding.ShardTopology` to an arbitrary *target*
+topology:
+
+* **per-expert state** is re-assigned to the expert's owner ranks under
+  the target EP grouping (replicas move when the EP degree changes);
+* **non-expert state** — the full-parameter entries carrying the ZeRO-2
+  optimizer partitions — is re-sliced: read work is balanced across all
+  target ranks with the same LPT allocator the save-side sharding
+  planner uses;
+* entries whose in-memory snapshot lived on a node that **no longer
+  exists** under the target fall back to the persist tier (the planner
+  delegates tier choice to ``build_recovery_plan(...,
+  target_topology=)``).
+
+The plan's :meth:`~ReshardPlan.read_order` interleaves the per-rank read
+lists round-robin — the prefetch order the parallel restore pipeline
+(:class:`~repro.ckpt.restore.ParallelRestorer`) consumes so every target
+rank's restore stream progresses concurrently.
+
+Topology metadata travels *inside* the checkpoint: the manager persists
+a ``meta:topology`` entry (``d_dp`` / ``d_ep`` / ``gpus_per_node``), and
+:func:`load_saved_topology` recovers it on resume, so the resumed job
+needs no side-channel to learn the save-time layout.
+
+``grid_topology(dp, ep)`` translates the operator-facing DP×EP grid
+(``dp`` data-parallel replicas of an ``ep``-way expert-parallel group)
+into the planner's rank layout: ``dp × ep`` total ranks in ``dp`` EP
+groups of ``ep`` ranks.  A checkpoint saved at DP=4/EP=2 can resume at
+DP=2/EP=4 — same world size, different expert sharding — or at a
+different world size entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..ckpt.backend import CheckpointBackend
+from ..ckpt.manifest import meta_entry_key
+from ..models.serial import ExpertKey
+from .plt import PERSIST_TIER, SNAPSHOT_TIER
+from .recovery import (
+    RecoveryPlan,
+    build_recovery_plan,
+    lost_nodes_for_target,
+    placement_from_topology,
+)
+from .sharding import ShardTopology, _greedy_placement
+
+
+class ReshardError(ValueError):
+    """A target topology cannot host the checkpoint being resumed."""
+
+
+def grid_topology(dp: int, ep: int, gpus_per_node: int = 8) -> ShardTopology:
+    """Build a :class:`ShardTopology` from an operator's DP×EP grid.
+
+    ``dp`` is the number of data-parallel replicas of the expert grid,
+    ``ep`` the expert-parallel degree; the run uses ``dp * ep`` ranks in
+    ``dp`` EP groups of ``ep`` ranks each.
+    """
+    if dp < 1 or ep < 1:
+        raise ReshardError(f"grid degrees must be >= 1 (got dp={dp}, ep={ep})")
+    return ShardTopology(d_dp=dp * ep, d_ep=ep, gpus_per_node=gpus_per_node)
+
+
+# ---------------------------------------------------------------------------
+# Topology metadata persisted inside the checkpoint
+# ---------------------------------------------------------------------------
+
+TOPOLOGY_META_NAME = "topology"
+
+
+def topology_meta_entry(topology: ShardTopology) -> Dict[str, np.ndarray]:
+    """Encode a topology as a checkpoint entry (numpy scalars)."""
+    return {
+        "d_dp": np.asarray(topology.d_dp),
+        "d_ep": np.asarray(topology.d_ep),
+        "gpus_per_node": np.asarray(topology.gpus_per_node),
+    }
+
+
+def topology_from_meta(entry: Mapping[str, np.ndarray]) -> ShardTopology:
+    """Invert :func:`topology_meta_entry`."""
+    def scalar(name: str) -> int:
+        return int(np.asarray(entry[name]).reshape(-1)[0])
+
+    return ShardTopology(
+        d_dp=scalar("d_dp"),
+        d_ep=scalar("d_ep"),
+        gpus_per_node=scalar("gpus_per_node"),
+    )
+
+
+def load_saved_topology(store: CheckpointBackend) -> Optional[ShardTopology]:
+    """The topology a persisted checkpoint was saved under, if recorded."""
+    key = meta_entry_key(TOPOLOGY_META_NAME)
+    if not store.has(key):
+        return None
+    return topology_from_meta(store.get(key))
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReshardRead:
+    """One entry read assigned to one target rank."""
+
+    entry_key: str
+    tier: str  # SNAPSHOT_TIER | PERSIST_TIER
+    target_rank: int
+    nbytes: int
+    kind: str  # "ne" | "expert"
+
+
+@dataclass
+class ReshardPlan:
+    """Per-target-rank restore assignments for a topology change."""
+
+    source: Optional[ShardTopology]
+    target: ShardTopology
+    recovery: RecoveryPlan
+    reads: List[ReshardRead] = field(default_factory=list)
+    #: Experts whose owner-rank set differs between source and target.
+    moved_experts: List[ExpertKey] = field(default_factory=list)
+    #: Experts forced to the persist tier purely by the topology change
+    #: (their snapshots survived the fault but their nodes no longer exist).
+    fallback_experts: List[ExpertKey] = field(default_factory=list)
+
+    @property
+    def resume_iteration(self) -> int:
+        return self.recovery.resume_iteration
+
+    def per_rank(self) -> Dict[int, List[ReshardRead]]:
+        grouped: Dict[int, List[ReshardRead]] = {
+            rank: [] for rank in range(self.target.num_ranks)
+        }
+        for read in self.reads:
+            grouped[read.target_rank].append(read)
+        return grouped
+
+    def per_rank_bytes(self) -> List[int]:
+        totals = [0] * self.target.num_ranks
+        for read in self.reads:
+            totals[read.target_rank] += read.nbytes
+        return totals
+
+    def rank_bytes(self, rank: int) -> int:
+        return self.per_rank_bytes()[rank]
+
+    def bottleneck_bytes(self) -> int:
+        return max(self.per_rank_bytes(), default=0)
+
+    def total_bytes(self) -> int:
+        return sum(read.nbytes for read in self.reads)
+
+    def imbalance(self) -> float:
+        """Bottleneck / mean read bytes — 1.0 is perfectly balanced."""
+        per_rank = self.per_rank_bytes()
+        mean = sum(per_rank) / len(per_rank) if per_rank else 0.0
+        return max(per_rank) / mean if mean > 0 else 1.0
+
+    def read_order(self) -> List[ReshardRead]:
+        """Round-robin interleave of the per-rank read lists.
+
+        This is the prefetch order handed to the parallel restore
+        pipeline: every target rank's first entries are fetched before
+        any rank's tail, so all ranks' restore streams progress together
+        instead of rank 0 finishing before rank N-1 starts.
+        """
+        lanes = [reads for reads in self.per_rank().values() if reads]
+        order: List[ReshardRead] = []
+        for wave in zip_longest(*lanes):
+            order.extend(read for read in wave if read is not None)
+        return order
+
+
+def plan_reshard(
+    memory_store: CheckpointBackend,
+    disk_store: CheckpointBackend,
+    entry_keys_by_expert: Mapping[ExpertKey, Sequence[str]],
+    non_expert_entry_keys: Sequence[str],
+    expert_placement: Mapping[ExpertKey, Sequence[int]],
+    num_experts: int,
+    target: ShardTopology,
+    source: Optional[ShardTopology] = None,
+    failed_nodes: Iterable[int] = (),
+    resume_iteration: int = 0,
+    two_level: bool = True,
+) -> ReshardPlan:
+    """Map a persisted checkpoint onto an arbitrary target topology.
+
+    ``expert_placement`` is the *save-time* snapshot placement (hosting
+    nodes per expert); tier choice falls back to the persist tier for
+    experts whose snapshot nodes failed **or** no longer exist under
+    ``target``.  ``source`` (the save-time topology, when known) is only
+    used for movement accounting — restore correctness never depends on
+    it because entries are addressed logically.
+    """
+    if num_experts > 0 and num_experts % target.d_ep != 0:
+        raise ReshardError(
+            f"cannot reshard to d_ep={target.d_ep}: num_experts={num_experts} "
+            f"is not divisible by the target expert-parallel degree "
+            f"(valid d_ep values divide {num_experts})"
+        )
+
+    failed = set(failed_nodes)
+    recovery = build_recovery_plan(
+        memory_store,
+        disk_store,
+        entry_keys_by_expert,
+        non_expert_entry_keys,
+        expert_placement,
+        failed_nodes=failed,
+        resume_iteration=resume_iteration,
+        two_level=two_level,
+        target_topology=target,
+    )
+    lost = lost_nodes_for_target(expert_placement, target)
+
+    plan = ReshardPlan(source=source, target=target, recovery=recovery)
+    loads = {rank: 0 for rank in range(target.num_ranks)}
+
+    # -- per-expert state: owner ranks under the target EP grouping ------
+    for expert_key in sorted(entry_keys_by_expert):
+        hosts = target.ranks_hosting_expert(expert_key.expert, num_experts)
+        reader = min(hosts, key=lambda rank: (loads[rank], rank))
+        tier = recovery.tier_per_expert.get(expert_key, PERSIST_TIER)
+        store = memory_store if tier == SNAPSHOT_TIER else disk_store
+        for entry_key in entry_keys_by_expert[expert_key]:
+            nbytes = store.nbytes_of(entry_key)
+            plan.reads.append(
+                ReshardRead(entry_key, tier, reader, nbytes, kind="expert")
+            )
+            loads[reader] += nbytes
+        if source is not None and num_experts % source.d_ep == 0:
+            old_hosts = source.ranks_hosting_expert(expert_key.expert, num_experts)
+            if set(old_hosts) != set(hosts):
+                plan.moved_experts.append(expert_key)
+        if tier == PERSIST_TIER and two_level:
+            hosting = expert_placement.get(expert_key, [0])
+            survived_fault = [node for node in hosting if node not in failed]
+            if survived_fault and all(node in lost for node in survived_fault):
+                plan.fallback_experts.append(expert_key)
+
+    # -- non-expert state: re-slice read work across ALL target ranks ----
+    # Every non-expert entry carries that parameter's ZeRO-2 optimizer
+    # partition; under the target topology the partition boundaries move,
+    # so read work is re-balanced with the same LPT allocator the save
+    # planner uses, seeded with the expert loads assigned above.
+    ne_items: List[Tuple[str, int]] = [
+        (entry_key, disk_store.nbytes_of(entry_key))
+        for entry_key in non_expert_entry_keys
+    ]
+    placement = _greedy_placement(target.num_ranks, ne_items, initial_loads=loads)
+    for rank, items in placement.items():
+        for entry_key, nbytes in items:
+            plan.reads.append(
+                ReshardRead(entry_key, PERSIST_TIER, rank, nbytes, kind="ne")
+            )
+    return plan
+
+
+def reshard_read_requests(plan: ReshardPlan, memory_store, disk_store):
+    """Translate a plan into :class:`~repro.ckpt.restore.ReadRequest`
+    objects in prefetch order, ready for :class:`ParallelRestorer`."""
+    from ..ckpt.restore import ReadRequest
+
+    return [
+        ReadRequest(
+            key=read.entry_key,
+            store=memory_store if read.tier == SNAPSHOT_TIER else disk_store,
+        )
+        for read in plan.read_order()
+    ]

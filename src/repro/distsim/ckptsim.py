@@ -147,6 +147,100 @@ def overlapped_write_window(
     )
 
 
+@dataclass(frozen=True)
+class ReshardRecoveryCost:
+    """Restore cost when the resume topology differs from the save one.
+
+    Mirrors :mod:`repro.core.reshard` + the parallel restore pipeline:
+    every persisted byte must be read back; ZeRO-2 optimizer partitions
+    are re-sliced (misaligned partition boundaries split reads into
+    extra segments); the parallel pipeline lets every target node drain
+    its share concurrently while a serial restore funnels everything
+    through one reader.
+    """
+
+    source: ShardTopology
+    target: ShardTopology
+    total_bytes: int
+    bottleneck_rank_bytes: int
+    read_ops: int  # entry reads + re-slice segments
+    serial_seconds: float  # one reader drains everything
+    parallel_seconds: float  # per-node concurrent readers
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.parallel_seconds if self.parallel_seconds > 0 else 1.0
+
+
+def partition_overlap_segments(source_parts: int, target_parts: int) -> int:
+    """Contiguous (source, target) overlap pairs when one byte range is
+    equally partitioned two ways: ``S + T - gcd(S, T)``.
+
+    Each pair is one read segment a re-slicing target rank must issue;
+    aligned repartitions (``T`` divides ``S`` or vice versa) reduce to
+    ``max(S, T)`` segments, the no-amplification case.
+    """
+    import math
+
+    if source_parts < 1 or target_parts < 1:
+        raise ValueError("partition counts must be >= 1")
+    return source_parts + target_parts - math.gcd(source_parts, target_parts)
+
+
+def reshard_recovery_cost(
+    spec: MoEModelSpec,
+    source: ShardTopology,
+    target: ShardTopology,
+    cluster: ClusterSpec,
+    k_persist: Optional[int] = None,
+    read_op_latency: float = 5e-4,
+) -> ReshardRecoveryCost:
+    """Cost one resharded restore of ``spec`` saved under ``source``.
+
+    ``read_op_latency`` models the per-read round trip of a networked
+    persist tier; bandwidth comes from the cluster's per-node storage
+    link.  Serial restore pays every op's latency back to back; the
+    parallel pipeline overlaps latency across a node's concurrent
+    readers and lets nodes drain their byte shares simultaneously.
+    """
+    if spec.num_experts % target.d_ep != 0:
+        raise ValueError(
+            f"cannot reshard to d_ep={target.d_ep}: num_experts="
+            f"{spec.num_experts} is not divisible by it"
+        )
+    total = persist_file_bytes(spec, source, k_persist)
+    ranks = target.num_ranks
+    per_rank = (total + ranks - 1) // ranks  # balanced re-slice
+    selected = spec.num_experts if k_persist is None else min(k_persist, spec.num_experts)
+    expert_entries = spec.num_moe_layers * selected * 2  # weights + optimizer
+    ne_entries = len(spec.non_expert_param_items())
+    reslice_segments = partition_overlap_segments(source.num_ranks, target.num_ranks)
+    read_ops = ne_entries + expert_entries + reslice_segments
+
+    bandwidth = cluster.storage_bandwidth_per_node
+    serial = total / bandwidth + read_ops * read_op_latency
+    nodes = target.num_nodes
+    ranks_per_node = min(target.gpus_per_node, ranks)
+    # A node never reads more than the checkpoint holds (the per-rank
+    # ceil rounding would otherwise overshoot on a single node).
+    bottleneck_node_bytes = min(per_rank * ranks_per_node, total)
+    ops_per_node = (read_ops + nodes - 1) // nodes
+    # Within a node, concurrent readers pipeline their request latency
+    # while sharing the storage link's bandwidth.
+    parallel = bottleneck_node_bytes / bandwidth + (
+        ops_per_node / max(ranks_per_node, 1)
+    ) * read_op_latency
+    return ReshardRecoveryCost(
+        source=source,
+        target=target,
+        total_bytes=total,
+        bottleneck_rank_bytes=per_rank,
+        read_ops=read_ops,
+        serial_seconds=serial,
+        parallel_seconds=parallel,
+    )
+
+
 def persist_file_bytes(
     spec: MoEModelSpec, topology: ShardTopology, k_persist: Optional[int] = None
 ) -> int:

@@ -20,7 +20,8 @@ from typing import Callable, Optional
 from ..ckpt.backend import make_backend
 from ..ckpt.manifest import meta_entry_key
 from ..core.config import MoCConfig
-from ..core.manager import MoCCheckpointManager
+from ..core.manager import MoCCheckpointManager, RecoveryResult
+from ..core.sharding import ShardTopology
 from ..models.optim import Adam
 from .faults import FaultSchedule
 from .trainer import TrainHistory, Trainer, TrainerConfig
@@ -35,6 +36,9 @@ class ResumedRun:
     model: object
     optimizer: Adam
     resume_iteration: int
+    #: Full recovery outcome, including the reshard plan and parallel
+    #: restore stats when the resume changed topology.
+    recovery: Optional[RecoveryResult] = None
 
 
 def latest_persisted_iteration(disk_root: str, backend: str = "disk") -> int:
@@ -63,6 +67,8 @@ def resume_training(
     async_writes: bool = False,
     fault_schedule: Optional[FaultSchedule] = None,
     val_fn_factory: Optional[Callable[[object], Callable[[], float]]] = None,
+    target_topology: Optional[ShardTopology] = None,
+    restore_workers: int = 1,
 ) -> ResumedRun:
     """Rebuild a training stack from a persisted store.
 
@@ -72,6 +78,12 @@ def resume_training(
     positioned to continue from the persisted iteration — call
     :func:`continue_run` (or ``trainer.run`` manually after adjusting
     iteration bookkeeping) to finish the job.
+
+    ``target_topology`` resumes the job on a different DP+EP layout than
+    it was saved under (elastic reshard-on-resume): the restored state
+    is identical, expert placement and future checkpoints follow the new
+    layout, and ``restore_workers`` readers drain the persist tier in
+    parallel.
     """
     resume_iteration = latest_persisted_iteration(disk_root, backend=backend)
     if resume_iteration < 0:
@@ -83,13 +95,11 @@ def resume_training(
     manager = MoCCheckpointManager(
         model, optimizer, moc_config, disk_root=disk_root,
         backend=backend, async_writes=async_writes,
+        topology=target_topology,
     )
     # A cold restart has no surviving CPU memory anywhere: every node of
     # the placement is "failed" from the snapshot tier's perspective.
-    all_nodes = sorted(
-        {node for nodes in manager.expert_placement.values() for node in nodes}
-    )
-    result = manager.recover(failed_nodes=all_nodes)
+    result = manager.restore(topology=target_topology, workers=restore_workers)
     trainer = Trainer(
         model,
         optimizer,
@@ -105,6 +115,7 @@ def resume_training(
         model=model,
         optimizer=optimizer,
         resume_iteration=result.resume_iteration,
+        recovery=result,
     )
 
 

@@ -112,6 +112,129 @@ class TestContract:
         assert store.has("k")
 
 
+class TestConcurrentReaders:
+    """The parallel restore pipeline's assumptions, pinned as contract.
+
+    Readers may run concurrently with each other and with a writer
+    working on *unrelated* keys; a flush is a barrier after which a
+    reader (from any thread) observes every accepted write; byte meters
+    stay exact under concurrent reads.
+    """
+
+    def test_get_during_put_many_returns_stable_values(self, store):
+        import threading
+
+        stable = np.arange(16.0)
+        store.put("stable", {"x": stable}, stamp=1)
+        store.flush()
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    value = store.get("stable")["x"]
+                    if not np.array_equal(value, stable):
+                        errors.append("corrupt read")
+                except Exception as exc:  # noqa: BLE001 - collected for assert
+                    errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for batch in range(8):
+                store.put_many([
+                    (f"b{batch}.k{i}", {"x": np.ones(8)}, batch, 0)
+                    for i in range(16)
+                ])
+        finally:
+            stop.set()
+            thread.join()
+        assert errors == []
+        assert len(store.keys()) == 1 + 8 * 16
+
+    def test_reader_thread_sees_everything_after_flush_barrier(self, store):
+        import threading
+
+        items = [(f"k{i}", {"x": np.full(4, float(i))}, 5, 0) for i in range(32)]
+        done = threading.Event()
+        failures = []
+
+        def writer():
+            try:
+                store.put_many(items)
+                store.flush()
+            except Exception as exc:  # noqa: BLE001
+                failures.append(exc)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert done.wait(timeout=10)
+        thread.join()
+        assert failures == []
+        # the barrier has passed: every accepted put is observable here
+        for i in range(32):
+            assert store.has(f"k{i}")
+            assert np.array_equal(store.get(f"k{i}")["x"], np.full(4, float(i)))
+            assert store.stamp_of(f"k{i}") == 5
+
+    def test_parallel_disjoint_reads_are_exact_and_metered(self, store):
+        from concurrent.futures import ThreadPoolExecutor
+
+        sizes = {}
+        for i in range(16):
+            key = f"k{i}"
+            sizes[key] = store.put(key, {"x": np.full(i + 1, float(i))}, stamp=i)
+        store.flush()
+        repeats = 4
+
+        def read(key):
+            return store.get(key)["x"]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(read, key) for key in sizes for _ in range(repeats)
+            ]
+            results = [future.result() for future in futures]
+        for index, key in enumerate(key for key in sizes for _ in range(repeats)):
+            expected = np.full(int(key[1:]) + 1, float(key[1:]))
+            assert np.array_equal(results[index], expected)
+        # meter exactness under concurrency (DESIGN invariant 1)
+        assert store.bytes_read == repeats * sum(sizes.values())
+
+    def test_parallel_restorer_drains_any_backend(self, store):
+        from repro.ckpt import ParallelRestorer, ReadRequest
+
+        for i in range(24):
+            store.put(f"k{i}", {"x": np.full(3, float(i))}, stamp=i)
+        requests = [ReadRequest(key=f"k{i}", store=store) for i in range(24)]
+        entries, stats = ParallelRestorer(workers=6).fetch(requests)
+        assert stats.entries == 24
+        assert stats.workers == 6
+        assert stats.payload_bytes == store.total_bytes()
+        for i in range(24):
+            assert np.array_equal(entries[f"k{i}"]["x"], np.full(3, float(i)))
+
+    def test_restorer_propagates_missing_key(self, store):
+        from repro.ckpt import ParallelRestorer, ReadRequest
+
+        store.put("present", {"x": np.ones(2)}, stamp=0)
+        requests = [
+            ReadRequest(key="present", store=store),
+            ReadRequest(key="absent", store=store),
+        ]
+        with pytest.raises(KVStoreError):
+            ParallelRestorer(workers=4).fetch(requests)
+
+    def test_restorer_rejects_invalid_worker_count(self):
+        from repro.ckpt import ParallelRestorer
+
+        with pytest.raises(ValueError):
+            ParallelRestorer(workers=0)
+
+
 class TestEscaping:
     @pytest.mark.parametrize(
         "key",
@@ -259,7 +382,7 @@ class TestShardedJournal:
 
         store = ShardedDiskKVStore(str(tmp_path))
         store.put("k", {"x": np.ones(1)}, stamp=0)
-        os.remove(store._path("k"))
+        os.remove(store._path("k", 0))
         with pytest.raises(KVStoreError):
             store.get("k")
 

@@ -1,0 +1,402 @@
+"""Crash-injection suite: kill the process model mid-operation, replay.
+
+Every disk-backed store exposes a ``fault_hook`` seam
+(:class:`repro.ckpt.backend.CheckpointBackend`) invoked at named fault
+points.  Each test installs a hook that raises
+:class:`~repro.ckpt.backend.CrashInjected` at a chosen point, abandons
+the store instance — the "process" is dead, so no in-memory state
+survives — and reopens the directory, asserting what replay recovers:
+
+* every *acknowledged* operation (put/delete that returned) is durable
+  with exact bytes, stamp and size metadata;
+* the in-flight operation resolves to a complete version — for the
+  journal store, metadata and payload always agree (versioned payload
+  files); the flat store's weaker in-place-overwrite contract is pinned
+  separately;
+* torn journal tails are truncated so post-crash appends survive the
+  *next* replay;
+* a crash mid-compaction never loses state.
+
+Run with ``PYTHONHASHSEED`` pinned in CI so dict/hash iteration order
+cannot mask ordering bugs.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    AsyncWriteBackend,
+    AsyncWriteError,
+    CrashInjected,
+    DiskKVStore,
+    KVStoreError,
+    ShardedDiskKVStore,
+)
+
+DISK_BACKENDS = ["disk", "sharded"]
+
+
+def open_store(kind: str, root, **kwargs):
+    if kind == "disk":
+        return DiskKVStore(str(root))
+    return ShardedDiskKVStore(str(root), **kwargs)
+
+
+def crash_at(store, point: str, nth: int = 1) -> None:
+    """Arm the store to die at the ``nth`` hit of ``point``."""
+    seen = {"count": 0}
+
+    def hook(hit: str) -> None:
+        if hit == point:
+            seen["count"] += 1
+            if seen["count"] == nth:
+                raise CrashInjected(point)
+
+    store.fault_hook = hook
+
+
+def entry(value: float, size: int = 4) -> dict:
+    return {"x": np.full(size, value)}
+
+
+def assert_consistent(store, expected: dict) -> None:
+    """Replay recovered exactly the acknowledged prefix: every expected
+    key readable with exact bytes + matching metadata, nothing extra."""
+    assert store.keys() == sorted(expected)
+    for key, (value, stamp) in expected.items():
+        assert np.array_equal(store.get(key)["x"], value), key
+        assert store.stamp_of(key) == stamp, key
+        assert store.nbytes_of(key) > 0
+
+
+class TestMidPut:
+    """Kill the process inside a single put, at every window."""
+
+    @pytest.mark.parametrize("kind", DISK_BACKENDS)
+    @pytest.mark.parametrize("point", ["payload:tmp-written", "payload:durable"])
+    def test_new_key_crash_leaves_acked_prefix(self, tmp_path, kind, point):
+        store = open_store(kind, tmp_path)
+        store.put("a", entry(1.0), stamp=1)
+        store.put("b", entry(2.0), stamp=2)
+        crash_at(store, point)
+        with pytest.raises(CrashInjected):
+            store.put("c", entry(3.0), stamp=3)
+        reopened = open_store(kind, tmp_path)
+        # the unacknowledged key is invisible; acked ops are intact
+        assert_consistent(
+            reopened, {"a": (np.full(4, 1.0), 1), "b": (np.full(4, 2.0), 2)}
+        )
+
+    @pytest.mark.parametrize("point", ["payload:tmp-written", "payload:durable"])
+    def test_sharded_overwrite_crash_serves_old_version_exactly(
+        self, tmp_path, point
+    ):
+        """Versioned payload files: a torn overwrite can never pair new
+        bytes with old metadata — the journal still references the old
+        file, which the overwrite did not touch."""
+        store = open_store("sharded", tmp_path)
+        store.put("k", entry(1.0, size=4), stamp=1)
+        crash_at(store, point)
+        with pytest.raises(CrashInjected):
+            store.put("k", entry(9.0, size=8), stamp=2)
+        reopened = open_store("sharded", tmp_path)
+        assert reopened.stamp_of("k") == 1
+        payload = reopened.get("k")["x"]
+        assert np.array_equal(payload, np.full(4, 1.0))
+        assert reopened.nbytes_of("k") == len(
+            __import__("repro.ckpt.serializer", fromlist=["serialize_entry"])
+            .serialize_entry(entry(1.0, size=4))
+        )
+
+    def test_flat_overwrite_crash_pins_weaker_contract(self, tmp_path):
+        """The flat store replaces payloads in place: a crash between the
+        payload replace and the index flush leaves the *new* bytes under
+        the *old* metadata.  The entry stays a complete, deserializable
+        version — the documented (weaker) contract this test pins; the
+        journal store's versioned files close this window."""
+        store = open_store("disk", tmp_path)
+        store.put("k", entry(1.0), stamp=1)
+        crash_at(store, "payload:durable")
+        with pytest.raises(CrashInjected):
+            store.put("k", entry(9.0), stamp=2)
+        reopened = open_store("disk", tmp_path)
+        assert reopened.stamp_of("k") == 1  # metadata: old version
+        value = reopened.get("k")["x"]  # payload: complete, but NEW bytes
+        assert np.array_equal(value, np.full(4, 9.0))
+
+    @pytest.mark.parametrize("kind", DISK_BACKENDS)
+    def test_crash_leaves_no_unreadable_key(self, tmp_path, kind):
+        """After any mid-put crash, every indexed key must be readable —
+        no dangling index entries pointing at missing payloads."""
+        for nth, point in enumerate(
+            ["payload:tmp-written", "payload:durable"], start=1
+        ):
+            root = tmp_path / f"case{nth}"
+            store = open_store(kind, root)
+            store.put("stable", entry(5.0), stamp=1)
+            crash_at(store, point)
+            with pytest.raises(CrashInjected):
+                store.put("stable", entry(6.0), stamp=2)
+            reopened = open_store(kind, root)
+            for key in reopened.keys():
+                reopened.get(key)  # must not raise
+
+
+class TestMidIndexAppend:
+    def test_torn_journal_line_truncated_and_prefix_recovered(self, tmp_path):
+        """Die halfway through the journal append: the torn line is
+        truncated on replay and the store recovers the acked prefix."""
+        store = open_store("sharded", tmp_path)
+        store.put("a", entry(1.0), stamp=1)
+        crash_at(store, "journal:mid-append")
+        with pytest.raises(CrashInjected):
+            store.put("b", entry(2.0), stamp=2)
+        size_with_torn_tail = os.path.getsize(store._journal_path)
+        reopened = open_store("sharded", tmp_path)
+        assert_consistent(reopened, {"a": (np.full(4, 1.0), 1)})
+        # the torn fragment was truncated away on replay
+        assert os.path.getsize(reopened._journal_path) < size_with_torn_tail
+
+    def test_post_crash_writes_survive_next_replay(self, tmp_path):
+        store = open_store("sharded", tmp_path)
+        store.put("a", entry(1.0), stamp=1)
+        crash_at(store, "journal:mid-append")
+        with pytest.raises(CrashInjected):
+            store.put("torn", entry(2.0), stamp=2)
+        recovered = open_store("sharded", tmp_path)
+        recovered.put("after", entry(3.0), stamp=3)
+        final = open_store("sharded", tmp_path)
+        assert_consistent(
+            final, {"a": (np.full(4, 1.0), 1), "after": (np.full(4, 3.0), 3)}
+        )
+
+    def test_death_mid_batch_before_journal_append_leaves_old_state(
+        self, tmp_path
+    ):
+        """Process death between a batch's payload writes and its
+        journal append: a dead process appends nothing, so the reopened
+        store shows exactly the pre-batch state — the new payloads are
+        invisible orphans and superseded versions are NOT reclaimed.
+        (A non-crash mid-batch *error* still journals the completed
+        prefix — that path is covered in the contract suite.)"""
+        store = open_store("sharded", tmp_path)
+        store.put("old", entry(1.0), stamp=1)
+        crash_at(store, "payload:durable", nth=3)
+        batch = [("old", entry(7.0), 2, 0)] + [
+            (f"k{i}", entry(float(i)), 2, 0) for i in range(4)
+        ]
+        with pytest.raises(CrashInjected):
+            store.put_many(batch)
+        reopened = open_store("sharded", tmp_path)
+        # nothing from the dead batch is visible; the overwritten key
+        # still serves its acknowledged version exactly
+        assert_consistent(reopened, {"old": (np.full(4, 1.0), 1)})
+
+    def test_torn_batch_append_recovers_record_prefix(self, tmp_path):
+        """A put_many whose single batched journal append tears midway:
+        replay recovers a clean *prefix* of the batch's records (payloads
+        for the rest exist but are invisible orphans)."""
+        store = open_store("sharded", tmp_path)
+        store.put("base", entry(0.0), stamp=0)
+        crash_at(store, "journal:mid-append")
+        batch = [(f"k{i}", entry(float(i)), 1, 0) for i in range(6)]
+        with pytest.raises(CrashInjected):
+            store.put_many(batch)
+        reopened = open_store("sharded", tmp_path)
+        keys = reopened.keys()
+        assert "base" in keys
+        recovered_batch = [key for key in keys if key.startswith("k")]
+        # whatever survived is a contiguous prefix of the batch order
+        assert recovered_batch == [f"k{i}" for i in range(len(recovered_batch))]
+        for key in keys:
+            reopened.get(key)
+
+    def test_newline_less_tail_is_torn_even_if_parseable(self, tmp_path):
+        """Regression: a tail that parses as JSON but lacks its trailing
+        newline is still a torn write (the append's ack covers the
+        newline).  Accepting it would let the next append concatenate
+        onto it and a later replay drop acknowledged records."""
+        store = open_store("sharded", tmp_path)
+        store.put("a", entry(1.0), stamp=1)
+        store.put("b", entry(2.0), stamp=2)
+        # crash tears off exactly the final newline: the 'b' record text
+        # is intact but unterminated
+        size = os.path.getsize(store._journal_path)
+        os.truncate(store._journal_path, size - 1)
+        recovered = open_store("sharded", tmp_path)
+        assert recovered.keys() == ["a"]  # unterminated record is torn
+        recovered.put("c", entry(3.0), stamp=3)
+        final = open_store("sharded", tmp_path)
+        # the acked post-crash write survives the NEXT replay too
+        assert_consistent(
+            final, {"a": (np.full(4, 1.0), 1), "c": (np.full(4, 3.0), 3)}
+        )
+
+    def test_same_stamp_overwrite_crash_preserves_acked_version(self, tmp_path):
+        """Regression: re-putting a key at the SAME stamp must not
+        replace the referenced payload file in place — the generation
+        suffix gives the new bytes a fresh file, so a crash before the
+        journal append leaves the acknowledged version intact."""
+        store = open_store("sharded", tmp_path)
+        store.put("k", entry(1.0, size=4), stamp=5)
+        crash_at(store, "payload:durable")
+        with pytest.raises(CrashInjected):
+            store.put("k", entry(9.0, size=8), stamp=5)
+        reopened = open_store("sharded", tmp_path)
+        assert reopened.stamp_of("k") == 5
+        value = reopened.get("k")["x"]
+        assert np.array_equal(value, np.full(4, 1.0))  # acked bytes
+        assert reopened.nbytes_of("k") == len(
+            __import__("repro.ckpt.serializer", fromlist=["serialize_entry"])
+            .serialize_entry(entry(1.0, size=4))
+        )
+
+    def test_versioned_names_cannot_collide_across_keys(self, tmp_path):
+        """Regression: the version suffix uses '@' (never produced by
+        escape_key), so key 'k' at stamp 5 after same-stamp overwrites
+        and key 'k.5' at stamp 3 map to distinct files even when their
+        hash shards coincide."""
+        store = open_store("sharded", tmp_path, shard_width=1)
+        assert store._path("k", 5, 3) != store._path("k.5", 3, 0).replace(
+            store._shard_of("k.5"), store._shard_of("k")
+        )
+        store.put("k", entry(1.0), stamp=5)
+        store.put("k", entry(2.0), stamp=5)
+        store.put("k", entry(3.0), stamp=5)  # gen 2
+        store.put("k.5", entry(9.0), stamp=2)
+        reopened = open_store("sharded", tmp_path, shard_width=1)
+        assert np.array_equal(reopened.get("k")["x"], np.full(4, 3.0))
+        assert np.array_equal(reopened.get("k.5")["x"], np.full(4, 9.0))
+
+    def test_same_stamp_overwrite_completes_and_reclaims_old_file(self, tmp_path):
+        store = open_store("sharded", tmp_path)
+        store.put("k", entry(1.0), stamp=5)
+        store.put("k", entry(2.0), stamp=5)
+        store.put("k", entry(3.0), stamp=5)
+        reopened = open_store("sharded", tmp_path)
+        assert np.array_equal(reopened.get("k")["x"], np.full(4, 3.0))
+        # superseded generations were unlinked once their successor's
+        # record became durable
+        shard_files = [
+            name
+            for _, _, names in os.walk(str(tmp_path / "shards"))
+            for name in names
+        ]
+        assert len(shard_files) == 1
+
+    def test_flat_index_crash_before_replace_keeps_old_index(self, tmp_path):
+        store = open_store("disk", tmp_path)
+        store.put("a", entry(1.0), stamp=1)
+        crash_at(store, "index:tmp-written")
+        with pytest.raises(CrashInjected):
+            store.put("b", entry(2.0), stamp=2)
+        reopened = open_store("disk", tmp_path)
+        assert_consistent(reopened, {"a": (np.full(4, 1.0), 1)})
+
+
+class TestMidCompaction:
+    def make_compacting_store(self, root):
+        return open_store("sharded", root, compact_min_records=8)
+
+    def test_crash_before_compacted_replace_loses_nothing(self, tmp_path):
+        store = self.make_compacting_store(tmp_path)
+        crash_at(store, "compact:tmp-written")
+        expected = {}
+        with pytest.raises(CrashInjected):
+            for stamp in range(50):
+                store.put("hot", entry(float(stamp)), stamp=stamp)
+                expected["hot"] = (np.full(4, float(stamp)), stamp)
+        # the compaction died before os.replace: the original journal is
+        # untouched and replay yields the exact acked state
+        reopened = self.make_compacting_store(tmp_path)
+        assert reopened.keys() == ["hot"]
+        acked_stamp = expected["hot"][1]
+        assert reopened.stamp_of("hot") in (acked_stamp, acked_stamp + 1)
+        reopened.get("hot")
+        # a stray .tmp from the dead compaction is ignored
+        assert not any(
+            path == reopened._journal_path
+            for path in glob.glob(str(tmp_path / "*.tmp"))
+        )
+
+    def test_store_remains_writable_after_compaction_crash(self, tmp_path):
+        store = self.make_compacting_store(tmp_path)
+        crash_at(store, "compact:tmp-written")
+        with pytest.raises(CrashInjected):
+            for stamp in range(50):
+                store.put("hot", entry(float(stamp)), stamp=stamp)
+        recovered = self.make_compacting_store(tmp_path)
+        for stamp in range(100, 150):
+            recovered.put("hot", entry(float(stamp)), stamp=stamp)
+        assert recovered.compactions > 0  # compaction works post-recovery
+        final = self.make_compacting_store(tmp_path)
+        assert final.stamp_of("hot") == 149
+        assert np.array_equal(final.get("hot")["x"], np.full(4, 149.0))
+
+
+class TestMidDelete:
+    @pytest.mark.parametrize("kind", DISK_BACKENDS)
+    def test_acked_deletes_are_durable(self, tmp_path, kind):
+        store = open_store(kind, tmp_path)
+        store.put("keep", entry(1.0), stamp=1)
+        store.put("gone", entry(2.0), stamp=1)
+        store.delete("gone")
+        crash_at(store, "payload:tmp-written")
+        with pytest.raises(CrashInjected):
+            store.put("late", entry(3.0), stamp=2)
+        reopened = open_store(kind, tmp_path)
+        assert_consistent(reopened, {"keep": (np.full(4, 1.0), 1)})
+
+    def test_sharded_tombstone_crash_leaks_only_orphans(self, tmp_path):
+        """Crash right after the tombstone append: the payload file may
+        leak, but the index never references it again."""
+        store = open_store("sharded", tmp_path)
+        store.put("gone", entry(2.0), stamp=1)
+        crash_at(store, "journal:appended")
+        with pytest.raises(CrashInjected):
+            store.delete("gone")
+        reopened = open_store("sharded", tmp_path)
+        assert reopened.keys() == []
+        with pytest.raises(KVStoreError):
+            reopened.get("gone")
+
+
+class TestAsyncPipelineCrash:
+    def test_worker_crash_leaves_inner_store_prefix_consistent(self, tmp_path):
+        """A crash inside the drained write surfaces as AsyncWriteError
+        at the next boundary; the inner store (reopened, as after a
+        process death) holds a strict prefix of the accepted puts —
+        never a later entry over a hole."""
+        inner = ShardedDiskKVStore(str(tmp_path))
+        crash_at(inner, "payload:durable", nth=3)
+        store = AsyncWriteBackend(inner)
+        for i in range(6):
+            store.put(f"k{i}", entry(float(i)), stamp=i)
+        with pytest.raises(AsyncWriteError):
+            store.flush()
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        keys = reopened.keys()
+        assert keys == [f"k{i}" for i in range(len(keys))]  # strict prefix
+        assert len(keys) < 6
+        for key in keys:
+            reopened.get(key)
+        store.close()
+
+    def test_worker_crash_mid_batch_append_keeps_meta_unreachable(self, tmp_path):
+        """The commit-last invariant under a crash: if the batch died,
+        the meta entry staged after it must not be durable."""
+        inner = ShardedDiskKVStore(str(tmp_path))
+        crash_at(inner, "payload:durable", nth=2)
+        store = AsyncWriteBackend(inner)
+        with pytest.raises(AsyncWriteError):
+            store.put_many([(f"k{i}", entry(float(i)), 1, 0) for i in range(4)])
+            store.put("meta:iteration", {"iteration": np.asarray(1)}, stamp=1)
+            store.flush()
+        reopened = ShardedDiskKVStore(str(tmp_path))
+        assert not reopened.has("meta:iteration")
+        store.close()

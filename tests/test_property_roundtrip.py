@@ -1,0 +1,221 @@
+"""Property-based round-trips: seeded random cases, no extra deps.
+
+The generators live in ``repro.testing`` (``random_nested_state``,
+``random_entry``, …); every case is a pure function of its seed, so a
+failure reproduces from the printed seed alone.  Covered properties:
+
+* serializer: arbitrary entries survive serialize→deserialize bit-exact
+  (dtype, shape and bytes);
+* key escaping: arbitrary unicode keys round-trip and never collide;
+* manifest: entry-key construction parses back to the same identity;
+* codec: float fields round-trip within the configured precision,
+  non-float fields bit-exact, shapes/keys always preserved;
+* the acceptance property: arbitrary nested state dicts survive
+  save → reshard → restore bit-exactly across every backend × topology
+  pair, through the real plan + parallel restore pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.testing import (
+    flatten_state,
+    random_entry,
+    random_field_name,
+    random_nested_state,
+    seeded_rng,
+    states_bit_equal,
+    unflatten_state,
+)
+from repro.ckpt import (
+    AsyncWriteBackend,
+    DiskKVStore,
+    InMemoryKVStore,
+    ParallelRestorer,
+    ShardedDiskKVStore,
+    deserialize_entry,
+    escape_key,
+    serialize_entry,
+    unescape_key,
+)
+from repro.ckpt.manifest import expert_entry_key, parse_entry_key
+from repro.core import grid_topology, plan_reshard, reshard_read_requests
+from repro.models.serial import ExpertKey
+
+SEEDS = range(25)
+
+
+class TestSerializerProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_entries_roundtrip_bit_exact(self, seed):
+        rng = seeded_rng(seed)
+        entry = random_entry(rng)
+        decoded = deserialize_entry(serialize_entry(entry))
+        assert set(decoded) == set(entry), f"seed={seed}"
+        for name, array in entry.items():
+            result = decoded[name]
+            assert result.dtype == np.asarray(array).dtype, f"seed={seed} {name!r}"
+            assert result.shape == np.asarray(array).shape, f"seed={seed} {name!r}"
+            assert result.tobytes() == np.asarray(array).tobytes(), f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_serialization_is_deterministic(self, seed):
+        rng_a, rng_b = seeded_rng(seed), seeded_rng(seed)
+        assert serialize_entry(random_entry(rng_a)) == serialize_entry(
+            random_entry(rng_b)
+        )
+
+
+class TestEscapingProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_keys_roundtrip(self, seed):
+        rng = seeded_rng(seed)
+        for _ in range(20):
+            key = random_field_name(rng, max_len=24)
+            escaped = escape_key(key)
+            assert unescape_key(escaped) == key, f"seed={seed} key={key!r}"
+            assert "/" not in escaped and ":" not in escaped
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_escaping_is_injective(self, seed):
+        rng = seeded_rng(seed)
+        keys = {random_field_name(rng, max_len=16) for _ in range(50)}
+        escaped = {escape_key(key) for key in keys}
+        assert len(escaped) == len(keys), f"seed={seed}"
+
+
+class TestManifestProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_expert_keys_parse_back(self, seed):
+        rng = seeded_rng(seed)
+        layer = int(rng.integers(0, 100))
+        expert = int(rng.integers(0, 1000))
+        param = "blocks." + random_field_name(rng).replace(":", ".") + ".weight"
+        key = ExpertKey(layer, expert)
+        kind, parsed, name = parse_entry_key(expert_entry_key(key, param))
+        assert kind == "expert"
+        assert parsed == key
+        assert name == param
+
+
+class TestCodecProperties:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_codec_preserves_structure_and_integers(self, seed):
+        from repro.ckpt import PrecisionCodec
+
+        rng = seeded_rng(seed)
+        codec = PrecisionCodec(field_dtypes={"m": np.dtype(np.float16)})
+        entry = random_entry(rng)
+        entry["m"] = rng.standard_normal(6)  # ensure a configured field
+        decoded = codec.decode(codec.encode(entry))
+        assert set(decoded) == set(entry)
+        for name, array in entry.items():
+            array = np.asarray(array)
+            assert decoded[name].shape == array.shape
+            if array.dtype.kind != "f":
+                # non-float fields pass through bit-exact
+                assert np.array_equal(decoded[name], array)
+        assert np.allclose(decoded["m"], entry["m"], rtol=2e-3, atol=1e-4)
+
+
+def make_backend_for(kind: str, root):
+    if kind == "memory":
+        return InMemoryKVStore()
+    if kind == "disk":
+        return DiskKVStore(str(root))
+    if kind == "sharded":
+        return ShardedDiskKVStore(str(root))
+    return AsyncWriteBackend(ShardedDiskKVStore(str(root)))
+
+
+BACKEND_KINDS = ["memory", "disk", "sharded", "async"]
+TOPOLOGY_GRIDS = [((4, 2), (2, 4)), ((2, 2), (1, 4)), ((1, 4), (4, 1))]
+
+
+class TestSaveReshardRestoreProperty:
+    """Arbitrary nested state dicts survive save→reshard→restore
+    bit-exactly across all backend × topology pairs."""
+
+    NUM_EXPERTS = 4
+    NUM_LAYERS = 2
+
+    def build_population(self, seed):
+        """Random nested per-expert and non-expert state, flattened to
+        checkpoint entries."""
+        rng = seeded_rng(seed)
+        expert_states = {}
+        entry_keys_by_expert = {}
+        entries = {}
+        for layer in range(self.NUM_LAYERS):
+            for expert in range(self.NUM_EXPERTS):
+                key = ExpertKey(layer, expert)
+                state = random_nested_state(rng)
+                expert_states[key] = state
+                keys = []
+                for path, array in flatten_state(state).items():
+                    entry_key = f"expert:l{layer}:e{expert}:{path}"
+                    entries[entry_key] = {"value": array}
+                    keys.append(entry_key)
+                entry_keys_by_expert[key] = keys
+        ne_state = random_nested_state(rng)
+        ne_keys = []
+        for path, array in flatten_state(ne_state).items():
+            entry_key = f"ne:{path}"
+            entries[entry_key] = {"value": array}
+            ne_keys.append(entry_key)
+        return entries, entry_keys_by_expert, ne_keys, expert_states, ne_state
+
+    @pytest.mark.parametrize("backend", BACKEND_KINDS)
+    @pytest.mark.parametrize("grids", TOPOLOGY_GRIDS)
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_roundtrip_bit_exact(self, tmp_path, backend, grids, seed):
+        entries, by_expert, ne_keys, expert_states, ne_state = (
+            self.build_population(seed)
+        )
+        store = make_backend_for(backend, tmp_path)
+        try:
+            store.put_many(
+                [(key, entry, 3, 0) for key, entry in sorted(entries.items())]
+            )
+            store.flush()
+            source = grid_topology(*grids[0], gpus_per_node=2)
+            target = grid_topology(*grids[1], gpus_per_node=2)
+            memory = InMemoryKVStore()  # cold resume: empty snapshot tier
+            plan = plan_reshard(
+                memory, store, by_expert, ne_keys,
+                expert_placement={key: [0] for key in by_expert},
+                num_experts=self.NUM_EXPERTS,
+                target=target, source=source,
+                failed_nodes=[0], resume_iteration=3,
+            )
+            fetched, stats = ParallelRestorer(workers=4).fetch(
+                reshard_read_requests(plan, memory, store)
+            )
+            assert stats.entries == len(entries)
+            # rebuild the nested states from the fetched entries
+            for key, state in expert_states.items():
+                prefix = f"expert:l{key.moe_layer}:e{key.expert}:"
+                flat = {
+                    entry_key[len(prefix):]: fetched[entry_key]["value"]
+                    for entry_key in by_expert[key]
+                }
+                assert states_bit_equal(unflatten_state(flat), state), (
+                    f"seed={seed} expert={key}"
+                )
+            ne_flat = {
+                entry_key[len("ne:"):]: fetched[entry_key]["value"]
+                for entry_key in ne_keys
+            }
+            assert states_bit_equal(unflatten_state(ne_flat), ne_state), (
+                f"seed={seed}"
+            )
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_flatten_unflatten_is_identity(self, seed):
+        rng = seeded_rng(seed)
+        state = random_nested_state(rng)
+        assert states_bit_equal(unflatten_state(flatten_state(state)), state)
