@@ -1,2 +1,31 @@
-from setuptools import setup
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    """Read __version__ from the package without importing it (the
+    build environment need not have numpy installed)."""
+    init = os.path.join(os.path.dirname(__file__), "src", "repro", "__init__.py")
+    with open(init, "r", encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.M)
+    if match is None:
+        raise RuntimeError("no __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="moc-repro",
+    version=_version(),
+    description=(
+        "Reproduction of an ASPLOS'25 MoE checkpointing system: partial-"
+        "expert checkpointing, pluggable storage backends, deduplicating "
+        "delta checkpoints, elastic reshard-on-resume"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["moc-repro = repro.cli:main"]},
+)

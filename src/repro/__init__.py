@@ -31,7 +31,7 @@ from .core import (
 from .models import Adam, MoEClassifier, MoEClassifierConfig, MoEModelConfig, MoETransformerLM
 from .train import FaultSchedule, MarkovCorpus, Trainer, TrainerConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Adam",

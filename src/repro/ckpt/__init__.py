@@ -8,6 +8,15 @@ from .backend import (
     make_backend,
     unescape_key,
 )
+from .dedup import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkStore,
+    DedupBackend,
+    FsckReport,
+    GCReport,
+    chunk_digest,
+    chunk_payload,
+)
 from .restore import ParallelRestorer, ReadRequest, RestoreStats, fetch_entries
 from .kvstore import BaseKVStore, DiskKVStore, InMemoryKVStore, StoredEntry
 from .sharded import ShardedDiskKVStore
@@ -19,6 +28,7 @@ from .codec import (
     roundtrip_error,
 )
 from .retention import (
+    DedupFootprint,
     RecoveryFootprint,
     RetentionAuditor,
     expected_entry_keys,
@@ -32,7 +42,13 @@ from .manifest import (
     non_expert_entry_key,
     parse_entry_key,
 )
-from .serializer import SerializationError, deserialize_entry, entry_nbytes, serialize_entry
+from .serializer import (
+    SerializationError,
+    deserialize_entry,
+    entry_digest,
+    entry_nbytes,
+    serialize_entry,
+)
 
 __all__ = [
     "AsyncWriteBackend",
@@ -40,8 +56,14 @@ __all__ = [
     "BaseKVStore",
     "CheckpointBackend",
     "CheckpointManifest",
+    "ChunkStore",
     "CodecStats",
     "CrashInjected",
+    "DEFAULT_CHUNK_BYTES",
+    "DedupBackend",
+    "DedupFootprint",
+    "FsckReport",
+    "GCReport",
     "ParallelRestorer",
     "ReadRequest",
     "RestoreStats",
@@ -57,7 +79,10 @@ __all__ = [
     "SerializationError",
     "ShardedDiskKVStore",
     "StoredEntry",
+    "chunk_digest",
+    "chunk_payload",
     "deserialize_entry",
+    "entry_digest",
     "entry_nbytes",
     "escape_key",
     "expected_entry_keys",

@@ -199,9 +199,10 @@ class CheckpointBackend(abc.ABC):
 def make_backend(kind: str, root: Optional[str] = None) -> CheckpointBackend:
     """Construct a persist-tier backend by name.
 
-    ``memory`` ignores ``root`` (useful for demos and tests); ``disk``
-    and ``sharded`` require a directory.
+    ``memory`` ignores ``root`` (useful for demos and tests); ``disk``,
+    ``sharded`` and ``dedup`` require a directory.
     """
+    from .dedup import DedupBackend
     from .kvstore import DiskKVStore, InMemoryKVStore
     from .sharded import ShardedDiskKVStore
 
@@ -213,4 +214,6 @@ def make_backend(kind: str, root: Optional[str] = None) -> CheckpointBackend:
         return DiskKVStore(root)
     if kind == "sharded":
         return ShardedDiskKVStore(root)
+    if kind == "dedup":
+        return DedupBackend(root)
     raise ValueError(f"unknown backend kind {kind!r}")

@@ -1,0 +1,629 @@
+"""Content-addressed deduplicating delta-checkpoint engine.
+
+PEC's core insight is that only a small, rotating subset of experts
+needs fresh bytes per checkpoint — yet a conventional persist tier
+still writes every *selected* entry in full, even when its content is
+bit-identical to the last stamp (untouched experts under sparse
+routing, frozen fine-tune layers, zero-initialised moments shared by
+every expert).  This module turns that insight into storage-layer wins:
+
+* :class:`ChunkStore` — a SHA-256-addressed store of immutable,
+  fixed-size chunks with **refcounted garbage collection**.  Chunk
+  files are written once and never mutated; liveness is tracked by an
+  append-only refcount journal (``refs.jsonl``) replayed on open with
+  the same torn-tail truncation discipline as the sharded store's
+  index journal.
+* :class:`DedupBackend` — a :class:`~repro.ckpt.backend.
+  CheckpointBackend` whose ``put`` chunks the serialized payload,
+  stores only *novel* chunks, and journals a **manifest** (the entry's
+  chunk-hash list) in ``manifests.jsonl``.  Identical payloads across
+  stamps, entries or tiers share chunks; a re-put of unchanged content
+  writes zero new chunk bytes.
+* :meth:`DedupBackend.gc` — reclaim chunks whose refcount dropped to
+  zero (retention deleting a stamp decrements refs; nothing is
+  unlinked inline).
+* :meth:`DedupBackend.fsck` — verify every chunk's hash matches its
+  address, every manifest reference resolves, and journal refcounts
+  agree with the counts derived from live manifests; orphans and
+  over-counted refs are *warnings* (crash windows leak at most those),
+  while corruption, missing chunks and under-counted refs are errors.
+
+Durable-write ordering
+----------------------
+A put appends three records, in an order chosen so every crash window
+over-counts refs (a leak fsck detects and gc/repair reclaims) and never
+under-counts them (which could reclaim a referenced chunk):
+
+1. novel chunk files (atomic tmp + ``os.replace`` each);
+2. ``refs.jsonl``  — incref the new manifest's chunks;
+3. ``manifests.jsonl`` — the manifest record (the commit point);
+4. ``refs.jsonl``  — decref the superseded manifest's chunks.
+
+Batched puts amortise each journal append over the whole batch while
+preserving the same order (all increfs, then all manifests, then all
+decrefs).  Deletes append the tombstone first, then the decref.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .backend import CheckpointBackend, CrashInjected, KVStoreError
+
+#: Default chunking granularity.  Small enough that a TINY model's
+#: entries span several chunks (so partial overlap dedups), large
+#: enough that manifest metadata stays a rounding error at GB scale.
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+
+def chunk_payload(payload: bytes, chunk_bytes: int) -> List[bytes]:
+    """Split a serialized payload into fixed-size chunks (last may be
+    short).  An empty payload still occupies one (empty) chunk so every
+    manifest references at least one address."""
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    if not payload:
+        return [b""]
+    return [payload[i : i + chunk_bytes] for i in range(0, len(payload), chunk_bytes)]
+
+
+def chunk_digest(chunk: bytes) -> str:
+    return hashlib.sha256(chunk).hexdigest()
+
+
+class _JsonlJournal:
+    """Append-only JSONL journal shared by refs and manifests.
+
+    Replay truncates a torn tail (a final line without its newline, or
+    one that fails to parse) exactly like the sharded store's index
+    journal, so acknowledged appends always survive the *next* replay
+    too.  ``fault`` is the owner's crash-injection seam; the journal
+    emits ``<name>:mid-append`` (torn-line window) and
+    ``<name>:appended`` points.
+    """
+
+    def __init__(self, path: str, name: str, fault: Callable[[str], None]) -> None:
+        self.path = path
+        self.name = name
+        self._fault = fault
+        self.records = 0  # records currently in the file
+        self.appends = 0  # records appended by this instance
+
+    def replay(self) -> List[dict]:
+        if not os.path.exists(self.path):
+            return []
+        out: List[dict] = []
+        valid_bytes = 0
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break
+                valid_bytes += len(line)
+                out.append(record)
+        if valid_bytes < os.path.getsize(self.path):
+            os.truncate(self.path, valid_bytes)
+        self.records = len(out)
+        return out
+
+    def append(self, records: Sequence[dict]) -> None:
+        if not records:
+            return
+        text = "".join(json.dumps(record) + "\n" for record in records)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if len(text) > 1:
+                # Crash seam: a hook may die between the halves, leaving
+                # a torn line for replay to truncate.
+                half = len(text) // 2
+                handle.write(text[:half])
+                handle.flush()
+                self._fault(f"{self.name}:mid-append")
+                handle.write(text[half:])
+            else:  # pragma: no cover - single-byte record never occurs
+                handle.write(text)
+        self.records += len(records)
+        self.appends += len(records)
+        self._fault(f"{self.name}:appended")
+
+    def rewrite(self, records: Sequence[dict]) -> None:
+        """Atomically compact the journal down to ``records``."""
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        self._fault(f"{self.name}:compact-tmp-written")
+        os.replace(tmp, self.path)
+        self.records = len(records)
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What one :meth:`DedupBackend.gc` pass reclaimed and kept."""
+
+    reclaimed_chunks: int
+    reclaimed_bytes: int
+    live_chunks: int
+    live_bytes: int
+
+
+@dataclass
+class FsckReport:
+    """Outcome of a :meth:`DedupBackend.fsck` verification pass.
+
+    ``errors`` are integrity violations (corrupt or missing chunks,
+    refcounts *below* the count live manifests require — the window gc
+    could exploit to reclaim referenced data).  Orphan chunk files and
+    *over*-counted refs are warnings: every crash window in the write
+    ordering leaks at most those, and ``gc``/``repair`` reclaims them.
+    """
+
+    chunks_checked: int = 0
+    manifests_checked: int = 0
+    corrupt_chunks: List[str] = field(default_factory=list)
+    missing_chunks: List[str] = field(default_factory=list)
+    orphan_chunks: List[str] = field(default_factory=list)
+    overcounted_refs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    undercounted_refs: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    repaired: bool = False
+
+    @property
+    def errors(self) -> List[str]:
+        out = [f"corrupt chunk {digest}" for digest in self.corrupt_chunks]
+        out += [f"missing chunk {digest}" for digest in self.missing_chunks]
+        out += [
+            f"refcount underflow {digest}: journal={journal} < live={live}"
+            for digest, (journal, live) in self.undercounted_refs.items()
+        ]
+        return out
+
+    @property
+    def warnings(self) -> List[str]:
+        out = [f"orphan chunk {digest}" for digest in self.orphan_chunks]
+        out += [
+            f"refcount leak {digest}: journal={journal} > live={live}"
+            for digest, (journal, live) in self.overcounted_refs.items()
+        ]
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+class ChunkStore:
+    """SHA-256-addressed immutable chunks with a refcount journal.
+
+    Layout: ``<root>/objects/<hh>/<sha256 hex>`` (two-hex-char shard
+    prefix, like the sharded store's payload layout) plus
+    ``<root>/refs.jsonl`` holding ``{"op": "ref", "inc": {...},
+    "dec": {...}}`` records.  Refcounts are replayed on open; a count
+    never goes below zero in memory (an underflow is recorded for fsck
+    rather than corrupting liveness).
+    """
+
+    def __init__(self, root: str, fault: Callable[[str], None]) -> None:
+        self.root = root
+        self._objects_dir = os.path.join(root, "objects")
+        os.makedirs(self._objects_dir, exist_ok=True)
+        self._fault = fault
+        self._shard_dirs_made: set = set()
+        self.refs: Dict[str, int] = {}
+        self._journal = _JsonlJournal(os.path.join(root, "refs.jsonl"), "refs", fault)
+        # Meters: physical (novel-chunk) bytes vs dedup hits.
+        self.chunks_written = 0
+        self.chunk_bytes_written = 0
+        self.dedup_hits = 0
+        self.dedup_bytes_saved = 0
+        for record in self._journal.replay():
+            self._apply_record(record)
+
+    def _apply_record(self, record: dict) -> None:
+        for digest, n in record.get("inc", {}).items():
+            self.refs[digest] = self.refs.get(digest, 0) + int(n)
+        for digest, n in record.get("dec", {}).items():
+            self.refs[digest] = self.refs.get(digest, 0) - int(n)
+            if self.refs[digest] <= 0:
+                # Keep zero-ref chunks addressable until gc reclaims
+                # them; negative counts clamp (fsck reports underflow
+                # from the manifests, the durable source of truth).
+                self.refs[digest] = max(self.refs[digest], 0)
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self._objects_dir, digest[:2], digest)
+
+    def _ensure_shard_dir(self, path: str) -> None:
+        shard = os.path.dirname(path)
+        if shard not in self._shard_dirs_made:
+            os.makedirs(shard, exist_ok=True)
+            self._shard_dirs_made.add(shard)
+
+    def has_chunk(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest))
+
+    def write_chunk(self, digest: str, data: bytes) -> bool:
+        """Store ``data`` under its address; returns True when novel.
+
+        Chunk files are immutable: if the address already exists the
+        bytes are identical by construction (collision-free within
+        SHA-256), so a duplicate write is a pure metadata no-op.
+        """
+        path = self._path(digest)
+        if os.path.exists(path):
+            self.dedup_hits += 1
+            self.dedup_bytes_saved += len(data)
+            return False
+        self._ensure_shard_dir(path)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        self._fault("chunk:tmp-written")
+        os.replace(tmp, path)
+        self._fault("chunk:durable")
+        self.chunks_written += 1
+        self.chunk_bytes_written += len(data)
+        return True
+
+    def read_chunk(self, digest: str) -> bytes:
+        try:
+            with open(self._path(digest), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            raise KVStoreError(f"chunk {digest} missing") from None
+
+    def apply_refs(self, inc: Mapping[str, int], dec: Mapping[str, int]) -> None:
+        """Journal one atomic refcount mutation, then apply it."""
+        record = {"op": "ref"}
+        if inc:
+            record["inc"] = dict(inc)
+        if dec:
+            record["dec"] = dict(dec)
+        if len(record) == 1:
+            return
+        self._journal.append([record])
+        self._apply_record(record)
+
+    def disk_chunks(self) -> Dict[str, int]:
+        """Every chunk file on disk: digest -> size in bytes."""
+        found: Dict[str, int] = {}
+        for shard in sorted(os.listdir(self._objects_dir)):
+            shard_dir = os.path.join(self._objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".tmp"):
+                    continue
+                found[name] = os.path.getsize(os.path.join(shard_dir, name))
+        return found
+
+    def stray_tmp_files(self) -> List[str]:
+        """Chunk ``.tmp`` files left by a write that died before its
+        ``os.replace`` — never referenced by anything durable."""
+        strays: List[str] = []
+        for shard in sorted(os.listdir(self._objects_dir)):
+            shard_dir = os.path.join(self._objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".tmp"):
+                    strays.append(os.path.join(shard_dir, name))
+        return strays
+
+    def gc(self) -> GCReport:
+        """Unlink every chunk whose refcount is zero (or that no ref
+        record mentions at all — a crash-window orphan), plus ``.tmp``
+        files from dead writes, then compact the refs journal to one
+        record holding the live counts."""
+        reclaimed_chunks = 0
+        reclaimed_bytes = 0
+        live_chunks = 0
+        live_bytes = 0
+        for digest, size in self.disk_chunks().items():
+            if self.refs.get(digest, 0) > 0:
+                live_chunks += 1
+                live_bytes += size
+                continue
+            os.remove(self._path(digest))
+            reclaimed_chunks += 1
+            reclaimed_bytes += size
+        for path in self.stray_tmp_files():
+            reclaimed_bytes += os.path.getsize(path)
+            reclaimed_chunks += 1
+            os.remove(path)
+        self.refs = {d: n for d, n in self.refs.items() if n > 0}
+        self._journal.rewrite(
+            [{"op": "ref", "inc": self.refs}] if self.refs else []
+        )
+        return GCReport(
+            reclaimed_chunks=reclaimed_chunks,
+            reclaimed_bytes=reclaimed_bytes,
+            live_chunks=live_chunks,
+            live_bytes=live_bytes,
+        )
+
+
+class DedupBackend(CheckpointBackend):
+    """Content-addressed persist tier: every entry is a chunk manifest.
+
+    Layout under ``root``::
+
+        manifests.jsonl        entry metadata + chunk-hash lists
+        chunks/refs.jsonl      refcount journal
+        chunks/objects/<hh>/   immutable chunk files
+
+    The backend honours the full :class:`CheckpointBackend` contract —
+    ``bytes_written``/``nbytes_of``/``total_bytes`` count *logical*
+    serialized payload bytes, exactly like every other backend, so the
+    manager's manifests and the recovery planner's byte accounting stay
+    uniform.  The physical story lives on :attr:`chunks`:
+    ``chunk_bytes_written`` is what actually hit disk.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        compact_min_records: int = 256,
+        compact_garbage_ratio: float = 4.0,
+    ) -> None:
+        super().__init__()
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        if compact_garbage_ratio <= 1.0:
+            raise ValueError("compact_garbage_ratio must be > 1")
+        self.root = root
+        self.chunk_bytes = chunk_bytes
+        self.compact_min_records = compact_min_records
+        self.compact_garbage_ratio = compact_garbage_ratio
+        os.makedirs(root, exist_ok=True)
+        self.chunks = ChunkStore(os.path.join(root, "chunks"), self._fault)
+        self._manifests = _JsonlJournal(
+            os.path.join(root, "manifests.jsonl"), "manifest", self._fault
+        )
+        self._index: Dict[str, Dict[str, object]] = {}
+        for record in self._manifests.replay():
+            if record["op"] == "put":
+                self._index[record["key"]] = {
+                    "stamp": int(record["stamp"]),
+                    "nbytes": int(record["nbytes"]),
+                    "chunks": list(record["chunks"]),
+                }
+            elif record["op"] == "del":
+                self._index.pop(record["key"], None)
+        # Batched-put deferral: increfs land before manifest records,
+        # decrefs after — for the whole batch.
+        self._defer = False
+        self._pending_incs: Counter = Counter()
+        self._pending_records: List[dict] = []
+        self._pending_decs: Counter = Counter()
+
+    # -- write path -----------------------------------------------------
+    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+        chunks = chunk_payload(payload, self.chunk_bytes)
+        digests = []
+        for chunk in chunks:
+            digest = chunk_digest(chunk)
+            self.chunks.write_chunk(digest, chunk)
+            digests.append(digest)
+        inc = Counter(digests)
+        old = self._index.get(key)
+        record = {
+            "op": "put", "key": key, "stamp": stamp,
+            "nbytes": len(payload), "chunks": digests,
+        }
+        if self._defer:
+            self._pending_incs.update(inc)
+            self._pending_records.append(record)
+        else:
+            self.chunks.apply_refs(inc, {})
+            self._manifests.append([record])
+        self._index[key] = {
+            "stamp": stamp, "nbytes": len(payload), "chunks": digests,
+        }
+        if old is not None:
+            dec = Counter(old["chunks"])
+            if self._defer:
+                self._pending_decs.update(dec)
+            else:
+                self.chunks.apply_refs({}, dec)
+                self._maybe_compact()
+
+    def _finish_batch(self, crashed: bool = False) -> None:
+        """Drain the deferred incref / manifest / decref appends.
+
+        A :class:`CrashInjected` mid-batch models process death: the
+        dead process appends nothing further, so deferred work is
+        discarded — replay must recover only what was durable at the
+        fault point (at worst orphan chunks and over-counted refs,
+        which fsck reports and gc reclaims).
+        """
+        incs, self._pending_incs = self._pending_incs, Counter()
+        records, self._pending_records = self._pending_records, []
+        decs, self._pending_decs = self._pending_decs, Counter()
+        self._defer = False
+        if crashed:
+            return
+        if incs:
+            self.chunks.apply_refs(incs, {})
+        if records:
+            self._manifests.append(records)
+        if decs:
+            self.chunks.apply_refs({}, decs)
+        if records or decs:
+            self._maybe_compact()
+
+    def put_many_serialized(self, items) -> List[int]:
+        """Batched puts: one incref append, one manifest append, one
+        decref append for the whole batch (ordering preserved).  An
+        item failing mid-batch still journals the completed prefix —
+        the manifests never lag chunks already written."""
+        self._defer = True
+        try:
+            sizes = [self.put_serialized(key, payload, stamp, node)
+                     for key, payload, stamp, node in items]
+        except BaseException as exc:
+            # The prefix's in-memory index entries are already updated;
+            # drop the ones whose records are being discarded on crash.
+            crashed = isinstance(exc, CrashInjected)
+            if crashed:
+                for record in self._pending_records:
+                    self._index.pop(record["key"], None)
+            self._finish_batch(crashed=crashed)
+            raise
+        self._finish_batch()
+        return sizes
+
+    def _maybe_compact(self) -> None:
+        threshold = max(
+            self.compact_min_records,
+            self.compact_garbage_ratio * max(len(self._index), 1),
+        )
+        if self._manifests.records < threshold:
+            return
+        self._manifests.rewrite([
+            {
+                "op": "put", "key": key, "stamp": meta["stamp"],
+                "nbytes": meta["nbytes"], "chunks": meta["chunks"],
+            }
+            for key, meta in sorted(self._index.items())
+        ])
+
+    # -- read path ------------------------------------------------------
+    def _read(self, key: str) -> bytes:
+        if key not in self._index:
+            raise KVStoreError(key)
+        meta = self._index[key]
+        payload = b"".join(
+            self.chunks.read_chunk(digest) for digest in meta["chunks"]
+        )
+        if len(payload) != int(meta["nbytes"]):
+            raise KVStoreError(
+                f"{key}: reassembled {len(payload)} bytes, manifest says "
+                f"{meta['nbytes']}"
+            )
+        return payload
+
+    # -- metadata -------------------------------------------------------
+    def stamp_of(self, key: str) -> int:
+        if key not in self._index:
+            raise KVStoreError(key)
+        return int(self._index[key]["stamp"])
+
+    def nbytes_of(self, key: str) -> int:
+        if key not in self._index:
+            raise KVStoreError(key)
+        return int(self._index[key]["nbytes"])
+
+    def chunks_of(self, key: str) -> List[str]:
+        """The chunk-hash manifest backing ``key``."""
+        if key not in self._index:
+            raise KVStoreError(key)
+        return list(self._index[key]["chunks"])
+
+    def has(self, key: str) -> bool:
+        return key in self._index
+
+    def keys(self) -> List[str]:
+        return sorted(self._index)
+
+    def total_bytes(self) -> int:
+        return sum(int(meta["nbytes"]) for meta in self._index.values())
+
+    def unique_bytes(self) -> int:
+        """Physical bytes held by the chunk files currently on disk."""
+        return sum(self.chunks.disk_chunks().values())
+
+    def delete(self, key: str) -> None:
+        """Tombstone the manifest, then decref its chunks.
+
+        Nothing is unlinked: retention dropping a stamp only decrements
+        refs; a later :meth:`gc` pass reclaims zero-ref chunks.  The
+        tombstone-first order means a crash between the two appends
+        over-counts refs (a leak) rather than freeing referenced data.
+        """
+        if key not in self._index:
+            raise KVStoreError(key)
+        old = self._index.pop(key)
+        record = {"op": "del", "key": key}
+        dec = Counter(old["chunks"])
+        if self._defer:
+            self._pending_records.append(record)
+            self._pending_decs.update(dec)
+        else:
+            self._manifests.append([record])
+            self.chunks.apply_refs({}, dec)
+            self._maybe_compact()
+
+    def delete_many(self, keys) -> None:
+        """Batched deletes: one tombstone append, one decref append."""
+        self._defer = True
+        try:
+            for key in keys:
+                self.delete(key)
+        except BaseException as exc:
+            self._finish_batch(crashed=isinstance(exc, CrashInjected))
+            raise
+        self._finish_batch()
+
+    # -- maintenance ----------------------------------------------------
+    def gc(self) -> GCReport:
+        """Reclaim zero-ref and orphaned chunks; compact both journals."""
+        report = self.chunks.gc()
+        self._maybe_compact()
+        return report
+
+    def fsck(self, repair: bool = False) -> FsckReport:
+        """Verify chunk integrity and refcount agreement.
+
+        Checks, in order:
+
+        1. every chunk file's SHA-256 matches its address (corruption);
+        2. every live manifest's chunk references resolve to a file
+           (missing chunks);
+        3. journal refcounts match the counts derived from live
+           manifests — under-counts are errors (gc could reclaim
+           referenced data), over-counts and unreferenced files are
+           crash-window leaks (warnings).
+
+        ``repair=True`` rewrites the refs journal to the derived
+        counts, clearing drift (orphan *files* are left for ``gc``).
+        """
+        report = FsckReport()
+        on_disk = self.chunks.disk_chunks()
+        for digest in on_disk:
+            report.chunks_checked += 1
+            if chunk_digest(self.chunks.read_chunk(digest)) != digest:
+                report.corrupt_chunks.append(digest)
+        live: Counter = Counter()
+        for key, meta in sorted(self._index.items()):
+            report.manifests_checked += 1
+            for digest in meta["chunks"]:
+                live[digest] += 1
+                if digest not in on_disk:
+                    report.missing_chunks.append(f"{digest} (entry {key})")
+        for digest in sorted(set(self.chunks.refs) | set(live)):
+            journal = self.chunks.refs.get(digest, 0)
+            derived = live.get(digest, 0)
+            if journal < derived:
+                report.undercounted_refs[digest] = (journal, derived)
+            elif journal > derived:
+                report.overcounted_refs[digest] = (journal, derived)
+        for digest in sorted(on_disk):
+            if live.get(digest, 0) == 0:
+                report.orphan_chunks.append(digest)
+        for path in self.chunks.stray_tmp_files():
+            report.orphan_chunks.append(os.path.basename(path))
+        if repair:
+            self.chunks.refs = dict(live)
+            self.chunks._journal.rewrite(
+                [{"op": "ref", "inc": dict(live)}] if live else []
+            )
+            report.repaired = True
+        return report

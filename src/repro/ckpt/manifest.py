@@ -65,12 +65,21 @@ class CheckpointManifest:
     iteration: int
     snapshot_entries: List[ManifestRecord] = field(default_factory=list)
     persist_entries: List[ManifestRecord] = field(default_factory=list)
+    #: Persist-tier entries the manager verified unchanged (content
+    #: digest equal to their last persisted version) and therefore
+    #: skipped re-serializing — delta saves.  ``stamp``/``nbytes`` are
+    #: those of the stored version the skip relies on.
+    persist_skipped: List[ManifestRecord] = field(default_factory=list)
 
     def snapshot_bytes(self) -> int:
         return sum(record.nbytes for record in self.snapshot_entries)
 
     def persist_bytes(self) -> int:
         return sum(record.nbytes for record in self.persist_entries)
+
+    def persist_skipped_bytes(self) -> int:
+        """Serialized bytes delta saves avoided re-writing."""
+        return sum(record.nbytes for record in self.persist_skipped)
 
     def persisted_experts(self) -> List[ExpertKey]:
         experts = set()

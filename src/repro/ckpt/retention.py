@@ -40,6 +40,22 @@ class RecoveryFootprint:
         return self.newest_stamp - self.oldest_stamp
 
 
+@dataclass
+class DedupFootprint:
+    """Chunk-level accounting of a content-addressed store."""
+
+    logical_bytes: int  # sum of entry payload sizes (what recovery reads)
+    physical_bytes: int  # chunk file bytes on disk
+    reclaimable_bytes: int  # zero-ref / orphan chunk bytes a gc would free
+    live_chunks: int
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical bytes per physical live byte (>= 1 under sharing)."""
+        live = self.physical_bytes - self.reclaimable_bytes
+        return self.logical_bytes / live if live > 0 else 1.0
+
+
 class RetentionAuditor:
     """Inspect a store's recoverability under PEC versioning."""
 
@@ -79,6 +95,34 @@ class RetentionAuditor:
                 result[identity] = stamp
         return result
 
+    def dedup_footprint(self) -> Optional["DedupFootprint"]:
+        """Physical-vs-logical byte accounting for a dedup store.
+
+        Returns ``None`` for stores without content-addressed chunks.
+        ``reclaimable_bytes`` is what a ``gc`` pass would free right
+        now (zero-ref and orphaned chunk files).
+        """
+        from .dedup import DedupBackend
+
+        store = getattr(self.store, "inner", self.store)  # unwrap async
+        if not isinstance(store, DedupBackend):
+            return None
+        self.store.flush()
+        logical = store.total_bytes()
+        refs = store.chunks.refs
+        physical = 0
+        reclaimable = 0
+        for digest, size in store.chunks.disk_chunks().items():
+            physical += size
+            if refs.get(digest, 0) <= 0:
+                reclaimable += size
+        return DedupFootprint(
+            logical_bytes=logical,
+            physical_bytes=physical,
+            reclaimable_bytes=reclaimable,
+            live_chunks=sum(1 for count in refs.values() if count > 0),
+        )
+
 
 def expected_entry_keys(
     non_expert_names: Iterable[str],
@@ -94,11 +138,15 @@ def expected_entry_keys(
     return keys
 
 
-def prune_stale_entries(store, expected_keys: Set[str]) -> List[str]:
+def prune_stale_entries(store, expected_keys: Set[str], gc: bool = False) -> List[str]:
     """Delete entries not in ``expected_keys`` (orphans from an old run).
 
     Works on any :class:`~repro.ckpt.backend.CheckpointBackend` via its
-    ``delete`` method.  Returns the deleted keys.
+    ``delete`` method.  On a refcounted store (the dedup backend, or an
+    async pipeline wrapping one) each delete only *decrements* chunk
+    refs; pass ``gc=True`` to follow up with the store's ``gc`` pass so
+    chunks orphaned by the prune are physically reclaimed (a no-op for
+    backends without one).  Returns the deleted keys.
     """
     from .backend import CheckpointBackend
 
@@ -106,4 +154,10 @@ def prune_stale_entries(store, expected_keys: Set[str]) -> List[str]:
         raise TypeError(f"unsupported store type {type(store).__name__}")
     orphans = [key for key in store.keys() if key not in expected_keys]
     store.delete_many(orphans)
+    if gc:
+        target = getattr(store, "inner", store)  # unwrap the async pipeline
+        collect = getattr(target, "gc", None)
+        if callable(collect):
+            store.flush()
+            collect()
     return sorted(orphans)

@@ -88,3 +88,26 @@ def _read(view: io.BytesIO, size: int) -> bytes:
 def entry_nbytes(entry: Mapping[str, np.ndarray]) -> int:
     """Raw payload bytes of an entry (excluding format framing)."""
     return int(sum(np.asarray(v).nbytes for v in entry.values()))
+
+
+def entry_digest(entry: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 content digest of an entry, without serializing it.
+
+    Hashes the same information :func:`serialize_entry` encodes (field
+    names, dtypes, shapes, raw bytes, in sorted field order), so two
+    entries share a digest iff their serialized payloads are identical
+    — but skips building the payload, which is what makes the manager's
+    delta-save check cheap enough to run on every entry.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in sorted(entry):
+        array = np.asarray(entry[name])
+        if array.ndim:
+            array = np.ascontiguousarray(array)
+        digest.update(name.encode("utf-8"))
+        digest.update(array.dtype.str.encode("ascii"))
+        digest.update(repr(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()

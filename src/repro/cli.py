@@ -9,9 +9,13 @@ Commands
               mechanics)
 ``demo``      a 60-iteration training run with a midpoint fault and PEC
               recovery on the numpy substrate
+``gc``        reclaim zero-ref chunks in a dedup checkpoint directory
+``fsck``      verify chunk hashes, manifests and refcounts of a dedup
+              checkpoint directory (non-zero exit on integrity errors)
 
-All commands print fixed-width tables and return 0 on success, making
-them scriptable; ``main`` accepts an ``argv`` list for testing.
+All commands print fixed-width tables and return 0 on success (``fsck``
+returns 1 when it finds integrity errors), making them scriptable;
+``main`` accepts an ``argv`` list for testing.
 """
 
 from __future__ import annotations
@@ -140,13 +144,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     )
     topology = grid_topology(args.dp, args.ep, gpus_per_node=args.gpus_per_node)
     resharding = args.resume_dp is not None or args.resume_ep is not None
+    dedup = args.backend == "dedup"
     rows = []
     with tempfile.TemporaryDirectory() as storage:
         store = make_backend(args.backend, storage)
         if args.async_writes:
             store = AsyncWriteBackend(store)
         manager = MoCCheckpointManager(
-            model, optimizer, config, disk_store=store, topology=topology
+            model, optimizer, config, disk_store=store, topology=topology,
+            # Delta saves are the dedup tier's natural companion: an
+            # unchanged selected entry costs zero bytes end to end.
+            delta_saves=dedup,
         )
         trainer = Trainer(
             model, optimizer, corpus,
@@ -204,13 +212,99 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 ("read imbalance (bottleneck/mean)", reshard.imbalance()),
                 ("matches source-topology restore", str(bit_exact)),
             ])
+        if dedup:
+            manager.flush()
+            inner = store.inner if args.async_writes else store
+            skipped = sum(len(m.persist_skipped) for m in manager.manifests)
+            gc_report = inner.gc()
+            fsck_report = inner.fsck()
+            logical = inner.bytes_written
+            physical = inner.chunks.chunk_bytes_written
+            rows.extend([
+                ("delta-skipped entries", skipped),
+                ("logical bytes accepted", logical),
+                ("unique chunk bytes written", physical),
+                ("dedup ratio (logical/physical)",
+                 logical / physical if physical else 1.0),
+                ("gc reclaimed chunks", gc_report.reclaimed_chunks),
+                ("gc reclaimed bytes", gc_report.reclaimed_bytes),
+                ("fsck errors", len(fsck_report.errors)),
+            ])
         manager.close()
     print(render_kv("demo run", rows))
     return 0
 
 
+def _open_dedup_store(root: str):
+    """Open an *existing* dedup checkpoint directory.
+
+    Constructing the backend would happily create an empty store at any
+    path — and an fsck of a typo'd ``--root`` would then report a brand
+    new empty store as "clean".  Require the store's on-disk markers
+    instead, and return None (caller prints the error, exits non-zero).
+    """
+    import os
+
+    from .ckpt import DedupBackend
+
+    markers = (os.path.join(root, "manifests.jsonl"), os.path.join(root, "chunks"))
+    if not any(os.path.exists(marker) for marker in markers):
+        print(f"error: {root!r} is not a dedup checkpoint directory "
+              "(no manifests.jsonl or chunks/)", file=sys.stderr)
+        return None
+    return DedupBackend(root)
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = _open_dedup_store(args.root)
+    if store is None:
+        return 2
+    report = store.gc()
+    print(render_kv(
+        f"gc {args.root}",
+        [
+            ("reclaimed chunks", report.reclaimed_chunks),
+            ("reclaimed bytes", report.reclaimed_bytes),
+            ("live chunks", report.live_chunks),
+            ("live bytes", report.live_bytes),
+        ],
+    ))
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    store = _open_dedup_store(args.root)
+    if store is None:
+        return 2
+    report = store.fsck(repair=args.repair)
+    print(render_kv(
+        f"fsck {args.root}",
+        [
+            ("chunks checked", report.chunks_checked),
+            ("manifests checked", report.manifests_checked),
+            ("corrupt chunks", len(report.corrupt_chunks)),
+            ("missing chunks", len(report.missing_chunks)),
+            ("refcount underflows", len(report.undercounted_refs)),
+            ("orphan chunks (warning)", len(report.orphan_chunks)),
+            ("refcount leaks (warning)", len(report.overcounted_refs)),
+            ("repaired", str(report.repaired)),
+            ("status", "clean" if report.ok else "ERRORS"),
+        ],
+    ))
+    for line in report.errors:
+        print(f"  error: {line}")
+    for line in report.warnings:
+        print(f"  warning: {line}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(prog="moc-repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     size = sub.add_parser("size", help="checkpoint size arithmetic")
@@ -240,8 +334,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--iterations", type=int, default=40)
     demo.add_argument("--interval", type=int, default=8)
     demo.add_argument("--experts", type=int, default=4)
-    demo.add_argument("--backend", choices=["memory", "disk", "sharded"],
-                      default="disk", help="persist-tier storage backend")
+    demo.add_argument("--backend", choices=["memory", "disk", "sharded", "dedup"],
+                      default="disk", help="persist-tier storage backend "
+                      "(dedup enables delta saves and prints chunk stats)")
     demo.add_argument("--async-writes", action="store_true",
                       help="drain persist writes through the async pipeline")
     demo.add_argument("--dp", type=int, default=2,
@@ -261,6 +356,23 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--restore-workers", type=int, default=4,
                       help="parallel readers for the resharded restore")
     demo.set_defaults(func=_cmd_demo)
+
+    gc = sub.add_parser(
+        "gc", help="reclaim zero-ref chunks in a dedup checkpoint directory"
+    )
+    gc.add_argument("--root", required=True,
+                    help="dedup backend root (holds manifests.jsonl + chunks/)")
+    gc.set_defaults(func=_cmd_gc)
+
+    fsck = sub.add_parser(
+        "fsck", help="verify a dedup checkpoint directory's integrity"
+    )
+    fsck.add_argument("--root", required=True,
+                      help="dedup backend root (holds manifests.jsonl + chunks/)")
+    fsck.add_argument("--repair", action="store_true",
+                      help="rewrite the refcount journal from live manifests, "
+                           "clearing crash-window drift")
+    fsck.set_defaults(func=_cmd_fsck)
     return parser
 
 

@@ -35,6 +35,7 @@ from ..ckpt.manifest import (
     non_expert_entry_key,
 )
 from ..ckpt.restore import ParallelRestorer, ReadRequest, RestoreStats
+from ..ckpt.serializer import entry_digest
 from ..models.optim import Adam
 from ..models.serial import ExpertKey, expert_param_names, non_expert_param_names
 from .config import MoCConfig, SelectionStrategy
@@ -110,6 +111,15 @@ class MoCCheckpointManager:
         persisted with every checkpoint (``meta:topology``) so an
         elastic resume can reshard onto a different layout, and the
         expert placement is derived from it.
+    delta_saves:
+        Skip persist-tier writes for entries whose content digest is
+        unchanged since their last persisted version (the PEC synergy:
+        a selected-but-untouched expert costs zero bytes).  The skip
+        never re-serializes — digests are computed straight off the
+        arrays — and skipped entries are reported on the manifest's
+        ``persist_skipped`` records.  The digest cache is dropped on
+        any write/flush failure and on recovery, so a skip can never
+        trust bytes that were discarded by a failed async pipeline.
     """
 
     def __init__(
@@ -126,6 +136,7 @@ class MoCCheckpointManager:
         num_nodes: int = 2,
         codec: Optional[PrecisionCodec] = None,
         topology: Optional[ShardTopology] = None,
+        delta_saves: bool = False,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -181,6 +192,10 @@ class MoCCheckpointManager:
 
         self.checkpoint_count = 0
         self.manifests: List[CheckpointManifest] = []
+        self.delta_saves = delta_saves
+        # key -> (content digest, nbytes, stamp) of the last *written*
+        # persist-tier version; the delta-save skip compares against it.
+        self._persist_digests: Dict[str, tuple] = {}
 
     # ------------------------------------------------------------------
     # Entry extraction / injection
@@ -279,12 +294,11 @@ class MoCCheckpointManager:
                     persist_items.append((key, entry, iteration, 0))
         self._record(manifest.snapshot_entries, snapshot_items,
                      self.memory_store.put_many(snapshot_items))
-        self._record(manifest.persist_entries, persist_items,
-                     self.disk_store.put_many(persist_items))
+        self._persist_batch(manifest, persist_items)
         self._persist_topology(iteration)
         meta_key = meta_entry_key("iteration")
         self.memory_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
-        self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
+        self._persist_put(meta_key, {"iteration": np.asarray(iteration)}, iteration)
         self.plt_tracker.record_save(SNAPSHOT_TIER, all_experts)
         self.plt_tracker.record_save(PERSIST_TIER, all_experts)
         self.manifests.append(manifest)
@@ -355,13 +369,12 @@ class MoCCheckpointManager:
                     persist_items.append(
                         (key, self._encode(self._optimizer_entry(name)), iteration, 0)
                     )
-        self._record(manifest.persist_entries, persist_items,
-                     self.disk_store.put_many(persist_items))
+        self._persist_batch(manifest, persist_items)
         # Topology before the iteration meta: the iteration entry is the
         # commit record, so a durable stamp implies the topology (and
         # every state entry) of its checkpoint was accepted first.
         self._persist_topology(iteration)
-        self.disk_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
+        self._persist_put(meta_key, {"iteration": np.asarray(iteration)}, iteration)
         self.plt_tracker.record_save(
             PERSIST_TIER, persist_weight_experts & persist_moment_experts
         )
@@ -375,25 +388,99 @@ class MoCCheckpointManager:
         for (key, _entry, stamp, _node), nbytes in zip(items, sizes):
             records.append(ManifestRecord(key, stamp, nbytes))
 
+    def _persist_batch(self, manifest: CheckpointManifest, items: List) -> None:
+        """Write a persist-tier batch, delta-skipping unchanged content.
+
+        With ``delta_saves`` on, entries whose content digest matches
+        their last written version are dropped from the batch and
+        recorded on ``manifest.persist_skipped`` (with the stored
+        version's stamp and size — what the skip relies on).  Any write
+        failure drops the whole digest cache: a deferred async error
+        discards queued writes, so nothing accepted after the failure
+        may be skipped on the strength of a stale digest.
+        """
+        digests: List[str] = []
+        if self.delta_saves:
+            kept: List = []
+            for key, entry, stamp, node in items:
+                digest = entry_digest(entry)
+                prev = self._persist_digests.get(key)
+                if prev is not None and prev[0] == digest:
+                    manifest.persist_skipped.append(
+                        ManifestRecord(key, prev[2], prev[1])
+                    )
+                    continue
+                kept.append((key, entry, stamp, node))
+                digests.append(digest)
+            items = kept
+        try:
+            sizes = self.disk_store.put_many(items)
+        except BaseException:
+            self._persist_digests.clear()
+            raise
+        self._record(manifest.persist_entries, items, sizes)
+        if self.delta_saves:
+            for (key, _entry, stamp, _node), digest, nbytes in zip(
+                items, digests, sizes
+            ):
+                self._persist_digests[key] = (digest, nbytes, stamp)
+
+    def _persist_put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int) -> int:
+        """Single persist-tier put under the same digest-cache failure
+        rule as :meth:`_persist_batch`.  Deferred async errors surface
+        at the *next* write — often the meta/topology put of the same
+        checkpoint — and must drop the cache there too, or the next
+        checkpoint would skip entries whose bytes were discarded."""
+        try:
+            return self.disk_store.put(key, entry, stamp=stamp)
+        except BaseException:
+            self._persist_digests.clear()
+            raise
+
     def _persist_topology(self, iteration: int) -> None:
         """Record the save-time topology inside the checkpoint."""
         if self.topology is None:
             return
-        self.disk_store.put(
-            meta_entry_key(TOPOLOGY_META_NAME),
-            topology_meta_entry(self.topology),
-            stamp=iteration,
-        )
+        key = meta_entry_key(TOPOLOGY_META_NAME)
+        entry = topology_meta_entry(self.topology)
+        if self.delta_saves:
+            digest = entry_digest(entry)
+            prev = self._persist_digests.get(key)
+            if prev is not None and prev[0] == digest:
+                return
+            nbytes = self._persist_put(key, entry, iteration)
+            self._persist_digests[key] = (digest, nbytes, iteration)
+            return
+        self._persist_put(key, entry, iteration)
 
     def flush(self) -> None:
         """Durability barrier over both tiers (async persist included)."""
-        self.memory_store.flush()
-        self.disk_store.flush()
+        try:
+            self.memory_store.flush()
+            self.disk_store.flush()
+        except BaseException:
+            self._persist_digests.clear()
+            raise
 
     def close(self) -> None:
         """Flush and release store resources (async worker threads)."""
         self.memory_store.close()
         self.disk_store.close()
+
+    def __enter__(self) -> "MoCCheckpointManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Flush *then* close, so a deferred async write error surfaces
+        here (``AsyncWriteBackend.close`` stops the worker before it
+        raises; an explicit flush turns a silent drop into the error
+        the training loop must see).  Close runs even when the flush —
+        or the ``with`` body — raised, so worker threads never leak.
+        """
+        try:
+            self.flush()
+        finally:
+            self.close()
 
     def _component_experts(self, plan: PECPlan, component: str, tier: str) -> Set[ExpertKey]:
         """Experts whose ``component`` is written at ``tier`` this checkpoint."""
@@ -440,6 +527,9 @@ class MoCCheckpointManager:
         """
         # Drain any in-flight async writes before reading: recovery must
         # observe every accepted put (and surface deferred write errors).
+        # The delta-save digest cache is dropped either way — post-fault,
+        # only the store's contents are truth.
+        self._persist_digests.clear()
         self.disk_store.flush()
         if not self.disk_store.has(meta_entry_key("iteration")):
             raise RuntimeError("no persisted checkpoint to recover from")

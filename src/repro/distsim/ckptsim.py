@@ -241,6 +241,89 @@ def reshard_recovery_cost(
     )
 
 
+@dataclass(frozen=True)
+class DedupWriteCost:
+    """Persisted-bytes-per-checkpoint model under chunk reuse.
+
+    Mirrors :class:`~repro.ckpt.dedup.DedupBackend`: a PEC checkpoint
+    accepts ``logical_bytes`` of serialized entries, but only chunks
+    whose content changed since their last persisted version hit
+    storage.  Whole-entry reuse (delta saves skipping untouched
+    experts) removes bytes *and* manifest metadata; partial change
+    dirties whole chunks (a single changed byte re-writes its chunk),
+    which is the granularity tax ``chunk_bytes`` trades against
+    manifest overhead (one digest per chunk, every save).
+    """
+
+    logical_bytes: int  # serialized bytes the checkpoint accepts
+    unique_bytes: int  # novel chunk bytes written to storage
+    manifest_bytes: int  # digest-list metadata journaled per save
+    chunk_bytes: int
+    chunks_referenced: int
+    chunks_written: int
+
+    @property
+    def persisted_bytes(self) -> int:
+        """What actually lands on storage for one checkpoint."""
+        return self.unique_bytes + self.manifest_bytes
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Logical bytes per persisted byte (>= 1 under reuse)."""
+        if self.persisted_bytes <= 0:
+            return 1.0
+        return self.logical_bytes / self.persisted_bytes
+
+
+def dedup_write_cost(
+    spec: MoEModelSpec,
+    k_persist: Optional[int] = None,
+    chunk_bytes: int = 64 * 1024,
+    changed_chunk_fraction: float = 1.0,
+    unchanged_entry_fraction: float = 0.0,
+    digest_bytes: int = 32,
+) -> DedupWriteCost:
+    """Steady-state persisted bytes for one PEC+dedup checkpoint.
+
+    ``unchanged_entry_fraction`` is the share of the selected payload
+    whose entries are bit-identical to their last persisted version
+    (untouched experts under sparse routing, frozen layers): the
+    manager's delta-save check drops them before serialization, so
+    they cost neither chunks nor manifest digests.  Of the remaining
+    bytes, ``changed_chunk_fraction`` of the chunks are dirty — a
+    changed byte dirties its whole chunk, so this is a *chunk*-level
+    fraction.  ``digest_bytes`` prices the manifest journal (one
+    SHA-256 per referenced chunk, re-journaled every save).
+    """
+    if chunk_bytes < 1:
+        raise ValueError("chunk_bytes must be >= 1")
+    if not 0.0 <= changed_chunk_fraction <= 1.0:
+        raise ValueError("changed_chunk_fraction must be in [0, 1]")
+    if not 0.0 <= unchanged_entry_fraction <= 1.0:
+        raise ValueError("unchanged_entry_fraction must be in [0, 1]")
+    if digest_bytes < 0:
+        raise ValueError("digest_bytes must be >= 0")
+    logical = (
+        spec.full_checkpoint_bytes()
+        if k_persist is None
+        else spec.pec_checkpoint_bytes(min(k_persist, spec.num_experts))
+    )
+    import math
+
+    delta_logical = int(round(logical * (1.0 - unchanged_entry_fraction)))
+    chunks_referenced = math.ceil(delta_logical / chunk_bytes) if delta_logical else 0
+    chunks_written = math.ceil(chunks_referenced * changed_chunk_fraction)
+    unique = min(chunks_written * chunk_bytes, delta_logical)
+    return DedupWriteCost(
+        logical_bytes=logical,
+        unique_bytes=unique,
+        manifest_bytes=chunks_referenced * digest_bytes,
+        chunk_bytes=chunk_bytes,
+        chunks_referenced=chunks_referenced,
+        chunks_written=chunks_written,
+    )
+
+
 def persist_file_bytes(
     spec: MoEModelSpec, topology: ShardTopology, k_persist: Optional[int] = None
 ) -> int:

@@ -1,9 +1,11 @@
 """Shared contract suite: every backend honours the same storage rules.
 
-Parametrized over all four backends (memory, disk, sharded journal, and
-the async pipeline wrapping the sharded store).  Backend-specific
-behaviour — journal crash-consistency, async error propagation, the
-no-index-rewrite property — is covered in dedicated classes below.
+Parametrized over every backend (memory, flat disk, sharded journal,
+the content-addressed dedup store, and the async pipeline wrapping both
+journal-backed stores).  Backend-specific behaviour — journal
+crash-consistency, async error propagation, the no-index-rewrite
+property, chunk refcounting — is covered in dedicated classes below
+and in ``test_dedup.py``.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from repro.ckpt import (
     AsyncWriteBackend,
     AsyncWriteError,
     CheckpointBackend,
+    DedupBackend,
     DiskKVStore,
     InMemoryKVStore,
     KVStoreError,
@@ -24,7 +27,7 @@ from repro.ckpt import (
     unescape_key,
 )
 
-BACKENDS = ["memory", "disk", "sharded", "async"]
+BACKENDS = ["memory", "disk", "sharded", "dedup", "async", "async-dedup"]
 
 
 @pytest.fixture(params=BACKENDS)
@@ -36,6 +39,10 @@ def store(request, tmp_path) -> CheckpointBackend:
         backend = DiskKVStore(str(tmp_path / "disk"))
     elif kind == "sharded":
         backend = ShardedDiskKVStore(str(tmp_path / "sharded"))
+    elif kind == "dedup":
+        backend = DedupBackend(str(tmp_path / "dedup"))
+    elif kind == "async-dedup":
+        backend = AsyncWriteBackend(DedupBackend(str(tmp_path / "async-dedup")))
     else:
         backend = AsyncWriteBackend(ShardedDiskKVStore(str(tmp_path / "async")))
     yield backend
@@ -251,7 +258,7 @@ class TestEscaping:
 
 
 class TestPersistence:
-    @pytest.mark.parametrize("kind", ["disk", "sharded"])
+    @pytest.mark.parametrize("kind", ["disk", "sharded", "dedup"])
     def test_survives_reopen(self, kind, tmp_path):
         store = make_backend(kind, str(tmp_path))
         store.put("a/b", {"x": np.ones(5)}, stamp=7)
@@ -571,7 +578,7 @@ class TestManagerIntegration:
             manager.checkpoint(iteration)
         return manager
 
-    @pytest.mark.parametrize("backend", ["disk", "sharded"])
+    @pytest.mark.parametrize("backend", ["disk", "sharded", "dedup"])
     @pytest.mark.parametrize("async_writes", [False, True])
     def test_checkpoint_and_recover(self, tmp_path, backend, async_writes):
         manager = self._run(tmp_path, backend=backend, async_writes=async_writes)

@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,6 +20,48 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+
+class TestEntryPoint:
+    """The ``moc-repro`` console script (declared in setup.py)."""
+
+    def test_setup_declares_console_script(self):
+        import repro.cli
+
+        setup_py = os.path.join(
+            os.path.dirname(repro.cli.__file__), "..", "..", "setup.py"
+        )
+        with open(setup_py, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert "moc-repro = repro.cli:main" in text
+        # the declared target resolves to a callable
+        assert callable(repro.cli.main)
+
+    def test_cli_module_entry_point_subprocess(self):
+        """Invoke the CLI the way the installed script does — a fresh
+        interpreter through the ``main`` entry point."""
+        import repro
+
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        result = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; sys.exit(main(['--version']))"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert result.returncode == 0
+        assert "moc-repro" in result.stdout
 
 
 class TestSize:
@@ -75,6 +122,15 @@ class TestDemo:
         ) == 0
         assert backend in capsys.readouterr().out
 
+    def test_demo_dedup_backend_reports_chunk_stats(self, capsys):
+        assert main(
+            ["demo", "--iterations", "8", "--interval", "4", "--backend", "dedup"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dedup ratio" in out
+        assert "fsck errors: 0" in out
+        assert "gc reclaimed" in out
+
     def test_demo_async_writes(self, capsys):
         assert main(
             ["demo", "--iterations", "8", "--interval", "4",
@@ -86,3 +142,76 @@ class TestDemo:
     def test_demo_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--backend", "tape"])
+
+
+def seeded_dedup_root(tmp_path) -> str:
+    from repro.ckpt import DedupBackend
+
+    root = str(tmp_path / "store")
+    store = DedupBackend(root)
+    store.put("a", {"x": np.ones(500)}, stamp=1)
+    store.put("a", {"x": np.zeros(500)}, stamp=2)  # supersede: gc fodder
+    store.put("b", {"x": np.zeros(500)}, stamp=2)
+    return root
+
+
+class TestGc:
+    def test_gc_reclaims_and_reports(self, capsys, tmp_path):
+        root = seeded_dedup_root(tmp_path)
+        assert main(["gc", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed chunks" in out
+        assert "live bytes" in out
+
+    def test_gc_requires_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["gc"])
+
+    def test_gc_rejects_nonexistent_store(self, capsys, tmp_path):
+        missing = str(tmp_path / "no-such-run")
+        assert main(["gc", "--root", missing]) == 2
+        assert "not a dedup checkpoint directory" in capsys.readouterr().err
+        # the typo'd path was not silently created
+        assert not os.path.exists(missing)
+
+
+class TestFsck:
+    def test_clean_store_exits_zero(self, capsys, tmp_path):
+        root = seeded_dedup_root(tmp_path)
+        assert main(["fsck", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "status: clean" in out
+
+    def test_corruption_exits_nonzero(self, capsys, tmp_path):
+        from repro.ckpt import DedupBackend
+
+        root = seeded_dedup_root(tmp_path)
+        store = DedupBackend(root)
+        victim = store.chunks._path(store.chunks_of("b")[0])
+        with open(victim, "r+b") as handle:
+            handle.seek(1)
+            handle.write(b"\x00\xff")
+        assert main(["fsck", "--root", root]) == 1
+        out = capsys.readouterr().out
+        assert "ERRORS" in out
+        assert "corrupt chunk" in out
+
+    def test_fsck_rejects_nonexistent_store(self, capsys, tmp_path):
+        """A typo'd --root must not be reported as a clean store."""
+        missing = str(tmp_path / "no-such-run")
+        assert main(["fsck", "--root", missing]) == 2
+        assert "not a dedup checkpoint directory" in capsys.readouterr().err
+        assert not os.path.exists(missing)
+
+    def test_repair_clears_refcount_drift(self, capsys, tmp_path):
+        from repro.ckpt import DedupBackend
+
+        root = seeded_dedup_root(tmp_path)
+        store = DedupBackend(root)
+        store.chunks.apply_refs({store.chunks_of("b")[0]: 2}, {})  # leak
+        assert main(["fsck", "--root", root]) == 0
+        assert "refcount leaks (warning): 1" in capsys.readouterr().out
+        assert main(["fsck", "--root", root, "--repair"]) == 0
+        assert "repaired: True" in capsys.readouterr().out
+        assert main(["fsck", "--root", root]) == 0
+        assert "refcount leaks (warning): 0" in capsys.readouterr().out
