@@ -42,10 +42,20 @@ def compute_comparison(tmpdir: str) -> dict:
     }
 
 
-def test_backend_put_microbench(benchmark, report, tmp_path):
+def test_backend_put_microbench(benchmark, report, report_json, tmp_path):
     results = once(benchmark, lambda: compute_comparison(str(tmp_path)))
     disk_seconds, disk = results["disk"]
     sharded_seconds, sharded = results["sharded"]
+    report_json("backend_put_microbench", {
+        "num_puts": NUM_PUTS,
+        "disk": {"seconds": disk_seconds, "index_rewrites": disk.index_rewrites},
+        "sharded": {
+            "seconds": sharded_seconds,
+            "index_rewrites": sharded.index_rewrites,
+            "journal_appends": sharded.journal_appends,
+            "compactions": sharded.compactions,
+        },
+    })
     rows = [
         ("disk (flat index)", disk_seconds, 1e6 * disk_seconds / NUM_PUTS,
          disk.index_rewrites, 0),

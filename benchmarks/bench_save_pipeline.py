@@ -1,0 +1,545 @@
+"""Save-pipeline benchmark: the pre-PR multi-pass path vs the
+zero-copy, single-hash-pass path — measured, CounterPoint style.
+
+The pre-PR save path touched every payload byte 3-4 times: a separate
+``entry_digest`` hash pass for the delta-save check, ``BytesIO`` +
+``tobytes`` + ``getvalue`` copies in ``serialize_entry``, re-slicing in
+``chunk_payload``, and a *second* SHA-256 pass over the same bytes for
+chunk addressing inside the dedup backend.  The rework serializes each
+entry once into zero-copy frames, computes chunk digests in a single
+sweep shared by the delta check and the dedup store, and writes frames
+straight to disk with ``writelines``.
+
+This bench drives **both** pipelines through the real stores on
+identical pretrain-shaped checkpoint streams:
+
+* ``legacy`` — a faithful replica of the pre-PR data path (BytesIO
+  serializer, standalone tobytes-based digest pass, bytes payloads that
+  make the dedup store re-chunk and re-hash internally).  The stores
+  still accept bytes, so this is the old pipeline running on today's
+  storage layer — the measured difference is the serializer/digest/copy
+  rework, nothing else.
+* ``new`` — the frame path exactly as ``MoCCheckpointManager._persist_batch``
+  runs it, with :class:`~repro.ckpt.serializer.PipelineMeters` proving
+  the hash-bytes-per-payload-byte story instead of assuming it.
+
+Scenario (*pretrain*): every touched entry changes every stamp; a
+quarter of the entries are untouched per stamp (PEC-selected experts
+whose content didn't move — the delta-save skip), and a fifth carry
+content identical to another entry (replicated/tied parameters — the
+cross-entry dedup hit).
+
+Reported per config (plain ``pec`` on the sharded journal store;
+``pec+dedup`` with delta saves on the dedup store):
+
+* measured end-to-end save wall time / throughput on this machine's
+  storage, and the legacy/new **speedup** (the headline);
+* hash bytes per payload byte (legacy ~2.0 with dedup, new 1.0);
+* a modeled end-to-end column at a 256 MB/s persist tier (parallel-FS
+  bandwidth under contention — the paper's regime), charging each
+  config its *physical* write traffic with journal overheads counted.
+  On that model pec+dedup's ms must come in at or below plain pec:
+  the single hash sweep now costs less than the write traffic it
+  avoids.
+
+Run standalone for the CI perf-smoke gate::
+
+    python benchmarks/bench_save_pipeline.py --quick \
+        --check-baseline benchmarks/results/BENCH_save_pipeline.json
+
+The gate compares the *speedup ratio* (machine-independent) against the
+committed baseline and fails on a >30% regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import io
+import json
+import os
+import struct
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.ckpt import DedupBackend, PayloadFrames, PipelineMeters, ShardedDiskKVStore
+
+#: Modeled persist-tier bandwidth for the end-to-end column: a parallel
+#: FS under checkpoint-burst contention (the paper's deployment regime).
+MODEL_BANDWIDTH = 256 * 1024 * 1024
+
+#: Dedup chunk size: one-to-few chunks per entry at this scenario's
+#: entry sizes, so the chunk-file count stays at or below the sharded
+#: store's entry-file count and per-file overhead doesn't smear the
+#: per-byte comparison.
+CHUNK_BYTES = 256 * 1024
+
+FULL = dict(entries=24, elems=131072, stamps=6)
+QUICK = dict(entries=8, elems=65536, stamps=3)
+
+#: Scenario shape: fraction of entries untouched per stamp (delta-save
+#: skips) and fraction sharing another entry's content (dedup hits).
+UNTOUCHED_EVERY = 3  # entry i is untouched at stamp s when (i+s) % 3 == 0
+DUPLICATE_EVERY = 4  # entry i mirrors entry i-1's content when i % 4 == 0
+
+
+def scratch_dir() -> str:
+    """Scratch root for the bench's stores: tmpfs when available.
+
+    The bench measures the CPU-side pipeline (serialize/hash/copy) this
+    PR reworks; on a slow scratch disk, raw write bandwidth — identical
+    in both paths — would drown the signal.  tmpfs keeps the measured
+    wall time about the pipeline, and the *modeled* column charges a
+    realistic persist tier's bandwidth explicitly instead.
+    """
+    shm = "/dev/shm"
+    if os.path.isdir(shm) and os.access(shm, os.W_OK):
+        return shm
+    import tempfile
+
+    return tempfile.gettempdir()
+
+
+# ---------------------------------------------------------------------------
+# The pre-PR pipeline, replicated verbatim (BytesIO serializer and the
+# standalone tobytes digest pass from the seed serializer.py).
+# ---------------------------------------------------------------------------
+
+class LegacyCounters:
+    def __init__(self) -> None:
+        self.bytes_hashed = 0
+        self.bytes_serialized = 0
+
+
+def legacy_serialize_entry(entry, counters: LegacyCounters) -> bytes:
+    out = io.BytesIO()
+    out.write(b"MOC1")
+    out.write(struct.pack("<I", len(entry)))
+    for name in sorted(entry):
+        array = np.asarray(entry[name])
+        if array.ndim:
+            array = np.ascontiguousarray(array)
+        name_bytes = name.encode("utf-8")
+        dtype_bytes = array.dtype.str.encode("ascii")
+        out.write(struct.pack("<H", len(name_bytes)))
+        out.write(name_bytes)
+        out.write(struct.pack("<B", len(dtype_bytes)))
+        out.write(dtype_bytes)
+        out.write(struct.pack("<B", array.ndim))
+        for dim in array.shape:
+            out.write(struct.pack("<Q", dim))
+        payload = array.tobytes()
+        out.write(struct.pack("<Q", len(payload)))
+        out.write(payload)
+    data = out.getvalue()
+    counters.bytes_serialized += len(data)
+    return data
+
+
+def legacy_entry_digest(entry, counters: LegacyCounters) -> str:
+    digest = hashlib.sha256()
+    for name in sorted(entry):
+        array = np.asarray(entry[name])
+        if array.ndim:
+            array = np.ascontiguousarray(array)
+        digest.update(name.encode("utf-8"))
+        digest.update(array.dtype.str.encode("ascii"))
+        digest.update(repr(array.shape).encode("ascii"))
+        data = array.tobytes()
+        digest.update(data)
+        counters.bytes_hashed += len(data)
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+def build_stamps(entries: int, elems: int, stamps: int) -> List[List[Tuple[str, dict, int]]]:
+    """Deterministic pretrain-shaped checkpoint stream.
+
+    Returns one item list per stamp.  Entry ``i`` at stamp ``s`` is
+    untouched (bit-identical to stamp ``s-1``) when ``(i+s) %
+    UNTOUCHED_EVERY == 0``; entry ``i`` duplicates entry ``i-1``'s
+    content when ``i % DUPLICATE_EVERY == 0`` (replicated parameters).
+    """
+    rng = np.random.default_rng(7)
+
+    def fresh(i: int) -> dict:
+        return {
+            "master": rng.standard_normal(elems).astype(np.float32),
+            "m": rng.standard_normal(elems).astype(np.float32),
+            "v": np.abs(rng.standard_normal(elems)).astype(np.float32),
+        }
+
+    current = [fresh(i) for i in range(entries)]
+    out: List[List[Tuple[str, dict, int]]] = []
+    for stamp in range(1, stamps + 1):
+        items: List[Tuple[str, dict, int]] = []
+        for i in range(entries):
+            if (i + stamp) % UNTOUCHED_EVERY != 0:
+                current[i] = fresh(i)
+            if i % DUPLICATE_EVERY == 0 and i > 0:
+                current[i] = current[i - 1]
+            items.append((f"ex:L00/E{i:03d}:o", current[i], stamp))
+        out.append(items)
+    # Pre-touch every page: freshly mmap'd array memory pays a
+    # first-access fault penalty that would otherwise be billed to
+    # whichever pipeline runs first (always legacy) and skew the
+    # comparison by several x.
+    for items in out:
+        for _key, entry, _stamp in items:
+            for value in entry.values():
+                value.sum()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The two pipelines (both mirror MoCCheckpointManager._persist_batch)
+# ---------------------------------------------------------------------------
+
+def make_store(kind: str, root: str):
+    if kind == "pec":
+        return ShardedDiskKVStore(root)
+    return DedupBackend(root, chunk_bytes=CHUNK_BYTES)
+
+
+def physical_bytes(kind: str, store, root: str) -> int:
+    """Bytes the config actually pushed to storage: payloads/chunks plus
+    every journal append (excluding them would flatter dedup)."""
+    if kind == "pec":
+        journal = os.path.getsize(os.path.join(root, "index.jsonl"))
+        return store.bytes_written + journal
+    journals = sum(
+        os.path.getsize(os.path.join(root, name))
+        for name in ("manifests.jsonl", os.path.join("chunks", "refs.jsonl"))
+        if os.path.exists(os.path.join(root, name))
+    )
+    return store.chunks.chunk_bytes_written + journals
+
+
+class LegacyPipeline:
+    """The pre-PR save loop (digest pass + BytesIO serialize + bytes
+    chunking inside the store), one stamp at a time."""
+
+    def __init__(self, kind: str, root: str, delta: bool) -> None:
+        self.kind = kind
+        self.root = root
+        self.delta = delta
+        self.store = make_store(kind, root)
+        self.counters = LegacyCounters()
+        self.digests: Dict[str, str] = {}
+        self.skips = 0
+        self.wall_seconds = 0.0
+        self._batch: List = []
+
+    def prepare(self, key: str, entry, stamp: int) -> None:
+        """Digest + serialize one entry into the pending batch."""
+        begin = time.perf_counter()
+        if self.delta:
+            digest = legacy_entry_digest(entry, self.counters)
+            if self.digests.get(key) == digest:
+                self.skips += 1
+                self.wall_seconds += time.perf_counter() - begin
+                return
+            self.digests[key] = digest
+        self._batch.append(
+            (key, legacy_serialize_entry(entry, self.counters), stamp, 0)
+        )
+        self.wall_seconds += time.perf_counter() - begin
+
+    def commit(self) -> None:
+        """Write the pending batch (one batched store put)."""
+        begin = time.perf_counter()
+        self.store.put_many_serialized(self._batch)
+        self._batch = []
+        self.wall_seconds += time.perf_counter() - begin
+
+    def result(self) -> dict:
+        # The dedup store re-hashes every accepted byte internally to
+        # chunk it (the second pass this PR removes).
+        hashed = self.counters.bytes_hashed + (
+            self.store.bytes_written if self.kind != "pec" else 0
+        )
+        return dict(
+            wall_seconds=self.wall_seconds,
+            logical_bytes=self.store.bytes_written,
+            physical_bytes=physical_bytes(self.kind, self.store, self.root),
+            hashed_bytes=hashed,
+            serialized_bytes=self.counters.bytes_serialized,
+            skips=self.skips,
+        )
+
+
+class NewPipeline:
+    """The frame path exactly as ``MoCCheckpointManager._persist_batch``
+    runs it: one rope per entry, one shared digest sweep."""
+
+    def __init__(self, kind: str, root: str, delta: bool) -> None:
+        self.kind = kind
+        self.root = root
+        self.delta = delta
+        self.store = make_store(kind, root)
+        self.meters = PipelineMeters()
+        self.digests: Dict[str, str] = {}
+        self.chunk_bytes = self.store.digest_chunk_bytes
+        self.skips = 0
+        self.wall_seconds = 0.0
+        self._batch: List = []
+
+    def prepare(self, key: str, entry, stamp: int) -> None:
+        """Frame + digest one entry into the pending batch."""
+        begin = time.perf_counter()
+        frames = PayloadFrames.from_entry(entry, meters=self.meters)
+        if self.delta:
+            digest = frames.entry_digest(self.chunk_bytes)
+            if self.digests.get(key) == digest:
+                self.skips += 1
+                self.wall_seconds += time.perf_counter() - begin
+                return
+            self.digests[key] = digest
+        self._batch.append((key, frames, stamp, 0))
+        self.wall_seconds += time.perf_counter() - begin
+
+    def commit(self) -> None:
+        """Write the pending batch (one batched store put)."""
+        begin = time.perf_counter()
+        self.store.put_many_serialized(self._batch)
+        self._batch = []
+        self.wall_seconds += time.perf_counter() - begin
+
+    def result(self) -> dict:
+        return dict(
+            wall_seconds=self.wall_seconds,
+            logical_bytes=self.store.bytes_written,
+            physical_bytes=physical_bytes(self.kind, self.store, self.root),
+            hashed_bytes=self.meters.bytes_hashed,
+            serialized_bytes=self.meters.bytes_serialized,
+            skips=self.skips,
+        )
+
+
+def run_pass(tmpdir: str, tag: str, stamps) -> Dict[Tuple[str, str], dict]:
+    """One measured pass of all four pipelines, interleaved per entry.
+
+    Cloud CPUs throttle under sustained load (we measured sequential
+    runs of this workload degrading ~3x over a few seconds); running
+    pipeline A to completion and then pipeline B would bill the
+    degradation to whichever ran last.  Every entry is therefore
+    prepared by all four pipelines back to back — with the execution
+    order rotating per entry — so each pipeline sees the same throttle
+    profile and the reported *ratios* stay stable even when absolute
+    numbers drift.
+    """
+    pipelines = {}
+    for kind, delta in (("pec", False), ("pec+dedup", True)):
+        for path, cls in (("legacy", LegacyPipeline), ("new", NewPipeline)):
+            root = os.path.join(tmpdir, f"{tag}-{kind.replace('+', '-')}-{path}")
+            pipelines[(kind, path)] = cls(kind, root, delta)
+    order = list(pipelines.values())
+    turn = 0
+    for items in stamps:
+        for key, entry, stamp in items:
+            rotation = order[turn % len(order):] + order[:turn % len(order)]
+            for pipeline in rotation:
+                pipeline.prepare(key, entry, stamp)
+            turn += 1
+        rotation = order[turn % len(order):] + order[:turn % len(order)]
+        for pipeline in rotation:
+            pipeline.commit()
+    return {key: pipeline.result() for key, pipeline in pipelines.items()}
+
+
+def compute_results(tmpdir: str, quick: bool = False, passes: int = 3) -> dict:
+    """Interleaved measurement over ``passes`` full passes.
+
+    The first pass doubles as warm-up (imports, allocator, page
+    faults); the pass with the lowest aggregate wall time — the least
+    throttled window — is reported.  Within a pass the per-entry
+    interleave (see :func:`run_pass`) keeps the legacy/new ratio fair.
+    """
+    shape = QUICK if quick else FULL
+    stamps = build_stamps(**shape)
+    payload_per_stamp = sum(
+        sum(np.asarray(v).nbytes for v in entry.values()) for _, entry, _ in stamps[0]
+    )
+    best: Optional[Dict[Tuple[str, str], dict]] = None
+    for index in range(passes):
+        outcome = run_pass(tmpdir, f"pass{index}", stamps)
+        total = sum(run["wall_seconds"] for run in outcome.values())
+        if best is None or total < sum(r["wall_seconds"] for r in best.values()):
+            best = outcome
+
+    results: dict = {
+        "scenario": dict(
+            shape,
+            untouched_every=UNTOUCHED_EVERY,
+            duplicate_every=DUPLICATE_EVERY,
+            payload_per_stamp=payload_per_stamp,
+        ),
+        "model_bandwidth_bytes_per_s": MODEL_BANDWIDTH,
+        "configs": {},
+    }
+    scenario_bytes = payload_per_stamp * shape["stamps"]
+    for kind in ("pec", "pec+dedup"):
+        runs = {path: best[(kind, path)] for path in ("legacy", "new")}
+        for run in runs.values():
+            run["throughput_mb_s"] = (
+                scenario_bytes / run["wall_seconds"] / 1e6
+                if run["wall_seconds"] > 0 else 0.0
+            )
+            run["hash_bytes_per_payload_byte"] = (
+                run["hashed_bytes"] / run["serialized_bytes"]
+                if run["serialized_bytes"] else 0.0
+            )
+            run["modeled_ms"] = 1e3 * (
+                run["wall_seconds"] + run["physical_bytes"] / MODEL_BANDWIDTH
+            )
+        runs["speedup"] = runs["legacy"]["wall_seconds"] / runs["new"]["wall_seconds"]
+        results["configs"][kind] = runs
+    results["headline_speedup"] = results["configs"]["pec+dedup"]["speedup"]
+    return results
+
+
+def render_report(results: dict) -> str:
+    shape = results["scenario"]
+    lines = [
+        f"pretrain scenario: {shape['entries']} entries x "
+        f"{shape['stamps']} stamps, {shape['payload_per_stamp'] / 1e6:.1f} MB/stamp, "
+        f"1/{shape['untouched_every']} untouched, 1/{shape['duplicate_every']} duplicated",
+    ]
+    rows = []
+    for kind, runs in results["configs"].items():
+        for path in ("legacy", "new"):
+            run = runs[path]
+            rows.append((
+                f"{kind} [{path}]",
+                1e3 * run["wall_seconds"] / shape["stamps"],
+                run["throughput_mb_s"],
+                run["hash_bytes_per_payload_byte"],
+                run["physical_bytes"] / 1024.0 / shape["stamps"],
+                run["modeled_ms"] / shape["stamps"],
+                run["skips"],
+            ))
+    lines.append(render_table(
+        ["config [path]", "save ms/ckpt", "MB/s", "hash B/B",
+         f"KiB written/ckpt", "modeled ms/ckpt", "skips"],
+        rows, precision=2,
+    ))
+    for kind, runs in results["configs"].items():
+        lines.append(f"{kind}: end-to-end save speedup (legacy -> new) = "
+                     f"{runs['speedup']:.2f}x")
+    lines.append(
+        f"modeled end-to-end @ {MODEL_BANDWIDTH // (1024 * 1024)} MB/s persist tier: "
+        f"pec+dedup {results['configs']['pec+dedup']['new']['modeled_ms'] / shape['stamps']:.2f} ms/ckpt "
+        f"vs pec {results['configs']['pec']['new']['modeled_ms'] / shape['stamps']:.2f} ms/ckpt"
+    )
+    return "\n".join(lines)
+
+
+def check_results(results: dict) -> None:
+    """The acceptance properties, asserted off the measured counters."""
+    dedup = results["configs"]["pec+dedup"]
+    pec = results["configs"]["pec"]
+    # One SHA-256 sweep per payload byte on the new path; ~2 before.
+    assert abs(dedup["new"]["hash_bytes_per_payload_byte"] - 1.0) < 1e-9
+    assert dedup["legacy"]["hash_bytes_per_payload_byte"] > 1.7
+    assert pec["new"]["hash_bytes_per_payload_byte"] == 0.0
+    # Identical logical state either path (skips included).
+    assert dedup["legacy"]["skips"] == dedup["new"]["skips"] > 0
+    assert dedup["legacy"]["logical_bytes"] == dedup["new"]["logical_bytes"]
+    # Headline: >=2x end-to-end save throughput on the dedup+delta
+    # config (the wall-clock gate is softer than the committed results
+    # to keep CI machines with slow SHA-NI from flaking).
+    assert results["headline_speedup"] >= 1.4, results["headline_speedup"]
+    # Dedup's single sweep now costs less than the write traffic it
+    # avoids: at modeled persist bandwidth its save ms is at or below
+    # plain pec's.  The committed results hold this strictly (>20%
+    # margin); the asserted gate allows 10% wall-clock noise so a
+    # throttled CI window can't flip a real advantage into a flake.
+    assert dedup["new"]["modeled_ms"] <= 1.1 * pec["new"]["modeled_ms"]
+
+
+def test_save_pipeline_bench(benchmark, report, report_json):
+    import tempfile
+
+    from repro.testing import once
+
+    def compute():
+        with tempfile.TemporaryDirectory(dir=scratch_dir()) as tmpdir:
+            return compute_results(tmpdir)
+
+    results = once(benchmark, compute)
+    report("save_pipeline", render_report(results))
+    report_json("save_pipeline", results)
+    check_results(results)
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (CI perf-smoke gate)
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small shape for the CI smoke gate")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON payload to stdout")
+    parser.add_argument("--write-results", action="store_true",
+                        help="write benchmarks/results/save_pipeline.txt and "
+                             "BENCH_save_pipeline.json (suffixed _quick under "
+                             "--quick, so a smoke run never clobbers the "
+                             "committed full-size baseline)")
+    parser.add_argument("--check-baseline", metavar="PATH", default=None,
+                        help="fail (exit 1) when the save-throughput "
+                             "speedup regresses >30%% vs the committed "
+                             "baseline JSON (ratio-based, so the gate is "
+                             "machine-independent)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check_baseline:
+        # Load before any result writing so the gate can never end up
+        # comparing a fresh measurement against itself.
+        with open(args.check_baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(dir=scratch_dir()) as tmpdir:
+        results = compute_results(tmpdir, quick=args.quick)
+    text = render_report(results)
+    print(text)
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    if args.write_results:
+        # Written before any assertion so a failing gate still leaves
+        # the measurement on disk for the CI artifact.
+        results_dir = os.path.join(os.path.dirname(__file__), "results")
+        os.makedirs(results_dir, exist_ok=True)
+        suffix = "_quick" if args.quick else ""
+        with open(os.path.join(results_dir, f"save_pipeline{suffix}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        with open(
+            os.path.join(results_dir, f"BENCH_save_pipeline{suffix}.json"), "w"
+        ) as handle:
+            handle.write(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    check_results(results)
+    if baseline is not None:
+        floor = 0.7 * baseline["headline_speedup"]
+        current = results["headline_speedup"]
+        print(f"perf gate: speedup {current:.2f}x vs baseline "
+              f"{baseline['headline_speedup']:.2f}x (floor {floor:.2f}x)")
+        if current < floor:
+            print("perf gate FAILED: save-pipeline speedup regressed >30%",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,21 @@ per experiment without re-running the (deterministic) workload.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store_true",
+        default=False,
+        help="also echo machine-readable BENCH_*.json payloads to stdout",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -34,6 +44,28 @@ def report(results_dir):
         return path
 
     return _report
+
+
+@pytest.fixture
+def report_json(results_dir, request):
+    """Write a machine-readable companion report.
+
+    ``BENCH_<name>.json`` lands next to the ``.txt`` tables so the perf
+    trajectory is trackable across PRs (CI uploads ``results/`` as an
+    artifact and the perf-smoke job diffs against the committed
+    baseline).  With ``--json`` the payload is echoed to stdout too.
+    """
+
+    def _report_json(name: str, payload: dict) -> str:
+        path = os.path.join(results_dir, f"BENCH_{name}.json")
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        if request.config.getoption("--json"):
+            print(f"\n=== BENCH_{name}.json ===\n{text}\n")
+        return path
+
+    return _report_json
 
 
 # Re-exported for any remaining `from conftest import once` users; the

@@ -20,7 +20,12 @@ from .dedup import (
 from .restore import ParallelRestorer, ReadRequest, RestoreStats, fetch_entries
 from .kvstore import BaseKVStore, DiskKVStore, InMemoryKVStore, StoredEntry
 from .sharded import ShardedDiskKVStore
-from .async_writer import AsyncWriteBackend, AsyncWriteError
+from .async_writer import (
+    DEFAULT_ARENA_BYTES,
+    AsyncWriteBackend,
+    AsyncWriteError,
+    StagingPool,
+)
 from .codec import (
     CodecStats,
     DEFAULT_FIELD_DTYPES,
@@ -43,16 +48,26 @@ from .manifest import (
     parse_entry_key,
 )
 from .serializer import (
+    PayloadFrames,
+    PipelineMeters,
     SerializationError,
     deserialize_entry,
     entry_digest,
     entry_nbytes,
     serialize_entry,
+    serialize_entry_frames,
+    writable_entry,
 )
 
 __all__ = [
     "AsyncWriteBackend",
     "AsyncWriteError",
+    "DEFAULT_ARENA_BYTES",
+    "PayloadFrames",
+    "PipelineMeters",
+    "StagingPool",
+    "serialize_entry_frames",
+    "writable_entry",
     "BaseKVStore",
     "CheckpointBackend",
     "CheckpointManifest",

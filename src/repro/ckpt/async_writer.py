@@ -10,9 +10,13 @@ Semantics
 ---------
 * ``put`` serializes in the caller's thread (the "snapshot": after it
   returns the caller may freely mutate the arrays) and stages the
-  payload on a bounded queue.  When the queue is full the caller blocks
-  until the worker frees a slot — the backpressure that bounds staging
-  memory, exactly like the paper's buffer pool.
+  payload on a bounded queue.  Zero-copy frame ropes are snapshotted
+  into a buffer from the :class:`StagingPool` — **one copy**, into
+  memory that is reused across checkpoints instead of freshly allocated
+  ``bytes`` per put.  When the queue is full (or the pool's arena is
+  exhausted) the caller blocks until the worker frees a slot — the
+  backpressure that bounds staging memory, exactly like the paper's
+  buffer pool.
 * Writes drain **in submission order**, so the inner store's state is
   always a prefix of the accepted puts.  Meta/commit entries written
   last therefore land last.
@@ -26,18 +30,24 @@ Semantics
   manager can surface it.  Until then the worker *discards* queued
   writes rather than executing them, preserving the prefix property: a
   later commit entry can never become durable over a hole left by the
-  failure.  Writing resumes once the error has been raised.
+  failure.  Writing resumes once the error has been raised.  Discarded
+  or not, staged buffers always return to the pool.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Dict, List, NamedTuple, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from .backend import CheckpointBackend
+from .serializer import PayloadFrames
+
+#: Default staging arena: comfortably double-buffers two checkpoints of
+#: every model this repo runs while still bounding a runaway producer.
+DEFAULT_ARENA_BYTES = 64 * 1024 * 1024
 
 
 class AsyncWriteError(RuntimeError):
@@ -47,11 +57,108 @@ class AsyncWriteError(RuntimeError):
 _STOP = object()
 
 
+class StagingPool:
+    """A bounded arena of reusable staging buffers.
+
+    ``acquire(nbytes)`` returns a ``bytearray`` of at least ``nbytes``
+    — preferring an idle pooled buffer (best fit) over allocating, and
+    **blocking** when the arena budget is exhausted until ``release``
+    returns capacity (the byte-granular half of the pipeline's
+    backpressure; the entry semaphore is the count-granular half).
+
+    Liveness rule: a payload larger than the whole arena may allocate
+    an oversize buffer, but only while nothing else is in flight (so
+    the bound degrades to "one oversize payload at a time" instead of
+    deadlocking); oversize buffers are dropped on release rather than
+    pooled.  Steady state therefore allocates nothing: the same arena
+    bytes stage every checkpoint, which is the allocation-rate fix this
+    pool exists for.
+    """
+
+    def __init__(self, arena_bytes: int = DEFAULT_ARENA_BYTES) -> None:
+        if arena_bytes < 1:
+            raise ValueError("arena_bytes must be >= 1")
+        self.arena_bytes = arena_bytes
+        self._cond = threading.Condition()
+        self._free: List[bytearray] = []
+        self._allocated = 0  # bytes across free + in-use buffers
+        self._in_use = 0  # buffers currently acquired
+        # Meters (read under the condition lock or after quiescence).
+        self.buffers_allocated = 0
+        self.buffers_reused = 0
+        self.exhaustion_waits = 0
+
+    def acquire(self, nbytes: int) -> bytearray:
+        """Return a buffer of capacity >= ``nbytes`` (blocking)."""
+        with self._cond:
+            waited = False
+            while True:
+                best = None
+                for index, buf in enumerate(self._free):
+                    if len(buf) >= nbytes and (
+                        best is None or len(buf) < len(self._free[best])
+                    ):
+                        best = index
+                if best is not None:
+                    buf = self._free.pop(best)
+                    self._in_use += 1
+                    self.buffers_reused += 1
+                    return buf
+                # No reusable buffer: allocate if the budget allows,
+                # evicting idle buffers first so the arena bound holds.
+                while self._free and self._allocated + nbytes > self.arena_bytes:
+                    dropped = self._free.pop()
+                    self._allocated -= len(dropped)
+                if (
+                    self._allocated + nbytes <= self.arena_bytes
+                    or self._in_use == 0  # oversize liveness rule
+                ):
+                    self._allocated += nbytes
+                    self._in_use += 1
+                    self.buffers_allocated += 1
+                    return bytearray(nbytes)
+                if not waited:
+                    self.exhaustion_waits += 1
+                    waited = True
+                self._cond.wait()
+
+    def release(self, buffer: bytearray) -> None:
+        """Return a buffer to the pool (wakes blocked acquirers)."""
+        with self._cond:
+            self._in_use -= 1
+            if len(buffer) <= self.arena_bytes:
+                self._free.append(buffer)
+            else:
+                self._allocated -= len(buffer)
+            self._cond.notify_all()
+
+    @property
+    def idle_buffers(self) -> int:
+        with self._cond:
+            return len(self._free)
+
+    @property
+    def arena_in_use(self) -> int:
+        with self._cond:
+            return self._allocated - sum(len(buf) for buf in self._free)
+
+
+class _Staged(NamedTuple):
+    """One staged put: the mutation-safe payload plus the pool buffer
+    backing it (``None`` when the payload was already immutable)."""
+
+    key: str
+    payload: object
+    stamp: int
+    node: object
+    buffer: Optional[bytearray]
+
+
 class _Batch(NamedTuple):
     """A put_many staged as one unit so the inner backend can amortise
     index maintenance over the whole batch."""
 
-    items: List[Tuple[str, bytes, int, object]]
+    items: List[_Staged]
 
 
 class AsyncWriteBackend(CheckpointBackend):
@@ -65,15 +172,25 @@ class AsyncWriteBackend(CheckpointBackend):
         Queue bound, in entries.  The default comfortably double-buffers
         two checkpoints' worth of entries for the models we run; lower it
         to model tighter staging memory (more backpressure stalls).
+    arena_bytes:
+        Byte budget of the :class:`StagingPool` the pipeline snapshots
+        frame payloads into.  Lower it to model tight staging memory:
+        producers block once the arena is full of in-flight payloads.
     """
 
-    def __init__(self, inner: CheckpointBackend, max_pending: int = 256) -> None:
+    def __init__(
+        self,
+        inner: CheckpointBackend,
+        max_pending: int = 256,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
+    ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         # No super().__init__(): bytes_read is a delegating property here
         # and must not be shadowed by an instance attribute.
         self.inner = inner
         self.max_pending = max_pending
+        self.staging = StagingPool(arena_bytes)
         self.bytes_written = 0  # accepted (staged) payload bytes
         self.put_count = 0
         # Backpressure is accounted per ENTRY (via the semaphore), not
@@ -88,6 +205,29 @@ class AsyncWriteBackend(CheckpointBackend):
             target=self._drain, name="ckpt-async-writer", daemon=True
         )
         self._worker.start()
+
+    @property
+    def digest_chunk_bytes(self) -> int:
+        return self.inner.digest_chunk_bytes
+
+    # -- staging --------------------------------------------------------
+    def _stage(self, key: str, payload, stamp: int, node) -> _Staged:
+        """Snapshot a payload so the caller may mutate its arrays.
+
+        ``bytes`` are immutable — staged as-is, no copy (they *are* the
+        snapshot).  Frame ropes alias live arrays, so they are copied
+        once into a pooled buffer; the copy carries the rope's chunk-
+        digest cache, so digests computed before staging (the manager's
+        delta-save sweep) are never recomputed by the inner backend.
+        """
+        if isinstance(payload, PayloadFrames) and payload.nbytes:
+            buffer = self.staging.acquire(payload.nbytes)
+            return _Staged(key, payload.snapshot_into(buffer), stamp, node, buffer)
+        return _Staged(key, payload, stamp, node, None)
+
+    def _release(self, item: _Staged) -> None:
+        if item.buffer is not None:
+            self.staging.release(item.buffer)
 
     # -- worker ---------------------------------------------------------
     def _drain(self) -> None:
@@ -107,18 +247,26 @@ class AsyncWriteBackend(CheckpointBackend):
                 if not poisoned:
                     try:
                         if isinstance(item, _Batch):
-                            self.inner.put_many_serialized(item.items)
+                            self.inner.put_many_serialized(
+                                [(s.key, s.payload, s.stamp, s.node)
+                                 for s in item.items]
+                            )
                         else:
-                            key, payload, stamp, node = item
-                            self.inner.put_serialized(key, payload, stamp, node)
+                            self.inner.put_serialized(
+                                item.key, item.payload, item.stamp, item.node
+                            )
                     except BaseException as exc:  # noqa: BLE001 - propagate later
                         with self._error_lock:
                             if self._error is None:
                                 self._error = exc
             finally:
                 if item is not _STOP:
-                    permits = len(item.items) if isinstance(item, _Batch) else 1
-                    for _ in range(permits):
+                    # Buffers and permits return whether the write ran,
+                    # failed, or was discarded — staging memory can
+                    # never leak past a fault.
+                    staged = item.items if isinstance(item, _Batch) else [item]
+                    for entry in staged:
+                        self._release(entry)
                         self._slots.release()
                 self._queue.task_done()
 
@@ -137,19 +285,20 @@ class AsyncWriteBackend(CheckpointBackend):
 
     # -- writes ---------------------------------------------------------
     # put()/put_many() come from the base class: they serialize in the
-    # caller's thread and land here with the payload bytes.
+    # caller's thread and land here with the payload frames.
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("AsyncWriteBackend is closed")
 
-    def put_serialized(self, key: str, payload: bytes, stamp: int, node=0) -> int:
+    def put_serialized(self, key: str, payload, stamp: int, node=0) -> int:
         self._check_open()
         self._raise_pending()
+        nbytes = len(payload)
         self._slots.acquire()
-        self._queue.put((key, payload, stamp, node))
-        self.bytes_written += len(payload)
+        self._queue.put(self._stage(key, payload, stamp, node))
+        self.bytes_written += nbytes
         self.put_count += 1
-        return len(payload)
+        return nbytes
 
     def put_many_serialized(self, items) -> List[int]:
         """Stage batches that the worker hands to
@@ -157,23 +306,41 @@ class AsyncWriteBackend(CheckpointBackend):
         batched index maintenance (one journal append / index rewrite
         per checkpoint, not per entry).
 
-        Batches larger than ``max_pending`` are chunked so entry-level
-        backpressure still applies (acquiring more permits than exist
-        would deadlock).
+        Batches are split on two bounds before staging would block on
+        either backpressure valve: ``max_pending`` entries (acquiring
+        more permits than exist would deadlock) and half the staging
+        arena in bytes — queueing the first half lets the worker drain
+        it while the second half stages, and guarantees every buffer a
+        blocked ``acquire`` waits on is already visible to the worker.
         """
         self._check_open()
         self._raise_pending()
-        items = list(items)
         sizes: List[int] = []
-        for start in range(0, len(items), self.max_pending):
-            chunk = items[start : start + self.max_pending]
-            for _ in chunk:
-                self._slots.acquire()
-            self._queue.put(_Batch(chunk))
-            for _key, payload, _stamp, _node in chunk:
-                self.bytes_written += len(payload)
-                self.put_count += 1
-                sizes.append(len(payload))
+        byte_budget = max(1, self.staging.arena_bytes // 2)
+        staged: List[_Staged] = []
+        staged_bytes = 0
+        for key, payload, stamp, node in items:
+            nbytes = len(payload)
+            # Only frame payloads occupy pool buffers; plain bytes are
+            # staged as-is and must not trigger a byte-budget split
+            # (which would forfeit the inner store's batched index
+            # maintenance for nothing).
+            pool_bytes = nbytes if isinstance(payload, PayloadFrames) else 0
+            if staged and (
+                len(staged) >= self.max_pending
+                or (pool_bytes and staged_bytes + pool_bytes > byte_budget)
+            ):
+                self._queue.put(_Batch(staged))
+                staged = []
+                staged_bytes = 0
+            self._slots.acquire()
+            staged.append(self._stage(key, payload, stamp, node))
+            staged_bytes += pool_bytes
+            self.bytes_written += nbytes
+            self.put_count += 1
+            sizes.append(nbytes)
+        if staged:
+            self._queue.put(_Batch(staged))
         return sizes
 
     def flush(self) -> None:
@@ -209,15 +376,15 @@ class AsyncWriteBackend(CheckpointBackend):
     def bytes_read(self) -> int:
         return self.inner.bytes_read
 
-    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+    def _write(self, key: str, payload, stamp: int, node) -> None:
         raise AssertionError("unused: put/put_serialized are overridden")
 
     def _read(self, key: str) -> bytes:
         raise AssertionError("unused: get is overridden")
 
-    def get(self, key: str) -> Dict[str, np.ndarray]:
+    def get(self, key: str, copy: bool = True) -> Dict[str, np.ndarray]:
         self.flush()
-        return self.inner.get(key)
+        return self.inner.get(key, copy=copy)
 
     def stamp_of(self, key: str) -> int:
         self.flush()

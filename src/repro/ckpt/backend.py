@@ -39,7 +39,15 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 import numpy as np
 
-from .serializer import deserialize_entry, serialize_entry
+from .serializer import (
+    DEFAULT_CHUNK_BYTES,
+    PayloadFrames,
+    deserialize_entry,
+)
+
+#: Payload forms the write path accepts: materialized bytes or the
+#: zero-copy frame rope.  ``len(payload)`` is the size for both.
+Payload = Union[bytes, PayloadFrames]
 
 # Characters stored literally in escaped file names; everything else
 # (including "%" itself, so the encoding stays injective) is written as
@@ -105,6 +113,15 @@ class CheckpointBackend(abc.ABC):
     #: so a test can raise :class:`CrashInjected` mid-operation.
     fault_hook: Optional[Callable[[str], None]] = None
 
+    #: Chunk granularity at which a caller should precompute
+    #: :meth:`~repro.ckpt.serializer.PayloadFrames.chunk_digests` so the
+    #: backend can reuse them instead of rehashing (the dedup tier
+    #: overrides this with its configured chunk size; decorators
+    #: delegate to the tier they wrap).  The manager's delta-save check
+    #: digests at this granularity, which is what makes the whole save
+    #: path a single SHA-256 sweep.
+    digest_chunk_bytes: int = DEFAULT_CHUNK_BYTES
+
     def __init__(self) -> None:
         self.bytes_written = 0
         self.bytes_read = 0
@@ -119,8 +136,16 @@ class CheckpointBackend(abc.ABC):
 
     # -- payload hooks --------------------------------------------------
     @abc.abstractmethod
-    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
-        """Store ``payload`` under ``key`` (metadata included)."""
+    def _write(self, key: str, payload: Payload, stamp: int, node) -> None:
+        """Store ``payload`` under ``key`` (metadata included).
+
+        ``payload`` may be materialized ``bytes`` or a zero-copy
+        :class:`~repro.ckpt.serializer.PayloadFrames` rope; disk-backed
+        stores write frames with one buffered ``writelines`` (see
+        :func:`~repro.ckpt.serializer.write_payload`) and stores that
+        must *retain* bytes materialize exactly once.  Frames alias the
+        caller's arrays and must be consumed before returning.
+        """
 
     @abc.abstractmethod
     def _read(self, key: str) -> bytes:
@@ -129,9 +154,9 @@ class CheckpointBackend(abc.ABC):
     # -- public interface ----------------------------------------------
     def put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int, node=0) -> int:
         """Serialize and store one entry; returns payload bytes."""
-        return self.put_serialized(key, serialize_entry(entry), stamp, node)
+        return self.put_serialized(key, PayloadFrames.from_entry(entry), stamp, node)
 
-    def put_serialized(self, key: str, payload: bytes, stamp: int, node=0) -> int:
+    def put_serialized(self, key: str, payload: Payload, stamp: int, node=0) -> int:
         """Store an already-serialized payload (meters included)."""
         self._write(key, payload, stamp, node)
         with self._meter_lock:
@@ -142,22 +167,29 @@ class CheckpointBackend(abc.ABC):
     def put_many(self, items: Sequence[PutItem]) -> List[int]:
         """Store a batch of entries; backends may amortise index work."""
         return self.put_many_serialized(
-            [(key, serialize_entry(entry), stamp, node) for key, entry, stamp, node in items]
+            [(key, PayloadFrames.from_entry(entry), stamp, node)
+             for key, entry, stamp, node in items]
         )
 
     def put_many_serialized(
-        self, items: Sequence[Tuple[str, bytes, int, Union[int, Sequence[int]]]]
+        self, items: Sequence[Tuple[str, Payload, int, Union[int, Sequence[int]]]]
     ) -> List[int]:
         """Batched form of :meth:`put_serialized` — the override point
         for backends that amortise index maintenance over a batch."""
         return [self.put_serialized(key, payload, stamp, node)
                 for key, payload, stamp, node in items]
 
-    def get(self, key: str) -> Dict[str, np.ndarray]:
+    def get(self, key: str, copy: bool = True) -> Dict[str, np.ndarray]:
+        """Read and decode one entry.
+
+        ``copy=False`` decodes zero-copy views over the read payload
+        (read-only for immutable buffers) — the restore pipeline's fast
+        path; see :func:`~repro.ckpt.serializer.deserialize_entry`.
+        """
         payload = self._read(key)
         with self._meter_lock:
             self.bytes_read += len(payload)
-        return deserialize_entry(payload)
+        return deserialize_entry(payload, copy=copy)
 
     @abc.abstractmethod
     def stamp_of(self, key: str) -> int:

@@ -53,12 +53,9 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from . import jsonl
 from .backend import CheckpointBackend, CrashInjected, KVStoreError
-
-#: Default chunking granularity.  Small enough that a TINY model's
-#: entries span several chunks (so partial overlap dedups), large
-#: enough that manifest metadata stays a rounding error at GB scale.
-DEFAULT_CHUNK_BYTES = 64 * 1024
+from .serializer import DEFAULT_CHUNK_BYTES, PayloadFrames
 
 
 def chunk_payload(payload: bytes, chunk_bytes: int) -> List[bytes]:
@@ -117,7 +114,7 @@ class _JsonlJournal:
     def append(self, records: Sequence[dict]) -> None:
         if not records:
             return
-        text = "".join(json.dumps(record) + "\n" for record in records)
+        text = "".join(map(jsonl.encode_record, records))
         with open(self.path, "a", encoding="utf-8") as handle:
             if len(text) > 1:
                 # Crash seam: a hook may die between the halves, leaving
@@ -138,7 +135,7 @@ class _JsonlJournal:
         tmp = self.path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             for record in records:
-                handle.write(json.dumps(record) + "\n")
+                handle.write(jsonl.encode_record(record))
         self._fault(f"{self.name}:compact-tmp-written")
         os.replace(tmp, self.path)
         self.records = len(records)
@@ -248,27 +245,34 @@ class ChunkStore:
     def has_chunk(self, digest: str) -> bool:
         return os.path.exists(self._path(digest))
 
-    def write_chunk(self, digest: str, data: bytes) -> bool:
+    def write_chunk(self, digest: str, data) -> bool:
         """Store ``data`` under its address; returns True when novel.
 
-        Chunk files are immutable: if the address already exists the
-        bytes are identical by construction (collision-free within
-        SHA-256), so a duplicate write is a pure metadata no-op.
+        ``data`` is ``bytes`` or a sequence of zero-copy buffer parts
+        (a chunk window spanning frame boundaries — see
+        :meth:`~repro.ckpt.serializer.PayloadFrames.chunk_slices`);
+        parts are written with one buffered ``writelines``, never
+        concatenated.  Chunk files are immutable: if the address
+        already exists the bytes are identical by construction
+        (collision-free within SHA-256), so a duplicate write is a pure
+        metadata no-op.
         """
+        parts = (data,) if isinstance(data, (bytes, memoryview)) else data
+        size = sum(len(part) for part in parts)
         path = self._path(digest)
         if os.path.exists(path):
             self.dedup_hits += 1
-            self.dedup_bytes_saved += len(data)
+            self.dedup_bytes_saved += size
             return False
         self._ensure_shard_dir(path)
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
-            handle.write(data)
+            handle.writelines(parts)
         self._fault("chunk:tmp-written")
         os.replace(tmp, path)
         self._fault("chunk:durable")
         self.chunks_written += 1
-        self.chunk_bytes_written += len(data)
+        self.chunk_bytes_written += size
         return True
 
     def read_chunk(self, digest: str) -> bytes:
@@ -405,13 +409,26 @@ class DedupBackend(CheckpointBackend):
         self._pending_decs: Counter = Counter()
 
     # -- write path -----------------------------------------------------
-    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
-        chunks = chunk_payload(payload, self.chunk_bytes)
-        digests = []
-        for chunk in chunks:
-            digest = chunk_digest(chunk)
-            self.chunks.write_chunk(digest, chunk)
-            digests.append(digest)
+    @property
+    def digest_chunk_bytes(self) -> int:
+        """Callers precomputing chunk digests must use this granularity
+        for :meth:`_write` to reuse them (one shared SHA-256 sweep)."""
+        return self.chunk_bytes
+
+    def _write(self, key: str, payload, stamp: int, node) -> None:
+        if isinstance(payload, PayloadFrames):
+            # Single-hash-pass path: digests come from the rope's cache
+            # when the manager's delta-save check already computed them;
+            # chunk data is written as zero-copy frame slices either way.
+            digests = payload.chunk_digests(self.chunk_bytes)
+            for digest, parts in zip(digests, payload.chunk_slices(self.chunk_bytes)):
+                self.chunks.write_chunk(digest, parts)
+        else:
+            digests = []
+            for chunk in chunk_payload(payload, self.chunk_bytes):
+                digest = chunk_digest(chunk)
+                self.chunks.write_chunk(digest, chunk)
+                digests.append(digest)
         inc = Counter(digests)
         old = self._index.get(key)
         record = {

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from .backend import CheckpointBackend, KVStoreError, escape_key
+from .serializer import payload_bytes, write_payload
 
 # Back-compat alias: the pre-backend base class name.
 BaseKVStore = CheckpointBackend
@@ -57,10 +58,14 @@ class InMemoryKVStore(CheckpointBackend):
         self._data: Dict[str, bytes] = {}
         self._meta: Dict[str, StoredEntry] = {}
 
-    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+    def _write(self, key: str, payload, stamp: int, node) -> None:
         nodes = (node,) if isinstance(node, int) else tuple(node)
-        self._data[key] = payload
-        self._meta[key] = StoredEntry(key=key, stamp=stamp, nbytes=len(payload), nodes=nodes)
+        # The memory tier *retains* the payload, so a frame rope (which
+        # aliases caller arrays) or a pooled staging view (whose buffer
+        # is reused) must be materialized here — the tier's one copy.
+        data = payload_bytes(payload)
+        self._data[key] = data
+        self._meta[key] = StoredEntry(key=key, stamp=stamp, nbytes=len(data), nodes=nodes)
 
     def _read(self, key: str) -> bytes:
         if key not in self._data:
@@ -166,11 +171,11 @@ class DiskKVStore(CheckpointBackend):
         os.replace(tmp, self._index_path)
         self.index_rewrites += 1
 
-    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+    def _write(self, key: str, payload, stamp: int, node) -> None:
         path = self._path(key)
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
-            handle.write(payload)
+            write_payload(handle, payload)
         self._fault("payload:tmp-written")
         os.replace(tmp, path)
         # NB: unlike the sharded store's versioned files, an overwrite

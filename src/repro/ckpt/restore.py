@@ -56,12 +56,22 @@ class RestoreStats:
 
 
 class ParallelRestorer:
-    """Fetch checkpoint entries through a bounded reader pool."""
+    """Fetch checkpoint entries through a bounded reader pool.
 
-    def __init__(self, workers: int = 4) -> None:
+    ``copy=False`` decodes entries as zero-copy ``frombuffer`` views
+    over the read payloads — no per-field allocation on the restore
+    path.  The views inherit the payload buffer's mutability (read-only
+    for ``bytes``), so callers that hand arrays to training must route
+    them through a writability guard: the manager's entry loader copies
+    into the optimizer's own arrays, and standalone consumers can use
+    :func:`repro.ckpt.serializer.writable_entry`.
+    """
+
+    def __init__(self, workers: int = 4, copy: bool = True) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.copy = copy
 
     def fetch(
         self, requests: Iterable[ReadRequest]
@@ -78,13 +88,16 @@ class ParallelRestorer:
         entries: Dict[str, Dict[str, np.ndarray]] = {}
         if self.workers == 1 or len(request_list) <= 1:
             for request in request_list:
-                entries[request.key] = request.store.get(request.key)
+                entries[request.key] = request.store.get(request.key, copy=self.copy)
         else:
             with ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="ckpt-restore"
             ) as pool:
                 futures = [
-                    (request.key, pool.submit(request.store.get, request.key))
+                    (
+                        request.key,
+                        pool.submit(request.store.get, request.key, copy=self.copy),
+                    )
                     for request in request_list
                 ]
                 for key, future in futures:
@@ -102,7 +115,7 @@ class ParallelRestorer:
 
 
 def fetch_entries(
-    requests: Sequence[ReadRequest], workers: int = 1
+    requests: Sequence[ReadRequest], workers: int = 1, copy: bool = True
 ) -> Tuple[Dict[str, Dict[str, np.ndarray]], RestoreStats]:
     """Convenience wrapper: one-shot parallel fetch."""
-    return ParallelRestorer(workers=workers).fetch(requests)
+    return ParallelRestorer(workers=workers, copy=copy).fetch(requests)

@@ -1,4 +1,4 @@
-"""Binary serialization of checkpoint entries.
+"""Binary serialization of checkpoint entries — the zero-copy save path.
 
 A checkpoint *entry* is a mapping from field names ("master", "m", "v",
 "step", ...) to numpy arrays.  We use a small self-describing binary
@@ -8,28 +8,146 @@ counts (which the paper's results are all about) are deterministic:
 ``MOC1`` magic | u32 field count | per field:
 u16 name length | name utf-8 | u8 dtype-string length | dtype utf-8 |
 u8 ndim | u64 * ndim shape | u64 payload bytes | raw array bytes.
+
+Save-path data flow
+-------------------
+The hot path never materializes the serialized stream.
+:func:`serialize_entry_frames` yields *frames* — small header ``bytes``
+objects interleaved with zero-copy ``memoryview``s over the arrays'
+buffers — and :class:`PayloadFrames` wraps them as a rope that the
+storage layer consumes directly:
+
+* disk stores write frames with one buffered ``writelines`` (no
+  concatenation);
+* chunk digests are computed in a **single SHA-256 sweep** over the
+  frames (:meth:`PayloadFrames.chunk_digests`), and the entry's content
+  digest is derived from the chunk digests
+  (:meth:`PayloadFrames.entry_digest`) — so the manager's delta-save
+  check and the dedup backend's chunk addressing share one hash pass;
+* the async write pipeline snapshots frames into a pooled staging
+  buffer with one copy (:meth:`PayloadFrames.snapshot_into`).
+
+:class:`PipelineMeters` counts the bytes serialized / hashed / copied so
+tests and ``demo --profile`` can pin the "touch each byte once"
+property instead of assuming it.
+
+``serialize_entry`` remains the materializing compatibility wrapper and
+is byte-identical to the frame path by construction (the property suite
+pins this).
 """
 
 from __future__ import annotations
 
-import io
+import hashlib
 import struct
-from typing import Dict, Mapping
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 _MAGIC = b"MOC1"
+
+#: Canonical chunking granularity for content digests and the dedup
+#: store.  Small enough that a TINY model's entries span several chunks
+#: (so partial overlap dedups), large enough that chunk metadata stays a
+#: rounding error at GB scale.  (Canonical home; ``repro.ckpt.dedup``
+#: re-exports it.)
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+#: Buffers a frame may be: immutable header bytes or array views.
+Frame = Union[bytes, memoryview]
 
 
 class SerializationError(ValueError):
     """Raised for malformed checkpoint payloads."""
 
 
-def serialize_entry(entry: Mapping[str, np.ndarray]) -> bytes:
-    """Encode a field->array mapping to bytes."""
-    out = io.BytesIO()
-    out.write(_MAGIC)
-    out.write(struct.pack("<I", len(entry)))
+@dataclass
+class PipelineMeters:
+    """Byte counters for the serialize→digest→stage→write pipeline.
+
+    ``bytes_serialized`` counts payload bytes represented as frames
+    (headers included — the whole persisted stream), ``bytes_hashed``
+    counts bytes fed through SHA-256, and ``bytes_copied`` counts bytes
+    memcpy'd (async staging snapshots, materializations).  The save
+    pipeline's regression tests pin ``bytes_hashed == bytes_serialized``
+    (one hash pass) and one staging copy per persisted byte — counters,
+    not assumptions.
+
+    Behind an async write pipeline, increments landing in the *worker*
+    thread (e.g. a store hashing an entry the caller didn't pre-digest)
+    settle only at a ``flush()`` barrier — snapshot after flushing when
+    asserting exact totals.
+    """
+
+    bytes_serialized: int = 0
+    bytes_hashed: int = 0
+    bytes_copied: int = 0
+    entries_serialized: int = 0
+
+    def __post_init__(self) -> None:
+        # Increments happen from the caller thread *and* (for
+        # materializing stores behind the async pipeline) the writer
+        # thread; int += is not atomic.
+        self._lock = threading.Lock()
+
+    def count_serialized(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_serialized += nbytes
+            self.entries_serialized += 1
+
+    def count_hashed(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_hashed += nbytes
+
+    def count_copied(self, nbytes: int) -> None:
+        with self._lock:
+            self.bytes_copied += nbytes
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "bytes_serialized": self.bytes_serialized,
+                "bytes_hashed": self.bytes_hashed,
+                "bytes_copied": self.bytes_copied,
+                "entries_serialized": self.entries_serialized,
+            }
+
+
+def _array_data(array: np.ndarray) -> Frame:
+    """Zero-copy byte view over a C-contiguous array's buffer.
+
+    0-d arrays materialize their handful of bytes (``memoryview.cast``
+    on numpy 0-d buffers is not portable across versions and the copy
+    is a few bytes).  Dtypes the buffer protocol refuses to export
+    (datetime64/timedelta64) also materialize — the frame path must
+    accept everything ``serialize_entry`` always has.
+    """
+    if array.ndim == 0 or array.nbytes == 0:
+        return array.tobytes()
+    try:
+        return memoryview(array).cast("B")
+    except (ValueError, TypeError, BufferError):
+        return array.tobytes()
+
+
+def serialize_entry_frames(entry: Mapping[str, np.ndarray]) -> Iterator[Frame]:
+    """Stream an entry as frames: header bytes + zero-copy array views.
+
+    Consecutive header fields coalesce into one ``bytes`` frame; each
+    non-empty array contributes a ``memoryview`` aliasing its buffer.
+    Frames are valid only while the caller keeps the arrays alive and
+    unmutated — the storage layer consumes them synchronously, and the
+    async pipeline snapshots them into a staging buffer before
+    returning to the caller.
+
+    Concatenated, the frames are byte-identical to
+    :func:`serialize_entry`'s output.
+    """
+    header = bytearray()
+    header += _MAGIC
+    header += struct.pack("<I", len(entry))
     for name in sorted(entry):
         array = np.asarray(entry[name])
         if array.ndim:
@@ -38,51 +156,279 @@ def serialize_entry(entry: Mapping[str, np.ndarray]) -> bytes:
             array = np.ascontiguousarray(array)
         name_bytes = name.encode("utf-8")
         dtype_bytes = array.dtype.str.encode("ascii")
-        out.write(struct.pack("<H", len(name_bytes)))
-        out.write(name_bytes)
-        out.write(struct.pack("<B", len(dtype_bytes)))
-        out.write(dtype_bytes)
-        out.write(struct.pack("<B", array.ndim))
+        header += struct.pack("<H", len(name_bytes))
+        header += name_bytes
+        header += struct.pack("<B", len(dtype_bytes))
+        header += dtype_bytes
+        header += struct.pack("<B", array.ndim)
         for dim in array.shape:
-            out.write(struct.pack("<Q", dim))
-        payload = array.tobytes()
-        out.write(struct.pack("<Q", len(payload)))
-        out.write(payload)
-    return out.getvalue()
+            header += struct.pack("<Q", dim)
+        data = _array_data(array)
+        header += struct.pack("<Q", len(data))
+        if isinstance(data, bytes):
+            header += data  # scalar / empty: folded into the header run
+        else:
+            yield bytes(header)
+            header = bytearray()
+            yield data
+    if header:
+        yield bytes(header)
 
 
-def deserialize_entry(data: bytes) -> Dict[str, np.ndarray]:
-    """Decode bytes produced by :func:`serialize_entry`."""
-    view = io.BytesIO(data)
-    magic = view.read(4)
-    if magic != _MAGIC:
+class PayloadFrames:
+    """A serialized entry as a rope of buffers, never concatenated.
+
+    Wraps the output of :func:`serialize_entry_frames` (or any sequence
+    of byte buffers) and offers the single-pass operations the storage
+    layer needs: chunked SHA-256 digests (cached per chunk size, so the
+    delta-save check and the dedup backend share one sweep), windowed
+    chunk slices for chunk-file writes, a one-copy snapshot into a
+    staging buffer, and materialization for stores that must own bytes.
+
+    ``len(frames)`` is the payload size in bytes, so code metering
+    ``len(payload)`` works unchanged for ``bytes`` and frames alike.
+    """
+
+    __slots__ = ("frames", "nbytes", "meters", "_digest_cache")
+
+    def __init__(
+        self,
+        frames: Sequence[Frame],
+        meters: Optional[PipelineMeters] = None,
+        _digest_cache: Optional[Dict[int, List[str]]] = None,
+    ) -> None:
+        normalized: List[Frame] = []
+        nbytes = 0
+        for frame in frames:
+            if not isinstance(frame, (bytes, memoryview)):
+                frame = memoryview(frame)
+            if isinstance(frame, memoryview) and (
+                frame.format != "B" or frame.ndim != 1
+            ):
+                frame = frame.cast("B")
+            if len(frame) == 0:
+                continue
+            normalized.append(frame)
+            nbytes += len(frame)
+        self.frames = tuple(normalized)
+        self.nbytes = nbytes
+        self.meters = meters
+        # chunk size -> chunk digests, computed at most once per size.
+        self._digest_cache: Dict[int, List[str]] = (
+            _digest_cache if _digest_cache is not None else {}
+        )
+
+    @classmethod
+    def from_entry(
+        cls,
+        entry: Mapping[str, np.ndarray],
+        meters: Optional[PipelineMeters] = None,
+    ) -> "PayloadFrames":
+        frames = cls(list(serialize_entry_frames(entry)), meters=meters)
+        if meters is not None:
+            meters.count_serialized(frames.nbytes)
+        return frames
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def tobytes(self) -> bytes:
+        """Materialize the payload (a copy — off the hot path)."""
+        data = b"".join(self.frames)
+        if self.meters is not None:
+            self.meters.count_copied(len(data))
+        return data
+
+    def chunk_digests(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> List[str]:
+        """SHA-256 hex digest per fixed-size chunk, in one sweep.
+
+        Matches ``[chunk_digest(c) for c in chunk_payload(payload)]``
+        exactly (an empty payload has one empty chunk).  Results are
+        cached per chunk size and shared across copies made by
+        :meth:`snapshot_into`, so a payload is hashed **once** no matter
+        how many layers (delta-save check, dedup chunking) need the
+        digests.
+        """
+        cached = self._digest_cache.get(chunk_bytes)
+        if cached is not None:
+            return cached
+        # One sweep over the same windows the write path uses — sharing
+        # :meth:`chunk_slices` keeps digest and chunk-data boundaries
+        # aligned by construction.
+        digests: List[str] = []
+        for parts in self.chunk_slices(chunk_bytes):
+            digest = hashlib.sha256()
+            for part in parts:
+                digest.update(part)
+            digests.append(digest.hexdigest())
+        if self.meters is not None:
+            self.meters.count_hashed(self.nbytes)
+        self._digest_cache[chunk_bytes] = digests
+        return digests
+
+    def entry_digest(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> str:
+        """Content digest derived from the chunk digests.
+
+        A digest-of-chunk-digests, so deriving it after
+        :meth:`chunk_digests` costs ~32 bytes of hashing per chunk
+        instead of a second pass over the payload.  Two entries share a
+        digest iff their serialized payloads are identical (at a fixed
+        chunk size).
+        """
+        digest = hashlib.sha256()
+        for chunk in self.chunk_digests(chunk_bytes):
+            digest.update(bytes.fromhex(chunk))
+        return digest.hexdigest()
+
+    def chunk_slices(
+        self, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    ) -> Iterator[List[Frame]]:
+        """Yield each fixed-size chunk as a list of zero-copy buffer parts.
+
+        Windows align with :meth:`chunk_digests`; a chunk spanning a
+        frame boundary is several parts (``writelines`` them).  An empty
+        payload yields one empty chunk.
+        """
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        parts: List[Frame] = []
+        filled = 0
+        yielded = False
+        for frame in self.frames:
+            view = frame if isinstance(frame, memoryview) else memoryview(frame)
+            while len(view):
+                take = min(chunk_bytes - filled, len(view))
+                parts.append(view[:take])
+                filled += take
+                view = view[take:]
+                if filled == chunk_bytes:
+                    yield parts
+                    yielded = True
+                    parts = []
+                    filled = 0
+        if parts or not yielded:
+            yield parts
+
+    def snapshot_into(self, buffer: bytearray) -> "PayloadFrames":
+        """Copy the frames into ``buffer`` (one pass) and return a new
+        rope over the copy.
+
+        The staging copy of the async write pipeline: the returned rope
+        no longer aliases the caller's arrays (mutation-safe), is
+        read-only, and **shares the digest cache**, so digests computed
+        before staging are never recomputed downstream.
+        """
+        if len(buffer) < self.nbytes:
+            raise ValueError(
+                f"staging buffer too small: {len(buffer)} < {self.nbytes}"
+            )
+        view = memoryview(buffer)
+        offset = 0
+        for frame in self.frames:
+            end = offset + len(frame)
+            view[offset:end] = frame
+            offset = end
+        if self.meters is not None:
+            self.meters.count_copied(self.nbytes)
+        return PayloadFrames(
+            [view[: self.nbytes].toreadonly()],
+            meters=self.meters,
+            _digest_cache=self._digest_cache,
+        )
+
+
+def write_payload(handle, payload: Union[bytes, PayloadFrames]) -> None:
+    """Write a payload to a binary file handle without concatenating.
+
+    Frames go out in a single buffered ``writelines``; plain bytes in
+    one ``write``.  The helper every disk-backed store routes through.
+    """
+    if isinstance(payload, PayloadFrames):
+        handle.writelines(payload.frames)
+    else:
+        handle.write(payload)
+
+
+def payload_bytes(payload: Union[bytes, bytearray, memoryview, PayloadFrames]) -> bytes:
+    """Materialize any accepted payload form as immutable bytes."""
+    if isinstance(payload, PayloadFrames):
+        return payload.tobytes()
+    if isinstance(payload, bytes):
+        return payload
+    return bytes(payload)
+
+
+def serialize_entry(entry: Mapping[str, np.ndarray]) -> bytes:
+    """Encode a field->array mapping to bytes.
+
+    Compatibility wrapper over the frame path; byte-identical to the
+    concatenated output of :func:`serialize_entry_frames`.
+    """
+    return b"".join(serialize_entry_frames(entry))
+
+
+def deserialize_entry(
+    data: Union[bytes, bytearray, memoryview], copy: bool = True
+) -> Dict[str, np.ndarray]:
+    """Decode bytes produced by :func:`serialize_entry`.
+
+    ``copy=True`` (default) returns arrays owning their data — always
+    writable.  ``copy=False`` returns zero-copy ``frombuffer`` views
+    into ``data``: no per-field allocation, but the arrays inherit the
+    buffer's mutability (read-only for ``bytes``), so callers handing
+    them to training must go through a writability guard
+    (:func:`writable_entry`, or any copying assignment).
+    """
+    view = memoryview(data)
+    if view.format != "B" or view.ndim != 1:
+        view = view.cast("B")
+    size = len(view)
+    pos = 4
+    if size < 4 or bytes(view[:4]) != _MAGIC:
+        magic = bytes(view[: min(4, size)])
         raise SerializationError(f"bad magic {magic!r}")
-    (count,) = struct.unpack("<I", _read(view, 4))
+
+    def take(nbytes: int) -> memoryview:
+        nonlocal pos
+        if pos + nbytes > size:
+            raise SerializationError(
+                f"truncated payload: wanted {nbytes}, got {size - pos}"
+            )
+        out = view[pos : pos + nbytes]
+        pos += nbytes
+        return out
+
+    (count,) = struct.unpack("<I", take(4))
     result: Dict[str, np.ndarray] = {}
     for _ in range(count):
-        (name_len,) = struct.unpack("<H", _read(view, 2))
-        name = _read(view, name_len).decode("utf-8")
-        (dtype_len,) = struct.unpack("<B", _read(view, 1))
-        dtype = np.dtype(_read(view, dtype_len).decode("ascii"))
-        (ndim,) = struct.unpack("<B", _read(view, 1))
-        shape = tuple(
-            struct.unpack("<Q", _read(view, 8))[0] for _ in range(ndim)
-        )
-        (nbytes,) = struct.unpack("<Q", _read(view, 8))
-        payload = _read(view, nbytes)
-        array = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
-        result[name] = array
-    trailing = view.read(1)
-    if trailing:
+        (name_len,) = struct.unpack("<H", take(2))
+        name = bytes(take(name_len)).decode("utf-8")
+        (dtype_len,) = struct.unpack("<B", take(1))
+        dtype = np.dtype(bytes(take(dtype_len)).decode("ascii"))
+        (ndim,) = struct.unpack("<B", take(1))
+        shape = tuple(struct.unpack("<Q", take(8))[0] for _ in range(ndim))
+        (nbytes,) = struct.unpack("<Q", take(8))
+        payload = take(nbytes)
+        array = np.frombuffer(payload, dtype=dtype).reshape(shape)
+        result[name] = array.copy() if copy else array
+    if pos != size:
         raise SerializationError("trailing bytes after final field")
     return result
 
 
-def _read(view: io.BytesIO, size: int) -> bytes:
-    data = view.read(size)
-    if len(data) != size:
-        raise SerializationError(f"truncated payload: wanted {size}, got {len(data)}")
-    return data
+def writable_entry(entry: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Guard for zero-copy reads: copy exactly the read-only arrays.
+
+    Arrays from ``deserialize_entry(..., copy=False)`` view an immutable
+    buffer; training code mutates restored state in place, so anything
+    non-writable is copied here (and nothing else — the guard costs
+    bytes only where mutability is actually missing).
+    """
+    guarded: Dict[str, np.ndarray] = {}
+    for name, value in entry.items():
+        array = np.asarray(value)
+        guarded[name] = array if array.flags.writeable else array.copy()
+    return guarded
 
 
 def entry_nbytes(entry: Mapping[str, np.ndarray]) -> int:
@@ -91,23 +437,13 @@ def entry_nbytes(entry: Mapping[str, np.ndarray]) -> int:
 
 
 def entry_digest(entry: Mapping[str, np.ndarray]) -> str:
-    """SHA-256 content digest of an entry, without serializing it.
+    """SHA-256 content digest of an entry, without materializing it.
 
-    Hashes the same information :func:`serialize_entry` encodes (field
-    names, dtypes, shapes, raw bytes, in sorted field order), so two
-    entries share a digest iff their serialized payloads are identical
-    — but skips building the payload, which is what makes the manager's
-    delta-save check cheap enough to run on every entry.
+    Runs the single-pass frame pipeline at the canonical chunk size:
+    the digest covers exactly the bytes :func:`serialize_entry` would
+    emit, so two entries share a digest iff their serialized payloads
+    are identical.  Callers that will also *store* the entry should
+    prefer :meth:`PayloadFrames.entry_digest` on a shared rope so the
+    same sweep feeds the storage layer's chunk addressing.
     """
-    import hashlib
-
-    digest = hashlib.sha256()
-    for name in sorted(entry):
-        array = np.asarray(entry[name])
-        if array.ndim:
-            array = np.ascontiguousarray(array)
-        digest.update(name.encode("utf-8"))
-        digest.update(array.dtype.str.encode("ascii"))
-        digest.update(repr(array.shape).encode("ascii"))
-        digest.update(array.tobytes())
-    return digest.hexdigest()
+    return PayloadFrames.from_entry(entry).entry_digest()

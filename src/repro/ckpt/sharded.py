@@ -53,7 +53,9 @@ import json
 import os
 from typing import Dict, List
 
+from . import jsonl
 from .backend import CheckpointBackend, CrashInjected, KVStoreError, escape_key
+from .serializer import write_payload
 
 
 class ShardedDiskKVStore(CheckpointBackend):
@@ -138,8 +140,13 @@ class ShardedDiskKVStore(CheckpointBackend):
             self._append_records([record])
 
     def _append_records(self, records: List[dict]) -> None:
-        """Append journal records in one write, then maybe compact."""
-        text = "".join(json.dumps(record) + "\n" for record in records)
+        """Append journal records in one write, then maybe compact.
+
+        Records are encoded by the preformatted JSONL writer
+        (:mod:`repro.ckpt.jsonl`) — same on-disk format, none of
+        ``json.dumps``'s generic-encoder overhead on the put path.
+        """
+        text = "".join(map(jsonl.encode_record, records))
         with open(self._journal_path, "a", encoding="utf-8") as handle:
             if self.fault_hook is not None and len(text) > 1:
                 # Crash-injection seam: split the append so a hook can
@@ -167,11 +174,10 @@ class ShardedDiskKVStore(CheckpointBackend):
         with open(tmp, "w", encoding="utf-8") as handle:
             for key in sorted(self._index):
                 meta = self._index[key]
-                record = {"op": "put", "key": key,
-                          "stamp": meta["stamp"], "nbytes": meta["nbytes"]}
-                if meta.get("gen"):
-                    record["gen"] = meta["gen"]
-                handle.write(json.dumps(record) + "\n")
+                handle.write(jsonl.put_line(
+                    key, int(meta["stamp"]), int(meta["nbytes"]),
+                    gen=int(meta.get("gen", 0)),
+                ))
         self._fault("compact:tmp-written")
         os.replace(tmp, self._journal_path)
         self.journal_records = len(self._index)
@@ -213,13 +219,14 @@ class ShardedDiskKVStore(CheckpointBackend):
             os.makedirs(shard, exist_ok=True)
             self._shard_dirs_made.add(shard)
 
-    def _write_payload(self, path: str, payload: bytes) -> None:
+    def _write_payload(self, path: str, payload) -> None:
         """Atomic payload replace: a torn write never clobbers any
-        version a journal record can reference."""
+        version a journal record can reference.  Frame ropes go out in
+        one buffered ``writelines`` — no concatenation."""
         self._ensure_shard_dir(path)
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
-            handle.write(payload)
+            write_payload(handle, payload)
         self._fault("payload:tmp-written")
         os.replace(tmp, path)
 
@@ -244,7 +251,7 @@ class ShardedDiskKVStore(CheckpointBackend):
         return self._legacy_path(key)
 
     # -- backend contract -----------------------------------------------
-    def _write(self, key: str, payload: bytes, stamp: int, node) -> None:
+    def _write(self, key: str, payload, stamp: int, node) -> None:
         old_meta = self._index.get(key)
         gen = 0
         if old_meta is not None and int(old_meta["stamp"]) == stamp:

@@ -212,6 +212,21 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 ("read imbalance (bottleneck/mean)", reshard.imbalance()),
                 ("matches source-topology restore", str(bit_exact)),
             ])
+        profile_rows = []
+        meters = manager.pipeline_meters
+        if args.profile:
+            profile_rows = [
+                (
+                    prof.iteration,
+                    1e3 * prof.wall_seconds,
+                    prof.persist_entries,
+                    prof.persist_skipped,
+                    prof.bytes_serialized / 1024.0,
+                    prof.hash_passes,
+                    prof.copy_passes,
+                )
+                for prof in manager.save_profile
+            ]
         if dedup:
             manager.flush()
             inner = store.inner if args.async_writes else store
@@ -232,6 +247,29 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             ])
         manager.close()
     print(render_kv("demo run", rows))
+    if args.profile:
+        # Per-save pipeline breakdown: wall time plus the byte meters —
+        # "hash x" / "copy x" are hash passes and staging copies per
+        # serialized payload byte (1.0 and 0.0/1.0 on the single-pass
+        # sync/async paths; anything higher is a regression).
+        print(render_table(
+            ["save @iter", "save ms", "entries", "skipped",
+             "KiB serialized", "hash x", "copy x"],
+            profile_rows, precision=2,
+        ))
+        total = meters.snapshot()
+        print(render_kv("save pipeline totals", [
+            ("entries serialized", total["entries_serialized"]),
+            ("bytes serialized", total["bytes_serialized"]),
+            ("bytes hashed", total["bytes_hashed"]),
+            ("bytes copied (staging)", total["bytes_copied"]),
+            ("hash passes / byte",
+             total["bytes_hashed"] / total["bytes_serialized"]
+             if total["bytes_serialized"] else 0.0),
+            ("staging copies / byte",
+             total["bytes_copied"] / total["bytes_serialized"]
+             if total["bytes_serialized"] else 0.0),
+        ]))
     return 0
 
 
@@ -355,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "(must divide --experts)")
     demo.add_argument("--restore-workers", type=int, default=4,
                       help="parallel readers for the resharded restore")
+    demo.add_argument("--profile", action="store_true",
+                      help="print the save-pipeline profile: per-save "
+                           "wall time plus serialized/hashed/copied byte "
+                           "meters (hash passes and staging copies per "
+                           "payload byte)")
     demo.set_defaults(func=_cmd_demo)
 
     gc = sub.add_parser(

@@ -18,6 +18,7 @@ paper's byte accounting, which is handled in ``repro.distsim``).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set
 
@@ -25,6 +26,7 @@ import numpy as np
 
 from ..ckpt.async_writer import AsyncWriteBackend
 from ..ckpt.backend import CheckpointBackend, make_backend
+from ..ckpt.serializer import PayloadFrames, PipelineMeters
 from ..ckpt.codec import PrecisionCodec
 from ..ckpt.kvstore import InMemoryKVStore
 from ..ckpt.manifest import (
@@ -35,7 +37,6 @@ from ..ckpt.manifest import (
     non_expert_entry_key,
 )
 from ..ckpt.restore import ParallelRestorer, ReadRequest, RestoreStats
-from ..ckpt.serializer import entry_digest
 from ..models.optim import Adam
 from ..models.serial import ExpertKey, expert_param_names, non_expert_param_names
 from .config import MoCConfig, SelectionStrategy
@@ -57,6 +58,35 @@ from .reshard import (
 )
 from .selection import DynamicKController
 from .sharding import ShardTopology
+
+
+@dataclass(frozen=True)
+class SaveProfile:
+    """Timing + pipeline-meter breakdown of one save call.
+
+    Meter fields are *deltas* over the save (taken from the manager's
+    :class:`~repro.ckpt.serializer.PipelineMeters`), so
+    ``bytes_hashed / bytes_serialized`` is that save's hash passes per
+    payload byte (1.0 on the single-pass path) and ``bytes_copied``
+    its staging copies (0 sync, one per persisted byte async).
+    ``demo --profile`` renders these per checkpoint.
+    """
+
+    iteration: int
+    wall_seconds: float
+    persist_entries: int
+    persist_skipped: int
+    bytes_serialized: int
+    bytes_hashed: int
+    bytes_copied: int
+
+    @property
+    def hash_passes(self) -> float:
+        return self.bytes_hashed / self.bytes_serialized if self.bytes_serialized else 0.0
+
+    @property
+    def copy_passes(self) -> float:
+        return self.bytes_copied / self.bytes_serialized if self.bytes_serialized else 0.0
 
 
 @dataclass
@@ -196,6 +226,14 @@ class MoCCheckpointManager:
         # key -> (content digest, nbytes, stamp) of the last *written*
         # persist-tier version; the delta-save skip compares against it.
         self._persist_digests: Dict[str, tuple] = {}
+        # Persist-pipeline byte meters (serialized / hashed / copied) and
+        # the per-save breakdown ``demo --profile`` renders.  Digests are
+        # computed at the persist tier's chunk granularity so the dedup
+        # backend reuses the same sweep — the single-hash-pass property
+        # the meters let tests *pin* rather than assume.
+        self.pipeline_meters = PipelineMeters()
+        self.save_profile: List[SaveProfile] = []
+        self._digest_chunk_bytes = self.disk_store.digest_chunk_bytes
 
     # ------------------------------------------------------------------
     # Entry extraction / injection
@@ -269,6 +307,8 @@ class MoCCheckpointManager:
         — recovery from the very first fault would otherwise find experts
         that were never saved.  Does not advance the PEC rotation.
         """
+        begin = time.perf_counter()
+        meters_before = self.pipeline_meters.snapshot()
         manifest = CheckpointManifest(checkpoint_index=-1, iteration=iteration)
         all_experts = {
             ExpertKey(layer, expert)
@@ -302,10 +342,13 @@ class MoCCheckpointManager:
         self.plt_tracker.record_save(SNAPSHOT_TIER, all_experts)
         self.plt_tracker.record_save(PERSIST_TIER, all_experts)
         self.manifests.append(manifest)
+        self._record_profile(manifest, begin, meters_before)
         return manifest
 
     def checkpoint(self, iteration: int) -> CheckpointManifest:
         """Run one two-level checkpoint at ``iteration``."""
+        begin = time.perf_counter()
+        meters_before = self.pipeline_meters.snapshot()
         unsaved = None
         if self.config.pec.selection is SelectionStrategy.LOAD_AWARE:
             unsaved = self.plt_tracker.unsaved_tokens(PERSIST_TIER)
@@ -381,61 +424,90 @@ class MoCCheckpointManager:
 
         self.checkpoint_count += 1
         self.manifests.append(manifest)
+        self._record_profile(manifest, begin, meters_before)
         return manifest
+
+    def _record_profile(
+        self, manifest: CheckpointManifest, begin: float, meters_before: Dict[str, int]
+    ) -> None:
+        """Append one :class:`SaveProfile` covering the save just run."""
+        after = self.pipeline_meters.snapshot()
+        self.save_profile.append(SaveProfile(
+            iteration=manifest.iteration,
+            wall_seconds=time.perf_counter() - begin,
+            persist_entries=len(manifest.persist_entries),
+            persist_skipped=len(manifest.persist_skipped),
+            bytes_serialized=after["bytes_serialized"] - meters_before["bytes_serialized"],
+            bytes_hashed=after["bytes_hashed"] - meters_before["bytes_hashed"],
+            bytes_copied=after["bytes_copied"] - meters_before["bytes_copied"],
+        ))
 
     @staticmethod
     def _record(records: List[ManifestRecord], items, sizes: Sequence[int]) -> None:
         for (key, _entry, stamp, _node), nbytes in zip(items, sizes):
             records.append(ManifestRecord(key, stamp, nbytes))
 
+    def _frames(self, entry: Mapping[str, np.ndarray]) -> PayloadFrames:
+        """Serialize an entry for the persist tier: zero-copy frames
+        carrying the manager's pipeline meters."""
+        return PayloadFrames.from_entry(entry, meters=self.pipeline_meters)
+
     def _persist_batch(self, manifest: CheckpointManifest, items: List) -> None:
         """Write a persist-tier batch, delta-skipping unchanged content.
 
-        With ``delta_saves`` on, entries whose content digest matches
-        their last written version are dropped from the batch and
-        recorded on ``manifest.persist_skipped`` (with the stored
-        version's stamp and size — what the skip relies on).  Any write
-        failure drops the whole digest cache: a deferred async error
-        discards queued writes, so nothing accepted after the failure
-        may be skipped on the strength of a stale digest.
+        Entries are serialized once into zero-copy frame ropes.  With
+        ``delta_saves`` on, each rope's content digest is derived from
+        its chunk digests (at the persist tier's chunk granularity) —
+        one SHA-256 sweep that the dedup backend then *reuses* for
+        chunk addressing, instead of a second hashing pass.  Entries
+        whose digest matches their last written version are dropped
+        from the batch and recorded on ``manifest.persist_skipped``
+        (with the stored version's stamp and size — what the skip
+        relies on).  Any write failure drops the whole digest cache: a
+        deferred async error discards queued writes, so nothing
+        accepted after the failure may be skipped on the strength of a
+        stale digest.
         """
         digests: List[str] = []
-        if self.delta_saves:
-            kept: List = []
-            for key, entry, stamp, node in items:
-                digest = entry_digest(entry)
+        payload_items: List = []
+        for key, entry, stamp, node in items:
+            frames = self._frames(entry)
+            if self.delta_saves:
+                digest = frames.entry_digest(self._digest_chunk_bytes)
                 prev = self._persist_digests.get(key)
                 if prev is not None and prev[0] == digest:
                     manifest.persist_skipped.append(
                         ManifestRecord(key, prev[2], prev[1])
                     )
                     continue
-                kept.append((key, entry, stamp, node))
                 digests.append(digest)
-            items = kept
+            payload_items.append((key, frames, stamp, node))
         try:
-            sizes = self.disk_store.put_many(items)
+            sizes = self.disk_store.put_many_serialized(payload_items)
         except BaseException:
             self._persist_digests.clear()
             raise
-        self._record(manifest.persist_entries, items, sizes)
+        self._record(manifest.persist_entries, payload_items, sizes)
         if self.delta_saves:
-            for (key, _entry, stamp, _node), digest, nbytes in zip(
-                items, digests, sizes
+            for (key, _frames, stamp, _node), digest, nbytes in zip(
+                payload_items, digests, sizes
             ):
                 self._persist_digests[key] = (digest, nbytes, stamp)
 
-    def _persist_put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int) -> int:
-        """Single persist-tier put under the same digest-cache failure
-        rule as :meth:`_persist_batch`.  Deferred async errors surface
-        at the *next* write — often the meta/topology put of the same
-        checkpoint — and must drop the cache there too, or the next
+    def _persist_put_frames(self, key: str, frames: PayloadFrames, stamp: int) -> int:
+        """Single persist-tier put holding THE digest-cache failure rule:
+        any write failure drops the whole cache.  Deferred async errors
+        surface at the *next* write — often the meta/topology put of the
+        same checkpoint — and must drop the cache there too, or the next
         checkpoint would skip entries whose bytes were discarded."""
         try:
-            return self.disk_store.put(key, entry, stamp=stamp)
+            return self.disk_store.put_serialized(key, frames, stamp=stamp)
         except BaseException:
             self._persist_digests.clear()
             raise
+
+    def _persist_put(self, key: str, entry: Mapping[str, np.ndarray], stamp: int) -> int:
+        return self._persist_put_frames(key, self._frames(entry), stamp)
 
     def _persist_topology(self, iteration: int) -> None:
         """Record the save-time topology inside the checkpoint."""
@@ -444,11 +516,12 @@ class MoCCheckpointManager:
         key = meta_entry_key(TOPOLOGY_META_NAME)
         entry = topology_meta_entry(self.topology)
         if self.delta_saves:
-            digest = entry_digest(entry)
+            frames = self._frames(entry)
+            digest = frames.entry_digest(self._digest_chunk_bytes)
             prev = self._persist_digests.get(key)
             if prev is not None and prev[0] == digest:
                 return
-            nbytes = self._persist_put(key, entry, iteration)
+            nbytes = self._persist_put_frames(key, frames, iteration)
             self._persist_digests[key] = (digest, nbytes, iteration)
             return
         self._persist_put(key, entry, iteration)
@@ -578,7 +651,13 @@ class MoCCheckpointManager:
                 )
                 for entry_key in plan.sources
             ]
-        entries, restore_stats = ParallelRestorer(workers=restore_workers).fetch(requests)
+        # Zero-copy reads: entries come back as frombuffer views (no
+        # per-field allocation); _load_entry copies into the optimizer's
+        # own arrays, which is the writability guard — training never
+        # sees a read-only restored array.
+        entries, restore_stats = ParallelRestorer(
+            workers=restore_workers, copy=False
+        ).fetch(requests)
         self._apply_entries(entries)
         if target_topology is not None:
             self._adopt_topology(target_topology)

@@ -34,10 +34,13 @@ from repro.ckpt import (
     DiskKVStore,
     InMemoryKVStore,
     ParallelRestorer,
+    PayloadFrames,
     ShardedDiskKVStore,
     deserialize_entry,
+    entry_digest,
     escape_key,
     serialize_entry,
+    serialize_entry_frames,
     unescape_key,
 )
 from repro.ckpt.manifest import expert_entry_key, parse_entry_key
@@ -66,6 +69,47 @@ class TestSerializerProperties:
         assert serialize_entry(random_entry(rng_a)) == serialize_entry(
             random_entry(rng_b)
         )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_frame_path_is_byte_identical(self, seed):
+        # The zero-copy frame serializer and the materializing wrapper
+        # must emit the same stream for arbitrary entries — the frame
+        # path is what every store consumes on the hot path.
+        entry = random_entry(seeded_rng(seed))
+        flat = serialize_entry(entry)
+        assert b"".join(serialize_entry_frames(entry)) == flat, f"seed={seed}"
+        assert PayloadFrames.from_entry(entry).tobytes() == flat, f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_zero_copy_deserialize_bit_equal(self, seed):
+        entry = random_entry(seeded_rng(seed))
+        payload = serialize_entry(entry)
+        viewed = deserialize_entry(payload, copy=False)
+        copied = deserialize_entry(payload, copy=True)
+        for name in entry:
+            assert viewed[name].dtype == copied[name].dtype, f"seed={seed}"
+            assert viewed[name].shape == copied[name].shape, f"seed={seed}"
+            assert viewed[name].tobytes() == copied[name].tobytes(), f"seed={seed}"
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_entry_digest_identifies_serialized_payload(self, seed):
+        # digest-of-chunk-digests still fingerprints the serialized
+        # stream: equal payloads share a digest, a flipped byte differs
+        rng_a, rng_b = seeded_rng(seed), seeded_rng(seed)
+        a, b = random_entry(rng_a), random_entry(rng_b)
+        assert entry_digest(a) == entry_digest(b), f"seed={seed}"
+        name = sorted(a)[0]
+        mutated = dict(a)
+        array = np.asarray(mutated[name])
+        if array.size:
+            raw = bytearray(array.tobytes())
+            raw[0] ^= 0xFF
+            mutated[name] = np.frombuffer(bytes(raw), dtype=array.dtype).reshape(
+                array.shape
+            )
+        else:
+            mutated[name] = np.ones(1)
+        assert entry_digest(mutated) != entry_digest(a), f"seed={seed}"
 
 
 class TestEscapingProperties:
