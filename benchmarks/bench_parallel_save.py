@@ -1,0 +1,507 @@
+"""Parallel save-engine benchmark: escape-the-GIL, measured.
+
+PR 4 made the save path single-pass; this PR makes the expensive
+passes *somebody else's* passes.  With a chunk codec enabled, the
+single-thread dedup save spends the bulk of its CPU inside ``zlib``
+(~30-50 MB/s at level 1 on float payloads) while SHA-256 runs at
+GB/s — the GIL pins all of it to the training process.  The parallel
+engine stages the payload once into a shared-memory arena and fans the
+chunk compress (and, without delta saves, hash) work out to worker
+processes, so the training loop pays serialize + one hash sweep and
+the codec cost amortizes across cores.
+
+Because CI boxes (and this container) may expose a single core, the
+headline is a **modeled end-to-end** speedup built from measured,
+core-count-independent quantities — CPU seconds are CPU seconds no
+matter how they were scheduled:
+
+* ``main_cpu`` — ``time.process_time`` in the driving process
+  (serialize, staging copy, hash for the delta check, orchestration);
+* ``worker_cpu`` — the worker pool's aggregate ``process_time`` as
+  reported per task (the offloaded compress/hash work);
+* ``physical`` — bytes that actually hit the chunk store + journals.
+
+Modeled save time at a ``MODEL_BANDWIDTH`` persist tier:
+
+* single-thread: ``main_cpu + physical / BW`` (everything serial);
+* N workers: ``main_cpu + max(worker_cpu / N, physical / BW)`` — the
+  pool drains chunk tasks concurrently with the write stream, so the
+  slower of "N-way compute" and "the wire" bounds the pipeline.
+
+Configs raced on an identical zero-heavy checkpoint stream (MoE
+optimizer moments are zero-heavy for rarely-routed experts, which is
+what makes a cheap codec tier worth having):
+
+* ``pec`` — plain sharded journal store, no dedup (persist-cost
+  reference);
+* ``dedup`` — single-thread dedup, no codec (the PR 4 engine);
+* ``dedup+zlib st`` — single-thread dedup + chunk codec (the
+  headline's denominator... and why workers exist);
+* ``dedup+zlib wN`` — the parallel engine at 1/2/4/8 workers.
+
+Run standalone for the CI perf-smoke gate::
+
+    python benchmarks/bench_parallel_save.py --quick \
+        --check-baseline benchmarks/results/BENCH_parallel_save.json
+
+The gate compares the modeled-speedup ratio (machine-independent)
+against the committed baseline and fails on a >30% regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.ckpt import DedupBackend, PayloadFrames, PipelineMeters, ShardedDiskKVStore
+
+#: Modeled persist-tier bandwidth (matches bench_save_pipeline.py): a
+#: parallel FS under checkpoint-burst contention.
+MODEL_BANDWIDTH = 256 * 1024 * 1024
+
+#: Dedup chunk size: a few chunks per entry so the fan-out has real
+#: per-chunk tasks without smearing per-file overhead into the ratio.
+CHUNK_BYTES = 256 * 1024
+
+#: Worker counts raced against the single-thread codec baseline.
+WORKER_LADDER = (1, 2, 4, 8)
+
+FULL = dict(entries=12, elems=131072, stamps=4)
+#: Quick keeps the FULL entry size (the per-chunk overhead/byte ratio
+#: drives the modeled speedup, so shrinking entries would shift the
+#: quick/full ratio the CI gate depends on) and trims count/stamps.
+QUICK = dict(entries=6, elems=131072, stamps=3)
+
+#: Scenario shape (same structure as bench_save_pipeline.py).
+UNTOUCHED_EVERY = 3  # entry i is untouched at stamp s when (i+s) % 3 == 0
+DUPLICATE_EVERY = 4  # entry i mirrors entry i-1's content when i % 4 == 0
+
+
+def scratch_dir() -> str:
+    """tmpfs scratch so disk bandwidth (identical across configs)
+    doesn't drown the CPU-side signal; the modeled column charges a
+    realistic persist tier explicitly."""
+    shm = "/dev/shm"
+    if os.path.isdir(shm) and os.access(shm, os.W_OK):
+        return shm
+    import tempfile
+
+    return tempfile.gettempdir()
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+def build_stamps(entries: int, elems: int, stamps: int) -> List[List[Tuple[str, dict, int]]]:
+    """Deterministic zero-heavy checkpoint stream.
+
+    Every other element of each moment tensor is zero — the shape MoE
+    optimizer state takes when expert gating leaves most tokens (and
+    thus most moment updates) concentrated on a subset of rows.  That
+    is the regime where a chunk codec pays: zlib level 1 lands ~0.55
+    on this stream vs ~0.93 on dense gaussian float32.
+    """
+    rng = np.random.default_rng(11)
+
+    def fresh(i: int) -> dict:
+        entry = {
+            "master": rng.standard_normal(elems).astype(np.float32),
+            "m": rng.standard_normal(elems).astype(np.float32),
+            "v": np.abs(rng.standard_normal(elems)).astype(np.float32),
+        }
+        for field in ("m", "v"):
+            entry[field][::2] = 0.0
+        return entry
+
+    current = [fresh(i) for i in range(entries)]
+    out: List[List[Tuple[str, dict, int]]] = []
+    for stamp in range(1, stamps + 1):
+        items: List[Tuple[str, dict, int]] = []
+        for i in range(entries):
+            if (i + stamp) % UNTOUCHED_EVERY != 0:
+                current[i] = fresh(i)
+            if i % DUPLICATE_EVERY == 0 and i > 0:
+                current[i] = current[i - 1]
+            items.append((f"ex:L00/E{i:03d}:o", current[i], stamp))
+        out.append(items)
+    # Pre-touch every page so first-access faults aren't billed to
+    # whichever config happens to run first.
+    for items in out:
+        for _key, entry, _stamp in items:
+            for value in entry.values():
+                value.sum()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Configs
+# ---------------------------------------------------------------------------
+
+class SaveConfig:
+    """One store configuration driven through the frame save path
+    exactly as ``MoCCheckpointManager._persist_batch`` runs it."""
+
+    def __init__(self, name: str, root: str, kind: str,
+                 codec: Optional[str], workers: int, delta: bool) -> None:
+        self.name = name
+        self.root = root
+        self.kind = kind
+        self.codec = codec
+        self.workers = workers
+        self.delta = delta
+        if kind == "pec":
+            self.store = ShardedDiskKVStore(root)
+        else:
+            self.store = DedupBackend(
+                root, chunk_bytes=CHUNK_BYTES, codec=codec,
+                parallel_workers=workers,
+            )
+        self.meters = PipelineMeters()
+        self.digests: Dict[str, str] = {}
+        self.skips = 0
+        self.wall_seconds = 0.0
+        self.main_cpu_seconds = 0.0
+        self._batch: List = []
+
+    def prepare(self, key: str, entry, stamp: int) -> None:
+        begin_wall = time.perf_counter()
+        begin_cpu = time.process_time()
+        frames = PayloadFrames.from_entry(entry, meters=self.meters)
+        if self.delta:
+            digest = frames.entry_digest(self.store.digest_chunk_bytes)
+            if self.digests.get(key) == digest:
+                self.skips += 1
+                self._account(begin_wall, begin_cpu)
+                return
+            self.digests[key] = digest
+        self._batch.append((key, frames, stamp, 0))
+        self._account(begin_wall, begin_cpu)
+
+    def commit(self) -> None:
+        begin_wall = time.perf_counter()
+        begin_cpu = time.process_time()
+        self.store.put_many_serialized(self._batch)
+        self._batch = []
+        self._account(begin_wall, begin_cpu)
+
+    def _account(self, begin_wall: float, begin_cpu: float) -> None:
+        self.wall_seconds += time.perf_counter() - begin_wall
+        self.main_cpu_seconds += time.process_time() - begin_cpu
+
+    def close(self) -> None:
+        closer = getattr(self.store, "close", None)
+        if closer is not None:
+            closer()
+
+    def result(self) -> dict:
+        engine = getattr(self.store, "engine", None)
+        worker_cpu = engine.worker_cpu_seconds if engine is not None else 0.0
+        if self.kind == "pec":
+            journal = os.path.getsize(os.path.join(self.root, "index.jsonl"))
+            physical = self.store.bytes_written + journal
+            encoded_chunks = 0
+            fsck_ok = True
+        else:
+            journals = sum(
+                os.path.getsize(os.path.join(self.root, name))
+                for name in ("manifests.jsonl", os.path.join("chunks", "refs.jsonl"))
+                if os.path.exists(os.path.join(self.root, name))
+            )
+            physical = self.store.chunks.chunk_bytes_written + journals
+            fsck = self.store.fsck()
+            encoded_chunks = fsck.encoded_chunks
+            fsck_ok = fsck.ok
+        out = dict(
+            workers=self.workers,
+            wall_seconds=self.wall_seconds,
+            main_cpu_seconds=self.main_cpu_seconds,
+            worker_cpu_seconds=worker_cpu,
+            engine_enabled=bool(engine is not None and engine.enabled),
+            logical_bytes=self.store.bytes_written,
+            physical_bytes=physical,
+            hashed_bytes=self.meters.bytes_hashed,
+            copied_bytes=self.meters.bytes_copied,
+            compressed_bytes=self.meters.bytes_compressed,
+            serialized_bytes=self.meters.bytes_serialized,
+            encoded_chunks=encoded_chunks,
+            fsck_ok=fsck_ok,
+            skips=self.skips,
+        )
+        # The modeled end-to-end save time (see module docstring): the
+        # offloaded work divides across N cores and overlaps the wire.
+        wire = physical / MODEL_BANDWIDTH
+        if self.workers > 0:
+            modeled = self.main_cpu_seconds + max(worker_cpu / self.workers, wire)
+        else:
+            modeled = self.main_cpu_seconds + wire
+        out["modeled_seconds"] = modeled
+        return out
+
+
+def build_configs(tmpdir: str, tag: str) -> List[SaveConfig]:
+    def root(name: str) -> str:
+        return os.path.join(tmpdir, f"{tag}-{name.replace('+', '-').replace(' ', '-')}")
+
+    configs = [
+        SaveConfig("pec", root("pec"), "pec", None, 0, delta=False),
+        SaveConfig("dedup", root("dedup"), "dedup", None, 0, delta=True),
+        SaveConfig("dedup+zlib st", root("st"), "dedup", "zlib", 0, delta=True),
+    ]
+    for workers in WORKER_LADDER:
+        configs.append(SaveConfig(
+            f"dedup+zlib w{workers}", root(f"w{workers}"), "dedup", "zlib",
+            workers, delta=True,
+        ))
+    return configs
+
+
+def run_pass(tmpdir: str, tag: str, stamps) -> Dict[str, dict]:
+    """One measured pass, interleaved per entry across all configs
+    (rotating execution order) so CPU-throttle drift hits every config
+    equally and the reported *ratios* stay stable."""
+    configs = build_configs(tmpdir, tag)
+    try:
+        turn = 0
+        for items in stamps:
+            for key, entry, stamp in items:
+                rotation = configs[turn % len(configs):] + configs[:turn % len(configs)]
+                for config in rotation:
+                    config.prepare(key, entry, stamp)
+                turn += 1
+            rotation = configs[turn % len(configs):] + configs[:turn % len(configs)]
+            for config in rotation:
+                config.commit()
+        return {config.name: config.result() for config in configs}
+    finally:
+        for config in configs:
+            config.close()
+
+
+def compute_results(tmpdir: str, quick: bool = False, passes: int = 2) -> dict:
+    shape = QUICK if quick else FULL
+    stamps = build_stamps(**shape)
+    payload_per_stamp = sum(
+        sum(np.asarray(v).nbytes for v in entry.values()) for _, entry, _ in stamps[0]
+    )
+    # Per-config best-of-passes: every pass interleaves every config
+    # (so a throttled window taxes them all), and each config reports
+    # its least-throttled pass.  Whole-pass selection would let one
+    # config's unlucky scheduling window distort another's ratio.
+    best: Dict[str, dict] = {}
+    for index in range(passes):
+        outcome = run_pass(tmpdir, f"pass{index}", stamps)
+        for name, run in outcome.items():
+            if name not in best or run["wall_seconds"] < best[name]["wall_seconds"]:
+                best[name] = run
+
+    results: dict = {
+        "scenario": dict(
+            shape,
+            untouched_every=UNTOUCHED_EVERY,
+            duplicate_every=DUPLICATE_EVERY,
+            payload_per_stamp=payload_per_stamp,
+        ),
+        "model_bandwidth_bytes_per_s": MODEL_BANDWIDTH,
+        "worker_ladder": list(WORKER_LADDER),
+        "configs": best,
+    }
+    baseline = best["dedup+zlib st"]
+    for run in best.values():
+        run["modeled_speedup_vs_st"] = (
+            baseline["modeled_seconds"] / run["modeled_seconds"]
+            if run["modeled_seconds"] > 0 else 0.0
+        )
+        run["compression_ratio"] = (
+            run["physical_bytes"] / baseline["logical_bytes"]
+            if baseline["logical_bytes"] else 1.0
+        )
+    results["headline_speedup"] = best["dedup+zlib w4"]["modeled_speedup_vs_st"]
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Reporting + gates
+# ---------------------------------------------------------------------------
+
+def render_report(results: dict) -> str:
+    shape = results["scenario"]
+    stamps = shape["stamps"]
+    lines = [
+        f"zero-heavy checkpoint stream: {shape['entries']} entries x "
+        f"{stamps} stamps, {shape['payload_per_stamp'] / 1e6:.1f} MB/stamp, "
+        f"1/{shape['untouched_every']} untouched, 1/{shape['duplicate_every']} duplicated",
+    ]
+    rows = []
+    for name, run in results["configs"].items():
+        rows.append((
+            name,
+            1e3 * run["main_cpu_seconds"] / stamps,
+            1e3 * run["worker_cpu_seconds"] / stamps,
+            run["physical_bytes"] / 1e6 / stamps,
+            run["hashed_bytes"] / run["serialized_bytes"]
+            if run["serialized_bytes"] else 0.0,
+            1e3 * run["modeled_seconds"] / stamps,
+            run["modeled_speedup_vs_st"],
+        ))
+    lines.append(render_table(
+        ["config", "main cpu ms/ckpt", "worker cpu ms/ckpt", "MB written/ckpt",
+         "hash B/B", "modeled ms/ckpt", "speedup vs st"],
+        rows, precision=2,
+    ))
+    pec = results["configs"]["pec"]
+    best_workers = min(
+        WORKER_LADDER,
+        key=lambda w: results["configs"][f"dedup+zlib w{w}"]["modeled_seconds"],
+    )
+    best = results["configs"][f"dedup+zlib w{best_workers}"]
+    lines.append(
+        f"headline: modeled end-to-end save speedup at 4 workers vs "
+        f"single-thread codec = {results['headline_speedup']:.2f}x "
+        f"@ {MODEL_BANDWIDTH // (1024 * 1024)} MB/s persist tier"
+    )
+    lines.append(
+        f"dedup-composed persist cost (best ladder point, w{best_workers}): "
+        f"{1e3 * best['modeled_seconds'] / stamps:.2f} ms/ckpt "
+        f"vs plain engine {1e3 * pec['modeled_seconds'] / stamps:.2f} ms/ckpt"
+    )
+    return "\n".join(lines)
+
+
+def check_results(results: dict) -> None:
+    """The acceptance properties, asserted off the measured counters."""
+    configs = results["configs"]
+    st = configs["dedup+zlib st"]
+    pec = configs["pec"]
+    # The worker pool actually ran (no silent in-process fallback).
+    for workers in WORKER_LADDER:
+        run = configs[f"dedup+zlib w{workers}"]
+        assert run["engine_enabled"], f"w{workers} engine fell back in-process"
+        assert run["worker_cpu_seconds"] > 0.0
+    # Meter invariants hold across the process boundary: one hash sweep
+    # per serialized byte, <=1 staging copy, <=1 compression pass.
+    for name, run in configs.items():
+        if name == "pec":
+            continue
+        assert abs(run["hashed_bytes"] / run["serialized_bytes"] - 1.0) < 1e-9, name
+        assert run["copied_bytes"] <= run["serialized_bytes"], name
+        assert run["compressed_bytes"] <= run["serialized_bytes"], name
+        assert run["fsck_ok"], name
+    # Workers change scheduling, never state: every dedup+zlib config
+    # lands identical logical bytes, skips and store compression.
+    for workers in WORKER_LADDER:
+        run = configs[f"dedup+zlib w{workers}"]
+        assert run["logical_bytes"] == st["logical_bytes"]
+        assert run["skips"] == st["skips"] > 0
+        assert run["encoded_chunks"] == st["encoded_chunks"] > 0
+    # The codec earns its keep: fewer physical bytes than no-codec.
+    assert st["physical_bytes"] < configs["dedup"]["physical_bytes"]
+    # Headline: >=2x modeled end-to-end save speedup at 4+ workers (the
+    # committed full-size result holds this with margin; the asserted
+    # floor is softer so a throttled CI window can't flake it).
+    assert results["headline_speedup"] >= 1.6, results["headline_speedup"]
+    assert configs["dedup+zlib w8"]["modeled_speedup_vs_st"] >= results[
+        "headline_speedup"] * 0.9  # more cores never cost modeled time
+    # Composition: with enough workers provisioned the fully-composed
+    # config (dedup + codec + pool) persists at or below the plain
+    # engine's modeled cost — compression stops being the bottleneck
+    # once N x zlib throughput clears the modeled wire (10% wall-noise
+    # allowance).  At 4 workers zlib(-1) is still compute-bound below
+    # 256 MB/s, which is exactly what the ladder shows.
+    composed_best = min(
+        configs[f"dedup+zlib w{workers}"]["modeled_seconds"]
+        for workers in WORKER_LADDER
+    )
+    assert composed_best <= 1.1 * pec["modeled_seconds"], (
+        composed_best, pec["modeled_seconds"])
+
+
+def test_parallel_save_bench(benchmark, report, report_json):
+    import tempfile
+
+    from repro.testing import once
+
+    def compute():
+        with tempfile.TemporaryDirectory(dir=scratch_dir()) as tmpdir:
+            return compute_results(tmpdir, quick=True)
+
+    results = once(benchmark, compute)
+    # _quick names: a smoke run must never clobber the committed
+    # full-size baseline next to it.
+    report("parallel_save_quick", render_report(results))
+    report_json("parallel_save_quick", results)
+    check_results(results)
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (CI perf-smoke gate)
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small shape for the CI smoke gate")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON payload to stdout")
+    parser.add_argument("--write-results", action="store_true",
+                        help="write benchmarks/results/parallel_save.txt and "
+                             "BENCH_parallel_save.json (suffixed _quick under "
+                             "--quick) and refresh the repo-root mirror")
+    parser.add_argument("--check-baseline", metavar="PATH", default=None,
+                        help="fail (exit 1) when the modeled 4-worker "
+                             "speedup regresses >30%% vs the committed "
+                             "baseline JSON (ratio-based, so the gate is "
+                             "machine-independent)")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check_baseline:
+        # Load before any result writing so the gate can never compare
+        # a fresh measurement against itself.
+        with open(args.check_baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(dir=scratch_dir()) as tmpdir:
+        results = compute_results(tmpdir, quick=args.quick)
+    text = render_report(results)
+    print(text)
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    if args.write_results:
+        # Written before any assertion so a failing gate still leaves
+        # the measurement on disk for the CI artifact.
+        from repro.testing import mirror_bench_json
+
+        results_dir = os.path.join(os.path.dirname(__file__), "results")
+        os.makedirs(results_dir, exist_ok=True)
+        suffix = "_quick" if args.quick else ""
+        with open(os.path.join(results_dir, f"parallel_save{suffix}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        json_path = os.path.join(results_dir, f"BENCH_parallel_save{suffix}.json")
+        with open(json_path, "w") as handle:
+            handle.write(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        mirror_bench_json(json_path)
+    check_results(results)
+    if baseline is not None:
+        floor = 0.7 * baseline["headline_speedup"]
+        current = results["headline_speedup"]
+        print(f"perf gate: modeled speedup {current:.2f}x vs baseline "
+              f"{baseline['headline_speedup']:.2f}x (floor {floor:.2f}x)")
+        if current < floor:
+            print("perf gate FAILED: parallel-save speedup regressed >30%",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

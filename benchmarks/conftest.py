@@ -61,6 +61,7 @@ def report_json(results_dir, request):
         text = json.dumps(payload, indent=2, sort_keys=True)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+        mirror_bench_json(path)
         if request.config.getoption("--json"):
             print(f"\n=== BENCH_{name}.json ===\n{text}\n")
         return path
@@ -70,4 +71,4 @@ def report_json(results_dir, request):
 
 # Re-exported for any remaining `from conftest import once` users; the
 # canonical home is repro.testing (immune to conftest module shadowing).
-from repro.testing import once  # noqa: E402,F401
+from repro.testing import mirror_bench_json, once  # noqa: E402,F401

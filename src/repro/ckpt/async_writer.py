@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from collections import deque
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
@@ -83,46 +84,90 @@ class StagingPool:
         self._free: List[bytearray] = []
         self._allocated = 0  # bytes across free + in-use buffers
         self._in_use = 0  # buffers currently acquired
+        # FIFO admission: acquires are granted strictly in arrival
+        # order.  Without this, a stream of small acquires that each fit
+        # the arena can starve a large (or oversize) acquire forever —
+        # capacity frees, a newcomer grabs it first, repeat.  Tickets
+        # are monotonically increasing; only the queue head may claim.
+        self._waiters: "deque[int]" = deque()
+        self._next_ticket = 0
         # Meters (read under the condition lock or after quiescence).
         self.buffers_allocated = 0
         self.buffers_reused = 0
         self.exhaustion_waits = 0
 
-    def acquire(self, nbytes: int) -> bytearray:
-        """Return a buffer of capacity >= ``nbytes`` (blocking)."""
-        with self._cond:
-            waited = False
-            while True:
-                best = None
-                for index, buf in enumerate(self._free):
-                    if len(buf) >= nbytes and (
-                        best is None or len(buf) < len(self._free[best])
-                    ):
-                        best = index
-                if best is not None:
-                    buf = self._free.pop(best)
-                    self._in_use += 1
-                    self.buffers_reused += 1
-                    return buf
-                # No reusable buffer: allocate if the budget allows,
-                # evicting idle buffers first so the arena bound holds.
-                while self._free and self._allocated + nbytes > self.arena_bytes:
-                    dropped = self._free.pop()
-                    self._allocated -= len(dropped)
-                if (
-                    self._allocated + nbytes <= self.arena_bytes
-                    or self._in_use == 0  # oversize liveness rule
-                ):
-                    self._allocated += nbytes
-                    self._in_use += 1
-                    self.buffers_allocated += 1
-                    return bytearray(nbytes)
-                if not waited:
-                    self.exhaustion_waits += 1
-                    waited = True
-                self._cond.wait()
+    def _try_acquire(self, nbytes: int):
+        """Attempt one allocation under the lock; ``None`` if starved.
 
-    def release(self, buffer: bytearray) -> None:
+        The allocation policy (best-fit reuse, evict-then-allocate,
+        oversize liveness rule) lives here so subclasses — notably the
+        shared-memory pool the parallel save engine stages through —
+        can swap the storage substrate while inheriting the FIFO
+        admission discipline of :meth:`acquire`.
+        """
+        best = None
+        for index, buf in enumerate(self._free):
+            if len(buf) >= nbytes and (
+                best is None or len(buf) < len(self._free[best])
+            ):
+                best = index
+        if best is not None:
+            buf = self._free.pop(best)
+            self._in_use += 1
+            self.buffers_reused += 1
+            return buf
+        # No reusable buffer: allocate if the budget allows, evicting
+        # idle buffers first so the arena bound holds.
+        while self._free and self._allocated + nbytes > self.arena_bytes:
+            dropped = self._free.pop()
+            self._allocated -= len(dropped)
+        if (
+            self._allocated + nbytes <= self.arena_bytes
+            or self._in_use == 0  # oversize liveness rule
+        ):
+            self._allocated += nbytes
+            self._in_use += 1
+            self.buffers_allocated += 1
+            return bytearray(nbytes)
+        return None
+
+    def acquire(self, nbytes: int):
+        """Return a buffer of capacity >= ``nbytes`` (blocking, FIFO)."""
+        with self._cond:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._waiters.append(ticket)
+            waited = False
+            try:
+                while True:
+                    if self._waiters[0] == ticket:
+                        buffer = self._try_acquire(nbytes)
+                        if buffer is not None:
+                            return buffer
+                    if not waited:
+                        self.exhaustion_waits += 1
+                        waited = True
+                    self._cond.wait()
+            finally:
+                self._waiters.remove(ticket)
+                # Wake the next ticket in line (a successful head
+                # acquire may have left capacity for it).
+                self._cond.notify_all()
+
+    def try_acquire(self, nbytes: int):
+        """Non-blocking acquire: a buffer, or ``None`` if it would wait.
+
+        Respects FIFO admission — returns ``None`` while earlier
+        acquires are queued, even if capacity happens to be free (it is
+        theirs).  Used by the parallel engine for scratch regions it
+        can satisfy elsewhere rather than deadlock on.
+        """
+        with self._cond:
+            if self._waiters:
+                return None
+            return self._try_acquire(nbytes)
+
+    def release(self, buffer) -> None:
         """Return a buffer to the pool (wakes blocked acquirers)."""
         with self._cond:
             self._in_use -= 1
@@ -131,6 +176,9 @@ class StagingPool:
             else:
                 self._allocated -= len(buffer)
             self._cond.notify_all()
+
+    def close(self) -> None:
+        """Release pooled resources (no-op for heap buffers)."""
 
     @property
     def idle_buffers(self) -> int:
@@ -176,6 +224,13 @@ class AsyncWriteBackend(CheckpointBackend):
         Byte budget of the :class:`StagingPool` the pipeline snapshots
         frame payloads into.  Lower it to model tight staging memory:
         producers block once the arena is full of in-flight payloads.
+    staging_pool:
+        Inject a pool instead of building a private one — the parallel
+        save engine passes its :class:`SharedStagingPool` here so the
+        async staging copy lands directly in shared memory and the
+        worker processes hash/compress it in place (one copy total).
+        An injected pool is not closed by :meth:`close` (the engine
+        owns it).
     """
 
     def __init__(
@@ -183,6 +238,7 @@ class AsyncWriteBackend(CheckpointBackend):
         inner: CheckpointBackend,
         max_pending: int = 256,
         arena_bytes: int = DEFAULT_ARENA_BYTES,
+        staging_pool: Optional[StagingPool] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -190,7 +246,8 @@ class AsyncWriteBackend(CheckpointBackend):
         # and must not be shadowed by an instance attribute.
         self.inner = inner
         self.max_pending = max_pending
-        self.staging = StagingPool(arena_bytes)
+        self.staging = staging_pool if staging_pool is not None else StagingPool(arena_bytes)
+        self._owns_staging = staging_pool is None
         self.bytes_written = 0  # accepted (staged) payload bytes
         self.put_count = 0
         # Backpressure is accounted per ENTRY (via the semaphore), not
@@ -363,6 +420,8 @@ class AsyncWriteBackend(CheckpointBackend):
             self._queue.put(_STOP)
             self._worker.join()
         self.inner.close()
+        if self._owns_staging:
+            self.staging.close()
         self._raise_pending()
 
     def __enter__(self) -> "AsyncWriteBackend":

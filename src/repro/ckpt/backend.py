@@ -228,16 +228,28 @@ class CheckpointBackend(abc.ABC):
         self.flush()
 
 
-def make_backend(kind: str, root: Optional[str] = None) -> CheckpointBackend:
+def make_backend(
+    kind: str,
+    root: Optional[str] = None,
+    codec: Optional[object] = None,
+    parallel_workers: int = 0,
+) -> CheckpointBackend:
     """Construct a persist-tier backend by name.
 
     ``memory`` ignores ``root`` (useful for demos and tests); ``disk``,
-    ``sharded`` and ``dedup`` require a directory.
+    ``sharded`` and ``dedup`` require a directory.  ``codec`` (a chunk
+    codec name or instance) and ``parallel_workers`` (multi-process
+    chunk hash/compress engine) are dedup-only features: the chunk
+    boundary is where both compression and the worker fan-out live.
     """
     from .dedup import DedupBackend
     from .kvstore import DiskKVStore, InMemoryKVStore
     from .sharded import ShardedDiskKVStore
 
+    if (codec is not None or parallel_workers) and kind != "dedup":
+        raise ValueError(
+            f"codec/parallel_workers require the dedup backend, not {kind!r}"
+        )
     if kind == "memory":
         return InMemoryKVStore()
     if root is None:
@@ -247,5 +259,5 @@ def make_backend(kind: str, root: Optional[str] = None) -> CheckpointBackend:
     if kind == "sharded":
         return ShardedDiskKVStore(root)
     if kind == "dedup":
-        return DedupBackend(root)
+        return DedupBackend(root, codec=codec, parallel_workers=parallel_workers)
     raise ValueError(f"unknown backend kind {kind!r}")

@@ -55,6 +55,15 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from . import jsonl
 from .backend import CheckpointBackend, CrashInjected, KVStoreError
+from .codec import (
+    ENCODED_CHUNK_SUFFIX,
+    ChunkCodec,
+    ChunkCodecError,
+    decode_chunk_file,
+    encode_chunk_file,
+    make_chunk_codec,
+    train_dictionary,
+)
 from .serializer import DEFAULT_CHUNK_BYTES, PayloadFrames
 
 
@@ -163,6 +172,7 @@ class FsckReport:
     """
 
     chunks_checked: int = 0
+    encoded_chunks: int = 0
     manifests_checked: int = 0
     corrupt_chunks: List[str] = field(default_factory=list)
     missing_chunks: List[str] = field(default_factory=list)
@@ -209,16 +219,23 @@ class ChunkStore:
     def __init__(self, root: str, fault: Callable[[str], None]) -> None:
         self.root = root
         self._objects_dir = os.path.join(root, "objects")
+        self.dicts_dir = os.path.join(root, "dicts")
         os.makedirs(self._objects_dir, exist_ok=True)
         self._fault = fault
         self._shard_dirs_made: set = set()
         self.refs: Dict[str, int] = {}
         self._journal = _JsonlJournal(os.path.join(root, "refs.jsonl"), "refs", fault)
-        # Meters: physical (novel-chunk) bytes vs dedup hits.
+        # Meters: physical (novel-chunk) bytes vs dedup hits.  With a
+        # chunk codec, ``chunk_bytes_written`` counts *encoded* bytes —
+        # it is the physical meter — and ``chunks_encoded`` says how
+        # many chunk files landed in compressed form.
         self.chunks_written = 0
         self.chunk_bytes_written = 0
+        self.chunks_encoded = 0
         self.dedup_hits = 0
         self.dedup_bytes_saved = 0
+        self._dict_cache: Dict[str, bytes] = {}
+        self._decode_cache: Dict[tuple, ChunkCodec] = {}
         for record in self._journal.replay():
             self._apply_record(record)
 
@@ -236,6 +253,16 @@ class ChunkStore:
     def _path(self, digest: str) -> str:
         return os.path.join(self._objects_dir, digest[:2], digest)
 
+    def _encoded_path(self, digest: str) -> str:
+        return self._path(digest) + ENCODED_CHUNK_SUFFIX
+
+    def _existing_path(self, digest: str) -> Optional[str]:
+        """On-disk path of a chunk in whichever form it was stored."""
+        for path in (self._path(digest), self._encoded_path(digest)):
+            if os.path.exists(path):
+                return path
+        return None
+
     def _ensure_shard_dir(self, path: str) -> None:
         shard = os.path.dirname(path)
         if shard not in self._shard_dirs_made:
@@ -243,9 +270,9 @@ class ChunkStore:
             self._shard_dirs_made.add(shard)
 
     def has_chunk(self, digest: str) -> bool:
-        return os.path.exists(self._path(digest))
+        return self._existing_path(digest) is not None
 
-    def write_chunk(self, digest: str, data) -> bool:
+    def write_chunk(self, digest: str, data, encoded: Optional[bytes] = None) -> bool:
         """Store ``data`` under its address; returns True when novel.
 
         ``data`` is ``bytes`` or a sequence of zero-copy buffer parts
@@ -256,31 +283,86 @@ class ChunkStore:
         already exists the bytes are identical by construction
         (collision-free within SHA-256), so a duplicate write is a pure
         metadata no-op.
+
+        ``encoded`` is an optional framed compressed body (see
+        :func:`~repro.ckpt.codec.encode_chunk_file`) of the *same*
+        chunk: when given, the encoded form is what hits disk — under
+        ``<digest>.z``, the digest still addressing the uncompressed
+        content, so dedup hits are codec-independent.  A dedup hit in
+        either form short-circuits both.
         """
         parts = (data,) if isinstance(data, (bytes, memoryview)) else data
         size = sum(len(part) for part in parts)
-        path = self._path(digest)
-        if os.path.exists(path):
+        if self.has_chunk(digest):
             self.dedup_hits += 1
             self.dedup_bytes_saved += size
             return False
+        if encoded is not None:
+            path = self._encoded_path(digest)
+            write_parts: Sequence = (encoded,)
+            physical = len(encoded)
+        else:
+            path = self._path(digest)
+            write_parts = parts
+            physical = size
         self._ensure_shard_dir(path)
         tmp = path + ".tmp"
         with open(tmp, "wb") as handle:
-            handle.writelines(parts)
+            handle.writelines(write_parts)
         self._fault("chunk:tmp-written")
         os.replace(tmp, path)
         self._fault("chunk:durable")
         self.chunks_written += 1
-        self.chunk_bytes_written += size
+        self.chunk_bytes_written += physical
+        if encoded is not None:
+            self.chunks_encoded += 1
         return True
 
-    def read_chunk(self, digest: str) -> bytes:
+    def read_chunk_stored(self, digest: str) -> Tuple[bytes, bool]:
+        """Raw file body of a chunk plus whether it is an encoded frame."""
         try:
             with open(self._path(digest), "rb") as handle:
-                return handle.read()
+                return handle.read(), False
+        except FileNotFoundError:
+            pass
+        try:
+            with open(self._encoded_path(digest), "rb") as handle:
+                return handle.read(), True
         except FileNotFoundError:
             raise KVStoreError(f"chunk {digest} missing") from None
+
+    def read_chunk(self, digest: str) -> bytes:
+        data, encoded = self.read_chunk_stored(digest)
+        if encoded:
+            return decode_chunk_file(data, self.load_dictionary, self._decode_cache)
+        return data
+
+    # -- trained dictionaries -------------------------------------------
+    def store_dictionary(self, dictionary: bytes) -> str:
+        """Persist a trained codec dictionary content-addressed; return
+        its digest.  Idempotent — dictionaries are immutable like
+        chunks, and referenced by digest from encoded chunk frames."""
+        digest = hashlib.sha256(dictionary).hexdigest()
+        path = os.path.join(self.dicts_dir, digest)
+        if not os.path.exists(path):
+            os.makedirs(self.dicts_dir, exist_ok=True)
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as handle:
+                handle.write(dictionary)
+            os.replace(tmp, path)
+        self._dict_cache[digest] = bytes(dictionary)
+        return digest
+
+    def load_dictionary(self, digest: str) -> bytes:
+        cached = self._dict_cache.get(digest)
+        if cached is None:
+            try:
+                with open(os.path.join(self.dicts_dir, digest), "rb") as handle:
+                    cached = handle.read()
+            except FileNotFoundError:
+                raise KVStoreError(f"codec dictionary {digest} missing") from None
+            self._dict_cache[digest] = cached
+        return cached
 
     def apply_refs(self, inc: Mapping[str, int], dec: Mapping[str, int]) -> None:
         """Journal one atomic refcount mutation, then apply it."""
@@ -295,7 +377,13 @@ class ChunkStore:
         self._apply_record(record)
 
     def disk_chunks(self) -> Dict[str, int]:
-        """Every chunk file on disk: digest -> size in bytes."""
+        """Every chunk file on disk: digest -> *physical* size in bytes.
+
+        Raw and encoded forms map to the same digest key (the encoded
+        file's suffix is stripped); the size is whatever the file
+        occupies, so compression shows up directly in the physical
+        accounting (``unique_bytes``, gc reports, the benches).
+        """
         found: Dict[str, int] = {}
         for shard in sorted(os.listdir(self._objects_dir)):
             shard_dir = os.path.join(self._objects_dir, shard)
@@ -304,8 +392,22 @@ class ChunkStore:
             for name in sorted(os.listdir(shard_dir)):
                 if name.endswith(".tmp"):
                     continue
-                found[name] = os.path.getsize(os.path.join(shard_dir, name))
+                digest = name[:-len(ENCODED_CHUNK_SUFFIX)] if name.endswith(
+                    ENCODED_CHUNK_SUFFIX) else name
+                found[digest] = os.path.getsize(os.path.join(shard_dir, name))
         return found
+
+    def encoded_digests(self) -> List[str]:
+        """Digests currently stored in encoded (compressed) form."""
+        out: List[str] = []
+        for shard in sorted(os.listdir(self._objects_dir)):
+            shard_dir = os.path.join(self._objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(ENCODED_CHUNK_SUFFIX):
+                    out.append(name[:-len(ENCODED_CHUNK_SUFFIX)])
+        return out
 
     def stray_tmp_files(self) -> List[str]:
         """Chunk ``.tmp`` files left by a write that died before its
@@ -334,7 +436,9 @@ class ChunkStore:
                 live_chunks += 1
                 live_bytes += size
                 continue
-            os.remove(self._path(digest))
+            path = self._existing_path(digest)
+            if path is not None:
+                os.remove(path)
             reclaimed_chunks += 1
             reclaimed_bytes += size
         for path in self.stray_tmp_files():
@@ -376,18 +480,48 @@ class DedupBackend(CheckpointBackend):
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         compact_min_records: int = 256,
         compact_garbage_ratio: float = 4.0,
+        codec: Optional[object] = None,
+        parallel_workers: int = 0,
+        staging_pool: Optional[object] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         super().__init__()
         if chunk_bytes < 1:
             raise ValueError("chunk_bytes must be >= 1")
         if compact_garbage_ratio <= 1.0:
             raise ValueError("compact_garbage_ratio must be > 1")
+        if parallel_workers < 0:
+            raise ValueError("parallel_workers must be >= 0")
         self.root = root
         self.chunk_bytes = chunk_bytes
         self.compact_min_records = compact_min_records
         self.compact_garbage_ratio = compact_garbage_ratio
         os.makedirs(root, exist_ok=True)
         self.chunks = ChunkStore(os.path.join(root, "chunks"), self._fault)
+        # Chunk codec: a ChunkCodec instance, a name ("zstd", "zlib",
+        # "auto", ...), or None.  Names degrade gracefully (zlib
+        # fallback with a warning) — see make_chunk_codec.
+        self.codec: Optional[ChunkCodec] = (
+            make_chunk_codec(codec) if isinstance(codec, str) else codec
+        )
+        # Parallel chunk engine: >0 workers fan digest/encode/decode to
+        # per-core processes over shared memory.  Built lazily-ish here
+        # (the pool itself starts on first use); any failure downgrades
+        # to the in-process path with a warning, never an error.
+        self._parallel_workers = parallel_workers
+        self._start_method = start_method
+        self._shared_staging = staging_pool
+        self.engine = None
+        if parallel_workers > 0:
+            from .parallel import ParallelChunkEngine
+
+            self.engine = ParallelChunkEngine(
+                parallel_workers,
+                codec=self.codec,
+                staging=staging_pool,
+                dict_dir=self.chunks.dicts_dir,
+                start_method=start_method,
+            )
         self._manifests = _JsonlJournal(
             os.path.join(root, "manifests.jsonl"), "manifest", self._fault
         )
@@ -415,20 +549,139 @@ class DedupBackend(CheckpointBackend):
         for :meth:`_write` to reuse them (one shared SHA-256 sweep)."""
         return self.chunk_bytes
 
+    @property
+    def staging_pool(self):
+        """The engine's shared-memory staging pool (None without one).
+
+        The manager hands this to :class:`~repro.ckpt.async_writer.
+        AsyncWriteBackend` so the async staging copy lands directly in
+        shared memory — the same bytes the workers then hash/compress,
+        one copy total."""
+        return self.engine.staging if self.engine is not None else None
+
+    def train_codec_dictionary(
+        self, max_samples: int = 64, max_bytes: int = 16 * 1024
+    ) -> Optional[str]:
+        """Train a codec dictionary on the store's own chunk corpus.
+
+        Samples up to ``max_samples`` live chunks (decoded), trains a
+        raw-content dictionary, persists it content-addressed under
+        ``chunks/dicts/``, and rebuilds the codec (and engine) to use
+        it.  Returns the dictionary digest, or ``None`` when there is
+        no codec or the corpus is too thin to train from.  Previously
+        written chunks are untouched — their frames reference whatever
+        dictionary (or none) they were written with.
+        """
+        if self.codec is None:
+            return None
+        samples = []
+        for digest in sorted(self.chunks.disk_chunks())[:max_samples]:
+            try:
+                samples.append(self.chunks.read_chunk(digest))
+            except (KVStoreError, ChunkCodecError):  # pragma: no cover
+                continue
+        dictionary = train_dictionary(samples, max_bytes=max_bytes)
+        if not dictionary:
+            return None
+        dict_digest = self.chunks.store_dictionary(dictionary)
+        self.codec = make_chunk_codec(self.codec.name, self.codec.level, dictionary)
+        if self.engine is not None:
+            from .parallel import ParallelChunkEngine
+
+            staging = self._shared_staging
+            owned_staging = None
+            if staging is None:
+                # Keep the existing pool alive across the engine swap —
+                # an async pipeline may already stage into it.
+                owned_staging = self.engine.staging
+                self.engine._owns_staging = False
+            self.engine.close()
+            self.engine = ParallelChunkEngine(
+                self._parallel_workers,
+                codec=self.codec,
+                staging=staging if staging is not None else owned_staging,
+                dict_dir=self.chunks.dicts_dir,
+                start_method=self._start_method,
+            )
+            if owned_staging is not None:
+                self.engine._owns_staging = True
+        return dict_digest
+
+    def _novel_indices(self, digests: List[str]) -> List[int]:
+        """First-occurrence indices of digests not yet on disk."""
+        seen: set = set()
+        novel: List[int] = []
+        for index, digest in enumerate(digests):
+            if digest in seen:
+                continue
+            seen.add(digest)
+            if not self.chunks.has_chunk(digest):
+                novel.append(index)
+        return novel
+
+    def _encode_novel(
+        self, payload: PayloadFrames, digests: List[str]
+    ) -> Dict[int, Optional[bytes]]:
+        """Framed encoded bodies for the novel chunks of ``payload``.
+
+        Prefers the worker pool (compression fans out, byte counts come
+        back over the result queue); falls back to streaming the codec
+        in-process.  Only chunks that will actually hit disk are
+        encoded — dedup hits and repeated chunks never cost a
+        compression pass, which is how the "≤1 compression pass per
+        persisted byte" invariant stays an inequality.
+        """
+        encoded: Dict[int, Optional[bytes]] = {}
+        if self.codec is None:
+            return encoded
+        novel = self._novel_indices(digests)
+        if not novel:
+            return encoded
+        if self.engine is not None:
+            from_engine = self.engine.encode_chunks(payload, self.chunk_bytes, novel)
+            if from_engine is not None:
+                return from_engine
+        slices = list(payload.chunk_slices(self.chunk_bytes))
+        for index in novel:
+            parts = slices[index]
+            raw_len = sum(len(part) for part in parts)
+            body = encode_chunk_file(self.codec, parts)
+            encoded[index] = body
+            if payload.meters is not None:
+                payload.meters.count_compressed(
+                    raw_len, len(body) if body is not None else raw_len
+                )
+        return encoded
+
     def _write(self, key: str, payload, stamp: int, node) -> None:
         if isinstance(payload, PayloadFrames):
             # Single-hash-pass path: digests come from the rope's cache
-            # when the manager's delta-save check already computed them;
-            # chunk data is written as zero-copy frame slices either way.
-            digests = payload.chunk_digests(self.chunk_bytes)
-            for digest, parts in zip(digests, payload.chunk_slices(self.chunk_bytes)):
-                self.chunks.write_chunk(digest, parts)
+            # when the manager's delta-save check already computed them,
+            # from the worker pool when an engine is attached, and from
+            # the rope's own single sweep otherwise; chunk data is
+            # written as zero-copy frame slices either way.
+            try:
+                if self.engine is not None:
+                    digests = self.engine.chunk_digests(payload, self.chunk_bytes)
+                else:
+                    digests = payload.chunk_digests(self.chunk_bytes)
+                encoded = self._encode_novel(payload, digests)
+                for index, (digest, parts) in enumerate(
+                    zip(digests, payload.chunk_slices(self.chunk_bytes))
+                ):
+                    self.chunks.write_chunk(digest, parts, encoded=encoded.get(index))
+            finally:
+                if self.engine is not None:
+                    self.engine.finish(payload)
         else:
-            digests = []
-            for chunk in chunk_payload(payload, self.chunk_bytes):
-                digest = chunk_digest(chunk)
-                self.chunks.write_chunk(digest, chunk)
-                digests.append(digest)
+            chunks = chunk_payload(payload, self.chunk_bytes)
+            digests = [chunk_digest(chunk) for chunk in chunks]
+            novel = set(self._novel_indices(digests))
+            for index, (digest, chunk) in enumerate(zip(digests, chunks)):
+                body = None
+                if self.codec is not None and index in novel:
+                    body = encode_chunk_file(self.codec, [chunk])
+                self.chunks.write_chunk(digest, chunk, encoded=body)
         inc = Counter(digests)
         old = self._index.get(key)
         record = {
@@ -517,15 +770,42 @@ class DedupBackend(CheckpointBackend):
         if key not in self._index:
             raise KVStoreError(key)
         meta = self._index[key]
-        payload = b"".join(
-            self.chunks.read_chunk(digest) for digest in meta["chunks"]
-        )
+        payload = b"".join(self._read_chunks(meta["chunks"]))
         if len(payload) != int(meta["nbytes"]):
             raise KVStoreError(
                 f"{key}: reassembled {len(payload)} bytes, manifest says "
                 f"{meta['nbytes']}"
             )
         return payload
+
+    def _read_chunks(self, digests: Sequence[str]) -> List[bytes]:
+        """Chunk bodies in manifest order, decompressing as needed.
+
+        With an engine attached, encoded chunks are decompressed by the
+        worker pool (restore-side fan-out); otherwise — or if the pool
+        degrades mid-read — each chunk decodes in-process.
+        """
+        if self.engine is None or not self.engine.enabled:
+            return [self.chunks.read_chunk(digest) for digest in digests]
+        stored = [self.chunks.read_chunk_stored(digest) for digest in digests]
+        blobs = [data for data, is_encoded in stored if is_encoded]
+        decoded = self.engine.decode_chunks(blobs) if blobs else []
+        if decoded is None:  # pool degraded: decode in-process
+            return [
+                decode_chunk_file(data, self.chunks.load_dictionary,
+                                  self.chunks._decode_cache)
+                if is_encoded else data
+                for data, is_encoded in stored
+            ]
+        out: List[bytes] = []
+        cursor = 0
+        for data, is_encoded in stored:
+            if is_encoded:
+                out.append(decoded[cursor])
+                cursor += 1
+            else:
+                out.append(data)
+        return out
 
     # -- metadata -------------------------------------------------------
     def stamp_of(self, key: str) -> int:
@@ -589,6 +869,12 @@ class DedupBackend(CheckpointBackend):
             raise
         self._finish_batch()
 
+    def close(self) -> None:
+        """Shut down the parallel engine (workers, shared memory)."""
+        if self.engine is not None:
+            self.engine.close()
+        super().close()
+
     # -- maintenance ----------------------------------------------------
     def gc(self) -> GCReport:
         """Reclaim zero-ref and orphaned chunks; compact both journals."""
@@ -614,9 +900,16 @@ class DedupBackend(CheckpointBackend):
         """
         report = FsckReport()
         on_disk = self.chunks.disk_chunks()
+        report.encoded_chunks = len(self.chunks.encoded_digests())
         for digest in on_disk:
             report.chunks_checked += 1
-            if chunk_digest(self.chunks.read_chunk(digest)) != digest:
+            # Encoded chunks are decompressed before hashing — the
+            # address is always the digest of the *uncompressed* bytes,
+            # and a frame that fails to decode is corruption too.
+            try:
+                if chunk_digest(self.chunks.read_chunk(digest)) != digest:
+                    report.corrupt_chunks.append(digest)
+            except (ChunkCodecError, KVStoreError):
                 report.corrupt_chunks.append(digest)
         live: Counter = Counter()
         for key, meta in sorted(self._index.items()):

@@ -1,0 +1,829 @@
+"""Multi-process chunk hash/compress engine — escaping the GIL.
+
+PR 4 drove the save path to one SHA-256 pass and at most one staging
+copy per persisted byte, but every pass still ran on a single
+interpreter thread.  This module fans the *chunk-granularity* work —
+SHA-256 digests, chunk compression, and decompression on restore — out
+to per-core worker processes, communicating through shared memory so
+payload bytes are **never pickled**:
+
+.. code-block:: text
+
+            caller thread                      worker processes
+   ┌──────────────────────────┐        ┌───────────────────────────┐
+   │ serialize → frame rope   │        │  attach(arena) once       │
+   │ snapshot_into(SharedSlice)──────▶ │                           │
+   │      (the ONE copy)      │ tasks  │  view = arena[off:off+n]  │
+   │ submit (seg, off, len) ──┼──────▶ │  sha256 over chunk slices │
+   │                          │        │  codec.encode → out region│
+   │ collect (idx, digest,    │ ◀──────┼─ (idx, rel_off, enc_len,  │
+   │   enc_len, byte counts)  │results │    cpu_s, bytes counted)  │
+   │ fold counts into meters  │        │                           │
+   │ write chunk files / refs │        └───────────────────────────┘
+   └──────────────────────────┘
+
+Components
+----------
+* :class:`SharedStagingPool` — the :class:`~repro.ckpt.async_writer.
+  StagingPool` generalized to a ``multiprocessing.shared_memory`` arena.
+  ``acquire`` returns a :class:`SharedSlice` whose :class:`SharedRegion`
+  is a picklable (segment, offset, nbytes) address; the FIFO admission
+  discipline (and its starvation fix) is inherited from the base pool.
+* :class:`ChunkWorkerPool` — a lazily started pool of worker processes
+  consuming digest/encode/decode tasks from a queue.  Workers report
+  per-task CPU seconds and byte counts so :class:`~repro.ckpt.
+  serializer.PipelineMeters` invariants (1 hash pass, ≤1 staging copy,
+  ≤1 compression pass per persisted byte) stay *measured* across the
+  process boundary.
+* :class:`ParallelChunkEngine` — the orchestrator the dedup backend
+  calls: stages a payload once, splits its chunk range across workers,
+  seeds the rope's digest cache with the results, and hands back framed
+  encoded chunk bodies for exactly the novel chunks being persisted.
+
+Graceful degradation
+--------------------
+Worker-pool spawn failure, a worker killed mid-chunk, and a poisoned
+(unlinked / corrupted) shared-memory segment all degrade the same way:
+the engine emits a :class:`RuntimeWarning`, disables itself, and the
+caller recomputes in-process — a checkpoint may save slower, never
+corrupt.  The crash-injection suite pins each of these seams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import warnings
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from .async_writer import DEFAULT_ARENA_BYTES, StagingPool
+from .codec import ChunkCodec, encode_chunk_file, make_chunk_codec
+from .serializer import PayloadFrames
+
+try:  # pragma: no cover - stdlib, but keep tier-1 importable anywhere
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+#: Default worker count when the caller asks for "auto".
+DEFAULT_WORKERS = max(1, (os.cpu_count() or 1))
+
+#: How long the collector waits without a result before checking worker
+#: liveness, and the absolute per-batch deadline before declaring the
+#: pool wedged.  Generous: a loaded CI box must never trip it.
+_HEARTBEAT_SECONDS = 0.5
+_DEADLINE_SECONDS = 300.0
+
+
+class WorkerPoolError(RuntimeError):
+    """The worker pool failed (spawn, death, or poisoned segment)."""
+
+
+class SharedRegion(NamedTuple):
+    """Picklable address of staged bytes inside a shared-memory segment."""
+
+    segment: str
+    offset: int
+    nbytes: int
+
+
+class SharedSlice:
+    """A carved extent of a :class:`SharedStagingPool` arena.
+
+    Duck-compatible with the pooled ``bytearray`` where it matters:
+    ``len()`` works and :meth:`PayloadFrames.snapshot_into` copies into
+    ``.view``.  ``.region`` is the cross-process address workers attach.
+    """
+
+    __slots__ = ("region", "view")
+
+    def __init__(self, region: SharedRegion, view: memoryview) -> None:
+        self.region = region
+        self.view = view
+
+    def __len__(self) -> int:
+        return self.region.nbytes
+
+
+class SharedStagingPool(StagingPool):
+    """A :class:`StagingPool` whose arena lives in shared memory.
+
+    One ``multiprocessing.shared_memory`` segment backs the whole arena
+    (created lazily on first acquire); ``acquire`` carves extents from a
+    first-fit free list instead of handing out heap ``bytearray``\\ s.
+    Payloads larger than the arena follow the same oversize liveness
+    rule as the base pool, each in a dedicated throwaway segment.
+    Blocking, FIFO admission, and the meters all come from the base
+    class — only the storage substrate changes.
+
+    Meter mapping: ``buffers_reused`` counts arena carves (steady
+    state), ``buffers_allocated`` counts segment creations (the arena
+    itself plus any oversize segments).
+    """
+
+    def __init__(self, arena_bytes: int = DEFAULT_ARENA_BYTES) -> None:
+        if shared_memory is None:  # pragma: no cover - ancient stdlib only
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        super().__init__(arena_bytes)
+        self._shm: Optional["shared_memory.SharedMemory"] = None
+        self._arena_view: Optional[memoryview] = None
+        # Sorted (offset, size) free extents of the arena.
+        self._extents: List[List[int]] = []
+        # Live oversize segments: name -> SharedMemory.
+        self._oversize: Dict[str, "shared_memory.SharedMemory"] = {}
+        self._closed = False
+
+    # -- substrate ------------------------------------------------------
+    def _ensure_arena(self) -> None:
+        if self._shm is None:
+            if self._closed:
+                raise RuntimeError("SharedStagingPool is closed")
+            self._shm = shared_memory.SharedMemory(create=True, size=self.arena_bytes)
+            self._arena_view = memoryview(self._shm.buf)
+            self._extents = [[0, self.arena_bytes]]
+            self.buffers_allocated += 1
+
+    @property
+    def segment_name(self) -> Optional[str]:
+        return self._shm.name if self._shm is not None else None
+
+    def _try_acquire(self, nbytes: int):
+        if self._closed:
+            raise RuntimeError("SharedStagingPool is closed")
+        nbytes = max(1, nbytes)
+        if nbytes > self.arena_bytes:
+            if self._in_use != 0:
+                return None  # oversize liveness rule (see base class)
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._oversize[segment.name] = segment
+            self._in_use += 1
+            self.buffers_allocated += 1
+            region = SharedRegion(segment.name, 0, nbytes)
+            return SharedSlice(region, memoryview(segment.buf)[:nbytes])
+        self._ensure_arena()
+        for index, (offset, size) in enumerate(self._extents):
+            if size >= nbytes:
+                if size == nbytes:
+                    self._extents.pop(index)
+                else:
+                    self._extents[index] = [offset + nbytes, size - nbytes]
+                self._in_use += 1
+                self.buffers_reused += 1
+                region = SharedRegion(self._shm.name, offset, nbytes)
+                return SharedSlice(region, self._arena_view[offset:offset + nbytes])
+        return None
+
+    def release(self, buffer: SharedSlice) -> None:
+        with self._cond:
+            self._in_use -= 1
+            region = buffer.region
+            try:
+                # Drop the slice's memoryview so the segment can really
+                # close; a rope still holding sub-views is tolerated
+                # (the mapping then lives until those views die).
+                buffer.view.release()
+            except BufferError:  # pragma: no cover - exported sub-views
+                pass
+            if region.segment in self._oversize:
+                segment = self._oversize.pop(region.segment)
+                _close_segment(segment, unlink=True)
+            else:
+                self._free_extent(region.offset, region.nbytes)
+            self._cond.notify_all()
+
+    def _free_extent(self, offset: int, size: int) -> None:
+        """Insert a freed extent, coalescing with its neighbours."""
+        extents = self._extents
+        index = 0
+        while index < len(extents) and extents[index][0] < offset:
+            index += 1
+        extents.insert(index, [offset, size])
+        # Coalesce with successor, then predecessor.
+        if index + 1 < len(extents) and offset + size == extents[index + 1][0]:
+            extents[index][1] += extents[index + 1][1]
+            extents.pop(index + 1)
+        if index > 0 and extents[index - 1][0] + extents[index - 1][1] == offset:
+            extents[index - 1][1] += extents[index][1]
+            extents.pop(index)
+
+    @property
+    def idle_buffers(self) -> int:
+        with self._cond:
+            return len(self._extents)
+
+    @property
+    def arena_in_use(self) -> int:
+        with self._cond:
+            if self._shm is None:
+                return 0
+            return self.arena_bytes - sum(size for _, size in self._extents)
+
+    def close(self) -> None:
+        """Unlink every segment.  Safe to call more than once."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for segment in self._oversize.values():
+                _close_segment(segment, unlink=True)
+            self._oversize.clear()
+            if self._arena_view is not None:
+                self._arena_view.release()
+                self._arena_view = None
+            if self._shm is not None:
+                _close_segment(self._shm, unlink=True)
+                self._shm = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _close_segment(segment, unlink: bool) -> None:
+    """Close (and optionally unlink) a segment, tolerating exported views.
+
+    ``SharedMemory.close`` raises ``BufferError`` while any memoryview
+    into the mapping is still alive; a lingering read-only rope view is
+    harmless (the mapping just lives until process exit), so the unlink
+    — which actually frees the name — must still happen.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        pass
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def _attach_segment(cache: Dict[str, "shared_memory.SharedMemory"], name: str):
+    """Worker-side attach with caching and resource-tracker hygiene."""
+    segment = cache.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name, create=False)
+        # NB: attaching re-registers the name with the resource tracker,
+        # but workers share the parent's tracker process (its fd is
+        # inherited under fork and passed explicitly under spawn) and
+        # the tracker's cache is a set — the re-register is a no-op and
+        # the parent's close/unlink stays the single cleanup point.
+        # Unregistering here would strip the parent's registration.
+        cache[name] = segment
+    return segment
+
+
+def _chunk_range_bytes(length: int, chunk_bytes: int, start: int, stop: int) -> Tuple[int, int]:
+    """Byte span of chunk indices [start, stop) in a payload of ``length``."""
+    return start * chunk_bytes, min(length, stop * chunk_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(tasks, results, codec_spec, dict_dir) -> None:
+    """Worker loop: digest / encode / decode tasks over shared memory.
+
+    Payload bytes are only ever read through attached segments; the
+    queues carry addresses, digests, and (for restore) compressed
+    chunks.  Every result includes the CPU seconds and byte counts the
+    engine folds back into the main process's meters.
+    """
+    codec: Optional[ChunkCodec] = None
+    if codec_spec is not None:
+        codec = make_chunk_codec(
+            codec_spec["name"], codec_spec["level"], codec_spec["dictionary"]
+        )
+    attachments: Dict[str, "shared_memory.SharedMemory"] = {}
+    decode_cache: Dict[tuple, ChunkCodec] = {}
+
+    def load_dictionary(digest: str) -> bytes:
+        if not dict_dir:
+            raise KeyError(digest)
+        with open(os.path.join(dict_dir, digest), "rb") as handle:
+            return handle.read()
+
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        kind, task_id = task[0], task[1]
+        started = time.process_time()
+        try:
+            if kind == "digest":
+                _, _, name, offset, length, chunk_bytes, start, stop = task
+                segment = _attach_segment(attachments, name)
+                lo, hi = _chunk_range_bytes(length, chunk_bytes, start, stop)
+                view = segment.buf[offset + lo:offset + hi]
+                digests = []
+                for pos in range(0, max(1, hi - lo), chunk_bytes) if hi > lo else [0]:
+                    chunk = view[pos:pos + chunk_bytes]
+                    digests.append(hashlib.sha256(chunk).hexdigest())
+                view.release()
+                cpu = time.process_time() - started
+                results.put(("digest", task_id, digests, hi - lo, cpu))
+            elif kind == "encode":
+                (_, _, name, offset, length, chunk_bytes, indices,
+                 out_name, out_offset) = task
+                segment = _attach_segment(attachments, name)
+                out_segment = _attach_segment(attachments, out_name)
+                entries = []
+                raw_in = 0
+                enc_out = 0
+                cursor = 0
+                for index in indices:
+                    lo, hi = _chunk_range_bytes(length, chunk_bytes, index, index + 1)
+                    chunk = segment.buf[offset + lo:offset + hi]
+                    encoded = encode_chunk_file(codec, [chunk]) if codec else None
+                    raw_in += hi - lo
+                    if encoded is None:
+                        entries.append((index, -1, 0))
+                    else:
+                        out_segment.buf[out_offset + cursor:
+                                        out_offset + cursor + len(encoded)] = encoded
+                        entries.append((index, cursor, len(encoded)))
+                        cursor += len(encoded)
+                        enc_out += len(encoded)
+                    chunk.release()
+                cpu = time.process_time() - started
+                results.put(("encode", task_id, entries, raw_in, enc_out, cpu))
+            elif kind == "decode":
+                _, _, blobs = task
+                from .codec import decode_chunk_file
+
+                raws = [decode_chunk_file(blob, load_dictionary, decode_cache)
+                        for blob in blobs]
+                cpu = time.process_time() - started
+                results.put(("decode", task_id, raws, cpu))
+            else:
+                results.put(("error", task_id, f"unknown task kind {kind!r}"))
+        except Exception as exc:  # noqa: BLE001 - reported to the engine
+            try:
+                results.put(("error", task_id, f"{type(exc).__name__}: {exc}"))
+            except Exception:  # pragma: no cover - result queue gone
+                break
+    for segment in attachments.values():  # pragma: no cover - exit path
+        try:
+            segment.close()
+        except BufferError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+
+
+class ChunkWorkerPool:
+    """A small process pool speaking the digest/encode/decode protocol.
+
+    Lazily started; ``process_batch`` submits a list of tasks and
+    gathers their results, raising :class:`WorkerPoolError` when a
+    worker dies, reports an error, or the pool cannot start at all —
+    the engine catches that and falls back in-process.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        codec_spec: Optional[Dict[str, object]] = None,
+        dict_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.codec_spec = codec_spec
+        self.dict_dir = dict_dir
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._tasks = None
+        self._results = None
+        self._procs: List[multiprocessing.Process] = []
+        self._next_id = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn_one(self) -> multiprocessing.Process:
+        """Start one worker (the seam degradation tests patch)."""
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self._tasks, self._results, self.codec_spec, self.dict_dir),
+            name="ckpt-chunk-worker",
+            daemon=True,
+        )
+        with warnings.catch_warnings():
+            # Python 3.12+ deprecation-warns fork in multi-threaded
+            # processes; the forked child only runs _worker_main, which
+            # touches nothing inherited, so the classic pattern is safe.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            proc.start()
+        return proc
+
+    def start(self) -> None:
+        if self._started:
+            return
+        if self._closed:
+            raise WorkerPoolError("pool is closed")
+        try:
+            self._tasks = self._ctx.Queue()
+            self._results = self._ctx.Queue()
+            self._procs = [self._spawn_one() for _ in range(self.workers)]
+        except Exception as exc:
+            self._abort()
+            raise WorkerPoolError(f"worker pool failed to start: {exc}") from exc
+        self._started = True
+
+    def alive(self) -> int:
+        return sum(1 for proc in self._procs if proc.is_alive())
+
+    def _abort(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc.pid is not None:
+                proc.join(timeout=5)
+        self._procs = []
+        for q in (self._tasks, self._results):
+            if q is not None:
+                q.close()
+                q.cancel_join_thread()
+        self._tasks = self._results = None
+        self._started = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            try:
+                for _ in self._procs:
+                    self._tasks.put(None)
+                for proc in self._procs:
+                    proc.join(timeout=5)
+            except Exception:  # pragma: no cover - queues already broken
+                pass
+            self._abort()
+
+    # -- batched request/response --------------------------------------
+    def submit(self, kind: str, *payload) -> int:
+        self.start()
+        task_id = self._next_id
+        self._next_id += 1
+        self._tasks.put((kind, task_id) + payload)
+        return task_id
+
+    def collect(self, task_ids: Sequence[int]) -> Dict[int, tuple]:
+        """Gather results for ``task_ids``, watching worker liveness."""
+        pending = set(task_ids)
+        gathered: Dict[int, tuple] = {}
+        deadline = time.monotonic() + _DEADLINE_SECONDS
+        while pending:
+            try:
+                result = self._results.get(timeout=_HEARTBEAT_SECONDS)
+            except queue_module.Empty:
+                if self.alive() < len(self._procs):
+                    raise WorkerPoolError(
+                        f"worker died mid-batch ({self.alive()}/{len(self._procs)} alive)"
+                    )
+                if time.monotonic() > deadline:
+                    raise WorkerPoolError("worker pool wedged: batch deadline exceeded")
+                continue
+            if result[0] == "error":
+                raise WorkerPoolError(f"worker task failed: {result[2]}")
+            task_id = result[1]
+            if task_id in pending:
+                pending.remove(task_id)
+                gathered[task_id] = result
+        return gathered
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class _ScratchSegment:
+    """A one-shot output segment for encode results.
+
+    Used when the staging arena cannot lend an output region without
+    blocking (the input region already occupies it) — a dedicated
+    segment avoids the self-deadlock a blocking acquire would be.
+    """
+
+    def __init__(self, nbytes: int) -> None:
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self.region = SharedRegion(self._shm.name, 0, nbytes)
+        self._view: Optional[memoryview] = None
+
+    def view(self) -> memoryview:
+        if self._view is None:
+            self._view = memoryview(self._shm.buf)
+        return self._view
+
+    def close(self) -> None:
+        if self._view is not None:
+            try:
+                self._view.release()
+            except BufferError:  # pragma: no cover - exported sub-views
+                pass
+            self._view = None
+        _close_segment(self._shm, unlink=True)
+
+
+class ParallelChunkEngine:
+    """Fan chunk digest/encode/decode work out to worker processes.
+
+    The dedup backend drives it per payload:
+
+    1. :meth:`chunk_digests` — stage the payload into shared memory if
+       it is not already there (the async pipeline's staging copy lands
+       in the same pool, so usually it is), split the chunk range
+       across workers, and seed the rope's digest cache with the
+       results.  Skipped entirely when the manager's delta-save sweep
+       already hashed the rope — one hash pass, wherever it runs.
+    2. :meth:`encode_chunks` — compress exactly the novel chunk indices
+       into an output region; returns framed encoded file bodies (or
+       ``None`` per chunk for incompressible ones).
+    3. :meth:`finish` — release any staging the engine acquired for the
+       payload.
+
+    Any failure — spawn, worker death, poisoned segment — disables the
+    engine with a :class:`RuntimeWarning`; callers observe ``None`` /
+    a cold cache and recompute in-process.  Correctness never depends
+    on the pool.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        codec: Optional[ChunkCodec] = None,
+        staging: Optional[SharedStagingPool] = None,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
+        dict_dir: Optional[str] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.codec = codec
+        self.staging = staging if staging is not None else SharedStagingPool(arena_bytes)
+        self._owns_staging = staging is None
+        self.enabled = True
+        self.fallback_reason: Optional[str] = None
+        self.pool = ChunkWorkerPool(
+            workers,
+            codec_spec=codec.spec() if codec is not None else None,
+            dict_dir=dict_dir,
+            start_method=start_method,
+        )
+        # Payloads the engine staged itself (sync path): id -> slice.
+        self._staged: Dict[int, SharedSlice] = {}
+        # Aggregate worker-side accounting (inspectable by tests/bench).
+        self.worker_cpu_seconds = 0.0
+        self.tasks_dispatched = 0
+
+    # -- degradation ----------------------------------------------------
+    def _disable(self, what: str, exc: Exception) -> None:
+        self.enabled = False
+        self.fallback_reason = f"{what}: {exc}"
+        warnings.warn(
+            f"parallel save engine disabled ({what}: {exc}); "
+            f"falling back to the in-process save path",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        try:
+            self.pool.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+    def _plan(self, n_chunks: int) -> List[Tuple[int, int]]:
+        """Split ``n_chunks`` into ≤workers contiguous index ranges."""
+        tasks = min(self.workers, n_chunks)
+        base, extra = divmod(n_chunks, tasks)
+        ranges = []
+        start = 0
+        for index in range(tasks):
+            stop = start + base + (1 if index < extra else 0)
+            ranges.append((start, stop))
+            start = stop
+        return ranges
+
+    # -- staging --------------------------------------------------------
+    def _region_of(self, payload: PayloadFrames) -> Optional[SharedRegion]:
+        """Address of the payload in shared memory, staging if needed.
+
+        Payloads that came through the async pipeline's
+        :class:`SharedStagingPool` already carry a region (zero extra
+        copies); the sync path stages here — the one staging copy the
+        meter budget allows.
+        """
+        if payload.region is not None:
+            return payload.region
+        slice_ = self.staging.try_acquire(payload.nbytes)
+        if slice_ is None:
+            return None  # arena contended: not worth blocking for
+        staged = payload.snapshot_into(slice_)  # counts bytes_copied
+        self._staged[id(payload)] = slice_
+        payload.region = staged.region
+        return staged.region
+
+    def finish(self, payload: PayloadFrames) -> None:
+        """Release engine-owned staging for ``payload`` (idempotent)."""
+        slice_ = self._staged.pop(id(payload), None)
+        if slice_ is not None:
+            payload.region = None
+            self.staging.release(slice_)
+
+    # -- digest ---------------------------------------------------------
+    def chunk_digests(self, payload: PayloadFrames, chunk_bytes: int) -> List[str]:
+        """Chunk digests of ``payload``, computed by the worker pool.
+
+        Falls back to the rope's own single-sweep
+        :meth:`~repro.ckpt.serializer.PayloadFrames.chunk_digests` when
+        the engine is disabled, the payload is trivial, or anything
+        goes wrong mid-flight.  Either way the digests land in the
+        rope's cache — downstream layers cannot tell the difference.
+        """
+        cached = payload.peek_digests(chunk_bytes)
+        if cached is not None:
+            return cached
+        if not self.enabled or payload.nbytes < chunk_bytes:
+            return payload.chunk_digests(chunk_bytes)
+        region = None
+        try:
+            region = self._region_of(payload)
+        except Exception as exc:  # poisoned arena / segment
+            self._disable("shared-memory staging failed", exc)
+        if region is None:
+            return payload.chunk_digests(chunk_bytes)
+        n_chunks = (payload.nbytes + chunk_bytes - 1) // chunk_bytes
+        try:
+            ids = [
+                self.pool.submit(
+                    "digest", region.segment, region.offset, region.nbytes,
+                    chunk_bytes, start, stop,
+                )
+                for start, stop in self._plan(n_chunks)
+            ]
+            self.tasks_dispatched += len(ids)
+            results = self.pool.collect(ids)
+        except WorkerPoolError as exc:
+            self._disable("digest fan-out failed", exc)
+            return payload.chunk_digests(chunk_bytes)
+        digests: List[str] = []
+        hashed = 0
+        for task_id in ids:
+            _, _, part, nbytes, cpu = results[task_id]
+            digests.extend(part)
+            hashed += nbytes
+            self.worker_cpu_seconds += cpu
+        payload.seed_digests(chunk_bytes, digests)
+        if payload.meters is not None:
+            payload.meters.count_hashed(hashed)
+        return digests
+
+    # -- encode ---------------------------------------------------------
+    def encode_chunks(
+        self, payload: PayloadFrames, chunk_bytes: int, indices: Sequence[int]
+    ) -> Optional[Dict[int, Optional[bytes]]]:
+        """Encode the chunks at ``indices`` in the worker pool.
+
+        Returns ``{index: framed encoded body or None (store raw)}``,
+        or ``None`` when the engine cannot help (disabled, no codec, no
+        shared region) — the caller then encodes in-process.  Byte
+        counts reported by the workers are folded into the payload's
+        meters, keeping the "≤1 compression pass per persisted byte"
+        invariant measurable end-to-end.
+        """
+        if not self.enabled or self.codec is None or not indices:
+            return None
+        region = payload.region
+        if region is None:
+            try:
+                region = self._region_of(payload)
+            except Exception as exc:
+                self._disable("shared-memory staging failed", exc)
+                return None
+        if region is None:
+            return None
+        plans = self._plan(len(indices))
+        sizes = [
+            _chunk_range_bytes(region.nbytes, chunk_bytes, index, index + 1)
+            for index in indices
+        ]
+        raw_lens = [hi - lo for lo, hi in sizes]
+        out_needed = sum(raw_lens)
+        out_slice = self.staging.try_acquire(out_needed)
+        scratch = None
+        if out_slice is not None:
+            out_region, out_view = out_slice.region, out_slice.view
+        else:
+            try:
+                scratch = _ScratchSegment(out_needed)
+            except Exception as exc:
+                self._disable("scratch segment allocation failed", exc)
+                return None
+            out_region, out_view = scratch.region, scratch.view()
+        try:
+            ids = []
+            spans = []
+            cursor = 0
+            for start, stop in plans:
+                group = list(indices[start:stop])
+                group_bytes = sum(raw_lens[start:stop])
+                ids.append(self.pool.submit(
+                    "encode", region.segment, region.offset, region.nbytes,
+                    chunk_bytes, group, out_region.segment,
+                    out_region.offset + cursor,
+                ))
+                spans.append(cursor)
+                cursor += group_bytes
+            self.tasks_dispatched += len(ids)
+            results = self.pool.collect(ids)
+            encoded: Dict[int, Optional[bytes]] = {}
+            raw_in = 0
+            enc_out = 0
+            for task_id, base in zip(ids, spans):
+                _, _, entries, task_raw, task_out, cpu = results[task_id]
+                raw_in += task_raw
+                enc_out += task_out
+                self.worker_cpu_seconds += cpu
+                for index, rel_off, enc_len in entries:
+                    if enc_len <= 0:
+                        encoded[index] = None
+                    else:
+                        lo = base + rel_off
+                        encoded[index] = bytes(out_view[lo:lo + enc_len])
+            if payload.meters is not None:
+                # Incompressible chunks count raw-in with themselves as
+                # "out" (they hit the wire raw): the pass still ran once.
+                raw_kept = sum(
+                    raw_lens[pos] for pos, index in enumerate(indices)
+                    if encoded.get(index) is None
+                )
+                payload.meters.count_compressed(raw_in, enc_out + raw_kept)
+            return encoded
+        except WorkerPoolError as exc:
+            self._disable("encode fan-out failed", exc)
+            return None
+        finally:
+            if out_slice is not None:
+                self.staging.release(out_slice)
+            if scratch is not None:
+                scratch.close()
+
+    # -- decode (restore fan-out) ---------------------------------------
+    def decode_chunks(self, blobs: Sequence[bytes]) -> Optional[List[bytes]]:
+        """Decompress encoded chunk bodies in the worker pool.
+
+        Restore-side fan-out: compressed bodies travel over the queue
+        (they are already small), raw bytes come back.  Returns ``None``
+        when the engine is unavailable — the caller decodes serially.
+        """
+        if not self.enabled or not blobs:
+            return None
+        try:
+            plans = self._plan(len(blobs))
+            ids = [
+                self.pool.submit("decode", [bytes(blob) for blob in blobs[start:stop]])
+                for start, stop in plans
+            ]
+            self.tasks_dispatched += len(ids)
+            results = self.pool.collect(ids)
+        except WorkerPoolError as exc:
+            self._disable("decode fan-out failed", exc)
+            return None
+        raws: List[bytes] = []
+        for task_id in ids:
+            _, _, part, cpu = results[task_id]
+            raws.extend(part)
+            self.worker_cpu_seconds += cpu
+        return raws
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+        for slice_ in self._staged.values():  # pragma: no cover - leak guard
+            self.staging.release(slice_)
+        self._staged.clear()
+        if self._owns_staging:
+            self.staging.close()
+
+    def __enter__(self) -> "ParallelChunkEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

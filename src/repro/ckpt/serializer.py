@@ -84,6 +84,8 @@ class PipelineMeters:
     bytes_serialized: int = 0
     bytes_hashed: int = 0
     bytes_copied: int = 0
+    bytes_compressed: int = 0
+    bytes_compressed_out: int = 0
     entries_serialized: int = 0
 
     def __post_init__(self) -> None:
@@ -105,12 +107,29 @@ class PipelineMeters:
         with self._lock:
             self.bytes_copied += nbytes
 
+    def count_compressed(self, raw_nbytes: int, encoded_nbytes: int) -> None:
+        """Record one codec pass: ``raw_nbytes`` in, ``encoded_nbytes`` out.
+
+        ``bytes_compressed`` counts raw bytes fed through the chunk
+        codec (the "≤1 compression pass per persisted byte" invariant
+        meters this against ``bytes_serialized``); the ``_out`` counter
+        is what actually hit the wire, so ratio = in/out.  Worker
+        processes report their per-task counts back over the result
+        queue and the engine folds them in here — the invariant survives
+        the process boundary because it is metered, not assumed.
+        """
+        with self._lock:
+            self.bytes_compressed += raw_nbytes
+            self.bytes_compressed_out += encoded_nbytes
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return {
                 "bytes_serialized": self.bytes_serialized,
                 "bytes_hashed": self.bytes_hashed,
                 "bytes_copied": self.bytes_copied,
+                "bytes_compressed": self.bytes_compressed,
+                "bytes_compressed_out": self.bytes_compressed_out,
                 "entries_serialized": self.entries_serialized,
             }
 
@@ -189,7 +208,7 @@ class PayloadFrames:
     ``len(payload)`` works unchanged for ``bytes`` and frames alike.
     """
 
-    __slots__ = ("frames", "nbytes", "meters", "_digest_cache")
+    __slots__ = ("frames", "nbytes", "meters", "region", "_digest_cache")
 
     def __init__(
         self,
@@ -213,6 +232,11 @@ class PayloadFrames:
         self.frames = tuple(normalized)
         self.nbytes = nbytes
         self.meters = meters
+        # Set when the rope's single frame lives inside a shared-memory
+        # staging arena (see ``repro.ckpt.parallel.SharedStagingPool``):
+        # lets the parallel engine hand workers an (arena, offset, len)
+        # address instead of pickling payload bytes.
+        self.region = None
         # chunk size -> chunk digests, computed at most once per size.
         self._digest_cache: Dict[int, List[str]] = (
             _digest_cache if _digest_cache is not None else {}
@@ -266,6 +290,20 @@ class PayloadFrames:
         self._digest_cache[chunk_bytes] = digests
         return digests
 
+    def peek_digests(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> Optional[List[str]]:
+        """Return cached chunk digests without computing (None if absent)."""
+        return self._digest_cache.get(chunk_bytes)
+
+    def seed_digests(self, chunk_bytes: int, digests: List[str]) -> None:
+        """Install externally computed chunk digests into the cache.
+
+        The parallel save engine computes digests in worker processes
+        and seeds them here so every downstream consumer (delta-save
+        check, dedup chunk addressing) still sees a single hash pass.
+        The caller is responsible for metering the hash bytes it spent.
+        """
+        self._digest_cache[chunk_bytes] = list(digests)
+
     def entry_digest(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> str:
         """Content digest derived from the chunk digests.
 
@@ -309,7 +347,7 @@ class PayloadFrames:
         if parts or not yielded:
             yield parts
 
-    def snapshot_into(self, buffer: bytearray) -> "PayloadFrames":
+    def snapshot_into(self, buffer) -> "PayloadFrames":
         """Copy the frames into ``buffer`` (one pass) and return a new
         rope over the copy.
 
@@ -317,12 +355,19 @@ class PayloadFrames:
         no longer aliases the caller's arrays (mutation-safe), is
         read-only, and **shares the digest cache**, so digests computed
         before staging are never recomputed downstream.
+
+        ``buffer`` is anything exporting the buffer protocol (the
+        classic pooled ``bytearray``) or a shared-memory slice exposing
+        ``.view``/``.region`` (``SharedStagingPool.acquire``); in the
+        latter case the returned rope carries the slice's region so
+        downstream layers can address the staged bytes cross-process.
         """
-        if len(buffer) < self.nbytes:
+        region = getattr(buffer, "region", None)
+        view = buffer.view if hasattr(buffer, "view") else memoryview(buffer)
+        if len(view) < self.nbytes:
             raise ValueError(
-                f"staging buffer too small: {len(buffer)} < {self.nbytes}"
+                f"staging buffer too small: {len(view)} < {self.nbytes}"
             )
-        view = memoryview(buffer)
         offset = 0
         for frame in self.frames:
             end = offset + len(frame)
@@ -330,11 +375,13 @@ class PayloadFrames:
             offset = end
         if self.meters is not None:
             self.meters.count_copied(self.nbytes)
-        return PayloadFrames(
+        staged = PayloadFrames(
             [view[: self.nbytes].toreadonly()],
             meters=self.meters,
             _digest_cache=self._digest_cache,
         )
+        staged.region = region
+        return staged
 
 
 def write_payload(handle, payload: Union[bytes, PayloadFrames]) -> None:

@@ -145,11 +145,22 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     topology = grid_topology(args.dp, args.ep, gpus_per_node=args.gpus_per_node)
     resharding = args.resume_dp is not None or args.resume_ep is not None
     dedup = args.backend == "dedup"
+    if (args.codec is not None or args.parallel_workers) and not dedup:
+        print("error: --codec/--parallel-workers require --backend dedup",
+              file=sys.stderr)
+        return 2
     rows = []
     with tempfile.TemporaryDirectory() as storage:
-        store = make_backend(args.backend, storage)
+        store = make_backend(
+            args.backend, storage,
+            codec=args.codec, parallel_workers=args.parallel_workers,
+        )
         if args.async_writes:
-            store = AsyncWriteBackend(store)
+            # Share the chunk engine's shared-memory staging pool (when
+            # one exists) so async staging copies land worker-visible.
+            store = AsyncWriteBackend(
+                store, staging_pool=getattr(store, "staging_pool", None)
+            )
         manager = MoCCheckpointManager(
             model, optimizer, config, disk_store=store, topology=topology,
             # Delta saves are the dedup tier's natural companion: an
@@ -224,6 +235,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                     prof.bytes_serialized / 1024.0,
                     prof.hash_passes,
                     prof.copy_passes,
+                    prof.compression_passes,
+                    prof.storage_ratio,
                 )
                 for prof in manager.save_profile
             ]
@@ -245,16 +258,33 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 ("gc reclaimed bytes", gc_report.reclaimed_bytes),
                 ("fsck errors", len(fsck_report.errors)),
             ])
+            if args.codec is not None or args.parallel_workers:
+                total = meters.snapshot()
+                engine = inner.engine
+                rows.extend([
+                    ("chunk codec",
+                     inner.codec.spec()["name"]
+                     if inner.codec is not None else "none"),
+                    ("parallel workers",
+                     engine.workers if engine is not None and engine.enabled
+                     else 0),
+                    ("encoded chunks", fsck_report.encoded_chunks),
+                    ("compression ratio (enc/raw)",
+                     total["bytes_compressed_out"] / total["bytes_compressed"]
+                     if total["bytes_compressed"] else 1.0),
+                ])
         manager.close()
     print(render_kv("demo run", rows))
     if args.profile:
         # Per-save pipeline breakdown: wall time plus the byte meters —
-        # "hash x" / "copy x" are hash passes and staging copies per
-        # serialized payload byte (1.0 and 0.0/1.0 on the single-pass
-        # sync/async paths; anything higher is a regression).
+        # "hash x" / "copy x" / "comp x" are hash passes, staging copies
+        # and compression passes per serialized payload byte (hash 1.0,
+        # copy 0.0/1.0 sync/async, comp ≤ 1.0; anything higher is a
+        # regression).  "store x" is the combined precision x compression
+        # shrink of that save's persisted bytes.
         print(render_table(
             ["save @iter", "save ms", "entries", "skipped",
-             "KiB serialized", "hash x", "copy x"],
+             "KiB serialized", "hash x", "copy x", "comp x", "store x"],
             profile_rows, precision=2,
         ))
         total = meters.snapshot()
@@ -263,11 +293,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             ("bytes serialized", total["bytes_serialized"]),
             ("bytes hashed", total["bytes_hashed"]),
             ("bytes copied (staging)", total["bytes_copied"]),
+            ("bytes compressed (raw in)", total["bytes_compressed"]),
+            ("bytes compressed (enc out)", total["bytes_compressed_out"]),
             ("hash passes / byte",
              total["bytes_hashed"] / total["bytes_serialized"]
              if total["bytes_serialized"] else 0.0),
             ("staging copies / byte",
              total["bytes_copied"] / total["bytes_serialized"]
+             if total["bytes_serialized"] else 0.0),
+            ("compression passes / byte",
+             total["bytes_compressed"] / total["bytes_serialized"]
              if total["bytes_serialized"] else 0.0),
         ]))
     return 0
@@ -319,6 +354,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         f"fsck {args.root}",
         [
             ("chunks checked", report.chunks_checked),
+            ("encoded chunks", report.encoded_chunks),
             ("manifests checked", report.manifests_checked),
             ("corrupt chunks", len(report.corrupt_chunks)),
             ("missing chunks", len(report.missing_chunks)),
@@ -377,6 +413,15 @@ def build_parser() -> argparse.ArgumentParser:
                       "(dedup enables delta saves and prints chunk stats)")
     demo.add_argument("--async-writes", action="store_true",
                       help="drain persist writes through the async pipeline")
+    demo.add_argument("--parallel-workers", type=int, default=0,
+                      help="hash/compress worker processes for the dedup "
+                           "backend's save path (0 = in-process); workers "
+                           "read the payload from shared-memory staging")
+    demo.add_argument("--codec", default=None,
+                      choices=["zlib", "zstd", "lz4", "auto", "none"],
+                      help="chunk-compression codec for the dedup backend "
+                           "(zstd/lz4 fall back to zlib with a warning when "
+                           "not installed; 'auto' picks the best available)")
     demo.add_argument("--dp", type=int, default=2,
                       help="data-parallel degree of the save topology "
                            "(DP x EP ranks total)")

@@ -70,6 +70,10 @@ class SaveProfile:
     payload byte (1.0 on the single-pass path) and ``bytes_copied``
     its staging copies (0 sync, one per persisted byte async).
     ``demo --profile`` renders these per checkpoint.
+
+    With async writes the chunk codec runs as the background pipeline
+    drains, so a save's compression bytes can land in the *following*
+    profile window; the pipeline-meter totals are always exact.
     """
 
     iteration: int
@@ -79,6 +83,15 @@ class SaveProfile:
     bytes_serialized: int
     bytes_hashed: int
     bytes_copied: int
+    #: Chunk-codec meters: raw bytes fed to the compressor and encoded
+    #: bytes it produced (novel chunks only — dedup hits are never
+    #: recompressed, so ``compression_passes`` ≤ 1 strictly).
+    bytes_compressed: int = 0
+    bytes_compressed_out: int = 0
+    #: Precision-codec byte deltas over the save (entry bytes before and
+    #: after dtype downcasting); equal when no codec is configured.
+    precision_raw_bytes: int = 0
+    precision_encoded_bytes: int = 0
 
     @property
     def hash_passes(self) -> float:
@@ -87,6 +100,36 @@ class SaveProfile:
     @property
     def copy_passes(self) -> float:
         return self.bytes_copied / self.bytes_serialized if self.bytes_serialized else 0.0
+
+    @property
+    def compression_passes(self) -> float:
+        """Compressor input bytes per serialized byte (≤ 1.0 always)."""
+        return self.bytes_compressed / self.bytes_serialized if self.bytes_serialized else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """encoded/raw over compressed bytes; 1.0 when nothing compressed."""
+        return (
+            self.bytes_compressed_out / self.bytes_compressed
+            if self.bytes_compressed else 1.0
+        )
+
+    @property
+    def precision_ratio(self) -> float:
+        """encoded/raw of the precision codec; 1.0 when none configured."""
+        return (
+            self.precision_encoded_bytes / self.precision_raw_bytes
+            if self.precision_raw_bytes else 1.0
+        )
+
+    @property
+    def storage_ratio(self) -> float:
+        """Combined precision x compression byte shrink for this save."""
+        return self.precision_ratio * (
+            1.0
+            - self.compression_passes
+            + self.compression_passes * self.compression_ratio
+        )
 
 
 @dataclass
@@ -132,7 +175,16 @@ class MoCCheckpointManager:
         ``checkpoint`` returns once entries are staged; a deferred write
         error surfaces at the next checkpoint boundary.  Call
         :meth:`flush` for a durability barrier (``recover`` does so
-        automatically).
+        automatically).  When the persist tier runs the parallel chunk
+        engine, its shared-memory staging pool is handed to the async
+        pipeline so staged entries are already worker-visible.
+    chunk_codec / parallel_workers:
+        Dedup-tier features, forwarded to
+        :func:`~repro.ckpt.backend.make_backend` when the manager builds
+        its own store (``backend="dedup"``): a chunk-compression codec
+        name (``"zlib"``/``"zstd"``/``"lz4"``/``"auto"``) or
+        :class:`~repro.ckpt.codec.ChunkCodec` instance, and the number
+        of hash/compress worker processes (0 = in-process).
     expert_placement:
         Hosting node(s) per expert for two-level recovery; defaults to a
         two-node striping (or is derived from ``topology`` when given).
@@ -165,6 +217,8 @@ class MoCCheckpointManager:
         expert_placement: Optional[Mapping[ExpertKey, Sequence[int]]] = None,
         num_nodes: int = 2,
         codec: Optional[PrecisionCodec] = None,
+        chunk_codec: Optional[object] = None,
+        parallel_workers: int = 0,
         topology: Optional[ShardTopology] = None,
         delta_saves: bool = False,
     ) -> None:
@@ -174,9 +228,25 @@ class MoCCheckpointManager:
         if disk_store is None:
             if disk_root is None and backend != "memory":
                 raise ValueError("provide disk_store or disk_root")
-            disk_store = make_backend(backend, disk_root)
+            disk_store = make_backend(
+                backend, disk_root,
+                codec=chunk_codec, parallel_workers=parallel_workers,
+            )
+        elif chunk_codec is not None or parallel_workers:
+            raise ValueError(
+                "chunk_codec/parallel_workers configure the store the "
+                "manager builds itself; pass a pre-configured DedupBackend "
+                "as disk_store instead"
+            )
         if async_writes and not isinstance(disk_store, AsyncWriteBackend):
-            disk_store = AsyncWriteBackend(disk_store)
+            # Share the parallel engine's shared-memory staging pool with
+            # the async pipeline: entries staged for the background writer
+            # land directly in a worker-visible arena, so the engine can
+            # hash/compress the staged copy without a second copy.
+            disk_store = AsyncWriteBackend(
+                disk_store,
+                staging_pool=getattr(disk_store, "staging_pool", None),
+            )
         self.memory_store = memory_store if memory_store is not None else InMemoryKVStore()
         self.disk_store = disk_store
         # Optional precision codec: entries are downcast on save and
@@ -309,6 +379,7 @@ class MoCCheckpointManager:
         """
         begin = time.perf_counter()
         meters_before = self.pipeline_meters.snapshot()
+        codec_before = self._codec_stats()
         manifest = CheckpointManifest(checkpoint_index=-1, iteration=iteration)
         all_experts = {
             ExpertKey(layer, expert)
@@ -342,13 +413,14 @@ class MoCCheckpointManager:
         self.plt_tracker.record_save(SNAPSHOT_TIER, all_experts)
         self.plt_tracker.record_save(PERSIST_TIER, all_experts)
         self.manifests.append(manifest)
-        self._record_profile(manifest, begin, meters_before)
+        self._record_profile(manifest, begin, meters_before, codec_before)
         return manifest
 
     def checkpoint(self, iteration: int) -> CheckpointManifest:
         """Run one two-level checkpoint at ``iteration``."""
         begin = time.perf_counter()
         meters_before = self.pipeline_meters.snapshot()
+        codec_before = self._codec_stats()
         unsaved = None
         if self.config.pec.selection is SelectionStrategy.LOAD_AWARE:
             unsaved = self.plt_tracker.unsaved_tokens(PERSIST_TIER)
@@ -424,14 +496,22 @@ class MoCCheckpointManager:
 
         self.checkpoint_count += 1
         self.manifests.append(manifest)
-        self._record_profile(manifest, begin, meters_before)
+        self._record_profile(manifest, begin, meters_before, codec_before)
         return manifest
 
+    def _codec_stats(self) -> tuple:
+        """Precision-codec (raw, encoded) byte counters, 0s when none."""
+        if self.codec is None or not hasattr(self.codec, "stats"):
+            return (0, 0)
+        return (self.codec.stats.raw_bytes, self.codec.stats.encoded_bytes)
+
     def _record_profile(
-        self, manifest: CheckpointManifest, begin: float, meters_before: Dict[str, int]
+        self, manifest: CheckpointManifest, begin: float, meters_before: Dict[str, int],
+        codec_before: tuple = (0, 0),
     ) -> None:
         """Append one :class:`SaveProfile` covering the save just run."""
         after = self.pipeline_meters.snapshot()
+        codec_after = self._codec_stats()
         self.save_profile.append(SaveProfile(
             iteration=manifest.iteration,
             wall_seconds=time.perf_counter() - begin,
@@ -440,6 +520,14 @@ class MoCCheckpointManager:
             bytes_serialized=after["bytes_serialized"] - meters_before["bytes_serialized"],
             bytes_hashed=after["bytes_hashed"] - meters_before["bytes_hashed"],
             bytes_copied=after["bytes_copied"] - meters_before["bytes_copied"],
+            bytes_compressed=(
+                after["bytes_compressed"] - meters_before["bytes_compressed"]
+            ),
+            bytes_compressed_out=(
+                after["bytes_compressed_out"] - meters_before["bytes_compressed_out"]
+            ),
+            precision_raw_bytes=codec_after[0] - codec_before[0],
+            precision_encoded_bytes=codec_after[1] - codec_before[1],
         ))
 
     @staticmethod

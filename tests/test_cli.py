@@ -143,6 +143,31 @@ class TestDemo:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--backend", "tape"])
 
+    def test_demo_parallel_codec_dedup(self, capsys):
+        assert main(
+            ["demo", "--iterations", "8", "--interval", "4",
+             "--backend", "dedup", "--codec", "zlib",
+             "--parallel-workers", "1", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chunk codec" in out
+        assert "zlib" in out
+        assert "compression ratio" in out
+
+    def test_demo_codec_requires_dedup_backend(self, capsys):
+        assert main(
+            ["demo", "--iterations", "4", "--interval", "2",
+             "--backend", "sharded", "--codec", "zlib"]
+        ) == 2
+        assert "dedup" in capsys.readouterr().err
+
+    def test_demo_parallel_workers_require_dedup_backend(self, capsys):
+        assert main(
+            ["demo", "--iterations", "4", "--interval", "2",
+             "--backend", "disk", "--parallel-workers", "2"]
+        ) == 2
+        assert "dedup" in capsys.readouterr().err
+
 
 def seeded_dedup_root(tmp_path) -> str:
     from repro.ckpt import DedupBackend

@@ -134,3 +134,158 @@ def test_subnormal_values_documented_hazard():
     codec = PrecisionCodec(field_dtypes={"m": np.float16})
     entry = {"m": np.array([1e-7, 2e-7])}
     assert roundtrip_error(entry, codec) > 4 * codec.max_relative_error()
+
+
+# ---------------------------------------------------------------------------
+# Chunk codec: lossless per-chunk compression at the dedup boundary.
+# ---------------------------------------------------------------------------
+
+from repro.ckpt import (  # noqa: E402 - grouped with the tier they test
+    ChunkCodecError,
+    available_chunk_codecs,
+    decode_chunk_file,
+    encode_chunk_file,
+    make_chunk_codec,
+    train_dictionary,
+)
+
+
+def compressible_chunk(size=1024, seed=0) -> bytes:
+    rng = np.random.default_rng(seed)
+    body = rng.standard_normal(size // 8).copy()
+    body[::3] = 0.0
+    return body.tobytes()
+
+
+def no_dictionary(digest):
+    raise KeyError(digest)
+
+
+class TestChunkCodec:
+    def test_framed_roundtrip_is_exact(self):
+        codec = make_chunk_codec("zlib")
+        raw = compressible_chunk()
+        body = encode_chunk_file(codec, [raw])
+        assert body is not None and len(body) < len(raw)
+        assert decode_chunk_file(body, no_dictionary) == raw
+
+    def test_encode_parts_streams_without_concatenation(self):
+        codec = make_chunk_codec("zlib")
+        raw = compressible_chunk(2048)
+        parts = [memoryview(raw)[:700], memoryview(raw)[700:1500],
+                 memoryview(raw)[1500:]]
+        body = encode_chunk_file(codec, parts)
+        assert decode_chunk_file(body, no_dictionary) == raw
+
+    def test_incompressible_chunk_returns_none(self):
+        codec = make_chunk_codec("zlib")
+        rng = np.random.default_rng(1)
+        raw = rng.integers(0, 256, 1024, dtype=np.uint8).tobytes()
+        assert encode_chunk_file(codec, [raw]) is None
+
+    def test_tiny_chunk_not_worth_framing(self):
+        codec = make_chunk_codec("zlib")
+        assert encode_chunk_file(codec, [b"\x00" * 32]) is None
+
+    def test_dictionary_roundtrip_and_loader_contract(self):
+        template = compressible_chunk(512, seed=3) * 2
+        samples = [template + bytes([s]) * 16 for s in range(8)]
+        dictionary = train_dictionary(samples)
+        assert dictionary  # corpus is rich enough
+        codec = make_chunk_codec("zlib", dictionary=dictionary)
+        raw = template + b"\xAA" * 16
+        body = encode_chunk_file(codec, [raw])
+        assert body is not None
+        loaded = {}
+
+        def loader(digest):
+            loaded["digest"] = digest
+            return dictionary
+
+        assert decode_chunk_file(body, loader) == raw
+        assert loaded["digest"] == codec.dict_digest
+        # frames referencing a dictionary refuse to decode without one
+        with pytest.raises(ChunkCodecError):
+            decode_chunk_file(body, None)
+
+    def test_unknown_tag_rejected(self):
+        codec = make_chunk_codec("zlib")
+        body = bytearray(encode_chunk_file(codec, [compressible_chunk()]))
+        body[0] = 250  # unassigned codec tag
+        with pytest.raises(ChunkCodecError):
+            decode_chunk_file(bytes(body), no_dictionary)
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ChunkCodecError):
+            decode_chunk_file(b"\x01", no_dictionary)
+
+    def test_corrupt_payload_rejected(self):
+        codec = make_chunk_codec("zlib")
+        body = bytearray(encode_chunk_file(codec, [compressible_chunk()]))
+        body[-1] ^= 0xFF
+        with pytest.raises(ChunkCodecError):
+            decode_chunk_file(bytes(body), no_dictionary)
+
+    def test_none_names_build_no_codec(self):
+        assert make_chunk_codec(None) is None
+        assert make_chunk_codec("none") is None
+
+    def test_auto_picks_something_silently(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            codec = make_chunk_codec("auto")
+        assert codec is not None
+        assert codec.name in ("zstd", "lz4", "zlib")
+
+    def test_missing_optional_codec_falls_back_to_zlib_with_warning(self):
+        available = available_chunk_codecs()
+        for name in ("zstd", "lz4"):
+            if name in available:
+                # module installed here: the real codec must round-trip
+                codec = make_chunk_codec(name)
+                raw = compressible_chunk()
+                body = encode_chunk_file(codec, [raw])
+                if body is not None:
+                    assert decode_chunk_file(body, no_dictionary) == raw
+            else:
+                with pytest.warns(RuntimeWarning, match="falling back to zlib"):
+                    codec = make_chunk_codec(name)
+                assert codec.name == "zlib"
+
+    def test_unknown_codec_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_chunk_codec("snappy")
+
+    def test_cross_codec_readability(self):
+        # a frame written by any available codec decodes regardless of
+        # what the reader would configure — the tag drives dispatch
+        raw = compressible_chunk(4096)
+        for name in available_chunk_codecs():
+            if name in ("none", "auto"):
+                continue
+            body = encode_chunk_file(make_chunk_codec(name), [raw])
+            if body is not None:
+                assert decode_chunk_file(body, no_dictionary) == raw, name
+
+
+class TestTrainDictionary:
+    def test_deterministic(self):
+        samples = [compressible_chunk(seed=s) for s in range(6)]
+        assert train_dictionary(samples) == train_dictionary(samples)
+
+    def test_thin_corpus_yields_empty(self):
+        assert train_dictionary([]) == b""
+        assert train_dictionary([b"tiny"]) == b""
+
+    def test_dictionary_improves_ratio_on_templated_data(self):
+        # strongly templated chunks: shared boilerplate with small diffs
+        template = compressible_chunk(512, seed=3) * 2
+        samples = [template + bytes([s]) * 16 for s in range(8)]
+        dictionary = train_dictionary(samples)
+        assert dictionary
+        plain = make_chunk_codec("zlib")
+        primed = make_chunk_codec("zlib", dictionary=dictionary)
+        target = template + b"\xAA" * 16
+        assert len(primed.encode(target)) <= len(plain.encode(target))

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import glob
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -617,3 +618,165 @@ class TestAsyncPipelineCrash:
         reopened = ShardedDiskKVStore(str(tmp_path))
         assert not reopened.has("meta:iteration")
         store.close()
+
+
+class TestParallelEngineDegradation:
+    """The multi-process save engine must never be load-bearing.
+
+    Three failure families — pool cannot spawn, workers killed
+    mid-stream, the shared-memory arena poisoned — and one contract
+    for all of them: the put degrades to the in-process path with a
+    ``RuntimeWarning``, the data lands bit-exact, and ``fsck`` stays
+    clean.  A broken accelerator may cost speed, never state.
+    """
+
+    def open(self, root, **kwargs):
+        kwargs.setdefault("chunk_bytes", 64)
+        kwargs.setdefault("codec", "zlib")
+        kwargs.setdefault("parallel_workers", 2)
+        return DedupBackend(str(root), **kwargs)
+
+    def assert_degraded_but_intact(self, store, expected: dict) -> None:
+        assert store.engine.enabled is False
+        assert store.engine.fallback_reason
+        assert_consistent(store, expected)
+        report = store.fsck()
+        assert report.ok, report.errors
+        assert report.encoded_chunks > 0  # the codec still ran in-process
+
+    def test_spawn_failure_falls_back_in_process(self, tmp_path, monkeypatch):
+        from repro.ckpt import ChunkWorkerPool
+
+        def refuse(self):
+            raise OSError("fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(ChunkWorkerPool, "_spawn_one", refuse)
+        store = self.open(tmp_path)
+        try:
+            with pytest.warns(RuntimeWarning, match="parallel save engine disabled"):
+                store.put("k", entry(5.0, size=256), stamp=1)
+            self.assert_degraded_but_intact(
+                store, {"k": (np.full(256, 5.0), 1)}
+            )
+        finally:
+            store.close()
+
+    def test_workers_killed_mid_stream_fall_back(self, tmp_path):
+        store = self.open(tmp_path)
+        try:
+            store.put("warm", entry(1.0, size=256), stamp=1)  # pool is live
+            assert store.engine.pool.alive() == 2
+            # kill *every* worker: a lone survivor can legitimately
+            # drain the whole next batch, which is resilience, not
+            # degradation — this test wants the degradation path
+            for proc in store.engine.pool._procs:
+                os.kill(proc.pid, signal.SIGKILL)
+            for proc in store.engine.pool._procs:
+                proc.join(timeout=10)
+            with pytest.warns(RuntimeWarning, match="parallel save engine disabled"):
+                store.put("after", entry(2.0, size=256), stamp=2)
+            self.assert_degraded_but_intact(
+                store,
+                {"warm": (np.full(256, 1.0), 1), "after": (np.full(256, 2.0), 2)},
+            )
+        finally:
+            store.close()
+
+    def test_poisoned_shared_arena_falls_back(self, tmp_path):
+        store = self.open(tmp_path)
+        try:
+            store.put("warm", entry(1.0, size=256), stamp=1)
+            # poison the arena: close + unlink the segment under the
+            # engine (as an external cleaner like a stale-shm sweeper
+            # would); the next staging attempt must not wedge or corrupt
+            store.engine.staging.close()
+            with pytest.warns(RuntimeWarning, match="parallel save engine disabled"):
+                store.put("after", entry(2.0, size=256), stamp=2)
+            self.assert_degraded_but_intact(
+                store,
+                {"warm": (np.full(256, 1.0), 1), "after": (np.full(256, 2.0), 2)},
+            )
+        finally:
+            store.close()
+
+    def test_degraded_store_reads_back_everywhere(self, tmp_path):
+        # a store written while degraded is indistinguishable on disk:
+        # a plain single-process DedupBackend reopens and verifies it
+        store = self.open(tmp_path)
+        store.engine.staging.close()
+        with pytest.warns(RuntimeWarning):
+            store.put("k", entry(7.0, size=256), stamp=3)
+        store.close()
+        plain = DedupBackend(str(tmp_path), chunk_bytes=64)
+        assert np.array_equal(plain.get("k")["x"], np.full(256, 7.0))
+        report = plain.fsck()
+        assert report.ok, report.errors
+
+
+class TestCompressedDedupCrash(TestDedupEngineCrash):
+    """The full crash battery again, with the chunk codec and worker
+    pool enabled: compressed chunk files must honor the same
+    ordering/fsck contract as raw ones, and a crash can never leave a
+    half-framed chunk readable."""
+
+    @pytest.fixture(autouse=True)
+    def _reap_stores(self):
+        # "Crashed" store instances are abandoned mid-test by design;
+        # with workers enabled each holds a process pool + shm arena,
+        # so reap them all at teardown (close is idempotent).
+        self._opened = []
+        yield
+        for store in self._opened:
+            try:
+                store.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+
+    def open(self, root, **kwargs):
+        kwargs.setdefault("chunk_bytes", 64)
+        kwargs.setdefault("codec", "zlib")
+        kwargs.setdefault("parallel_workers", 2)
+        store = DedupBackend(str(root), **kwargs)
+        self._opened.append(store)
+        return store
+
+    def assert_recovers_clean(self, root, expected: dict) -> DedupBackend:
+        reopened = super().assert_recovers_clean(root, expected)
+        if expected:
+            report = reopened.fsck()
+            assert report.encoded_chunks >= 0  # codec store fscks framed files
+        return reopened
+
+    def test_fsck_clean_after_full_crash_battery(self, tmp_path):
+        """Battery sweep with compression: abandoned ("crashed") store
+        instances must also have their worker pools reaped so rounds
+        don't accumulate orphan processes."""
+        expected = {}
+        root = tmp_path / "battery"
+        store = self.open(root)
+        try:
+            for round_index, point in enumerate(
+                self.PUT_POINTS + ["manifest:appended"]
+            ):
+                value = float(100 + round_index)
+                store.put(
+                    f"pre{round_index}", entry(value, size=256), stamp=round_index
+                )
+                expected[f"pre{round_index}"] = (np.full(256, value), round_index)
+                crash_at(store, point)
+                with pytest.raises(CrashInjected):
+                    store.put(f"dead{round_index}", entry(-1.0, size=256), stamp=99)
+                store.close()  # the "dead process": reap workers + shm
+                reopened = self.open(root)
+                dead = f"dead{round_index}"
+                if reopened.has(dead):
+                    assert np.array_equal(
+                        reopened.get(dead)["x"], np.full(256, -1.0)
+                    )
+                    reopened.delete(dead)
+                reopened.close()
+                store = self.assert_recovers_clean(root, expected)
+            final = store.fsck()
+            assert final.encoded_chunks > 0  # compression actually engaged
+        finally:
+            store.close()

@@ -314,6 +314,49 @@ class TestStagingPool:
         with pytest.raises(ValueError):
             StagingPool(0)
 
+    def test_fifo_admission_prevents_small_acquires_starving_large(self):
+        # Regression: capacity freed by a release used to go to whoever
+        # raced to the lock first, so a stream of small acquires (each
+        # fitting the arena) could starve a queued large/oversize
+        # acquire forever.  Admission is now strictly arrival-ordered.
+        pool = StagingPool(1024)
+        held = pool.acquire(512)
+        grants = []
+        large_granted = threading.Event()
+        small_granted = threading.Event()
+
+        def want_large():
+            buf = pool.acquire(2048)  # oversize: needs an idle arena
+            grants.append("large")
+            large_granted.set()
+            pool.release(buf)
+
+        def want_small():
+            buf = pool.acquire(64)
+            grants.append("small")
+            small_granted.set()
+            pool.release(buf)
+
+        t_large = threading.Thread(target=want_large, daemon=True)
+        t_large.start()
+        deadline = time.monotonic() + 5
+        while not pool._waiters and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert pool._waiters  # the large acquire is queued
+        # A newcomer must not slip past the queued waiter even though
+        # 448 bytes of arena budget are technically free right now.
+        assert pool.try_acquire(64) is None
+        t_small = threading.Thread(target=want_small, daemon=True)
+        t_small.start()
+        while len(pool._waiters) < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        pool.release(held)  # arena idles: the queue head (large) wins
+        assert large_granted.wait(timeout=5)
+        assert small_granted.wait(timeout=5)
+        t_large.join(timeout=5)
+        t_small.join(timeout=5)
+        assert grants == ["large", "small"]
+
     def test_mutation_after_staged_batch_is_safe(self, tmp_path):
         # put_many with frames must snapshot before returning, same as
         # the single-put contract.
