@@ -233,22 +233,37 @@ def make_backend(
     root: Optional[str] = None,
     codec: Optional[object] = None,
     parallel_workers: int = 0,
+    remote_latency: float = 0.0,
+    remote_fault_rate: float = 0.0,
+    upload_workers: int = 1,
+    local_keep_stamps: Optional[int] = None,
 ) -> CheckpointBackend:
     """Construct a persist-tier backend by name.
 
     ``memory`` ignores ``root`` (useful for demos and tests); ``disk``,
-    ``sharded`` and ``dedup`` require a directory.  ``codec`` (a chunk
-    codec name or instance) and ``parallel_workers`` (multi-process
-    chunk hash/compress engine) are dedup-only features: the chunk
-    boundary is where both compression and the worker fan-out live.
+    ``sharded``, ``dedup`` and ``tiered`` require a directory.  ``codec``
+    (a chunk codec name or instance) and ``parallel_workers``
+    (multi-process chunk hash/compress engine) apply at the chunk
+    boundary, so they require a dedup tier: the ``dedup`` backend
+    itself, or ``tiered`` (whose local tier is a dedup store and
+    inherits both).  The ``remote_*``/``upload_workers``/
+    ``local_keep_stamps`` knobs configure the tiered backend's
+    simulated remote tier, upload pipeline and local retention, and are
+    rejected for every other kind.
     """
     from .dedup import DedupBackend
     from .kvstore import DiskKVStore, InMemoryKVStore
     from .sharded import ShardedDiskKVStore
 
-    if (codec is not None or parallel_workers) and kind != "dedup":
+    if (codec is not None or parallel_workers) and kind not in ("dedup", "tiered"):
         raise ValueError(
             f"codec/parallel_workers require the dedup backend, not {kind!r}"
+        )
+    if (
+        remote_latency or remote_fault_rate or local_keep_stamps is not None
+    ) and kind != "tiered":
+        raise ValueError(
+            f"remote-tier options require the tiered backend, not {kind!r}"
         )
     if kind == "memory":
         return InMemoryKVStore()
@@ -260,4 +275,16 @@ def make_backend(
         return ShardedDiskKVStore(root)
     if kind == "dedup":
         return DedupBackend(root, codec=codec, parallel_workers=parallel_workers)
+    if kind == "tiered":
+        from .tiered import open_tiered_root
+
+        return open_tiered_root(
+            root,
+            codec=codec,
+            parallel_workers=parallel_workers,
+            remote_latency=remote_latency,
+            remote_fault_rate=remote_fault_rate,
+            upload_workers=upload_workers,
+            local_keep_stamps=local_keep_stamps,
+        )
     raise ValueError(f"unknown backend kind {kind!r}")

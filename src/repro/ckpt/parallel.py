@@ -51,12 +51,14 @@ corrupt.  The crash-injection suite pins each of these seams.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import multiprocessing
 import os
 import queue as queue_module
 import time
 import warnings
+import weakref
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from .async_writer import DEFAULT_ARENA_BYTES, StagingPool
@@ -80,6 +82,25 @@ _DEADLINE_SECONDS = 300.0
 
 class WorkerPoolError(RuntimeError):
     """The worker pool failed (spawn, death, or poisoned segment)."""
+
+
+#: Every live shared-memory owner (staging pools and scratch segments)
+#: registers here so one atexit sweep can unlink whatever a process
+#: failed to close.  ``__del__`` alone is GC-timing dependent: a pool
+#: still referenced from an abandoned store instance at interpreter
+#: shutdown would leak its ``/dev/shm`` segments to the machine.
+_LIVE_SEGMENT_OWNERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _cleanup_segments_at_exit() -> None:  # pragma: no cover - exit path
+    for owner in list(_LIVE_SEGMENT_OWNERS):
+        try:
+            owner.close()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_segments_at_exit)
 
 
 class SharedRegion(NamedTuple):
@@ -135,6 +156,7 @@ class SharedStagingPool(StagingPool):
         # Live oversize segments: name -> SharedMemory.
         self._oversize: Dict[str, "shared_memory.SharedMemory"] = {}
         self._closed = False
+        _LIVE_SEGMENT_OWNERS.add(self)
 
     # -- substrate ------------------------------------------------------
     def _ensure_arena(self) -> None:
@@ -261,6 +283,32 @@ def _close_segment(segment, unlink: bool) -> None:
             segment.unlink()
         except FileNotFoundError:
             pass
+
+
+def _reap_processes(procs: Sequence[multiprocessing.Process], grace_seconds: float) -> None:
+    """Tear worker processes down with bounded escalation.
+
+    ``terminate()`` (SIGTERM) → ``join(grace)`` → ``kill()`` (SIGKILL,
+    uncatchable) → ``join(grace)``.  A worker that masks or ignores
+    SIGTERM therefore cannot wedge teardown past ``2 * grace_seconds``;
+    without the kill step it would linger as a zombie holding the
+    half-closed queues forever.
+    """
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        if proc.pid is not None:
+            proc.join(timeout=grace_seconds)
+    survivors = [proc for proc in procs if proc.is_alive()]
+    for proc in survivors:
+        kill = getattr(proc, "kill", None)  # Process.kill is 3.7+
+        if kill is not None:
+            kill()
+        else:  # pragma: no cover - ancient stdlib only
+            proc.terminate()
+    for proc in survivors:
+        proc.join(timeout=grace_seconds)
 
 
 def _attach_segment(cache: Dict[str, "shared_memory.SharedMemory"], name: str):
@@ -448,12 +496,7 @@ class ChunkWorkerPool:
         return sum(1 for proc in self._procs if proc.is_alive())
 
     def _abort(self) -> None:
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-        for proc in self._procs:
-            if proc.pid is not None:
-                proc.join(timeout=5)
+        _reap_processes(self._procs, grace_seconds=5.0)
         self._procs = []
         for q in (self._tasks, self._results):
             if q is not None:
@@ -474,6 +517,8 @@ class ChunkWorkerPool:
                     proc.join(timeout=5)
             except Exception:  # pragma: no cover - queues already broken
                 pass
+            # _abort escalates terminate → join → kill → join for any
+            # worker that ignored the sentinel (or masks SIGTERM).
             self._abort()
 
     # -- batched request/response --------------------------------------
@@ -490,6 +535,11 @@ class ChunkWorkerPool:
         gathered: Dict[int, tuple] = {}
         deadline = time.monotonic() + _DEADLINE_SECONDS
         while pending:
+            # Deadline first, every iteration: a stream of stale results
+            # for other batches' task_ids keeps the queue non-empty, so
+            # checking only in the Empty branch could spin forever.
+            if time.monotonic() > deadline:
+                raise WorkerPoolError("worker pool wedged: batch deadline exceeded")
             try:
                 result = self._results.get(timeout=_HEARTBEAT_SECONDS)
             except queue_module.Empty:
@@ -497,8 +547,6 @@ class ChunkWorkerPool:
                     raise WorkerPoolError(
                         f"worker died mid-batch ({self.alive()}/{len(self._procs)} alive)"
                     )
-                if time.monotonic() > deadline:
-                    raise WorkerPoolError("worker pool wedged: batch deadline exceeded")
                 continue
             if result[0] == "error":
                 raise WorkerPoolError(f"worker task failed: {result[2]}")
@@ -526,6 +574,8 @@ class _ScratchSegment:
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
         self.region = SharedRegion(self._shm.name, 0, nbytes)
         self._view: Optional[memoryview] = None
+        self._closed = False
+        _LIVE_SEGMENT_OWNERS.add(self)
 
     def view(self) -> memoryview:
         if self._view is None:
@@ -533,6 +583,9 @@ class _ScratchSegment:
         return self._view
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._view is not None:
             try:
                 self._view.release()

@@ -41,6 +41,23 @@ class RecoveryFootprint:
 
 
 @dataclass
+class TieredFootprint:
+    """Per-tier accounting of a two-level (local + remote) store."""
+
+    local_entries: int
+    local_bytes: int
+    remote_entries: int
+    remote_bytes: int
+    pending_uploads: int  # entries not yet claimed remote-durable
+
+    @property
+    def local_fraction(self) -> float:
+        """Share of logical entries still resident on the local tier."""
+        total = max(self.local_entries, self.remote_entries)
+        return self.local_entries / total if total else 1.0
+
+
+@dataclass
 class DedupFootprint:
     """Chunk-level accounting of a content-addressed store."""
 
@@ -103,8 +120,11 @@ class RetentionAuditor:
         now (zero-ref and orphaned chunk files).
         """
         from .dedup import DedupBackend
+        from .tiered import TieredBackend
 
         store = getattr(self.store, "inner", self.store)  # unwrap async
+        if isinstance(store, TieredBackend):
+            store = store.local  # the chunk store is the local tier
         if not isinstance(store, DedupBackend):
             return None
         self.store.flush()
@@ -121,6 +141,30 @@ class RetentionAuditor:
             physical_bytes=physical,
             reclaimable_bytes=reclaimable,
             live_chunks=sum(1 for count in refs.values() if count > 0),
+        )
+
+    def tiered_footprint(self) -> Optional["TieredFootprint"]:
+        """Per-tier byte/entry accounting for a tiered store.
+
+        Returns ``None`` for non-tiered stores.  ``pending_uploads``
+        counts entries whose local content is not yet claimed durable
+        on the remote tier — nonzero means a crash right now would
+        recover from the local tier only.
+        """
+        from .tiered import TieredBackend
+
+        store = getattr(self.store, "inner", self.store)  # unwrap async
+        if not isinstance(store, TieredBackend):
+            return None
+        self.store.flush()
+        local_keys = store.local.keys()
+        remote_keys = store.remote.keys()
+        return TieredFootprint(
+            local_entries=len(local_keys),
+            local_bytes=store.local.total_bytes(),
+            remote_entries=len(remote_keys),
+            remote_bytes=store.remote.total_bytes(),
+            pending_uploads=len(store.pending_uploads()),
         )
 
 

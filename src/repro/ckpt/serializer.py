@@ -87,6 +87,8 @@ class PipelineMeters:
     bytes_compressed: int = 0
     bytes_compressed_out: int = 0
     entries_serialized: int = 0
+    bytes_uploaded: int = 0
+    upload_retries: int = 0
 
     def __post_init__(self) -> None:
         # Increments happen from the caller thread *and* (for
@@ -122,6 +124,16 @@ class PipelineMeters:
             self.bytes_compressed += raw_nbytes
             self.bytes_compressed_out += encoded_nbytes
 
+    def count_uploaded(self, nbytes: int) -> None:
+        """Record one completed remote-tier upload of ``nbytes``."""
+        with self._lock:
+            self.bytes_uploaded += nbytes
+
+    def count_upload_retry(self) -> None:
+        """Record one retried (backed-off) remote-tier upload attempt."""
+        with self._lock:
+            self.upload_retries += 1
+
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
             return {
@@ -131,6 +143,8 @@ class PipelineMeters:
                 "bytes_compressed": self.bytes_compressed,
                 "bytes_compressed_out": self.bytes_compressed_out,
                 "entries_serialized": self.entries_serialized,
+                "bytes_uploaded": self.bytes_uploaded,
+                "upload_retries": self.upload_retries,
             }
 
 

@@ -1,0 +1,935 @@
+"""Two-level tiered checkpoint backend: write-back local + remote object tier.
+
+The paper's two-level scheme — a fast local tier absorbing every
+checkpoint write, a durable remote object tier holding every stamp —
+existed here only as a cost model.  :class:`TieredBackend` makes it a
+real :class:`~repro.ckpt.backend.CheckpointBackend` composing any two
+existing backends:
+
+* **Write-back puts.**  A put lands in the local tier synchronously and
+  returns; a bounded background upload pipeline drains it to the remote
+  tier with retry / per-upload timeout / exponential backoff.  Training
+  never waits on remote latency.
+* **Crash-consistent promotion/demotion journal** (``tier.jsonl``,
+  reusing the dedup engine's :class:`~repro.ckpt.dedup._JsonlJournal`
+  torn-tail discipline).  The ordering is leak-only, mirroring the
+  dedup engine's: the ``up`` record claiming a remote copy is appended
+  strictly *after* the remote put returns, and local eviction happens
+  strictly *after* that claim is durable.  Every crash window therefore
+  leaks at most a redundant upload or an unclaimed remote copy
+  (*warnings* ``fsck`` reports and ``gc`` reclaims) — never a claimed
+  copy that does not exist (the only *error*), and never an evicted
+  entry without a durable remote copy.
+* **Read-through with hedged remote reads.**  A get serves from local;
+  on a local miss (an evicted stamp) it reads remote, launching a
+  second, hedged request when the first exceeds ``hedge_after_seconds``
+  — first success wins.  Remote reads retry transient
+  :class:`RemoteUnavailable` faults with the same backoff policy as
+  uploads, and (by default) promote the payload back into the local
+  tier.
+* **Per-tier retention.**  ``local_keep_stamps=k`` keeps the newest k
+  stamps locally and every stamp remote: ``flush()`` demotes older,
+  remote-durable entries (journal record first, local delete second).
+
+:class:`SimulatedObjectStore` wraps any backend into a remote-object
+tier with configurable per-op latency and a seeded fault-injection rate
+(raising :class:`RemoteUnavailable`), so retry/backoff behaviour and
+the write-back latency win are testable — and benchmarkable —
+deterministically on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .backend import CheckpointBackend, CrashInjected, KVStoreError, Payload
+from .dedup import _JsonlJournal
+
+#: Sentinel shutting down an upload worker thread.
+_STOP = object()
+
+
+class RemoteUnavailable(RuntimeError):
+    """A transient remote-tier failure (the retryable kind)."""
+
+
+class SimulatedObjectStore(CheckpointBackend):
+    """Decorate a backend into a latency/fault-injectable remote tier.
+
+    Payload operations (put / read / delete) sleep ``latency_seconds``
+    and then fail with :class:`RemoteUnavailable` at ``fault_rate``
+    probability from a seeded RNG — deterministic per instance, so
+    tests and benchmarks of the retry path are reproducible.  Metadata
+    queries (stamps, sizes, listings) delegate directly: object stores
+    serve those from their index tier.
+    """
+
+    def __init__(
+        self,
+        inner: CheckpointBackend,
+        latency_seconds: float = 0.0,
+        fault_rate: float = 0.0,
+        seed: int = 0x5EED,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= fault_rate < 1.0:
+            raise ValueError("fault_rate must be in [0, 1)")
+        self.inner = inner
+        self.latency_seconds = latency_seconds
+        self.fault_rate = fault_rate
+        self._rng = random.Random(seed)
+        self._sim_lock = threading.Lock()
+        self.ops = 0
+        self.faults_injected = 0
+
+    def _simulate(self, op: str) -> None:
+        if self.latency_seconds > 0:
+            time.sleep(self.latency_seconds)
+        with self._sim_lock:
+            self.ops += 1
+            inject = self._rng.random() < self.fault_rate
+            if inject:
+                self.faults_injected += 1
+        if inject:
+            raise RemoteUnavailable(f"injected remote fault during {op}")
+
+    # -- payload ops (latency + faults) ---------------------------------
+    def _write(self, key: str, payload: Payload, stamp: int, node) -> None:
+        self._simulate("put")
+        self.inner.put_serialized(key, payload, stamp, node)
+
+    def _read(self, key: str) -> bytes:
+        self._simulate("get")
+        return self.inner._read(key)
+
+    def delete(self, key: str) -> None:
+        self._simulate("delete")
+        self.inner.delete(key)
+
+    # -- metadata (direct) ----------------------------------------------
+    def stamp_of(self, key: str) -> int:
+        return self.inner.stamp_of(key)
+
+    def nbytes_of(self, key: str) -> int:
+        return self.inner.nbytes_of(key)
+
+    def has(self, key: str) -> bool:
+        return self.inner.has(key)
+
+    def keys(self) -> List[str]:
+        return self.inner.keys()
+
+    def total_bytes(self) -> int:
+        return self.inner.total_bytes()
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+@dataclass
+class TieredFsckReport:
+    """Outcome of a :meth:`TieredBackend.fsck` pass over both tiers.
+
+    A journal claim whose remote copy is missing or stale is an
+    *error* — it is exactly the window the write ordering exists to
+    close (eviction trusts claims).  Pending uploads (local ahead of
+    remote) and unclaimed remote copies are *warnings*: every crash
+    window in the upload pipeline leaks at most those, and
+    ``flush``/``gc`` reclaims them.  Nested per-tier reports (when a
+    tier supports ``fsck``) roll up into ``errors``/``warnings``.
+    """
+
+    keys_checked: int = 0
+    claims_checked: int = 0
+    lost_remote_copies: List[str] = field(default_factory=list)
+    stale_remote_copies: List[str] = field(default_factory=list)
+    pending_uploads: List[str] = field(default_factory=list)
+    orphan_remote_keys: List[str] = field(default_factory=list)
+    local_report: Optional[object] = None
+    remote_report: Optional[object] = None
+    repaired: bool = False
+
+    @property
+    def errors(self) -> List[str]:
+        out = [f"claimed remote copy missing: {key}" for key in self.lost_remote_copies]
+        out += [f"claimed remote copy stale: {key}" for key in self.stale_remote_copies]
+        for report in (self.local_report, self.remote_report):
+            if report is not None:
+                out += list(report.errors)
+        return out
+
+    @property
+    def warnings(self) -> List[str]:
+        out = [f"pending upload: {key}" for key in self.pending_uploads]
+        out += [f"unclaimed remote copy: {key}" for key in self.orphan_remote_keys]
+        for report in (self.local_report, self.remote_report):
+            if report is not None:
+                out += list(report.warnings)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+@dataclass(frozen=True)
+class TieredGCReport:
+    """What one :meth:`TieredBackend.gc` pass reclaimed."""
+
+    remote_keys_reclaimed: int
+    remote_bytes_reclaimed: int
+    journal_records_compacted: int
+    local_report: Optional[object] = None
+
+
+class TieredBackend(CheckpointBackend):
+    """Write-back local tier + retrying remote tier behind one contract.
+
+    ``upload_workers >= 1`` runs the upload pipeline on daemon threads
+    with a bounded queue (puts block only when ``upload_queue_depth``
+    *distinct* keys are already waiting — backpressure, not loss);
+    ``upload_workers=0`` uploads inline during the put, which is what
+    the crash-injection battery uses: every seam then fires on the
+    caller thread, so the arm-hook/abandon/reopen pattern is
+    deterministic.
+
+    Upload claim discipline (the leak-only ordering)::
+
+        local put (tier's own durability)        <- put returns here
+          -> remote put (retry w/ backoff)
+            -> journal {"op": "up", ...}         <- claim: remote IS durable
+              -> journal {"op": "demote", ...}
+                -> local delete                  <- eviction: claim IS durable
+
+    Crashing between any two steps leaks at most a pending upload or an
+    unclaimed remote copy — fsck warnings — never a claim without a
+    remote copy and never an evicted entry that was not claimed.
+    """
+
+    _fault_hook_value: Optional[Callable[[str], None]] = None
+
+    def __init__(
+        self,
+        local: CheckpointBackend,
+        remote: CheckpointBackend,
+        journal_path: str,
+        upload_workers: int = 1,
+        upload_queue_depth: int = 64,
+        upload_max_retries: int = 8,
+        upload_timeout_seconds: float = 120.0,
+        backoff_base_seconds: float = 0.02,
+        backoff_max_seconds: float = 1.0,
+        hedge_after_seconds: Optional[float] = 0.25,
+        remote_read_retries: int = 4,
+        local_keep_stamps: Optional[int] = None,
+        promote_on_read: bool = True,
+        meters: Optional[object] = None,
+    ) -> None:
+        super().__init__()
+        if upload_workers < 0:
+            raise ValueError("upload_workers must be >= 0")
+        if upload_queue_depth < 1:
+            raise ValueError("upload_queue_depth must be >= 1")
+        if local_keep_stamps is not None and local_keep_stamps < 1:
+            raise ValueError("local_keep_stamps must be >= 1")
+        self.local = local
+        self.remote = remote
+        self.upload_workers = upload_workers
+        self.upload_queue_depth = upload_queue_depth
+        self.upload_max_retries = upload_max_retries
+        self.upload_timeout_seconds = upload_timeout_seconds
+        self.backoff_base_seconds = backoff_base_seconds
+        self.backoff_max_seconds = backoff_max_seconds
+        self.hedge_after_seconds = hedge_after_seconds
+        self.remote_read_retries = remote_read_retries
+        self.local_keep_stamps = local_keep_stamps
+        self.promote_on_read = promote_on_read
+        #: Optional :class:`~repro.ckpt.serializer.PipelineMeters`; the
+        #: manager attaches its own so upload bytes/retries show up in
+        #: ``demo --profile`` next to the serialize/hash/copy counters.
+        self.meters = meters
+
+        # All tier state below is guarded by _state_lock; the journal is
+        # append-only and not internally locked, so appends take the
+        # lock too (they also serialize against the delete/claim race —
+        # see _upload_once).
+        self._state_lock = threading.RLock()
+        self._cond = threading.Condition(self._state_lock)
+        self._journal = _JsonlJournal(journal_path, "tier", self._fault)
+        #: key -> (stamp, nbytes) claimed durable on the remote tier.
+        self._remote_claims: Dict[str, Tuple[int, int]] = {}
+        #: Keys sitting in the upload queue (dedupe) / being uploaded.
+        self._queued: Set[str] = set()
+        self._inflight: Set[str] = set()
+        #: key -> last exhausted-retries error (still pending; flush retries).
+        self._upload_failures: Dict[str, str] = {}
+        self._closed = False
+
+        # Counters (under _state_lock).
+        self.uploads_completed = 0
+        self.upload_retries = 0
+        self.uploads_failed = 0
+        self.bytes_uploaded = 0
+        self.remote_reads = 0
+        self.hedged_reads = 0
+        self.read_retries = 0
+        self.promotions = 0
+        self.demotions = 0
+
+        for record in self._journal.replay():
+            op = record.get("op")
+            if op == "up":
+                self._remote_claims[str(record["key"])] = (
+                    int(record["stamp"]),
+                    int(record["nbytes"]),
+                )
+            elif op == "del":
+                self._remote_claims.pop(str(record["key"]), None)
+            # "demote"/"promote" records are movement history only: the
+            # local tier's own index is the source of truth for what is
+            # local, so replay does not need them.
+
+        self._upload_queue: Optional["_BoundedKeyQueue"] = None
+        self._upload_threads: List[threading.Thread] = []
+        if upload_workers > 0:
+            self._upload_queue = _BoundedKeyQueue(upload_queue_depth)
+            self._upload_threads = [
+                threading.Thread(
+                    target=self._upload_worker,
+                    name=f"tier-upload-{index}",
+                    daemon=True,
+                )
+                for index in range(upload_workers)
+            ]
+            for thread in self._upload_threads:
+                thread.start()
+        self._read_pool: Optional[ThreadPoolExecutor] = None
+
+        # Resume: anything local that crashed before its claim became
+        # durable re-enters the pipeline (idempotent re-upload).
+        for key in self.pending_uploads():
+            self._schedule_upload(key)
+
+    # -- fault-hook propagation -----------------------------------------
+    @property
+    def fault_hook(self):
+        return self._fault_hook_value
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        # The crash battery sets one hook on the composed store; the
+        # tiers' own seams (chunk/manifest/journal/payload points) must
+        # fire through it too.
+        self._fault_hook_value = hook
+        self.local.fault_hook = hook
+        self.remote.fault_hook = hook
+        inner = getattr(self.remote, "inner", None)
+        if inner is not None:
+            inner.fault_hook = hook
+
+    # -- delegated surface ----------------------------------------------
+    @property
+    def digest_chunk_bytes(self) -> int:
+        return self.local.digest_chunk_bytes
+
+    @property
+    def staging_pool(self):
+        """The local tier's shared staging pool, when it has one — so
+        the async pipeline's staging copy still lands once, in shared
+        memory, with a dedup local tier."""
+        return getattr(self.local, "staging_pool", None)
+
+    # -- write path ------------------------------------------------------
+    def _write(self, key: str, payload: Payload, stamp: int, node) -> None:
+        self.local.put_serialized(key, payload, stamp, node)
+        self._schedule_upload(key)
+
+    def put_many_serialized(self, items) -> List[int]:
+        try:
+            sizes = self.local.put_many_serialized(items)
+        finally:
+            # On a mid-batch error the local tier journals the completed
+            # prefix; schedule uploads for whatever actually landed.
+            for key, _payload, _stamp, _node in items:
+                if self.local.has(key):
+                    self._schedule_upload(key)
+        with self._meter_lock:
+            for nbytes in sizes:
+                self.bytes_written += nbytes
+                self.put_count += 1
+        return sizes
+
+    # -- upload pipeline -------------------------------------------------
+    def pending_uploads(self) -> List[str]:
+        """Keys whose local content is not yet claimed remote-durable."""
+        return sorted(key for key in self.local.keys() if self._pending(key))
+
+    def _pending(self, key: str) -> bool:
+        try:
+            state = (self.local.stamp_of(key), self.local.nbytes_of(key))
+        except KVStoreError:
+            return False
+        with self._state_lock:
+            return self._remote_claims.get(key) != state
+
+    def _schedule_upload(self, key: str) -> None:
+        if self._upload_queue is None:
+            # Inline mode: upload now, on the caller thread.  A crash
+            # seam firing here propagates out of the put — the process
+            # died mid-upload, exactly what the battery models.
+            self._upload_with_retry(key)
+            return
+        with self._state_lock:
+            if self._closed or key in self._queued or key in self._inflight:
+                # An inflight upload re-checks pending state when it
+                # finishes and requeues itself if this put outran it.
+                return
+            self._queued.add(key)
+        self._upload_queue.put(key)
+
+    def _upload_worker(self) -> None:
+        while True:
+            key = self._upload_queue.get()
+            if key is _STOP:
+                break
+            with self._state_lock:
+                self._queued.discard(key)
+                self._inflight.add(key)
+            try:
+                self._upload_with_retry(key)
+            except Exception:  # noqa: BLE001 - worker must survive
+                pass
+            finally:
+                requeue = False
+                with self._state_lock:
+                    self._inflight.discard(key)
+                    if (
+                        not self._closed
+                        and key not in self._queued
+                        and key not in self._upload_failures
+                        and self._pending_locked(key)
+                    ):
+                        self._queued.add(key)
+                        requeue = True
+                    self._cond.notify_all()
+                if requeue:
+                    self._upload_queue.put(key)
+
+    def _pending_locked(self, key: str) -> bool:
+        try:
+            state = (self.local.stamp_of(key), self.local.nbytes_of(key))
+        except KVStoreError:
+            return False
+        return self._remote_claims.get(key) != state
+
+    def _upload_with_retry(self, key: str) -> bool:
+        """Upload ``key`` with exponential backoff; True when settled.
+
+        Exhausting ``upload_max_retries`` (or the per-upload timeout)
+        records the failure and leaves the key pending — the next
+        ``flush`` retries it.  :class:`CrashInjected` always propagates:
+        a crash is process death, never a retryable fault.
+        """
+        attempt = 0
+        started = time.monotonic()
+        while True:
+            try:
+                self._upload_once(key)
+            except CrashInjected:
+                raise
+            except KVStoreError:
+                return True  # deleted underneath the pipeline: settled
+            except Exception as exc:  # noqa: BLE001 - transient remote fault
+                attempt += 1
+                elapsed = time.monotonic() - started
+                if (
+                    attempt > self.upload_max_retries
+                    or elapsed > self.upload_timeout_seconds
+                ):
+                    with self._state_lock:
+                        self.uploads_failed += 1
+                        self._upload_failures[key] = f"{type(exc).__name__}: {exc}"
+                    return False
+                with self._state_lock:
+                    self.upload_retries += 1
+                if self.meters is not None:
+                    self.meters.count_upload_retry()
+                time.sleep(
+                    min(
+                        self.backoff_max_seconds,
+                        self.backoff_base_seconds * (2 ** (attempt - 1)),
+                    )
+                )
+                continue
+            return True
+
+    def _upload_once(self, key: str) -> None:
+        stamp = self.local.stamp_of(key)  # KVStoreError -> deleted, settled
+        payload = self.local._read(key)
+        nbytes = len(payload)
+        with self._state_lock:
+            if self._remote_claims.get(key) == (stamp, nbytes):
+                return  # a concurrent upload already claimed this state
+        self.remote.put_serialized(key, payload, stamp)
+        self._fault("upload:remote-durable")
+        with self._state_lock:
+            if not self.local.has(key):
+                # Deleted while the remote put was in flight: claiming
+                # now would resurrect the key on replay.  The remote
+                # copy stays an unclaimed orphan for gc.
+                return
+            # The claim is durable strictly after the remote copy is.
+            self._journal.append(
+                [{"op": "up", "key": key, "stamp": stamp, "nbytes": nbytes}]
+            )
+            self._remote_claims[key] = (stamp, nbytes)
+            self._upload_failures.pop(key, None)
+            self.uploads_completed += 1
+            self.bytes_uploaded += nbytes
+        if self.meters is not None:
+            self.meters.count_uploaded(nbytes)
+
+    def drain_uploads(self) -> None:
+        """Block until the background pipeline has settled every key it
+        currently knows about (failures stay pending; see ``flush``)."""
+        if self._upload_queue is None:
+            return
+        with self._cond:
+            while self._queued or self._inflight:
+                self._cond.wait(0.05)
+
+    def flush(self) -> None:
+        self.local.flush()
+        self.drain_uploads()
+        # Exhausted-retry failures get exactly one more bounded attempt
+        # per flush, synchronously; still-failing keys stay pending
+        # (locally durable — the barrier contract holds regardless).
+        with self._state_lock:
+            retry_keys = sorted(self._upload_failures)
+            self._upload_failures.clear()
+        for key in retry_keys:
+            if self._pending(key):
+                self._upload_with_retry(key)
+        for key in self.pending_uploads():
+            if self._upload_queue is None:
+                self._upload_with_retry(key)
+        self._apply_local_retention()
+        self.remote.flush()
+
+    # -- retention (demotion) -------------------------------------------
+    def _apply_local_retention(self) -> None:
+        """Evict local copies beyond the newest ``local_keep_stamps``
+        distinct stamps — but only entries whose exact (stamp, nbytes)
+        is claimed remote-durable, and only after journaling the move."""
+        if self.local_keep_stamps is None:
+            return
+        local_keys = self.local.keys()
+        stamps = set()
+        states: Dict[str, Tuple[int, int]] = {}
+        for key in local_keys:
+            try:
+                state = (self.local.stamp_of(key), self.local.nbytes_of(key))
+            except KVStoreError:  # pragma: no cover - concurrent delete
+                continue
+            states[key] = state
+            stamps.add(state[0])
+        keep = set(sorted(stamps, reverse=True)[: self.local_keep_stamps])
+        for key, (stamp, nbytes) in sorted(states.items()):
+            if stamp in keep:
+                continue
+            with self._state_lock:
+                if self._remote_claims.get(key) != (stamp, nbytes):
+                    continue  # not remote-durable: never evict
+                self._journal.append([{"op": "demote", "key": key, "stamp": stamp}])
+                self.demotions += 1
+            try:
+                self.local.delete(key)
+            except KVStoreError:  # pragma: no cover - concurrent delete
+                pass
+
+    # -- read path -------------------------------------------------------
+    def _read(self, key: str) -> bytes:
+        try:
+            return self.local._read(key)
+        except KVStoreError:
+            pass
+        with self._state_lock:
+            claim = self._remote_claims.get(key)
+        if claim is None:
+            raise KVStoreError(key)
+        payload = self._remote_read(key)
+        if self.promote_on_read:
+            self._promote(key, payload, claim[0])
+        return payload
+
+    def _promote(self, key: str, payload: bytes, stamp: int) -> None:
+        """Best-effort read-through promotion back into the local tier."""
+        try:
+            self.local.put_serialized(key, payload, stamp)
+            with self._state_lock:
+                self._journal.append([{"op": "promote", "key": key, "stamp": stamp}])
+                self.promotions += 1
+        except CrashInjected:
+            raise
+        except Exception:  # pragma: no cover - promotion must never fail a read
+            pass
+
+    def _remote_read(self, key: str) -> bytes:
+        last_error: Optional[Exception] = None
+        for attempt in range(self.remote_read_retries + 1):
+            if attempt:
+                with self._state_lock:
+                    self.read_retries += 1
+                time.sleep(
+                    min(
+                        self.backoff_max_seconds,
+                        self.backoff_base_seconds * (2 ** (attempt - 1)),
+                    )
+                )
+            try:
+                with self._state_lock:
+                    self.remote_reads += 1
+                if self.hedge_after_seconds is not None:
+                    return self._remote_read_hedged(key)
+                return self.remote._read(key)
+            except (RemoteUnavailable, OSError) as exc:
+                last_error = exc
+        raise KVStoreError(
+            f"remote read failed for {key!r} after "
+            f"{self.remote_read_retries + 1} attempts: {last_error}"
+        )
+
+    def _remote_read_hedged(self, key: str) -> bytes:
+        """One read attempt, hedged: if the primary request has not
+        completed within ``hedge_after_seconds``, race a second request
+        and take the first success (tail-latency cut, not a retry — the
+        slow primary may still win)."""
+        pool = self._ensure_read_pool()
+        primary = pool.submit(self.remote._read, key)
+        try:
+            return primary.result(timeout=self.hedge_after_seconds)
+        except FuturesTimeout:
+            pass
+        except Exception:
+            raise  # a fast failure is the retry loop's business
+        with self._state_lock:
+            self.hedged_reads += 1
+        secondary = pool.submit(self.remote._read, key)
+        outstanding = {primary, secondary}
+        first_error: Optional[BaseException] = None
+        while outstanding:
+            done, outstanding = futures_wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in done:
+                error = future.exception()
+                if error is None:
+                    return future.result()
+                if first_error is None:
+                    first_error = error
+        raise first_error  # both legs failed
+
+    def _ensure_read_pool(self) -> ThreadPoolExecutor:
+        with self._state_lock:
+            if self._read_pool is None:
+                self._read_pool = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="tier-read"
+                )
+            return self._read_pool
+
+    # -- metadata --------------------------------------------------------
+    def stamp_of(self, key: str) -> int:
+        try:
+            return self.local.stamp_of(key)
+        except KVStoreError:
+            pass
+        with self._state_lock:
+            claim = self._remote_claims.get(key)
+        if claim is None:
+            raise KVStoreError(key)
+        return claim[0]
+
+    def nbytes_of(self, key: str) -> int:
+        try:
+            return self.local.nbytes_of(key)
+        except KVStoreError:
+            pass
+        with self._state_lock:
+            claim = self._remote_claims.get(key)
+        if claim is None:
+            raise KVStoreError(key)
+        return claim[1]
+
+    def has(self, key: str) -> bool:
+        if self.local.has(key):
+            return True
+        with self._state_lock:
+            return key in self._remote_claims
+
+    def keys(self) -> List[str]:
+        with self._state_lock:
+            claimed = set(self._remote_claims)
+        return sorted(set(self.local.keys()) | claimed)
+
+    def total_bytes(self) -> int:
+        with self._state_lock:
+            claims = dict(self._remote_claims)
+        total = 0
+        local_keys = self.local.keys()
+        for key in local_keys:
+            try:
+                total += self.local.nbytes_of(key)
+            except KVStoreError:  # pragma: no cover - concurrent delete
+                continue
+        seen = set(local_keys)
+        for key, (_stamp, nbytes) in claims.items():
+            if key not in seen:
+                total += nbytes
+        return total
+
+    # -- delete ----------------------------------------------------------
+    def delete(self, key: str) -> None:
+        with self._state_lock:
+            claim = self._remote_claims.get(key)
+            has_local = self.local.has(key)
+            if claim is None and not has_local:
+                raise KVStoreError(key)
+            if claim is not None:
+                # Tombstone first: once the record is durable, replay
+                # never resurrects the key even if the physical deletes
+                # below die — the copies leak as fsck-visible orphans.
+                self._journal.append([{"op": "del", "key": key}])
+                self._remote_claims.pop(key, None)
+        if has_local:
+            try:
+                self.local.delete(key)
+            except KVStoreError:  # pragma: no cover - concurrent delete
+                pass
+        if claim is not None:
+            try:
+                self.remote.delete(key)
+            except (KVStoreError, RemoteUnavailable, OSError):
+                pass  # unclaimed orphan; gc reclaims it
+
+    def delete_many(self, keys: Sequence[str]) -> None:
+        for key in keys:
+            self.delete(key)
+
+    # -- fsck / gc -------------------------------------------------------
+    def fsck(self, repair: bool = False) -> TieredFsckReport:
+        """Cross-check the claim journal against both tiers.
+
+        With ``repair=True``, claims whose remote copy is missing or
+        stale are dropped (the key re-enters the upload pipeline if its
+        bytes are still local) and the journal is compacted to the
+        verified claim set; per-tier ``fsck(repair=True)`` runs when a
+        tier supports it.
+        """
+        report = TieredFsckReport()
+        with self._state_lock:
+            claims = dict(self._remote_claims)
+        remote_keys = set(self.remote.keys())
+        for key, (stamp, nbytes) in sorted(claims.items()):
+            report.claims_checked += 1
+            if key not in remote_keys:
+                report.lost_remote_copies.append(key)
+                continue
+            try:
+                ok = (
+                    self.remote.stamp_of(key) == stamp
+                    and self.remote.nbytes_of(key) == nbytes
+                )
+            except KVStoreError:  # pragma: no cover - racing delete
+                ok = False
+            if not ok:
+                report.stale_remote_copies.append(key)
+        for key in self.local.keys():
+            report.keys_checked += 1
+            if self._pending(key):
+                report.pending_uploads.append(key)
+        for key in sorted(remote_keys - set(claims)):
+            report.orphan_remote_keys.append(key)
+        local_fsck = getattr(self.local, "fsck", None)
+        if callable(local_fsck):
+            report.local_report = local_fsck(repair=repair)
+        remote_target = getattr(self.remote, "inner", self.remote)
+        remote_fsck = getattr(remote_target, "fsck", None)
+        if callable(remote_fsck):
+            report.remote_report = remote_fsck(repair=repair)
+        if repair and (report.lost_remote_copies or report.stale_remote_copies):
+            bad = set(report.lost_remote_copies) | set(report.stale_remote_copies)
+            with self._state_lock:
+                for key in bad:
+                    self._remote_claims.pop(key, None)
+                self._compact_journal_locked()
+            for key in sorted(bad):
+                if self.local.has(key):
+                    self._schedule_upload(key)
+            report.repaired = True
+        return report
+
+    def gc(self) -> TieredGCReport:
+        """Reclaim unclaimed remote copies and compact the tier journal
+        (plus the local tier's own gc when it has one)."""
+        with self._state_lock:
+            claims = dict(self._remote_claims)
+        reclaimed = 0
+        reclaimed_bytes = 0
+        for key in sorted(set(self.remote.keys()) - set(claims)):
+            try:
+                nbytes = self.remote.nbytes_of(key)
+                self.remote.delete(key)
+            except (KVStoreError, RemoteUnavailable, OSError):
+                continue
+            reclaimed += 1
+            reclaimed_bytes += nbytes
+        with self._state_lock:
+            before = self._journal.records
+            self._compact_journal_locked()
+            compacted = before - self._journal.records
+        local_gc = getattr(self.local, "gc", None)
+        local_report = local_gc() if callable(local_gc) else None
+        return TieredGCReport(
+            remote_keys_reclaimed=reclaimed,
+            remote_bytes_reclaimed=reclaimed_bytes,
+            journal_records_compacted=compacted,
+            local_report=local_report,
+        )
+
+    def _compact_journal_locked(self) -> None:
+        self._journal.rewrite(
+            [
+                {"op": "up", "key": key, "stamp": stamp, "nbytes": nbytes}
+                for key, (stamp, nbytes) in sorted(self._remote_claims.items())
+            ]
+        )
+
+    # -- stats / lifecycle ----------------------------------------------
+    def tier_stats(self) -> Dict[str, int]:
+        """Counters for the CLI's stats block (and tests)."""
+        with self._state_lock:
+            stats = {
+                "uploads_completed": self.uploads_completed,
+                "upload_retries": self.upload_retries,
+                "uploads_failed": self.uploads_failed,
+                "bytes_uploaded": self.bytes_uploaded,
+                "remote_reads": self.remote_reads,
+                "hedged_reads": self.hedged_reads,
+                "read_retries": self.read_retries,
+                "promotions": self.promotions,
+                "demotions": self.demotions,
+                "remote_claims": len(self._remote_claims),
+            }
+        stats["pending_uploads"] = len(self.pending_uploads())
+        stats["local_keys"] = len(self.local.keys())
+        stats["remote_faults"] = int(getattr(self.remote, "faults_injected", 0))
+        return stats
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self._closed = True
+            if self._upload_queue is not None:
+                for _ in self._upload_threads:
+                    self._upload_queue.put(_STOP)
+                for thread in self._upload_threads:
+                    thread.join(timeout=10)
+            if self._read_pool is not None:
+                self._read_pool.shutdown(wait=False)
+                self._read_pool = None
+            self.local.close()
+            self.remote.close()
+
+
+class _BoundedKeyQueue:
+    """A tiny bounded FIFO (stdlib ``queue.Queue`` semantics, minus the
+    task-tracking we do not use).  Separate class only so the sentinel
+    can bypass the bound during shutdown."""
+
+    def __init__(self, maxsize: int) -> None:
+        import collections
+
+        self._items: "collections.deque" = collections.deque()
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    def put(self, item) -> None:
+        with self._not_full:
+            if item is not _STOP:
+                while len(self._items) >= self._maxsize:
+                    self._not_full.wait()
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self):
+        with self._not_empty:
+            while not self._items:
+                self._not_empty.wait()
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+
+def open_tiered_root(
+    root: str,
+    codec: Optional[object] = None,
+    parallel_workers: int = 0,
+    remote_latency: float = 0.0,
+    remote_fault_rate: float = 0.0,
+    remote_seed: int = 0x5EED,
+    upload_workers: int = 1,
+    local_keep_stamps: Optional[int] = None,
+    hedge_after_seconds: Optional[float] = 0.25,
+) -> TieredBackend:
+    """Open the standard tiered layout under ``root``.
+
+    ``<root>/local`` is a :class:`~repro.ckpt.dedup.DedupBackend` (so
+    ``codec``/``parallel_workers`` apply to the tier that absorbs every
+    write), ``<root>/remote`` a :class:`~repro.ckpt.sharded.
+    ShardedDiskKVStore` behind :class:`SimulatedObjectStore`, and
+    ``<root>/tier.jsonl`` the promotion/demotion journal.
+    """
+    from .dedup import DedupBackend
+    from .sharded import ShardedDiskKVStore
+
+    os.makedirs(root, exist_ok=True)
+    local = DedupBackend(
+        os.path.join(root, "local"), codec=codec, parallel_workers=parallel_workers
+    )
+    remote = SimulatedObjectStore(
+        ShardedDiskKVStore(os.path.join(root, "remote")),
+        latency_seconds=remote_latency,
+        fault_rate=remote_fault_rate,
+        seed=remote_seed,
+    )
+    return TieredBackend(
+        local,
+        remote,
+        journal_path=os.path.join(root, "tier.jsonl"),
+        upload_workers=upload_workers,
+        local_keep_stamps=local_keep_stamps,
+        hedge_after_seconds=hedge_after_seconds,
+    )
+
+
+def is_tiered_root(root: str) -> bool:
+    """Heuristic marker check for the standard tiered layout."""
+    return os.path.exists(os.path.join(root, "tier.jsonl")) or (
+        os.path.isdir(os.path.join(root, "local"))
+        and os.path.isdir(os.path.join(root, "remote"))
+    )

@@ -9,9 +9,11 @@ Commands
               mechanics)
 ``demo``      a 60-iteration training run with a midpoint fault and PEC
               recovery on the numpy substrate
-``gc``        reclaim zero-ref chunks in a dedup checkpoint directory
+``gc``        reclaim zero-ref chunks in a dedup (or tiered) checkpoint
+              directory
 ``fsck``      verify chunk hashes, manifests and refcounts of a dedup
-              checkpoint directory (non-zero exit on integrity errors)
+              checkpoint directory — or, for a tiered root, both tiers
+              plus the promotion journal (non-zero exit on errors)
 
 All commands print fixed-width tables and return 0 on success (``fsck``
 returns 1 when it finds integrity errors), making them scriptable;
@@ -145,15 +147,25 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     topology = grid_topology(args.dp, args.ep, gpus_per_node=args.gpus_per_node)
     resharding = args.resume_dp is not None or args.resume_ep is not None
     dedup = args.backend == "dedup"
-    if (args.codec is not None or args.parallel_workers) and not dedup:
-        print("error: --codec/--parallel-workers require --backend dedup",
-              file=sys.stderr)
+    tiered = args.backend == "tiered"
+    if (args.codec is not None or args.parallel_workers) and not (dedup or tiered):
+        print("error: --codec/--parallel-workers require --backend dedup "
+              "or tiered", file=sys.stderr)
+        return 2
+    if (args.remote_latency or args.remote_fault_rate
+            or args.local_keep is not None) and not tiered:
+        print("error: --remote-latency/--remote-fault-rate/--local-keep "
+              "require --backend tiered", file=sys.stderr)
         return 2
     rows = []
     with tempfile.TemporaryDirectory() as storage:
         store = make_backend(
             args.backend, storage,
             codec=args.codec, parallel_workers=args.parallel_workers,
+            remote_latency=args.remote_latency,
+            remote_fault_rate=args.remote_fault_rate,
+            upload_workers=args.upload_workers,
+            local_keep_stamps=args.local_keep,
         )
         if args.async_writes:
             # Share the chunk engine's shared-memory staging pool (when
@@ -164,8 +176,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         manager = MoCCheckpointManager(
             model, optimizer, config, disk_store=store, topology=topology,
             # Delta saves are the dedup tier's natural companion: an
-            # unchanged selected entry costs zero bytes end to end.
-            delta_saves=dedup,
+            # unchanged selected entry costs zero bytes end to end.  The
+            # tiered backend's local tier is a dedup store, so it
+            # benefits identically.
+            delta_saves=dedup or tiered,
         )
         trainer = Trainer(
             model, optimizer, corpus,
@@ -240,35 +254,52 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 )
                 for prof in manager.save_profile
             ]
-        if dedup:
+        if dedup or tiered:
             manager.flush()
             inner = store.inner if args.async_writes else store
+            # The chunk-level stats live on the dedup store; for the
+            # tiered backend that is its local tier.
+            chunk_store = inner.local if tiered else inner
             skipped = sum(len(m.persist_skipped) for m in manager.manifests)
             gc_report = inner.gc()
             fsck_report = inner.fsck()
+            local_gc = gc_report.local_report if tiered else gc_report
+            local_fsck = fsck_report.local_report if tiered else fsck_report
             logical = inner.bytes_written
-            physical = inner.chunks.chunk_bytes_written
+            physical = chunk_store.chunks.chunk_bytes_written
             rows.extend([
                 ("delta-skipped entries", skipped),
                 ("logical bytes accepted", logical),
                 ("unique chunk bytes written", physical),
                 ("dedup ratio (logical/physical)",
                  logical / physical if physical else 1.0),
-                ("gc reclaimed chunks", gc_report.reclaimed_chunks),
-                ("gc reclaimed bytes", gc_report.reclaimed_bytes),
+                ("gc reclaimed chunks", local_gc.reclaimed_chunks),
+                ("gc reclaimed bytes", local_gc.reclaimed_bytes),
                 ("fsck errors", len(fsck_report.errors)),
             ])
+            if tiered:
+                stats = inner.tier_stats()
+                rows.extend([
+                    ("remote uploads", stats["uploads_completed"]),
+                    ("upload retries", stats["upload_retries"]),
+                    ("remote faults injected", stats["remote_faults"]),
+                    ("pending uploads", stats["pending_uploads"]),
+                    ("local demotions", stats["demotions"]),
+                    ("read promotions", stats["promotions"]),
+                    ("local keys / remote claims",
+                     f"{stats['local_keys']} / {stats['remote_claims']}"),
+                ])
             if args.codec is not None or args.parallel_workers:
                 total = meters.snapshot()
-                engine = inner.engine
+                engine = chunk_store.engine
                 rows.extend([
                     ("chunk codec",
-                     inner.codec.spec()["name"]
-                     if inner.codec is not None else "none"),
+                     chunk_store.codec.spec()["name"]
+                     if chunk_store.codec is not None else "none"),
                     ("parallel workers",
                      engine.workers if engine is not None and engine.enabled
                      else 0),
-                    ("encoded chunks", fsck_report.encoded_chunks),
+                    ("encoded chunks", local_fsck.encoded_chunks),
                     ("compression ratio (enc/raw)",
                      total["bytes_compressed_out"] / total["bytes_compressed"]
                      if total["bytes_compressed"] else 1.0),
@@ -295,6 +326,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             ("bytes copied (staging)", total["bytes_copied"]),
             ("bytes compressed (raw in)", total["bytes_compressed"]),
             ("bytes compressed (enc out)", total["bytes_compressed_out"]),
+            ("bytes uploaded (remote tier)", total["bytes_uploaded"]),
+            ("upload retries", total["upload_retries"]),
             ("hash passes / byte",
              total["bytes_hashed"] / total["bytes_serialized"]
              if total["bytes_serialized"] else 0.0),
@@ -308,8 +341,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_dedup_store(root: str):
-    """Open an *existing* dedup checkpoint directory.
+def _open_checkpoint_store(root: str):
+    """Open an *existing* dedup or tiered checkpoint directory.
 
     Constructing the backend would happily create an empty store at any
     path — and an fsck of a typo'd ``--root`` would then report a brand
@@ -318,41 +351,75 @@ def _open_dedup_store(root: str):
     """
     import os
 
-    from .ckpt import DedupBackend
+    from .ckpt import DedupBackend, is_tiered_root, open_tiered_root
 
+    if is_tiered_root(root):
+        return open_tiered_root(root)
     markers = (os.path.join(root, "manifests.jsonl"), os.path.join(root, "chunks"))
     if not any(os.path.exists(marker) for marker in markers):
-        print(f"error: {root!r} is not a dedup checkpoint directory "
-              "(no manifests.jsonl or chunks/)", file=sys.stderr)
+        print(f"error: {root!r} is not a dedup or tiered checkpoint "
+              "directory (no manifests.jsonl, chunks/ or tier.jsonl)",
+              file=sys.stderr)
         return None
     return DedupBackend(root)
 
 
 def _cmd_gc(args: argparse.Namespace) -> int:
-    store = _open_dedup_store(args.root)
+    from .ckpt import TieredGCReport
+
+    store = _open_checkpoint_store(args.root)
     if store is None:
         return 2
     report = store.gc()
-    print(render_kv(
-        f"gc {args.root}",
-        [
+    if isinstance(report, TieredGCReport):
+        local = report.local_report
+        rows = [
+            ("remote keys reclaimed", report.remote_keys_reclaimed),
+            ("remote bytes reclaimed", report.remote_bytes_reclaimed),
+            ("journal records compacted", report.journal_records_compacted),
+            ("local reclaimed chunks", local.reclaimed_chunks),
+            ("local reclaimed bytes", local.reclaimed_bytes),
+            ("local live chunks", local.live_chunks),
+            ("local live bytes", local.live_bytes),
+        ]
+    else:
+        rows = [
             ("reclaimed chunks", report.reclaimed_chunks),
             ("reclaimed bytes", report.reclaimed_bytes),
             ("live chunks", report.live_chunks),
             ("live bytes", report.live_bytes),
-        ],
-    ))
+        ]
+    print(render_kv(f"gc {args.root}", rows))
     return 0
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    store = _open_dedup_store(args.root)
+    from .ckpt import TieredFsckReport
+
+    store = _open_checkpoint_store(args.root)
     if store is None:
         return 2
     report = store.fsck(repair=args.repair)
-    print(render_kv(
-        f"fsck {args.root}",
-        [
+    if isinstance(report, TieredFsckReport):
+        local = report.local_report
+        rows = [
+            ("keys checked", report.keys_checked),
+            ("remote claims checked", report.claims_checked),
+            ("lost remote copies", len(report.lost_remote_copies)),
+            ("stale remote copies", len(report.stale_remote_copies)),
+            ("pending uploads (warning)", len(report.pending_uploads)),
+            ("orphan remote keys (warning)", len(report.orphan_remote_keys)),
+            ("local chunks checked",
+             local.chunks_checked if local is not None else 0),
+            ("local corrupt chunks",
+             len(local.corrupt_chunks) if local is not None else 0),
+            ("local missing chunks",
+             len(local.missing_chunks) if local is not None else 0),
+            ("repaired", str(report.repaired)),
+            ("status", "clean" if report.ok else "ERRORS"),
+        ]
+    else:
+        rows = [
             ("chunks checked", report.chunks_checked),
             ("encoded chunks", report.encoded_chunks),
             ("manifests checked", report.manifests_checked),
@@ -363,8 +430,8 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
             ("refcount leaks (warning)", len(report.overcounted_refs)),
             ("repaired", str(report.repaired)),
             ("status", "clean" if report.ok else "ERRORS"),
-        ],
-    ))
+        ]
+    print(render_kv(f"fsck {args.root}", rows))
     for line in report.errors:
         print(f"  error: {line}")
     for line in report.warnings:
@@ -408,9 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--iterations", type=int, default=40)
     demo.add_argument("--interval", type=int, default=8)
     demo.add_argument("--experts", type=int, default=4)
-    demo.add_argument("--backend", choices=["memory", "disk", "sharded", "dedup"],
+    demo.add_argument("--backend",
+                      choices=["memory", "disk", "sharded", "dedup", "tiered"],
                       default="disk", help="persist-tier storage backend "
-                      "(dedup enables delta saves and prints chunk stats)")
+                      "(dedup enables delta saves and prints chunk stats; "
+                      "tiered adds a write-back simulated remote object "
+                      "tier behind the dedup local tier)")
     demo.add_argument("--async-writes", action="store_true",
                       help="drain persist writes through the async pipeline")
     demo.add_argument("--parallel-workers", type=int, default=0,
@@ -422,6 +492,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="chunk-compression codec for the dedup backend "
                            "(zstd/lz4 fall back to zlib with a warning when "
                            "not installed; 'auto' picks the best available)")
+    demo.add_argument("--remote-latency", type=float, default=0.0,
+                      help="simulated per-op latency (seconds) of the "
+                           "tiered backend's remote object tier")
+    demo.add_argument("--remote-fault-rate", type=float, default=0.0,
+                      help="probability in [0, 1) that a remote op raises "
+                           "a transient fault; the upload pipeline retries "
+                           "with exponential backoff (see 'upload retries')")
+    demo.add_argument("--upload-workers", type=int, default=1,
+                      help="background upload threads draining the local "
+                           "tier to the remote tier (0 = synchronous "
+                           "uploads on the save path)")
+    demo.add_argument("--local-keep", type=int, default=None,
+                      help="keep only the newest K checkpoint stamps on "
+                           "the tiered backend's local tier (older "
+                           "remote-durable entries are demoted)")
     demo.add_argument("--dp", type=int, default=2,
                       help="data-parallel degree of the save topology "
                            "(DP x EP ranks total)")
@@ -446,20 +531,26 @@ def build_parser() -> argparse.ArgumentParser:
     demo.set_defaults(func=_cmd_demo)
 
     gc = sub.add_parser(
-        "gc", help="reclaim zero-ref chunks in a dedup checkpoint directory"
+        "gc", help="reclaim zero-ref chunks in a dedup (or tiered) "
+                   "checkpoint directory"
     )
     gc.add_argument("--root", required=True,
-                    help="dedup backend root (holds manifests.jsonl + chunks/)")
+                    help="dedup backend root (manifests.jsonl + chunks/) or "
+                         "tiered root (tier.jsonl + local/ + remote/)")
     gc.set_defaults(func=_cmd_gc)
 
     fsck = sub.add_parser(
-        "fsck", help="verify a dedup checkpoint directory's integrity"
+        "fsck", help="verify a dedup or tiered checkpoint directory's "
+                     "integrity"
     )
     fsck.add_argument("--root", required=True,
-                      help="dedup backend root (holds manifests.jsonl + chunks/)")
+                      help="dedup backend root (manifests.jsonl + chunks/) "
+                           "or tiered root (tier.jsonl + local/ + remote/)")
     fsck.add_argument("--repair", action="store_true",
-                      help="rewrite the refcount journal from live manifests, "
-                           "clearing crash-window drift")
+                      help="rewrite the refcount journal from live manifests "
+                           "(and, for a tiered root, drop invalid remote "
+                           "claims and reschedule their uploads), clearing "
+                           "crash-window drift")
     fsck.set_defaults(func=_cmd_fsck)
     return parser
 

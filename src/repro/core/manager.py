@@ -37,6 +37,7 @@ from ..ckpt.manifest import (
     non_expert_entry_key,
 )
 from ..ckpt.restore import ParallelRestorer, ReadRequest, RestoreStats
+from ..ckpt.tiered import TieredBackend
 from ..models.optim import Adam
 from ..models.serial import ExpertKey, expert_param_names, non_expert_param_names
 from .config import MoCConfig, SelectionStrategy
@@ -185,6 +186,11 @@ class MoCCheckpointManager:
         name (``"zlib"``/``"zstd"``/``"lz4"``/``"auto"``) or
         :class:`~repro.ckpt.codec.ChunkCodec` instance, and the number
         of hash/compress worker processes (0 = in-process).
+    remote_latency / remote_fault_rate / upload_workers / local_keep_stamps:
+        Tiered-backend knobs, forwarded to :func:`make_backend` when
+        ``backend="tiered"``: simulated remote per-op latency and fault
+        rate, background upload worker count (0 = inline uploads), and
+        how many distinct stamps stay on the local tier (None = all).
     expert_placement:
         Hosting node(s) per expert for two-level recovery; defaults to a
         two-node striping (or is derived from ``topology`` when given).
@@ -221,6 +227,10 @@ class MoCCheckpointManager:
         parallel_workers: int = 0,
         topology: Optional[ShardTopology] = None,
         delta_saves: bool = False,
+        remote_latency: float = 0.0,
+        remote_fault_rate: float = 0.0,
+        upload_workers: int = 1,
+        local_keep_stamps: Optional[int] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
@@ -231,6 +241,10 @@ class MoCCheckpointManager:
             disk_store = make_backend(
                 backend, disk_root,
                 codec=chunk_codec, parallel_workers=parallel_workers,
+                remote_latency=remote_latency,
+                remote_fault_rate=remote_fault_rate,
+                upload_workers=upload_workers,
+                local_keep_stamps=local_keep_stamps,
             )
         elif chunk_codec is not None or parallel_workers:
             raise ValueError(
@@ -304,6 +318,13 @@ class MoCCheckpointManager:
         self.pipeline_meters = PipelineMeters()
         self.save_profile: List[SaveProfile] = []
         self._digest_chunk_bytes = self.disk_store.digest_chunk_bytes
+        # A tiered persist store reports its upload pipeline (bytes
+        # uploaded, backed-off retries) through the same meters, so
+        # ``demo --profile`` shows the remote tier next to the
+        # serialize/hash/copy counters.
+        tier_target = getattr(self.disk_store, "inner", self.disk_store)
+        if isinstance(tier_target, TieredBackend):
+            tier_target.meters = self.pipeline_meters
 
     # ------------------------------------------------------------------
     # Entry extraction / injection

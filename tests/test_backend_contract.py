@@ -24,10 +24,14 @@ from repro.ckpt import (
     ShardedDiskKVStore,
     escape_key,
     make_backend,
+    open_tiered_root,
     unescape_key,
 )
 
-BACKENDS = ["memory", "disk", "sharded", "dedup", "async", "async-dedup"]
+BACKENDS = [
+    "memory", "disk", "sharded", "dedup", "async", "async-dedup",
+    "tiered", "async-tiered",
+]
 
 
 @pytest.fixture(params=BACKENDS)
@@ -43,6 +47,12 @@ def store(request, tmp_path) -> CheckpointBackend:
         backend = DedupBackend(str(tmp_path / "dedup"))
     elif kind == "async-dedup":
         backend = AsyncWriteBackend(DedupBackend(str(tmp_path / "async-dedup")))
+    elif kind == "tiered":
+        # Dedup local tier + background upload pipeline: the contract
+        # must hold while uploads drain underneath it.
+        backend = open_tiered_root(str(tmp_path / "tiered"))
+    elif kind == "async-tiered":
+        backend = AsyncWriteBackend(open_tiered_root(str(tmp_path / "async-tiered")))
     else:
         backend = AsyncWriteBackend(ShardedDiskKVStore(str(tmp_path / "async")))
     yield backend
@@ -258,16 +268,18 @@ class TestEscaping:
 
 
 class TestPersistence:
-    @pytest.mark.parametrize("kind", ["disk", "sharded", "dedup"])
+    @pytest.mark.parametrize("kind", ["disk", "sharded", "dedup", "tiered"])
     def test_survives_reopen(self, kind, tmp_path):
         store = make_backend(kind, str(tmp_path))
         store.put("a/b", {"x": np.ones(5)}, stamp=7)
         store.put("k", {"x": np.zeros(2)}, stamp=8)
         store.delete("k")
+        store.close()
         reopened = make_backend(kind, str(tmp_path))
         assert reopened.keys() == ["a/b"]
         assert reopened.stamp_of("a/b") == 7
         assert np.array_equal(reopened.get("a/b")["x"], np.ones(5))
+        reopened.close()
 
 
 class TestShardedJournal:
@@ -578,7 +590,7 @@ class TestManagerIntegration:
             manager.checkpoint(iteration)
         return manager
 
-    @pytest.mark.parametrize("backend", ["disk", "sharded", "dedup"])
+    @pytest.mark.parametrize("backend", ["disk", "sharded", "dedup", "tiered"])
     @pytest.mark.parametrize("async_writes", [False, True])
     def test_checkpoint_and_recover(self, tmp_path, backend, async_writes):
         manager = self._run(tmp_path, backend=backend, async_writes=async_writes)

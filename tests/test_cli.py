@@ -195,7 +195,7 @@ class TestGc:
     def test_gc_rejects_nonexistent_store(self, capsys, tmp_path):
         missing = str(tmp_path / "no-such-run")
         assert main(["gc", "--root", missing]) == 2
-        assert "not a dedup checkpoint directory" in capsys.readouterr().err
+        assert "not a dedup or tiered checkpoint directory" in capsys.readouterr().err
         # the typo'd path was not silently created
         assert not os.path.exists(missing)
 
@@ -225,7 +225,7 @@ class TestFsck:
         """A typo'd --root must not be reported as a clean store."""
         missing = str(tmp_path / "no-such-run")
         assert main(["fsck", "--root", missing]) == 2
-        assert "not a dedup checkpoint directory" in capsys.readouterr().err
+        assert "not a dedup or tiered checkpoint directory" in capsys.readouterr().err
         assert not os.path.exists(missing)
 
     def test_repair_clears_refcount_drift(self, capsys, tmp_path):

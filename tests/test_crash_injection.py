@@ -24,8 +24,13 @@ cannot mask ordering bugs.
 from __future__ import annotations
 
 import glob
+import multiprocessing
 import os
 import signal
+import subprocess
+import sys
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -38,6 +43,7 @@ from repro.ckpt import (
     DiskKVStore,
     KVStoreError,
     ShardedDiskKVStore,
+    open_tiered_root,
 )
 
 DISK_BACKENDS = ["disk", "sharded"]
@@ -682,6 +688,41 @@ class TestParallelEngineDegradation:
         finally:
             store.close()
 
+    def test_wedged_pool_deadline_falls_back(self, tmp_path, monkeypatch):
+        """Workers alive but not making progress (SIGSTOPped here): the
+        batch deadline must declare the pool wedged — WorkerPoolError —
+        and the engine must finish the put in-process.  Without the
+        deadline this put would block forever with every worker
+        'healthy'."""
+        from repro.ckpt import parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_DEADLINE_SECONDS", 2.0)
+        store = self.open(tmp_path)
+        try:
+            store.put("warm", entry(1.0, size=256), stamp=1)  # pool is live
+            procs = list(store.engine.pool._procs)
+            for proc in procs:
+                os.kill(proc.pid, signal.SIGSTOP)
+            # A stopped worker never joins; SIGKILL them once the
+            # deadline has fired so _disable's pool teardown is quick.
+            def unstick() -> None:
+                time.sleep(4.0)
+                for proc in procs:
+                    if proc.is_alive():
+                        os.kill(proc.pid, signal.SIGKILL)
+
+            unsticker = threading.Thread(target=unstick, daemon=True)
+            unsticker.start()
+            with pytest.warns(RuntimeWarning, match="parallel save engine disabled"):
+                store.put("after", entry(2.0, size=256), stamp=2)
+            unsticker.join(timeout=30)
+            self.assert_degraded_but_intact(
+                store,
+                {"warm": (np.full(256, 1.0), 1), "after": (np.full(256, 2.0), 2)},
+            )
+        finally:
+            store.close()
+
     def test_poisoned_shared_arena_falls_back(self, tmp_path):
         store = self.open(tmp_path)
         try:
@@ -780,3 +821,307 @@ class TestCompressedDedupCrash(TestDedupEngineCrash):
             assert final.encoded_chunks > 0  # compression actually engaged
         finally:
             store.close()
+
+
+class TestTieredCrash:
+    """Kill the two-tier store at every seam of the upload pipeline and
+    the promotion/demotion journal, reopen, fsck.
+
+    The tiered write ordering is leak-only, mirroring the dedup
+    engine's: local commit (the put's durability point) → remote put →
+    ``up`` claim record → eviction.  Crashing in any window may leak a
+    pending upload or an unclaimed remote copy — *warnings* — but must
+    never produce a claim without a live remote copy backing it, and
+    never lose an acknowledged entry.  ``upload_workers=0`` runs the
+    pipeline inline so every seam fires on the caller thread, which is
+    exactly the process-death model this battery wants.
+    """
+
+    #: Crashing before the local manifest commit leaves the put
+    #: invisible — these are the composed local tier's own seams.
+    LOCAL_POINTS = TestDedupEngineCrash.PUT_POINTS
+
+    #: Crashing at or after the local commit leaves the put durable but
+    #: unacknowledged; the reopen's resume scan must finish the upload.
+    #: In order: local commit, remote object tmp + durable (the sharded
+    #: remote's own seams), remote durable but unclaimed, torn claim
+    #: record, claim durable.
+    DURABLE_POINTS = [
+        "manifest:appended",
+        "payload:tmp-written",
+        "payload:durable",
+        "upload:remote-durable",
+        "tier:mid-append",
+        "tier:appended",
+    ]
+
+    def open(self, root, **kwargs):
+        kwargs.setdefault("upload_workers", 0)
+        return open_tiered_root(str(root), **kwargs)
+
+    def assert_recovers_clean(self, root, expected: dict):
+        """Reopen, verify the acknowledged state, and require the
+        claim-journal invariant: no claim ever points at a missing or
+        stale remote copy, and repair + flush + gc reach a warning-free
+        store (the sync-mode reopen already re-uploaded anything
+        pending, so usually the first fsck is clean outright)."""
+        reopened = self.open(root)
+        assert_consistent(reopened, expected)
+        report = reopened.fsck()
+        assert report.ok, report.errors
+        assert report.lost_remote_copies == []
+        assert report.stale_remote_copies == []
+        reopened.fsck(repair=True)
+        reopened.flush()
+        reopened.gc()
+        final = reopened.fsck()
+        assert final.ok and not final.warnings
+        assert_consistent(reopened, expected)
+        return reopened
+
+    @pytest.mark.parametrize("point", LOCAL_POINTS)
+    def test_new_key_crash_leaves_acked_prefix(self, tmp_path, point):
+        store = self.open(tmp_path)
+        store.put("a", entry(1.0), stamp=1)
+        store.put("b", entry(2.0), stamp=2)
+        crash_at(store, point)
+        with pytest.raises(CrashInjected):
+            store.put("c", entry(3.0), stamp=3)
+        self.assert_recovers_clean(
+            tmp_path, {"a": (np.full(4, 1.0), 1), "b": (np.full(4, 2.0), 2)}
+        )
+
+    @pytest.mark.parametrize("point", DURABLE_POINTS)
+    def test_crash_past_local_commit_resumes_the_upload(self, tmp_path, point):
+        """Past the local commit the entry is durable-but-unacked; no
+        matter where inside the upload the process died, the reopen's
+        resume scan must leave the key uploaded, claimed, and fsck-clean
+        — re-uploading idempotently rather than trusting a claim that
+        was never appended."""
+        store = self.open(tmp_path)
+        store.put("base", entry(1.0), stamp=1)
+        crash_at(store, point)
+        with pytest.raises(CrashInjected):
+            store.put("c", entry(3.0), stamp=3)
+        reopened = self.open(tmp_path)
+        assert np.array_equal(reopened.get("c")["x"], np.full(4, 3.0))
+        assert reopened.stamp_of("c") == 3
+        assert reopened.remote.has("c")  # the resume finished the upload
+        stats = reopened.tier_stats()
+        assert stats["pending_uploads"] == 0
+        report = reopened.fsck()
+        assert report.ok, report.errors
+        assert report.lost_remote_copies == []
+        reopened.delete("c")  # back to the acknowledged state
+        self.assert_recovers_clean(tmp_path, {"base": (np.full(4, 1.0), 1)})
+
+    @pytest.mark.parametrize(
+        "point", ["upload:remote-durable", "tier:mid-append"]
+    )
+    def test_overwrite_crash_mid_upload_never_claims_stale(self, tmp_path, point):
+        """Crashing between the remote put of a new version and its
+        claim record leaves the journal pointing at the *old* state at
+        worst; replay must re-upload the new version, never serve or
+        claim a stale remote copy."""
+        store = self.open(tmp_path)
+        store.put("k", entry(1.0, size=4), stamp=1)
+        crash_at(store, point)
+        with pytest.raises(CrashInjected):
+            store.put("k", entry(9.0, size=8), stamp=2)
+        reopened = self.assert_recovers_clean(
+            tmp_path, {"k": (np.full(8, 9.0), 2)}
+        )
+        assert reopened.remote.stamp_of("k") == 2
+
+    def test_crash_mid_upload_resumes_through_async_pipeline(self, tmp_path):
+        """The ISSUE's named scenario: die mid-upload, reopen with the
+        *background* pipeline, and the pending key must drain to a
+        claimed remote copy — fsck clean, nothing lost."""
+        store = self.open(tmp_path)
+        crash_at(store, "upload:remote-durable")
+        with pytest.raises(CrashInjected):
+            store.put("k", entry(5.0), stamp=1)
+        reopened = self.open(tmp_path, upload_workers=1)
+        try:
+            reopened.flush()
+            assert reopened.tier_stats()["pending_uploads"] == 0
+            assert reopened.remote.has("k")
+            report = reopened.fsck()
+            assert report.ok and report.lost_remote_copies == []
+            reopened.gc()
+            assert not reopened.fsck().warnings
+        finally:
+            reopened.close()
+
+    def test_crash_mid_journal_compaction_loses_no_claims(self, tmp_path):
+        """gc compacts the tier journal through a tmp + atomic-replace;
+        dying with the tmp written but not swapped must preserve every
+        claim on replay."""
+        store = self.open(tmp_path)
+        expected = {}
+        for i in range(4):
+            store.put(f"k{i}", entry(float(i)), stamp=i)
+            expected[f"k{i}"] = (np.full(4, float(i)), i)
+        crash_at(store, "tier:compact-tmp-written")
+        with pytest.raises(CrashInjected):
+            store.gc()
+        self.assert_recovers_clean(tmp_path, expected)
+
+    def test_fsck_clean_after_full_crash_battery(self, tmp_path):
+        """The acceptance sweep: every local, remote, and journal seam
+        crashed in sequence against one directory, each round followed
+        by reopen + repair + gc — the store must end bit-exact and
+        warning-free, with every claim backed by a live remote copy."""
+        expected = {}
+        root = tmp_path / "battery"
+        store = self.open(root)
+        for round_index, point in enumerate(
+            self.LOCAL_POINTS + self.DURABLE_POINTS
+        ):
+            value = float(100 + round_index)
+            store.put(f"pre{round_index}", entry(value), stamp=round_index)
+            expected[f"pre{round_index}"] = (np.full(4, value), round_index)
+            crash_at(store, point)
+            with pytest.raises(CrashInjected):
+                store.put(f"dead{round_index}", entry(-1.0), stamp=99)
+            reopened = self.open(root)
+            dead = f"dead{round_index}"
+            if reopened.has(dead):
+                # past the local commit the unacked put is durable and
+                # complete; drop it to return to the acknowledged state
+                assert np.array_equal(reopened.get(dead)["x"], np.full(4, -1.0))
+                reopened.delete(dead)
+            store = self.assert_recovers_clean(root, expected)
+
+
+def _sigterm_masking_worker(ready) -> None:
+    """A worker that masks SIGTERM — the pathological teardown case."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    ready.set()
+    while True:  # pragma: no cover - killed externally
+        time.sleep(60)
+
+
+class TestParallelEngineTeardown:
+    """The leak/shutdown seams of the multi-process save engine.
+
+    Three regressions pinned here: an unclosed ``SharedStagingPool``
+    must not orphan ``/dev/shm`` segments at interpreter exit (atexit
+    sweep) or even on a hard ``os._exit`` (resource-tracker backstop);
+    a worker that masks SIGTERM cannot wedge teardown past the bounded
+    terminate → join → kill → join escalation; and the collector's
+    batch deadline fires even while stale results keep its queue busy.
+    """
+
+    _CHILD_SCRIPT = (
+        "from repro.ckpt.parallel import SharedStagingPool\n"
+        "pool = SharedStagingPool(arena_bytes=8192)\n"
+        "buf = pool.acquire(256)\n"
+        "print(pool.segment_name, flush=True)\n"
+    )
+
+    def _run_child(self, extra: str = "") -> "subprocess.CompletedProcess":
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-c", self._CHILD_SCRIPT + extra],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=env,
+        )
+
+    @staticmethod
+    def _assert_segment_unlinked(name: str, deadline_seconds: float) -> None:
+        path = os.path.join("/dev/shm", name)
+        deadline = time.monotonic() + deadline_seconds
+        while os.path.exists(path):
+            if time.monotonic() > deadline:
+                os.unlink(path)  # don't leak it into later tests
+                pytest.fail(f"orphaned shared-memory segment: {path}")
+            time.sleep(0.05)
+
+    def test_interpreter_exit_without_close_sweeps_segments(self):
+        """A pool abandoned at normal interpreter exit: the atexit sweep
+        unlinks its arena *itself* — the resource tracker never has to
+        salvage it, so there is no 'leaked shared_memory' warning."""
+        proc = self._run_child()
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip()
+        assert name
+        if not os.path.exists("/dev/shm"):  # pragma: no cover - exotic CI
+            pytest.skip("no /dev/shm on this platform")
+        self._assert_segment_unlinked(name, deadline_seconds=5.0)
+        assert "leaked shared_memory" not in proc.stderr
+
+    def test_hard_exit_leaves_no_orphan_segments(self):
+        """``os._exit`` skips atexit entirely; the resource tracker is
+        the backstop and must still unlink the segment once the owner
+        dies."""
+        proc = self._run_child("import os; os._exit(1)\n")
+        assert proc.returncode == 1
+        name = proc.stdout.strip()
+        assert name
+        if not os.path.exists("/dev/shm"):  # pragma: no cover - exotic CI
+            pytest.skip("no /dev/shm on this platform")
+        self._assert_segment_unlinked(name, deadline_seconds=10.0)
+
+    def test_sigterm_masking_worker_teardown_bounded(self):
+        """_reap_processes — the single teardown primitive behind both
+        ``ChunkWorkerPool.close`` and ``_abort`` — must escalate past a
+        SIGTERM-masking worker to SIGKILL within ~2 grace periods."""
+        from repro.ckpt.parallel import _reap_processes
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        ready = ctx.Event()
+        proc = ctx.Process(
+            target=_sigterm_masking_worker, args=(ready,), daemon=True
+        )
+        proc.start()
+        try:
+            assert ready.wait(timeout=30)
+            started = time.monotonic()
+            _reap_processes([proc], grace_seconds=1.0)
+            elapsed = time.monotonic() - started
+            assert not proc.is_alive()
+            assert elapsed < 10.0
+        finally:
+            if proc.is_alive():  # pragma: no cover - escalation failed
+                proc.kill()
+            proc.join(timeout=10)
+
+    def test_collect_deadline_fires_despite_result_stream(self, monkeypatch):
+        """The wedge the deadline exists for: workers alive, the result
+        queue never empty (stale results for other batches), the
+        awaited task never arriving.  The deadline check runs at the
+        top of *every* iteration — checking only in the Empty branch
+        would spin here forever."""
+        from repro.ckpt import parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_DEADLINE_SECONDS", 1.0)
+        pool = parallel_mod.ChunkWorkerPool(1)
+        pool.start()
+        stop = threading.Event()
+
+        def feed_stale_results() -> None:
+            while not stop.is_set():
+                pool._results.put(("digest", -1, [], 0, 0.0))
+                time.sleep(0.01)
+
+        feeder = threading.Thread(target=feed_stale_results, daemon=True)
+        feeder.start()
+        try:
+            with pytest.raises(
+                parallel_mod.WorkerPoolError, match="deadline"
+            ):
+                pool.collect([987654])
+        finally:
+            stop.set()
+            feeder.join(timeout=10)
+            pool.close()
