@@ -38,17 +38,45 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry
+from ..obs.trace import span as _span, trace_counter as _trace_counter
 from .backend import CheckpointBackend
 from .serializer import PayloadFrames
 
 #: Default staging arena: comfortably double-buffers two checkpoints of
 #: every model this repo runs while still bounding a runaway producer.
 DEFAULT_ARENA_BYTES = 64 * 1024 * 1024
+
+# Pipeline-health instruments on the process-wide registry.  The queue
+# depth gauge is sampled at every enqueue/dequeue (plus a Perfetto "C"
+# track when tracing); the flush-stall counters only move when a flush
+# barrier actually waited on a non-empty queue.
+_QUEUE_DEPTH = get_registry().gauge(
+    "moc_async_queue_depth", "Accepted-but-unwritten entries in the async pipeline"
+)
+_QUEUE_DEPTH_HIGHWATER = get_registry().gauge(
+    "moc_async_queue_depth_highwater", "Max observed async queue depth"
+)
+_FLUSH_STALLS = get_registry().counter(
+    "moc_async_flush_stalls_total", "Flush barriers that waited on pending writes"
+)
+_FLUSH_STALL_SECONDS = get_registry().counter(
+    "moc_async_flush_stall_seconds_total", "Seconds spent waiting at flush barriers"
+)
+_STAGING_WAITS = get_registry().counter(
+    "moc_staging_exhaustion_waits_total",
+    "Staging-pool acquires that blocked on arena exhaustion",
+)
+_STAGING_WAIT_SECONDS = get_registry().counter(
+    "moc_staging_wait_seconds_total", "Seconds spent blocked in staging admission"
+)
 
 
 class AsyncWriteError(RuntimeError):
@@ -137,22 +165,38 @@ class StagingPool:
             ticket = self._next_ticket
             self._next_ticket += 1
             self._waiters.append(ticket)
-            waited = False
+            wait_started: Optional[float] = None
             try:
                 while True:
                     if self._waiters[0] == ticket:
                         buffer = self._try_acquire(nbytes)
                         if buffer is not None:
                             return buffer
-                    if not waited:
+                    if wait_started is None:
                         self.exhaustion_waits += 1
-                        waited = True
+                        _STAGING_WAITS.inc()
+                        wait_started = time.perf_counter()
                     self._cond.wait()
             finally:
                 self._waiters.remove(ticket)
                 # Wake the next ticket in line (a successful head
                 # acquire may have left capacity for it).
                 self._cond.notify_all()
+                if wait_started is not None:
+                    waited_seconds = time.perf_counter() - wait_started
+                    _STAGING_WAIT_SECONDS.inc(waited_seconds)
+                    if _trace.tracing():
+                        end_us = _trace.now_us()
+                        _trace.merge_spans(
+                            [
+                                _trace.complete_span_dict(
+                                    "staging-wait",
+                                    end_us - int(waited_seconds * 1e6),
+                                    end_us,
+                                    {"nbytes": nbytes},
+                                )
+                            ]
+                        )
 
     def try_acquire(self, nbytes: int):
         """Non-blocking acquire: a buffer, or ``None`` if it would wait.
@@ -267,6 +311,18 @@ class AsyncWriteBackend(CheckpointBackend):
     def digest_chunk_bytes(self) -> int:
         return self.inner.digest_chunk_bytes
 
+    def _sample_queue_depth(self) -> None:
+        """Sample the accepted-but-unwritten depth into the gauge pair.
+
+        Called at every enqueue and dequeue so the gauge tracks the
+        live depth and the high-water mark records the worst
+        backpressure the pipeline built up.
+        """
+        depth = self._queue.unfinished_tasks
+        _QUEUE_DEPTH.set(depth)
+        _QUEUE_DEPTH_HIGHWATER.set_max(depth)
+        _trace_counter("async_queue_depth", depth)
+
     # -- staging --------------------------------------------------------
     def _stage(self, key: str, payload, stamp: int, node) -> _Staged:
         """Snapshot a payload so the caller may mutate its arrays.
@@ -326,6 +382,8 @@ class AsyncWriteBackend(CheckpointBackend):
                         self._release(entry)
                         self._slots.release()
                 self._queue.task_done()
+                if item is not _STOP:
+                    self._sample_queue_depth()
 
     def _raise_pending(self) -> None:
         with self._error_lock:
@@ -353,6 +411,7 @@ class AsyncWriteBackend(CheckpointBackend):
         nbytes = len(payload)
         self._slots.acquire()
         self._queue.put(self._stage(key, payload, stamp, node))
+        self._sample_queue_depth()
         self.bytes_written += nbytes
         self.put_count += 1
         return nbytes
@@ -388,6 +447,7 @@ class AsyncWriteBackend(CheckpointBackend):
                 or (pool_bytes and staged_bytes + pool_bytes > byte_budget)
             ):
                 self._queue.put(_Batch(staged))
+                self._sample_queue_depth()
                 staged = []
                 staged_bytes = 0
             self._slots.acquire()
@@ -398,12 +458,36 @@ class AsyncWriteBackend(CheckpointBackend):
             sizes.append(nbytes)
         if staged:
             self._queue.put(_Batch(staged))
+            self._sample_queue_depth()
         return sizes
 
-    def flush(self) -> None:
-        """Block until every accepted put is written; raise worker errors."""
-        self._queue.join()
+    def _barrier(self) -> None:
+        """Block until every accepted put is written; raise worker errors.
+
+        A barrier that finds work still queued is a *flush stall* — the
+        caller is now paying for write latency the pipeline was hiding.
+        Those (and only those) barriers are counted, timed, and traced;
+        the common already-drained drain costs one queue check.
+        """
+        if self._queue.unfinished_tasks:
+            stall_started = time.perf_counter()
+            with _span("async-flush", depth=self._queue.unfinished_tasks):
+                self._queue.join()
+            _FLUSH_STALLS.inc()
+            _FLUSH_STALL_SECONDS.inc(time.perf_counter() - stall_started)
+        else:
+            self._queue.join()
         self._raise_pending()
+
+    def flush(self) -> None:
+        """Durability barrier: drain the pipeline, then flush the inner
+        store.  The inner flush is what lets a decorated tiered backend
+        drain its upload queue and apply local retention at a barrier —
+        reads use :meth:`_barrier` instead, so a ``get`` never pays for
+        (or triggers) the inner store's own barrier work.
+        """
+        self._barrier()
+        self.inner.flush()
 
     def pending(self) -> int:
         """Entries accepted but not yet written (approximate)."""
@@ -442,33 +526,33 @@ class AsyncWriteBackend(CheckpointBackend):
         raise AssertionError("unused: get is overridden")
 
     def get(self, key: str, copy: bool = True) -> Dict[str, np.ndarray]:
-        self.flush()
+        self._barrier()
         return self.inner.get(key, copy=copy)
 
     def stamp_of(self, key: str) -> int:
-        self.flush()
+        self._barrier()
         return self.inner.stamp_of(key)
 
     def nbytes_of(self, key: str) -> int:
-        self.flush()
+        self._barrier()
         return self.inner.nbytes_of(key)
 
     def has(self, key: str) -> bool:
-        self.flush()
+        self._barrier()
         return self.inner.has(key)
 
     def keys(self) -> List[str]:
-        self.flush()
+        self._barrier()
         return self.inner.keys()
 
     def total_bytes(self) -> int:
-        self.flush()
+        self._barrier()
         return self.inner.total_bytes()
 
     def delete(self, key: str) -> None:
-        self.flush()
+        self._barrier()
         self.inner.delete(key)
 
     def delete_many(self, keys: Sequence[str]) -> None:
-        self.flush()
+        self._barrier()
         self.inner.delete_many(keys)

@@ -237,6 +237,8 @@ def make_backend(
     remote_fault_rate: float = 0.0,
     upload_workers: int = 1,
     local_keep_stamps: Optional[int] = None,
+    hedge_after_seconds: Optional[float] = 0.25,
+    registry: Optional[object] = None,
 ) -> CheckpointBackend:
     """Construct a persist-tier backend by name.
 
@@ -247,9 +249,13 @@ def make_backend(
     boundary, so they require a dedup tier: the ``dedup`` backend
     itself, or ``tiered`` (whose local tier is a dedup store and
     inherits both).  The ``remote_*``/``upload_workers``/
-    ``local_keep_stamps`` knobs configure the tiered backend's
-    simulated remote tier, upload pipeline and local retention, and are
-    rejected for every other kind.
+    ``local_keep_stamps``/``hedge_after_seconds`` knobs configure the
+    tiered backend's simulated remote tier, upload pipeline, local
+    retention and hedged reads, and are rejected for every other kind.
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) re-homes
+    the tiered backend's upload/fault/hedge counters onto a shared
+    registry — the CLI passes its observer's so ``--metrics-dump`` sees
+    them; backends without private counters ignore it.
     """
     from .dedup import DedupBackend
     from .kvstore import DiskKVStore, InMemoryKVStore
@@ -286,5 +292,7 @@ def make_backend(
             remote_fault_rate=remote_fault_rate,
             upload_workers=upload_workers,
             local_keep_stamps=local_keep_stamps,
+            hedge_after_seconds=hedge_after_seconds,
+            registry=registry,
         )
     raise ValueError(f"unknown backend kind {kind!r}")

@@ -54,6 +54,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from . import jsonl
+from ..obs.metrics import get_registry
+from ..obs.trace import span as _span
 from .backend import CheckpointBackend, CrashInjected, KVStoreError
 from .codec import (
     ENCODED_CHUNK_SUFFIX,
@@ -65,6 +67,34 @@ from .codec import (
     train_dictionary,
 )
 from .serializer import DEFAULT_CHUNK_BYTES, PayloadFrames
+
+# Journal and maintenance instruments on the process-wide registry,
+# labeled per journal ("refs"/"manifests"/"tier") so the shared
+# _JsonlJournal accounts each owner separately.
+_JOURNAL_APPENDS = get_registry().counter(
+    "moc_journal_appends_total",
+    "Journal append calls (batches, not records)",
+    labelnames=("journal",),
+)
+_JOURNAL_RECORDS = get_registry().counter(
+    "moc_journal_records_total",
+    "Records appended to a journal",
+    labelnames=("journal",),
+)
+_JOURNAL_COMPACTIONS = get_registry().counter(
+    "moc_journal_compactions_total",
+    "Journal rewrite (compaction) passes",
+    labelnames=("journal",),
+)
+_GC_RUNS = get_registry().counter(
+    "moc_dedup_gc_runs_total", "Dedup garbage-collection passes"
+)
+_GC_RECLAIMED_CHUNKS = get_registry().counter(
+    "moc_dedup_gc_reclaimed_chunks_total", "Chunks reclaimed by gc"
+)
+_GC_RECLAIMED_BYTES = get_registry().counter(
+    "moc_dedup_gc_reclaimed_bytes_total", "Bytes reclaimed by gc"
+)
 
 
 def chunk_payload(payload: bytes, chunk_bytes: int) -> List[bytes]:
@@ -123,30 +153,35 @@ class _JsonlJournal:
     def append(self, records: Sequence[dict]) -> None:
         if not records:
             return
-        text = "".join(map(jsonl.encode_record, records))
-        with open(self.path, "a", encoding="utf-8") as handle:
-            if len(text) > 1:
-                # Crash seam: a hook may die between the halves, leaving
-                # a torn line for replay to truncate.
-                half = len(text) // 2
-                handle.write(text[:half])
-                handle.flush()
-                self._fault(f"{self.name}:mid-append")
-                handle.write(text[half:])
-            else:  # pragma: no cover - single-byte record never occurs
-                handle.write(text)
+        with _span("journal-append", journal=self.name, records=len(records)):
+            text = "".join(map(jsonl.encode_record, records))
+            with open(self.path, "a", encoding="utf-8") as handle:
+                if len(text) > 1:
+                    # Crash seam: a hook may die between the halves,
+                    # leaving a torn line for replay to truncate.
+                    half = len(text) // 2
+                    handle.write(text[:half])
+                    handle.flush()
+                    self._fault(f"{self.name}:mid-append")
+                    handle.write(text[half:])
+                else:  # pragma: no cover - single-byte record never occurs
+                    handle.write(text)
         self.records += len(records)
         self.appends += len(records)
+        _JOURNAL_APPENDS.labels(journal=self.name).inc()
+        _JOURNAL_RECORDS.labels(journal=self.name).inc(len(records))
         self._fault(f"{self.name}:appended")
 
     def rewrite(self, records: Sequence[dict]) -> None:
         """Atomically compact the journal down to ``records``."""
-        tmp = self.path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(jsonl.encode_record(record))
-        self._fault(f"{self.name}:compact-tmp-written")
-        os.replace(tmp, self.path)
+        with _span("journal-compact", journal=self.name, records=len(records)):
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(jsonl.encode_record(record))
+            self._fault(f"{self.name}:compact-tmp-written")
+            os.replace(tmp, self.path)
+        _JOURNAL_COMPACTIONS.labels(journal=self.name).inc()
         self.records = len(records)
 
 
@@ -878,8 +913,12 @@ class DedupBackend(CheckpointBackend):
     # -- maintenance ----------------------------------------------------
     def gc(self) -> GCReport:
         """Reclaim zero-ref and orphaned chunks; compact both journals."""
-        report = self.chunks.gc()
-        self._maybe_compact()
+        with _span("dedup-gc"):
+            report = self.chunks.gc()
+            self._maybe_compact()
+        _GC_RUNS.inc()
+        _GC_RECLAIMED_CHUNKS.inc(report.reclaimed_chunks)
+        _GC_RECLAIMED_BYTES.inc(report.reclaimed_bytes)
         return report
 
     def fsck(self, repair: bool = False) -> FsckReport:

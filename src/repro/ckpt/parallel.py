@@ -61,6 +61,8 @@ import warnings
 import weakref
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from ..obs import trace as _trace
+from ..obs.metrics import get_registry
 from .async_writer import DEFAULT_ARENA_BYTES, StagingPool
 from .codec import ChunkCodec, encode_chunk_file, make_chunk_codec
 from .serializer import PayloadFrames
@@ -78,6 +80,27 @@ DEFAULT_WORKERS = max(1, (os.cpu_count() or 1))
 #: pool wedged.  Generous: a loaded CI box must never trip it.
 _HEARTBEAT_SECONDS = 0.5
 _DEADLINE_SECONDS = 300.0
+
+# Pool-health instruments, re-homed from implicit bookkeeping onto the
+# process-wide registry so heartbeat/deadline behaviour is observable.
+_POOL_TASKS = get_registry().counter(
+    "moc_worker_tasks_total", "Tasks submitted to the chunk worker pool",
+    labelnames=("kind",),
+)
+_POOL_HEARTBEAT_TIMEOUTS = get_registry().counter(
+    "moc_worker_heartbeat_timeouts_total",
+    "Collector heartbeat intervals that elapsed without a result",
+)
+_POOL_DEADLINE_EXCEEDED = get_registry().counter(
+    "moc_worker_deadline_exceeded_total", "Batches that hit the wedge deadline"
+)
+_POOL_WORKER_DEATHS = get_registry().counter(
+    "moc_worker_deaths_total", "Worker processes observed dead mid-batch"
+)
+_POOL_DEGRADATIONS = get_registry().counter(
+    "moc_worker_pool_degradations_total",
+    "Engine fallbacks to in-process execution after a pool failure",
+)
 
 
 class WorkerPoolError(RuntimeError):
@@ -342,7 +365,10 @@ def _worker_main(tasks, results, codec_spec, dict_dir) -> None:
     Payload bytes are only ever read through attached segments; the
     queues carry addresses, digests, and (for restore) compressed
     chunks.  Every result includes the CPU seconds and byte counts the
-    engine folds back into the main process's meters.
+    engine folds back into the main process's meters — and a completed
+    span dict (wall time, worker pid/tid) the engine merges into the
+    tracer when tracing is on, so worker activity lands on its own
+    pid/tid track in the exported timeline.
     """
     codec: Optional[ChunkCodec] = None
     if codec_spec is not None:
@@ -364,6 +390,18 @@ def _worker_main(tasks, results, codec_spec, dict_dir) -> None:
             break
         kind, task_id = task[0], task[1]
         started = time.process_time()
+        started_us = _trace.now_us()
+
+        def task_span(nbytes: int) -> List[dict]:
+            return [
+                _trace.complete_span_dict(
+                    f"worker-{kind}",
+                    started_us,
+                    _trace.now_us(),
+                    {"task_id": task_id, "bytes": nbytes},
+                )
+            ]
+
         try:
             if kind == "digest":
                 _, _, name, offset, length, chunk_bytes, start, stop = task
@@ -376,7 +414,9 @@ def _worker_main(tasks, results, codec_spec, dict_dir) -> None:
                     digests.append(hashlib.sha256(chunk).hexdigest())
                 view.release()
                 cpu = time.process_time() - started
-                results.put(("digest", task_id, digests, hi - lo, cpu))
+                results.put(
+                    ("digest", task_id, digests, hi - lo, cpu, task_span(hi - lo))
+                )
             elif kind == "encode":
                 (_, _, name, offset, length, chunk_bytes, indices,
                  out_name, out_offset) = task
@@ -401,7 +441,10 @@ def _worker_main(tasks, results, codec_spec, dict_dir) -> None:
                         enc_out += len(encoded)
                     chunk.release()
                 cpu = time.process_time() - started
-                results.put(("encode", task_id, entries, raw_in, enc_out, cpu))
+                results.put(
+                    ("encode", task_id, entries, raw_in, enc_out, cpu,
+                     task_span(raw_in))
+                )
             elif kind == "decode":
                 _, _, blobs = task
                 from .codec import decode_chunk_file
@@ -409,7 +452,8 @@ def _worker_main(tasks, results, codec_spec, dict_dir) -> None:
                 raws = [decode_chunk_file(blob, load_dictionary, decode_cache)
                         for blob in blobs]
                 cpu = time.process_time() - started
-                results.put(("decode", task_id, raws, cpu))
+                nbytes = sum(len(raw) for raw in raws)
+                results.put(("decode", task_id, raws, cpu, task_span(nbytes)))
             else:
                 results.put(("error", task_id, f"unknown task kind {kind!r}"))
         except Exception as exc:  # noqa: BLE001 - reported to the engine
@@ -527,6 +571,7 @@ class ChunkWorkerPool:
         task_id = self._next_id
         self._next_id += 1
         self._tasks.put((kind, task_id) + payload)
+        _POOL_TASKS.labels(kind=kind).inc()
         return task_id
 
     def collect(self, task_ids: Sequence[int]) -> Dict[int, tuple]:
@@ -539,11 +584,14 @@ class ChunkWorkerPool:
             # for other batches' task_ids keeps the queue non-empty, so
             # checking only in the Empty branch could spin forever.
             if time.monotonic() > deadline:
+                _POOL_DEADLINE_EXCEEDED.inc()
                 raise WorkerPoolError("worker pool wedged: batch deadline exceeded")
             try:
                 result = self._results.get(timeout=_HEARTBEAT_SECONDS)
             except queue_module.Empty:
+                _POOL_HEARTBEAT_TIMEOUTS.inc()
                 if self.alive() < len(self._procs):
+                    _POOL_WORKER_DEATHS.inc(len(self._procs) - self.alive())
                     raise WorkerPoolError(
                         f"worker died mid-batch ({self.alive()}/{len(self._procs)} alive)"
                     )
@@ -647,10 +695,17 @@ class ParallelChunkEngine:
         self.worker_cpu_seconds = 0.0
         self.tasks_dispatched = 0
 
+    @staticmethod
+    def _merge_worker_spans(wspans) -> None:
+        """Fold a task's worker-side spans into the tracer (if tracing)."""
+        if wspans and _trace.tracing():
+            _trace.merge_spans(wspans)
+
     # -- degradation ----------------------------------------------------
     def _disable(self, what: str, exc: Exception) -> None:
         self.enabled = False
         self.fallback_reason = f"{what}: {exc}"
+        _POOL_DEGRADATIONS.inc()
         warnings.warn(
             f"parallel save engine disabled ({what}: {exc}); "
             f"falling back to the in-process save path",
@@ -739,10 +794,11 @@ class ParallelChunkEngine:
         digests: List[str] = []
         hashed = 0
         for task_id in ids:
-            _, _, part, nbytes, cpu = results[task_id]
+            _, _, part, nbytes, cpu, wspans = results[task_id]
             digests.extend(part)
             hashed += nbytes
             self.worker_cpu_seconds += cpu
+            self._merge_worker_spans(wspans)
         payload.seed_digests(chunk_bytes, digests)
         if payload.meters is not None:
             payload.meters.count_hashed(hashed)
@@ -810,10 +866,11 @@ class ParallelChunkEngine:
             raw_in = 0
             enc_out = 0
             for task_id, base in zip(ids, spans):
-                _, _, entries, task_raw, task_out, cpu = results[task_id]
+                _, _, entries, task_raw, task_out, cpu, wspans = results[task_id]
                 raw_in += task_raw
                 enc_out += task_out
                 self.worker_cpu_seconds += cpu
+                self._merge_worker_spans(wspans)
                 for index, rel_off, enc_len in entries:
                     if enc_len <= 0:
                         encoded[index] = None
@@ -861,9 +918,10 @@ class ParallelChunkEngine:
             return None
         raws: List[bytes] = []
         for task_id in ids:
-            _, _, part, cpu = results[task_id]
+            _, _, part, cpu, wspans = results[task_id]
             raws.extend(part)
             self.worker_cpu_seconds += cpu
+            self._merge_worker_spans(wspans)
         return raws
 
     # -- lifecycle ------------------------------------------------------

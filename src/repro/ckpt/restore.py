@@ -10,6 +10,13 @@ caller's *prefetch order* (requests are submitted in the given order, so
 interleaving reads per target rank keeps every rank's restore stream
 progressing), and returns the fetched entries plus wall-clock stats.
 
+Restore now has profiling parity with save: each fetch builds a
+:class:`RestoreProfile` — a per-worker-lane breakdown (entries, bytes,
+busy vs. stall seconds) — carried on :class:`RestoreStats` and rendered
+by ``demo --profile``.  A *stall* is lane wall time not spent inside
+``get``: time the lane sat waiting for work to be scheduled to it
+(prefetch starvation) rather than reading.
+
 The pool relies only on the backend contract: ``get`` must be safe to
 call concurrently with other reads (and with a concurrent ``put_many``
 writer for *unrelated* keys) — pinned by the concurrent-reader cases in
@@ -23,13 +30,15 @@ restore wall-clock in ``benchmarks/bench_restore_parallel.py``.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import span as _span
 from .backend import CheckpointBackend
 
 
@@ -42,6 +51,37 @@ class ReadRequest:
 
 
 @dataclass(frozen=True)
+class LaneProfile:
+    """One reader lane's share of a restore drain."""
+
+    lane: int
+    entries: int
+    payload_bytes: int
+    busy_seconds: float  # summed time inside store.get / nbytes_of
+    wall_seconds: float  # first request start -> last request end
+
+    @property
+    def stall_seconds(self) -> float:
+        """Lane wall time spent waiting for work, not reading."""
+        return max(0.0, self.wall_seconds - self.busy_seconds)
+
+
+@dataclass(frozen=True)
+class RestoreProfile:
+    """Per-worker breakdown of one restore drain (save-profile parity)."""
+
+    lanes: Tuple[LaneProfile, ...]
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(lane.busy_seconds for lane in self.lanes)
+
+    @property
+    def stall_seconds(self) -> float:
+        return sum(lane.stall_seconds for lane in self.lanes)
+
+
+@dataclass(frozen=True)
 class RestoreStats:
     """What one restore drain cost."""
 
@@ -49,10 +89,49 @@ class RestoreStats:
     payload_bytes: int
     workers: int
     wall_seconds: float
+    profile: Optional[RestoreProfile] = None
 
     @property
     def entries_per_second(self) -> float:
         return self.entries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class _LaneRecorder:
+    """Accumulates per-thread lane timings during one fetch."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lanes: Dict[int, List[float]] = {}
+
+    def record(self, start: float, end: float, nbytes: int) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            lane = self._lanes.get(ident)
+            if lane is None:
+                # [entries, bytes, busy, first_start, last_end]
+                self._lanes[ident] = [1.0, float(nbytes), end - start, start, end]
+            else:
+                lane[0] += 1
+                lane[1] += nbytes
+                lane[2] += end - start
+                lane[3] = min(lane[3], start)
+                lane[4] = max(lane[4], end)
+
+    def profile(self) -> RestoreProfile:
+        lanes = []
+        with self._lock:
+            ordered = sorted(self._lanes.values(), key=lambda lane: lane[3])
+        for index, lane in enumerate(ordered):
+            lanes.append(
+                LaneProfile(
+                    lane=index,
+                    entries=int(lane[0]),
+                    payload_bytes=int(lane[1]),
+                    busy_seconds=lane[2],
+                    wall_seconds=lane[4] - lane[3],
+                )
+            )
+        return RestoreProfile(lanes=tuple(lanes))
 
 
 class ParallelRestorer:
@@ -84,33 +163,41 @@ class ParallelRestorer:
         remaining in-flight reads are drained).
         """
         request_list = list(requests)
+        recorder = _LaneRecorder()
+
+        def pull(request: ReadRequest) -> Tuple[Dict[str, np.ndarray], int]:
+            start = time.perf_counter()
+            with _span("restore-read", key=request.key):
+                entry = request.store.get(request.key, copy=self.copy)
+                nbytes = request.store.nbytes_of(request.key)
+            recorder.record(start, time.perf_counter(), nbytes)
+            return entry, nbytes
+
         begin = time.perf_counter()
         entries: Dict[str, Dict[str, np.ndarray]] = {}
+        payload_bytes = 0
         if self.workers == 1 or len(request_list) <= 1:
             for request in request_list:
-                entries[request.key] = request.store.get(request.key, copy=self.copy)
+                entries[request.key], nbytes = pull(request)
+                payload_bytes += nbytes
         else:
             with ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="ckpt-restore"
             ) as pool:
                 futures = [
-                    (
-                        request.key,
-                        pool.submit(request.store.get, request.key, copy=self.copy),
-                    )
+                    (request.key, pool.submit(pull, request))
                     for request in request_list
                 ]
                 for key, future in futures:
-                    entries[key] = future.result()
+                    entries[key], nbytes = future.result()
+                    payload_bytes += nbytes
         wall = time.perf_counter() - begin
-        payload_bytes = sum(
-            request.store.nbytes_of(request.key) for request in request_list
-        )
         return entries, RestoreStats(
             entries=len(request_list),
             payload_bytes=payload_bytes,
             workers=self.workers,
             wall_seconds=wall,
+            profile=recorder.profile(),
         )
 
 

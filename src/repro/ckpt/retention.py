@@ -21,8 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs.metrics import get_registry
+from ..obs.trace import span as _span
 from .kvstore import BaseKVStore
 from .manifest import parse_entry_key
+
+_PRUNED_ENTRIES = get_registry().counter(
+    "moc_retention_pruned_entries_total",
+    "Orphan entries deleted by prune_stale_entries.",
+)
 
 
 @dataclass
@@ -197,11 +204,13 @@ def prune_stale_entries(store, expected_keys: Set[str], gc: bool = False) -> Lis
     if not isinstance(store, CheckpointBackend):
         raise TypeError(f"unsupported store type {type(store).__name__}")
     orphans = [key for key in store.keys() if key not in expected_keys]
-    store.delete_many(orphans)
-    if gc:
-        target = getattr(store, "inner", store)  # unwrap the async pipeline
-        collect = getattr(target, "gc", None)
-        if callable(collect):
-            store.flush()
-            collect()
+    with _span("retention-prune", orphans=len(orphans), gc=gc):
+        store.delete_many(orphans)
+        if gc:
+            target = getattr(store, "inner", store)  # unwrap the async pipeline
+            collect = getattr(target, "gc", None)
+            if callable(collect):
+                store.flush()
+                collect()
+    _PRUNED_ENTRIES.inc(len(orphans))
     return sorted(orphans)

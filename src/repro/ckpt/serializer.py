@@ -46,6 +46,8 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+
 _MAGIC = b"MOC1"
 
 #: Canonical chunking granularity for content digests and the dedup
@@ -63,7 +65,6 @@ class SerializationError(ValueError):
     """Raised for malformed checkpoint payloads."""
 
 
-@dataclass
 class PipelineMeters:
     """Byte counters for the serialize→digest→stage→write pipeline.
 
@@ -75,39 +76,124 @@ class PipelineMeters:
     (one hash pass) and one staging copy per persisted byte — counters,
     not assumptions.
 
+    The counters live in a :class:`repro.obs.metrics.MetricsRegistry`
+    (a private one by default; pass ``registry=`` to share — the
+    manager passes its observer's registry, so a ``--metrics-dump``
+    exposes every pinned invariant straight from the registry).  The
+    historical attribute/``snapshot()`` API is preserved as a shim over
+    the registry counters.
+
+    The upload counters (``bytes_uploaded``/``upload_retries``) are the
+    *single source of truth* for the tiered backend: attaching these
+    meters to a :class:`~repro.ckpt.tiered.TieredBackend` re-homes the
+    tier's own upload accounting onto the same counter objects, so
+    ``tier_stats()`` and ``snapshot()`` can never disagree.
+
     Behind an async write pipeline, increments landing in the *worker*
     thread (e.g. a store hashing an entry the caller didn't pre-digest)
     settle only at a ``flush()`` barrier — snapshot after flushing when
     asserting exact totals.
     """
 
-    bytes_serialized: int = 0
-    bytes_hashed: int = 0
-    bytes_copied: int = 0
-    bytes_compressed: int = 0
-    bytes_compressed_out: int = 0
-    entries_serialized: int = 0
-    bytes_uploaded: int = 0
-    upload_retries: int = 0
+    _FIELD_COUNTERS = {
+        "bytes_serialized": "moc_pipeline_bytes_serialized_total",
+        "bytes_hashed": "moc_pipeline_bytes_hashed_total",
+        "bytes_copied": "moc_pipeline_bytes_copied_total",
+        "bytes_compressed": "moc_pipeline_bytes_compressed_total",
+        "bytes_compressed_out": "moc_pipeline_bytes_compressed_out_total",
+        "entries_serialized": "moc_pipeline_entries_serialized_total",
+        "bytes_uploaded": "moc_tier_bytes_uploaded_total",
+        "upload_retries": "moc_tier_upload_retries_total",
+    }
 
-    def __post_init__(self) -> None:
-        # Increments happen from the caller thread *and* (for
-        # materializing stores behind the async pipeline) the writer
-        # thread; int += is not atomic.
-        self._lock = threading.Lock()
+    def __init__(self, registry: Optional["MetricsRegistry"] = None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._bytes_serialized = registry.counter(
+            "moc_pipeline_bytes_serialized_total",
+            "Payload bytes represented as frames (headers included)",
+        )
+        self._bytes_hashed = registry.counter(
+            "moc_pipeline_bytes_hashed_total", "Bytes fed through SHA-256"
+        )
+        self._bytes_copied = registry.counter(
+            "moc_pipeline_bytes_copied_total",
+            "Bytes memcpy'd (staging snapshots, materializations)",
+        )
+        self._bytes_compressed = registry.counter(
+            "moc_pipeline_bytes_compressed_total",
+            "Raw bytes fed through the chunk codec",
+        )
+        self._bytes_compressed_out = registry.counter(
+            "moc_pipeline_bytes_compressed_out_total",
+            "Encoded bytes the chunk codec produced",
+        )
+        self._entries_serialized = registry.counter(
+            "moc_pipeline_entries_serialized_total", "Entries serialized"
+        )
+        self._bytes_uploaded = registry.counter(
+            "moc_tier_bytes_uploaded_total",
+            "Bytes uploaded to the remote tier (single source of truth)",
+        )
+        self._upload_retries = registry.counter(
+            "moc_tier_upload_retries_total",
+            "Retried (backed-off) remote-tier upload attempts",
+        )
+
+    # Attribute shim: the meters predate the registry, and tests read
+    # these names directly.
+    @property
+    def bytes_serialized(self) -> int:
+        return int(self._bytes_serialized.value)
+
+    @property
+    def bytes_hashed(self) -> int:
+        return int(self._bytes_hashed.value)
+
+    @property
+    def bytes_copied(self) -> int:
+        return int(self._bytes_copied.value)
+
+    @property
+    def bytes_compressed(self) -> int:
+        return int(self._bytes_compressed.value)
+
+    @property
+    def bytes_compressed_out(self) -> int:
+        return int(self._bytes_compressed_out.value)
+
+    @property
+    def entries_serialized(self) -> int:
+        return int(self._entries_serialized.value)
+
+    @property
+    def bytes_uploaded(self) -> int:
+        return int(self._bytes_uploaded.value)
+
+    @property
+    def upload_retries(self) -> int:
+        return int(self._upload_retries.value)
+
+    def upload_counters(self):
+        """The (bytes_uploaded, upload_retries) counter objects.
+
+        :class:`~repro.ckpt.tiered.TieredBackend` adopts these as its
+        own accumulators when meters are attached — one source of truth
+        for upload totals instead of the old private-int + meter
+        double-count.
+        """
+        return self._bytes_uploaded, self._upload_retries
 
     def count_serialized(self, nbytes: int) -> None:
-        with self._lock:
-            self.bytes_serialized += nbytes
-            self.entries_serialized += 1
+        self._bytes_serialized.inc(nbytes)
+        self._entries_serialized.inc()
 
     def count_hashed(self, nbytes: int) -> None:
-        with self._lock:
-            self.bytes_hashed += nbytes
+        self._bytes_hashed.inc(nbytes)
 
     def count_copied(self, nbytes: int) -> None:
-        with self._lock:
-            self.bytes_copied += nbytes
+        self._bytes_copied.inc(nbytes)
 
     def count_compressed(self, raw_nbytes: int, encoded_nbytes: int) -> None:
         """Record one codec pass: ``raw_nbytes`` in, ``encoded_nbytes`` out.
@@ -120,32 +206,22 @@ class PipelineMeters:
         queue and the engine folds them in here — the invariant survives
         the process boundary because it is metered, not assumed.
         """
-        with self._lock:
-            self.bytes_compressed += raw_nbytes
-            self.bytes_compressed_out += encoded_nbytes
+        self._bytes_compressed.inc(raw_nbytes)
+        self._bytes_compressed_out.inc(encoded_nbytes)
 
     def count_uploaded(self, nbytes: int) -> None:
         """Record one completed remote-tier upload of ``nbytes``."""
-        with self._lock:
-            self.bytes_uploaded += nbytes
+        self._bytes_uploaded.inc(nbytes)
 
     def count_upload_retry(self) -> None:
         """Record one retried (backed-off) remote-tier upload attempt."""
-        with self._lock:
-            self.upload_retries += 1
+        self._upload_retries.inc()
 
     def snapshot(self) -> Dict[str, int]:
-        with self._lock:
-            return {
-                "bytes_serialized": self.bytes_serialized,
-                "bytes_hashed": self.bytes_hashed,
-                "bytes_copied": self.bytes_copied,
-                "bytes_compressed": self.bytes_compressed,
-                "bytes_compressed_out": self.bytes_compressed_out,
-                "entries_serialized": self.entries_serialized,
-                "bytes_uploaded": self.bytes_uploaded,
-                "upload_retries": self.upload_retries,
-            }
+        return {
+            field: int(getattr(self, "_" + field).value)
+            for field in self._FIELD_COUNTERS
+        }
 
 
 def _array_data(array: np.ndarray) -> Frame:

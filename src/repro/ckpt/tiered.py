@@ -51,6 +51,8 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import span as _span
 from .backend import CheckpointBackend, CrashInjected, KVStoreError, Payload
 from .dedup import _JsonlJournal
 
@@ -79,6 +81,7 @@ class SimulatedObjectStore(CheckpointBackend):
         latency_seconds: float = 0.0,
         fault_rate: float = 0.0,
         seed: int = 0x5EED,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__()
         if not 0.0 <= fault_rate < 1.0:
@@ -88,18 +91,31 @@ class SimulatedObjectStore(CheckpointBackend):
         self.fault_rate = fault_rate
         self._rng = random.Random(seed)
         self._sim_lock = threading.Lock()
-        self.ops = 0
-        self.faults_injected = 0
+        if registry is None:
+            registry = MetricsRegistry()
+        self._c_ops = registry.counter(
+            "moc_remote_ops_total", "Simulated remote-tier payload operations"
+        )
+        self._c_faults = registry.counter(
+            "moc_remote_faults_total", "Injected transient remote faults"
+        )
+
+    @property
+    def ops(self) -> int:
+        return int(self._c_ops.value)
+
+    @property
+    def faults_injected(self) -> int:
+        return int(self._c_faults.value)
 
     def _simulate(self, op: str) -> None:
         if self.latency_seconds > 0:
             time.sleep(self.latency_seconds)
+        self._c_ops.inc()
         with self._sim_lock:
-            self.ops += 1
             inject = self._rng.random() < self.fault_rate
-            if inject:
-                self.faults_injected += 1
         if inject:
+            self._c_faults.inc()
             raise RemoteUnavailable(f"injected remote fault during {op}")
 
     # -- payload ops (latency + faults) ---------------------------------
@@ -236,6 +252,7 @@ class TieredBackend(CheckpointBackend):
         local_keep_stamps: Optional[int] = None,
         promote_on_read: bool = True,
         meters: Optional[object] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__()
         if upload_workers < 0:
@@ -256,10 +273,6 @@ class TieredBackend(CheckpointBackend):
         self.remote_read_retries = remote_read_retries
         self.local_keep_stamps = local_keep_stamps
         self.promote_on_read = promote_on_read
-        #: Optional :class:`~repro.ckpt.serializer.PipelineMeters`; the
-        #: manager attaches its own so upload bytes/retries show up in
-        #: ``demo --profile`` next to the serialize/hash/copy counters.
-        self.meters = meters
 
         # All tier state below is guarded by _state_lock; the journal is
         # append-only and not internally locked, so appends take the
@@ -277,16 +290,50 @@ class TieredBackend(CheckpointBackend):
         self._upload_failures: Dict[str, str] = {}
         self._closed = False
 
-        # Counters (under _state_lock).
-        self.uploads_completed = 0
-        self.upload_retries = 0
-        self.uploads_failed = 0
-        self.bytes_uploaded = 0
-        self.remote_reads = 0
-        self.hedged_reads = 0
-        self.read_retries = 0
-        self.promotions = 0
-        self.demotions = 0
+        # Counters live on a metrics registry (a private one unless the
+        # caller shares one), so increments from concurrent upload
+        # workers are atomic by construction — no bare ints under (or
+        # escaping) the state lock.  The historical attribute names
+        # (``self.upload_retries`` etc.) are read-only properties.
+        if registry is None:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._c_uploads_completed = registry.counter(
+            "moc_tier_uploads_completed_total", "Uploads claimed remote-durable"
+        )
+        self._c_upload_retries = registry.counter(
+            "moc_tier_upload_retries_total",
+            "Retried (backed-off) remote-tier upload attempts",
+        )
+        self._c_uploads_failed = registry.counter(
+            "moc_tier_uploads_failed_total", "Uploads that exhausted their retries"
+        )
+        self._c_bytes_uploaded = registry.counter(
+            "moc_tier_bytes_uploaded_total",
+            "Bytes uploaded to the remote tier (single source of truth)",
+        )
+        self._c_remote_reads = registry.counter(
+            "moc_tier_remote_reads_total", "Remote-tier read attempts"
+        )
+        self._c_hedged_reads = registry.counter(
+            "moc_tier_hedged_reads_total", "Remote reads that launched a hedge"
+        )
+        self._c_read_retries = registry.counter(
+            "moc_tier_read_retries_total", "Retried remote-tier reads"
+        )
+        self._c_promotions = registry.counter(
+            "moc_tier_promotions_total", "Read-through promotions into the local tier"
+        )
+        self._c_demotions = registry.counter(
+            "moc_tier_demotions_total", "Retention demotions out of the local tier"
+        )
+        #: Optional :class:`~repro.ckpt.serializer.PipelineMeters`; the
+        #: manager attaches its own, which *re-homes* the upload
+        #: byte/retry counters onto the meters' registry so ``demo
+        #: --profile``, ``tier_stats()`` and a ``--metrics-dump`` all
+        #: read the very same counter objects.
+        self._meters: Optional[object] = None
+        self.meters = meters
 
         for record in self._journal.replay():
             op = record.get("op")
@@ -321,6 +368,75 @@ class TieredBackend(CheckpointBackend):
         # durable re-enters the pipeline (idempotent re-upload).
         for key in self.pending_uploads():
             self._schedule_upload(key)
+
+    # -- counters (registry-backed; attribute names are the legacy API) --
+    @property
+    def uploads_completed(self) -> int:
+        return int(self._c_uploads_completed.value)
+
+    @property
+    def upload_retries(self) -> int:
+        return int(self._c_upload_retries.value)
+
+    @property
+    def uploads_failed(self) -> int:
+        return int(self._c_uploads_failed.value)
+
+    @property
+    def bytes_uploaded(self) -> int:
+        return int(self._c_bytes_uploaded.value)
+
+    @property
+    def remote_reads(self) -> int:
+        return int(self._c_remote_reads.value)
+
+    @property
+    def hedged_reads(self) -> int:
+        return int(self._c_hedged_reads.value)
+
+    @property
+    def read_retries(self) -> int:
+        return int(self._c_read_retries.value)
+
+    @property
+    def promotions(self) -> int:
+        return int(self._c_promotions.value)
+
+    @property
+    def demotions(self) -> int:
+        return int(self._c_demotions.value)
+
+    @property
+    def meters(self) -> Optional[object]:
+        return self._meters
+
+    @meters.setter
+    def meters(self, value: Optional[object]) -> None:
+        """Attach pipeline meters — and adopt their upload counters.
+
+        The old seam double-counted: ``_upload_once`` bumped a private
+        int *and* called ``meters.count_uploaded()``.  Now attaching
+        meters swaps the tier's upload byte/retry counters for the
+        meters' own registry counters (carrying over anything already
+        accumulated), so there is exactly one accumulator per total no
+        matter who reads it.
+        """
+        self._meters = value
+        counters_of = getattr(value, "upload_counters", None)
+        if counters_of is None:
+            return
+        bytes_counter, retries_counter = counters_of()
+        with self._state_lock:
+            if bytes_counter is not self._c_bytes_uploaded:
+                carried = self._c_bytes_uploaded.value
+                if carried:
+                    bytes_counter.inc(carried)
+                self._c_bytes_uploaded = bytes_counter
+            if retries_counter is not self._c_upload_retries:
+                carried = self._c_upload_retries.value
+                if carried:
+                    retries_counter.inc(carried)
+                self._c_upload_retries = retries_counter
 
     # -- fault-hook propagation -----------------------------------------
     @property
@@ -444,36 +560,36 @@ class TieredBackend(CheckpointBackend):
         """
         attempt = 0
         started = time.monotonic()
-        while True:
-            try:
-                self._upload_once(key)
-            except CrashInjected:
-                raise
-            except KVStoreError:
-                return True  # deleted underneath the pipeline: settled
-            except Exception as exc:  # noqa: BLE001 - transient remote fault
-                attempt += 1
-                elapsed = time.monotonic() - started
-                if (
-                    attempt > self.upload_max_retries
-                    or elapsed > self.upload_timeout_seconds
-                ):
-                    with self._state_lock:
-                        self.uploads_failed += 1
-                        self._upload_failures[key] = f"{type(exc).__name__}: {exc}"
-                    return False
-                with self._state_lock:
-                    self.upload_retries += 1
-                if self.meters is not None:
-                    self.meters.count_upload_retry()
-                time.sleep(
-                    min(
-                        self.backoff_max_seconds,
-                        self.backoff_base_seconds * (2 ** (attempt - 1)),
-                    )
-                )
-                continue
-            return True
+        with _span("upload", key=key):
+            while True:
+                try:
+                    with _span("upload-attempt", key=key, attempt=attempt):
+                        self._upload_once(key)
+                except CrashInjected:
+                    raise
+                except KVStoreError:
+                    return True  # deleted underneath the pipeline: settled
+                except Exception as exc:  # noqa: BLE001 - transient remote fault
+                    attempt += 1
+                    elapsed = time.monotonic() - started
+                    if (
+                        attempt > self.upload_max_retries
+                        or elapsed > self.upload_timeout_seconds
+                    ):
+                        self._c_uploads_failed.inc()
+                        with self._state_lock:
+                            self._upload_failures[key] = f"{type(exc).__name__}: {exc}"
+                        return False
+                    self._c_upload_retries.inc()
+                    with _span("upload-backoff", key=key, attempt=attempt):
+                        time.sleep(
+                            min(
+                                self.backoff_max_seconds,
+                                self.backoff_base_seconds * (2 ** (attempt - 1)),
+                            )
+                        )
+                    continue
+                return True
 
     def _upload_once(self, key: str) -> None:
         stamp = self.local.stamp_of(key)  # KVStoreError -> deleted, settled
@@ -496,10 +612,10 @@ class TieredBackend(CheckpointBackend):
             )
             self._remote_claims[key] = (stamp, nbytes)
             self._upload_failures.pop(key, None)
-            self.uploads_completed += 1
-            self.bytes_uploaded += nbytes
-        if self.meters is not None:
-            self.meters.count_uploaded(nbytes)
+        # One accumulator per total: after a meters attach these ARE the
+        # pipeline meters' counters, so no second count lands anywhere.
+        self._c_uploads_completed.inc()
+        self._c_bytes_uploaded.inc(nbytes)
 
     def drain_uploads(self) -> None:
         """Block until the background pipeline has settled every key it
@@ -525,7 +641,8 @@ class TieredBackend(CheckpointBackend):
         for key in self.pending_uploads():
             if self._upload_queue is None:
                 self._upload_with_retry(key)
-        self._apply_local_retention()
+        with _span("tier-retention"):
+            self._apply_local_retention()
         self.remote.flush()
 
     # -- retention (demotion) -------------------------------------------
@@ -553,9 +670,10 @@ class TieredBackend(CheckpointBackend):
                 if self._remote_claims.get(key) != (stamp, nbytes):
                     continue  # not remote-durable: never evict
                 self._journal.append([{"op": "demote", "key": key, "stamp": stamp}])
-                self.demotions += 1
+            self._c_demotions.inc()
             try:
-                self.local.delete(key)
+                with _span("demote", key=key, stamp=stamp):
+                    self.local.delete(key)
             except KVStoreError:  # pragma: no cover - concurrent delete
                 pass
 
@@ -577,10 +695,13 @@ class TieredBackend(CheckpointBackend):
     def _promote(self, key: str, payload: bytes, stamp: int) -> None:
         """Best-effort read-through promotion back into the local tier."""
         try:
-            self.local.put_serialized(key, payload, stamp)
-            with self._state_lock:
-                self._journal.append([{"op": "promote", "key": key, "stamp": stamp}])
-                self.promotions += 1
+            with _span("promote", key=key, stamp=stamp):
+                self.local.put_serialized(key, payload, stamp)
+                with self._state_lock:
+                    self._journal.append(
+                        [{"op": "promote", "key": key, "stamp": stamp}]
+                    )
+            self._c_promotions.inc()
         except CrashInjected:
             raise
         except Exception:  # pragma: no cover - promotion must never fail a read
@@ -590,20 +711,20 @@ class TieredBackend(CheckpointBackend):
         last_error: Optional[Exception] = None
         for attempt in range(self.remote_read_retries + 1):
             if attempt:
-                with self._state_lock:
-                    self.read_retries += 1
-                time.sleep(
-                    min(
-                        self.backoff_max_seconds,
-                        self.backoff_base_seconds * (2 ** (attempt - 1)),
+                self._c_read_retries.inc()
+                with _span("read-backoff", key=key, attempt=attempt):
+                    time.sleep(
+                        min(
+                            self.backoff_max_seconds,
+                            self.backoff_base_seconds * (2 ** (attempt - 1)),
+                        )
                     )
-                )
             try:
-                with self._state_lock:
-                    self.remote_reads += 1
-                if self.hedge_after_seconds is not None:
-                    return self._remote_read_hedged(key)
-                return self.remote._read(key)
+                self._c_remote_reads.inc()
+                with _span("remote-read", key=key, attempt=attempt):
+                    if self.hedge_after_seconds is not None:
+                        return self._remote_read_hedged(key)
+                    return self.remote._read(key)
             except (RemoteUnavailable, OSError) as exc:
                 last_error = exc
         raise KVStoreError(
@@ -624,20 +745,22 @@ class TieredBackend(CheckpointBackend):
             pass
         except Exception:
             raise  # a fast failure is the retry loop's business
-        with self._state_lock:
-            self.hedged_reads += 1
-        secondary = pool.submit(self.remote._read, key)
-        outstanding = {primary, secondary}
-        first_error: Optional[BaseException] = None
-        while outstanding:
-            done, outstanding = futures_wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in done:
-                error = future.exception()
-                if error is None:
-                    return future.result()
-                if first_error is None:
-                    first_error = error
-        raise first_error  # both legs failed
+        self._c_hedged_reads.inc()
+        with _span("hedged-read", key=key):
+            secondary = pool.submit(self.remote._read, key)
+            outstanding = {primary, secondary}
+            first_error: Optional[BaseException] = None
+            while outstanding:
+                done, outstanding = futures_wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    error = future.exception()
+                    if error is None:
+                        return future.result()
+                    if first_error is None:
+                        first_error = error
+            raise first_error  # both legs failed
 
     def _ensure_read_pool(self) -> ThreadPoolExecutor:
         with self._state_lock:
@@ -816,20 +939,26 @@ class TieredBackend(CheckpointBackend):
 
     # -- stats / lifecycle ----------------------------------------------
     def tier_stats(self) -> Dict[str, int]:
-        """Counters for the CLI's stats block (and tests)."""
+        """Counters for the CLI's stats block (and tests).
+
+        These read the registry counters directly — after a meters
+        attach, ``bytes_uploaded``/``upload_retries`` here and in
+        ``PipelineMeters.snapshot()`` are the same accumulators, so the
+        two views cannot drift.
+        """
+        stats = {
+            "uploads_completed": self.uploads_completed,
+            "upload_retries": self.upload_retries,
+            "uploads_failed": self.uploads_failed,
+            "bytes_uploaded": self.bytes_uploaded,
+            "remote_reads": self.remote_reads,
+            "hedged_reads": self.hedged_reads,
+            "read_retries": self.read_retries,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+        }
         with self._state_lock:
-            stats = {
-                "uploads_completed": self.uploads_completed,
-                "upload_retries": self.upload_retries,
-                "uploads_failed": self.uploads_failed,
-                "bytes_uploaded": self.bytes_uploaded,
-                "remote_reads": self.remote_reads,
-                "hedged_reads": self.hedged_reads,
-                "read_retries": self.read_retries,
-                "promotions": self.promotions,
-                "demotions": self.demotions,
-                "remote_claims": len(self._remote_claims),
-            }
+            stats["remote_claims"] = len(self._remote_claims)
         stats["pending_uploads"] = len(self.pending_uploads())
         stats["local_keys"] = len(self.local.keys())
         stats["remote_faults"] = int(getattr(self.remote, "faults_injected", 0))
@@ -895,6 +1024,7 @@ def open_tiered_root(
     upload_workers: int = 1,
     local_keep_stamps: Optional[int] = None,
     hedge_after_seconds: Optional[float] = 0.25,
+    registry: Optional[MetricsRegistry] = None,
 ) -> TieredBackend:
     """Open the standard tiered layout under ``root``.
 
@@ -916,6 +1046,7 @@ def open_tiered_root(
         latency_seconds=remote_latency,
         fault_rate=remote_fault_rate,
         seed=remote_seed,
+        registry=registry,
     )
     return TieredBackend(
         local,
@@ -924,6 +1055,7 @@ def open_tiered_root(
         upload_workers=upload_workers,
         local_keep_stamps=local_keep_stamps,
         hedge_after_seconds=hedge_after_seconds,
+        registry=registry,
     )
 
 

@@ -14,6 +14,9 @@ Commands
 ``fsck``      verify chunk hashes, manifests and refcounts of a dedup
               checkpoint directory — or, for a tiered root, both tiers
               plus the promotion journal (non-zero exit on errors)
+``stats``     summarize a Chrome trace-event JSON exported by
+              ``demo --trace`` — per-span wall/percentiles and counter
+              high-water marks (non-zero exit on an invalid trace)
 
 All commands print fixed-width tables and return 0 on success (``fsck``
 returns 1 when it finds integrity errors), making them scriptable;
@@ -131,6 +134,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         grid_topology,
     )
     from .models import Adam, MoEModelConfig, MoETransformerLM
+    from .obs import Observer, get_registry, get_tracer
     from .train import FaultSchedule, MarkovCorpus, Trainer, TrainerConfig
 
     model_config = MoEModelConfig(
@@ -157,7 +161,17 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print("error: --remote-latency/--remote-fault-rate/--local-keep "
               "require --backend tiered", file=sys.stderr)
         return 2
+    # One run-scoped observer: the manager's pipeline meters and the
+    # tiered backend's upload/fault counters all land on this registry,
+    # so ``--metrics-dump`` reads every pinned invariant from one place.
+    # Spans always flow to the process tracer; ``--trace`` switches it
+    # on (disabled tracing is a shared no-op span — near-zero cost).
+    observer = Observer(tracer=get_tracer())
+    if args.trace:
+        observer.tracer.reset()
+        observer.tracer.enable()
     rows = []
+    restore_profiles = []
     with tempfile.TemporaryDirectory() as storage:
         store = make_backend(
             args.backend, storage,
@@ -166,6 +180,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             remote_fault_rate=args.remote_fault_rate,
             upload_workers=args.upload_workers,
             local_keep_stamps=args.local_keep,
+            hedge_after_seconds=args.hedge_after,
+            registry=observer.registry,
         )
         if args.async_writes:
             # Share the chunk engine's shared-memory staging pool (when
@@ -180,6 +196,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             # tiered backend's local tier is a dedup store, so it
             # benefits identically.
             delta_saves=dedup or tiered,
+            observer=observer,
         )
         trainer = Trainer(
             model, optimizer, corpus,
@@ -209,7 +226,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 fresh_opt = Adam(fresh.named_parameters(), lr=3e-3)
                 fresh_manager = MoCCheckpointManager(
                     fresh, fresh_opt, config, disk_store=store,
-                    topology=restore_topology,
+                    topology=restore_topology, observer=observer,
                 )
                 result = fresh_manager.restore(
                     topology=restore_topology, workers=workers
@@ -240,6 +257,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         profile_rows = []
         meters = manager.pipeline_meters
         if args.profile:
+            recovery_stats = history.recoveries[0].restore_stats
+            if recovery_stats is not None and recovery_stats.profile is not None:
+                restore_profiles.append(("fault recovery", recovery_stats))
+            if resharding and result.restore_stats is not None \
+                    and result.restore_stats.profile is not None:
+                restore_profiles.append(("resharded restore", result.restore_stats))
             profile_rows = [
                 (
                     prof.iteration,
@@ -338,6 +361,40 @@ def _cmd_demo(args: argparse.Namespace) -> int:
              total["bytes_compressed"] / total["bytes_serialized"]
              if total["bytes_serialized"] else 0.0),
         ]))
+        # Read-side parity: per-lane restore breakdown (entries, bytes,
+        # busy vs. stall — stall is lane wall time spent waiting for
+        # work rather than reading).
+        for label, stats in restore_profiles:
+            print(render_table(
+                [f"{label} lane", "entries", "KiB read", "busy ms", "stall ms"],
+                [
+                    (
+                        lane.lane,
+                        lane.entries,
+                        lane.payload_bytes / 1024.0,
+                        1e3 * lane.busy_seconds,
+                        1e3 * lane.stall_seconds,
+                    )
+                    for lane in stats.profile.lanes
+                ],
+                precision=2,
+            ))
+    if args.trace:
+        exported = observer.tracer.export(args.trace)
+        observer.tracer.disable()
+        print(render_kv("trace", [
+            ("events", len(exported["traceEvents"])),
+            ("path", args.trace),
+        ]))
+    if args.metrics_dump:
+        # Run-scoped registry first (meters + tier counters — exact for
+        # this run), then the process-wide registry holding the module
+        # seams (async queue depth, journal appends, worker pool); the
+        # latter accumulates across runs in one process.
+        print("# ---- run registry ----")
+        print(observer.registry.render_prometheus(), end="")
+        print("# ---- process registry ----")
+        print(get_registry().render_prometheus(), end="")
     return 0
 
 
@@ -439,6 +496,50 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import summarize_trace, validate_trace
+    from .obs.stats import load_trace
+
+    try:
+        obj = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_trace(obj)
+    summary = summarize_trace(obj)
+    print(render_kv(f"trace {args.trace}", [
+        ("wall ms", summary["wall_ms"]),
+        ("events", summary["events"]),
+        ("processes", summary["processes"]),
+        ("threads", summary["threads"]),
+        ("status", "valid" if not errors else "INVALID"),
+    ]))
+    span_rows = [
+        (name, stat["count"], stat["total_ms"], stat["p50_ms"],
+         stat["p90_ms"], stat["max_ms"])
+        for name, stat in sorted(
+            summary["spans"].items(), key=lambda kv: -kv[1]["total_ms"]
+        )
+    ]
+    if span_rows:
+        print(render_table(
+            ["span", "count", "total ms", "p50 ms", "p90 ms", "max ms"],
+            span_rows, precision=2,
+        ))
+    counter_rows = [
+        (name, stat["samples"], stat["last"], stat["high_water"])
+        for name, stat in sorted(summary["counters"].items())
+    ]
+    if counter_rows:
+        print(render_table(
+            ["counter", "samples", "last", "high water"],
+            counter_rows, precision=2,
+        ))
+    for line in errors:
+        print(f"  error: {line}")
+    return 0 if not errors else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -507,6 +608,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keep only the newest K checkpoint stamps on "
                            "the tiered backend's local tier (older "
                            "remote-durable entries are demoted)")
+    demo.add_argument("--hedge-after", type=float, default=0.25,
+                      help="seconds before a remote read races a second, "
+                           "hedged request (tiered backend only)")
     demo.add_argument("--dp", type=int, default=2,
                       help="data-parallel degree of the save topology "
                            "(DP x EP ranks total)")
@@ -527,7 +631,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the save-pipeline profile: per-save "
                            "wall time plus serialized/hashed/copied byte "
                            "meters (hash passes and staging copies per "
-                           "payload byte)")
+                           "payload byte), and the per-lane restore "
+                           "breakdown of every recovery")
+    demo.add_argument("--trace", default=None, metavar="PATH",
+                      help="record span tracing for the whole run and "
+                           "export a Chrome trace-event JSON to PATH "
+                           "(load it in Perfetto / chrome://tracing, or "
+                           "summarize with 'moc-repro stats PATH')")
+    demo.add_argument("--metrics-dump", action="store_true",
+                      help="print the metrics registry in Prometheus "
+                           "text format after the run")
     demo.set_defaults(func=_cmd_demo)
 
     gc = sub.add_parser(
@@ -552,6 +665,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "claims and reschedule their uploads), clearing "
                            "crash-window drift")
     fsck.set_defaults(func=_cmd_fsck)
+
+    stats = sub.add_parser(
+        "stats", help="summarize a Chrome trace-event JSON exported by "
+                      "'demo --trace'"
+    )
+    stats.add_argument("trace", help="path to the trace JSON")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

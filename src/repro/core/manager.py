@@ -27,6 +27,8 @@ import numpy as np
 from ..ckpt.async_writer import AsyncWriteBackend
 from ..ckpt.backend import CheckpointBackend, make_backend
 from ..ckpt.serializer import PayloadFrames, PipelineMeters
+from ..obs import Observer
+from ..obs.trace import span as _span
 from ..ckpt.codec import PrecisionCodec
 from ..ckpt.kvstore import InMemoryKVStore
 from ..ckpt.manifest import (
@@ -231,10 +233,13 @@ class MoCCheckpointManager:
         remote_fault_rate: float = 0.0,
         upload_workers: int = 1,
         local_keep_stamps: Optional[int] = None,
+        hedge_after_seconds: Optional[float] = 0.25,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.model = model
         self.optimizer = optimizer
         self.config = config
+        self.observer = observer
         if disk_store is None:
             if disk_root is None and backend != "memory":
                 raise ValueError("provide disk_store or disk_root")
@@ -245,6 +250,8 @@ class MoCCheckpointManager:
                 remote_fault_rate=remote_fault_rate,
                 upload_workers=upload_workers,
                 local_keep_stamps=local_keep_stamps,
+                hedge_after_seconds=hedge_after_seconds,
+                registry=observer.registry if observer is not None else None,
             )
         elif chunk_codec is not None or parallel_workers:
             raise ValueError(
@@ -315,8 +322,18 @@ class MoCCheckpointManager:
         # computed at the persist tier's chunk granularity so the dedup
         # backend reuses the same sweep — the single-hash-pass property
         # the meters let tests *pin* rather than assume.
-        self.pipeline_meters = PipelineMeters()
+        self.pipeline_meters = PipelineMeters(
+            registry=observer.registry if observer is not None else None
+        )
         self.save_profile: List[SaveProfile] = []
+        # Phase-latency histograms live on the same registry as the
+        # meters so a ``--metrics-dump`` shows latency next to bytes.
+        self._h_save_seconds = self.pipeline_meters.registry.histogram(
+            "moc_save_seconds", "Wall seconds per two-level checkpoint save."
+        )
+        self._h_recover_seconds = self.pipeline_meters.registry.histogram(
+            "moc_recover_seconds", "Wall seconds per recovery (restore included)."
+        )
         self._digest_chunk_bytes = self.disk_store.digest_chunk_bytes
         # A tiered persist store reports its upload pipeline (bytes
         # uploaded, backed-off retries) through the same meters, so
@@ -398,6 +415,10 @@ class MoCCheckpointManager:
         — recovery from the very first fault would otherwise find experts
         that were never saved.  Does not advance the PEC rotation.
         """
+        with _span("save-initial", iteration=iteration):
+            return self._save_initial(iteration)
+
+    def _save_initial(self, iteration: int) -> CheckpointManifest:
         begin = time.perf_counter()
         meters_before = self.pipeline_meters.snapshot()
         codec_before = self._codec_stats()
@@ -424,8 +445,9 @@ class MoCCheckpointManager:
                 for key, entry in ((w_key, w_entry), (o_key, o_entry)):
                     snapshot_items.append((key, entry, iteration, node))
                     persist_items.append((key, entry, iteration, 0))
-        self._record(manifest.snapshot_entries, snapshot_items,
-                     self.memory_store.put_many(snapshot_items))
+        with _span("snapshot-save", entries=len(snapshot_items)):
+            sizes = self.memory_store.put_many(snapshot_items)
+        self._record(manifest.snapshot_entries, snapshot_items, sizes)
         self._persist_batch(manifest, persist_items)
         self._persist_topology(iteration)
         meta_key = meta_entry_key("iteration")
@@ -439,6 +461,10 @@ class MoCCheckpointManager:
 
     def checkpoint(self, iteration: int) -> CheckpointManifest:
         """Run one two-level checkpoint at ``iteration``."""
+        with _span("save", iteration=iteration):
+            return self._checkpoint(iteration)
+
+    def _checkpoint(self, iteration: int) -> CheckpointManifest:
         begin = time.perf_counter()
         meters_before = self.pipeline_meters.snapshot()
         codec_before = self._codec_stats()
@@ -474,8 +500,9 @@ class MoCCheckpointManager:
                     snapshot_items.append(
                         (key, self._encode(self._optimizer_entry(name)), iteration, node)
                     )
-        self._record(manifest.snapshot_entries, snapshot_items,
-                     self.memory_store.put_many(snapshot_items))
+        with _span("snapshot-save", entries=len(snapshot_items)):
+            sizes = self.memory_store.put_many(snapshot_items)
+        self._record(manifest.snapshot_entries, snapshot_items, sizes)
         meta_key = meta_entry_key("iteration")
         self.memory_store.put(meta_key, {"iteration": np.asarray(iteration)}, stamp=iteration)
         self.plt_tracker.record_save(
@@ -533,9 +560,11 @@ class MoCCheckpointManager:
         """Append one :class:`SaveProfile` covering the save just run."""
         after = self.pipeline_meters.snapshot()
         codec_after = self._codec_stats()
+        wall = time.perf_counter() - begin
+        self._h_save_seconds.observe(wall)
         self.save_profile.append(SaveProfile(
             iteration=manifest.iteration,
-            wall_seconds=time.perf_counter() - begin,
+            wall_seconds=wall,
             persist_entries=len(manifest.persist_entries),
             persist_skipped=len(manifest.persist_skipped),
             bytes_serialized=after["bytes_serialized"] - meters_before["bytes_serialized"],
@@ -579,20 +608,22 @@ class MoCCheckpointManager:
         """
         digests: List[str] = []
         payload_items: List = []
-        for key, entry, stamp, node in items:
-            frames = self._frames(entry)
-            if self.delta_saves:
-                digest = frames.entry_digest(self._digest_chunk_bytes)
-                prev = self._persist_digests.get(key)
-                if prev is not None and prev[0] == digest:
-                    manifest.persist_skipped.append(
-                        ManifestRecord(key, prev[2], prev[1])
-                    )
-                    continue
-                digests.append(digest)
-            payload_items.append((key, frames, stamp, node))
+        with _span("persist-serialize", items=len(items)):
+            for key, entry, stamp, node in items:
+                frames = self._frames(entry)
+                if self.delta_saves:
+                    digest = frames.entry_digest(self._digest_chunk_bytes)
+                    prev = self._persist_digests.get(key)
+                    if prev is not None and prev[0] == digest:
+                        manifest.persist_skipped.append(
+                            ManifestRecord(key, prev[2], prev[1])
+                        )
+                        continue
+                    digests.append(digest)
+                payload_items.append((key, frames, stamp, node))
         try:
-            sizes = self.disk_store.put_many_serialized(payload_items)
+            with _span("persist-save", entries=len(payload_items)):
+                sizes = self.disk_store.put_many_serialized(payload_items)
         except BaseException:
             self._persist_digests.clear()
             raise
@@ -638,8 +669,9 @@ class MoCCheckpointManager:
     def flush(self) -> None:
         """Durability barrier over both tiers (async persist included)."""
         try:
-            self.memory_store.flush()
-            self.disk_store.flush()
+            with _span("manager-flush"):
+                self.memory_store.flush()
+                self.disk_store.flush()
         except BaseException:
             self._persist_digests.clear()
             raise
@@ -707,6 +739,18 @@ class MoCCheckpointManager:
         tier, and the manager adopts the target placement afterwards.
         ``restore_workers`` sizes the parallel read pipeline (1 = serial).
         """
+        begin = time.perf_counter()
+        with _span("recover", restore_workers=restore_workers):
+            result = self._recover(failed_nodes, target_topology, restore_workers)
+        self._h_recover_seconds.observe(time.perf_counter() - begin)
+        return result
+
+    def _recover(
+        self,
+        failed_nodes: Sequence[int],
+        target_topology: Optional[ShardTopology],
+        restore_workers: int,
+    ) -> RecoveryResult:
         # Drain any in-flight async writes before reading: recovery must
         # observe every accepted put (and surface deferred write errors).
         # The delta-save digest cache is dropped either way — post-fault,
@@ -764,10 +808,12 @@ class MoCCheckpointManager:
         # per-field allocation); _load_entry copies into the optimizer's
         # own arrays, which is the writability guard — training never
         # sees a read-only restored array.
-        entries, restore_stats = ParallelRestorer(
-            workers=restore_workers, copy=False
-        ).fetch(requests)
-        self._apply_entries(entries)
+        with _span("restore-fetch", requests=len(requests)):
+            entries, restore_stats = ParallelRestorer(
+                workers=restore_workers, copy=False
+            ).fetch(requests)
+        with _span("restore-apply", entries=len(entries)):
+            self._apply_entries(entries)
         if target_topology is not None:
             self._adopt_topology(target_topology)
 

@@ -1,0 +1,205 @@
+"""Validation and summarization of exported Chrome trace-event JSON.
+
+``validate_trace`` is the schema gate used by tests and the CI
+trace-smoke job; ``summarize_trace`` powers the ``moc-repro stats``
+subcommand (per-phase wall totals and percentiles, counter high-water
+marks).  Both operate on the parsed JSON object, so they work on
+traces produced by this process, by a demo run, or by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "load_trace",
+    "percentile",
+    "summarize_trace",
+    "validate_trace",
+]
+
+_KNOWN_PHASES = {"B", "E", "C", "X", "i", "I", "M"}
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Parse a trace file, raising ``ValueError`` on malformed JSON."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            obj = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ValueError(f"{path}: trace root must be an object")
+    return obj
+
+
+def validate_trace(obj: Mapping[str, Any]) -> List[str]:
+    """Return a list of schema violations (empty means valid).
+
+    Checks, in the spirit of "loadable in Perfetto":
+
+    - root object with a ``traceEvents`` list;
+    - every event has ``name``/``ph``/``ts``/``pid``/``tid`` of the
+      right types, ``ph`` drawn from the trace-event alphabet;
+    - file-order timestamps are globally non-decreasing (the exporter
+      sorts, so an unsorted file indicates a broken merge);
+    - per (pid, tid) the B/E events are *balanced*: every E matches
+      the innermost open B of the same name, and nothing stays open —
+      including spans merged from killed workers, which the exporter
+      must have closed with synthesized ends.
+    - "C" events carry a numeric ``args`` mapping.
+    """
+    errors: List[str] = []
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+
+    last_ts: Optional[float] = None
+    stacks: Dict[Tuple[int, int], List[str]] = {}
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        phase = event.get("ph")
+        ts = event.get("ts")
+        pid = event.get("pid")
+        tid = event.get("tid")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/invalid name")
+            continue
+        if phase not in _KNOWN_PHASES:
+            errors.append(f"{where} ({name}): unknown ph {phase!r}")
+            continue
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where} ({name}): invalid ts {ts!r}")
+            continue
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            errors.append(f"{where} ({name}): pid/tid must be ints")
+            continue
+        if last_ts is not None and ts < last_ts:
+            errors.append(
+                f"{where} ({name}): ts {ts} goes backwards (prev {last_ts})"
+            )
+        last_ts = max(ts, last_ts) if last_ts is not None else ts
+
+        stack = stacks.setdefault((pid, tid), [])
+        if phase == "B":
+            stack.append(name)
+        elif phase == "E":
+            if not stack:
+                errors.append(f"{where} ({name}): E with no open span on {pid}/{tid}")
+            elif stack[-1] != name:
+                errors.append(
+                    f"{where}: E for {name!r} but innermost open span is"
+                    f" {stack[-1]!r} on {pid}/{tid}"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                errors.append(f"{where} ({name}): C event needs numeric args")
+
+    for (pid, tid), stack in sorted(stacks.items()):
+        for name in stack:
+            errors.append(f"unclosed span {name!r} on {pid}/{tid}")
+    return errors
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sequence (q in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def summarize_trace(obj: Mapping[str, Any]) -> Dict[str, Any]:
+    """Aggregate a trace into per-span and per-counter statistics.
+
+    Returns::
+
+        {
+          "wall_ms": <last ts - first ts>,
+          "events": <event count>,
+          "processes": <distinct pids>,
+          "threads": <distinct (pid, tid) tracks>,
+          "spans": {name: {"count", "total_ms", "p50_ms", "p90_ms",
+                            "max_ms"}},
+          "counters": {name: {"samples", "last", "high_water"}},
+        }
+
+    Durations come from matching B/E pairs per (pid, tid); unbalanced
+    events are skipped (run ``validate_trace`` first if you care).
+    """
+    events = obj.get("traceEvents") or []
+    durations: Dict[str, List[float]] = {}
+    counters: Dict[str, Dict[str, float]] = {}
+    stacks: Dict[Tuple[Any, Any], List[Tuple[str, float]]] = {}
+    tracks = set()
+    pids = set()
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        name = event.get("name")
+        phase = event.get("ph")
+        ts = event.get("ts")
+        if not isinstance(name, str) or not isinstance(ts, (int, float)):
+            continue
+        first_ts = ts if first_ts is None else min(first_ts, ts)
+        last_ts = ts if last_ts is None else max(last_ts, ts)
+        key = (event.get("pid"), event.get("tid"))
+        tracks.add(key)
+        pids.add(event.get("pid"))
+        if phase == "B":
+            stacks.setdefault(key, []).append((name, ts))
+        elif phase == "E":
+            stack = stacks.get(key)
+            if stack and stack[-1][0] == name:
+                _, begin = stack.pop()
+                durations.setdefault(name, []).append((ts - begin) / 1000.0)
+        elif phase == "C":
+            args = event.get("args")
+            if isinstance(args, dict):
+                for value in args.values():
+                    if not isinstance(value, (int, float)):
+                        continue
+                    entry = counters.setdefault(
+                        name, {"samples": 0, "last": 0.0, "high_water": float("-inf")}
+                    )
+                    entry["samples"] += 1
+                    entry["last"] = float(value)
+                    entry["high_water"] = max(entry["high_water"], float(value))
+
+    span_stats: Dict[str, Dict[str, float]] = {}
+    for name, values in sorted(durations.items()):
+        span_stats[name] = {
+            "count": len(values),
+            "total_ms": sum(values),
+            "p50_ms": percentile(values, 50),
+            "p90_ms": percentile(values, 90),
+            "max_ms": max(values),
+        }
+    wall_ms = ((last_ts - first_ts) / 1000.0) if first_ts is not None else 0.0
+    return {
+        "wall_ms": wall_ms,
+        "events": len(events),
+        "processes": len(pids),
+        "threads": len(tracks),
+        "spans": span_stats,
+        "counters": dict(sorted(counters.items())),
+    }

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
@@ -240,3 +241,55 @@ class TestFsck:
         assert "repaired: True" in capsys.readouterr().out
         assert main(["fsck", "--root", root]) == 0
         assert "refcount leaks (warning): 0" in capsys.readouterr().out
+
+
+class TestTraceAndStats:
+    def test_demo_trace_and_metrics_dump(self, capsys, tmp_path):
+        trace_path = str(tmp_path / "demo.json")
+        assert main(
+            ["demo", "--iterations", "8", "--interval", "4",
+             "--backend", "tiered", "--remote-fault-rate", "0.2",
+             "--upload-workers", "2",
+             "--trace", trace_path, "--metrics-dump"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "moc_tier_uploads_completed_total" in out
+        assert "moc_save_seconds_count" in out
+
+        from repro.obs import validate_trace
+
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+        errors = validate_trace(trace)
+        assert errors == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"save", "upload", "journal-append"} <= names
+
+        # The dump's upload totals are tier_stats()'s counters — the
+        # demo run must report identical numbers in both blocks.
+        stats_line = next(l for l in out.splitlines()
+                          if "remote uploads:" in l)
+        reported = int(stats_line.split(":")[1])
+        prom_line = next(l for l in out.splitlines()
+                         if l.startswith("moc_tier_uploads_completed_total"))
+        assert int(float(prom_line.split()[1])) == reported
+
+        assert main(["stats", trace_path]) == 0
+        assert "status: valid" in capsys.readouterr().out
+
+    def test_stats_rejects_missing_and_garbage(self, capsys, tmp_path):
+        assert main(["stats", str(tmp_path / "nope.json")]) == 2
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json {", encoding="utf-8")
+        assert main(["stats", str(garbage)]) == 2
+        capsys.readouterr()
+
+    def test_stats_flags_invalid_trace(self, capsys, tmp_path):
+        unbalanced = tmp_path / "bad.json"
+        unbalanced.write_text(json.dumps({"traceEvents": [
+            {"name": "x", "cat": "moc", "ph": "B", "ts": 1,
+             "pid": 1, "tid": 1},
+        ]}), encoding="utf-8")
+        assert main(["stats", str(unbalanced)]) == 1
+        assert "unclosed" in capsys.readouterr().out
