@@ -1,0 +1,57 @@
+"""Chaos engineering for the checkpoint stack.
+
+Two halves: :mod:`repro.chaos.campaign` runs seeded randomized
+fault-injection campaigns against the live stores (the fleet-scale
+counterpart of the per-seam crash batteries), and
+:mod:`repro.chaos.traces` records/replays/synthesizes the fault streams
+that connect campaigns to the :mod:`repro.distsim` simulators and the
+trainer's fault schedules.
+"""
+
+from .campaign import (
+    ANY,
+    BACKENDS,
+    CIRCULAR_THRESHOLD,
+    CampaignConfig,
+    CampaignResult,
+    ChaosFailure,
+    ChaosRun,
+    DEDUP_SEAMS,
+    RunResult,
+    SeamInjector,
+    TIERED_SEAMS,
+    repro_command,
+    run_campaign,
+    run_seed_for,
+    seams_for,
+)
+from .traces import (
+    KINDS,
+    FaultRecord,
+    FaultTrace,
+    synthetic_trace,
+    trace_from_times,
+)
+
+__all__ = [
+    "ANY",
+    "BACKENDS",
+    "CIRCULAR_THRESHOLD",
+    "CampaignConfig",
+    "CampaignResult",
+    "ChaosFailure",
+    "ChaosRun",
+    "DEDUP_SEAMS",
+    "FaultRecord",
+    "FaultTrace",
+    "KINDS",
+    "RunResult",
+    "SeamInjector",
+    "TIERED_SEAMS",
+    "repro_command",
+    "run_campaign",
+    "run_seed_for",
+    "seams_for",
+    "synthetic_trace",
+    "trace_from_times",
+]

@@ -1,0 +1,235 @@
+"""Fault traces: record, replay, synthesize, and scale fault streams.
+
+A :class:`FaultTrace` is the exchange format between the chaos layers:
+campaigns (:mod:`repro.chaos.campaign`) record the faults they injected
+as a trace; :func:`repro.distsim.faultsim.simulate_run_with_faults`
+replays a trace deterministically through the long-run simulator;
+:meth:`repro.train.faults.FaultSchedule.from_trace` turns one into a
+trainer fault schedule.  :func:`synthetic_trace` generates the three
+canonical cluster failure shapes (independent crashes, bursty spot
+preemptions, stragglers), and :meth:`FaultTrace.scaled` superposes
+shifted copies of a recorded trace to model thousand-node fleets from a
+small-fleet recording.
+
+Serialized form is JSONL: a header record (``{"kind": "header", ...}``)
+with the horizon and node count, then one record per fault.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import IO, Iterable, List, Optional, Sequence, Union
+
+#: Fault-record kinds with distinct cluster semantics: ``crash`` and
+#: ``preemption`` kill the node (the trainer must recover); ``straggler``
+#: slows it for ``duration`` without killing it.
+KINDS = ("crash", "preemption", "straggler")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault: when, which node, what shape."""
+
+    time: float
+    node: int = 0
+    kind: str = "crash"
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.node < 0:
+            raise ValueError("node must be >= 0")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (want one of {KINDS})")
+        if self.duration < 0:
+            raise ValueError("duration must be >= 0")
+
+    def as_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "node": self.node,
+            "kind": self.kind,
+            "duration": self.duration,
+        }
+
+
+@dataclass
+class FaultTrace:
+    """An ordered fault stream over ``nodes`` nodes and ``horizon`` time."""
+
+    records: List[FaultRecord] = field(default_factory=list)
+    horizon: float = 0.0
+    nodes: int = 1
+
+    def __post_init__(self) -> None:
+        self.records = sorted(self.records, key=lambda r: (r.time, r.node, r.kind))
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        last = max((r.time for r in self.records), default=0.0)
+        if self.horizon <= 0:
+            self.horizon = max(last, 1.0)
+        elif last > self.horizon:
+            raise ValueError(
+                f"record at t={last} lies beyond the horizon {self.horizon}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def rate(self) -> float:
+        """Whole-fleet fault rate (events per time unit)."""
+        return len(self.records) / self.horizon
+
+    def fault_times(self, kinds: Optional[Sequence[str]] = None) -> List[float]:
+        """Sorted times of the records matching ``kinds`` (default: the
+        node-killing kinds — exactly what the run simulators consume)."""
+        wanted = frozenset(kinds) if kinds is not None else frozenset(
+            {"crash", "preemption"}
+        )
+        return [r.time for r in self.records if r.kind in wanted]
+
+    # -- serialization ---------------------------------------------------
+    def to_jsonl(self, path_or_file: Union[str, IO[str]]) -> None:
+        if isinstance(path_or_file, str):
+            with open(path_or_file, "w", encoding="utf-8") as handle:
+                self.to_jsonl(handle)
+            return
+        header = {"kind": "header", "horizon": self.horizon, "nodes": self.nodes}
+        path_or_file.write(json.dumps(header) + "\n")
+        for record in self.records:
+            path_or_file.write(json.dumps(record.as_dict()) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path_or_file: Union[str, IO[str]]) -> "FaultTrace":
+        if isinstance(path_or_file, str):
+            with open(path_or_file, "r", encoding="utf-8") as handle:
+                return cls.from_jsonl(handle)
+        horizon = 0.0
+        nodes = 1
+        records: List[FaultRecord] = []
+        for line in path_or_file:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("kind") == "header":
+                horizon = float(obj.get("horizon", 0.0))
+                nodes = int(obj.get("nodes", 1))
+                continue
+            records.append(
+                FaultRecord(
+                    time=float(obj["time"]),
+                    node=int(obj.get("node", 0)),
+                    kind=str(obj.get("kind", "crash")),
+                    duration=float(obj.get("duration", 0.0)),
+                )
+            )
+        return cls(records=records, horizon=horizon, nodes=nodes)
+
+    # -- scaling ---------------------------------------------------------
+    def scaled(self, target_nodes: int, seed: int = 0) -> "FaultTrace":
+        """Scale a small-fleet recording to ``target_nodes`` nodes.
+
+        Under the usual independence assumption the fleet fault process
+        is a superposition of per-node processes, so scaling N nodes to
+        M superposes ``M // N`` time-shifted copies of the trace (each
+        copy's events wrap modulo the horizon, landing on a disjoint
+        node range) plus one copy thinned to the fractional remainder.
+        The result keeps the recording's burst structure — which a
+        plain rate multiplication would erase — while multiplying the
+        rate by ``M / N``.
+        """
+        if target_nodes < self.nodes:
+            raise ValueError("scaled() only scales up; thin the trace instead")
+        rng = random.Random(seed)
+        copies, remainder = divmod(target_nodes, self.nodes)
+        fraction = remainder / self.nodes
+        out: List[FaultRecord] = []
+        for copy in range(copies + (1 if remainder else 0)):
+            shift = 0.0 if copy == 0 else rng.uniform(0.0, self.horizon)
+            thin = fraction if copy == copies else 1.0
+            for record in self.records:
+                if thin < 1.0 and rng.random() >= thin:
+                    continue
+                out.append(
+                    FaultRecord(
+                        time=(record.time + shift) % self.horizon,
+                        node=record.node + copy * self.nodes,
+                        kind=record.kind,
+                        duration=record.duration,
+                    )
+                )
+        return FaultTrace(records=out, horizon=self.horizon, nodes=target_nodes)
+
+
+def synthetic_trace(
+    kind: str,
+    nodes: int,
+    horizon: float,
+    rate_per_node: float,
+    seed: int = 0,
+    burst_size: int = 8,
+    straggler_duration: float = 5.0,
+) -> FaultTrace:
+    """Generate one of the canonical cluster failure shapes.
+
+    ``crash``
+        Independent per-node Poisson crashes — the assumption behind
+        Young-Daly and the paper's overhead model.
+    ``preemption``
+        Bursty spot-instance reclaims: burst *onsets* arrive as a
+        Poisson process at ``rate_per_node * nodes / burst_size`` and
+        each onset preempts ``burst_size`` random nodes within a short
+        window — same long-run rate as ``crash`` but heavily clustered,
+        which is what stresses a windowed rate estimator.
+    ``straggler``
+        Poisson per-node slowdowns of ``straggler_duration`` each; these
+        do not kill nodes and are filtered out by the run simulators,
+        but flow through schedules that opt in to them.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown trace kind {kind!r} (want one of {KINDS})")
+    if nodes < 1 or horizon <= 0 or rate_per_node < 0:
+        raise ValueError("need nodes >= 1, horizon > 0, rate_per_node >= 0")
+    rng = random.Random(seed)
+    records: List[FaultRecord] = []
+    if kind == "preemption":
+        burst_size = max(1, min(burst_size, nodes))
+        onset_rate = rate_per_node * nodes / burst_size
+        t = 0.0
+        while onset_rate > 0:
+            t += rng.expovariate(onset_rate)
+            if t >= horizon:
+                break
+            victims = rng.sample(range(nodes), burst_size)
+            for victim in victims:
+                when = min(t + rng.uniform(0.0, 0.5), horizon)
+                records.append(FaultRecord(time=when, node=victim, kind=kind))
+    else:
+        duration = straggler_duration if kind == "straggler" else 0.0
+        for node in range(nodes):
+            t = 0.0
+            while rate_per_node > 0:
+                t += rng.expovariate(rate_per_node)
+                if t >= horizon:
+                    break
+                records.append(
+                    FaultRecord(time=t, node=node, kind=kind, duration=duration)
+                )
+    return FaultTrace(records=records, horizon=horizon, nodes=nodes)
+
+
+def trace_from_times(
+    times: Iterable[float], horizon: float = 0.0, kind: str = "crash"
+) -> FaultTrace:
+    """Wrap a bare list of fault times (e.g. a campaign's virtual-clock
+    fault stream) into a single-node trace."""
+    records = [FaultRecord(time=float(t), node=0, kind=kind) for t in times]
+    return FaultTrace(records=records, horizon=horizon, nodes=1)

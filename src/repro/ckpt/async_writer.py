@@ -508,6 +508,29 @@ class AsyncWriteBackend(CheckpointBackend):
             self.staging.close()
         self._raise_pending()
 
+    def abort(self) -> None:
+        """Stop the pipeline *without* flushing — simulated process death.
+
+        Queued-but-unwritten entries are discarded (their staging
+        buffers return to the arena), the worker thread exits, and the
+        inner backend is left exactly as the drain left it — ``close``
+        would first make every accepted write durable, which is
+        precisely what a dying process cannot do.  The chaos campaign
+        uses this to abandon an async instance after an injected crash
+        without leaking a daemon thread and a staging arena per run.
+        Idempotent; never raises the deferred write error (the "process"
+        is dead — recovery learns the truth from reopen + fsck).
+        """
+        self._closed = True
+        with self._error_lock:
+            if self._error is None:
+                self._error = AsyncWriteError("aborted")
+        if self._worker.is_alive():
+            self._queue.put(_STOP)
+            self._worker.join(timeout=10.0)
+        if self._owns_staging:
+            self.staging.close()
+
     def __enter__(self) -> "AsyncWriteBackend":
         return self
 

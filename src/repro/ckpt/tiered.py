@@ -40,6 +40,7 @@ deterministically on a laptop.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import random
 import threading
@@ -64,15 +65,68 @@ class RemoteUnavailable(RuntimeError):
     """A transient remote-tier failure (the retryable kind)."""
 
 
+class DecorrelatedJitterBackoff:
+    """Decorrelated-jitter retry delays (the AWS architecture-blog recipe).
+
+    Pure ``base * 2**n`` backoff synchronizes retry storms: when the
+    remote flaps, every upload worker that failed in the same window
+    sleeps the same deterministic delay and they all stampede back at
+    once.  Decorrelated jitter breaks the phase lock —
+
+        ``delay = min(cap, uniform(base, prev * 3))``
+
+    — each worker's next delay is drawn around its own previous one, so
+    a cohort of simultaneous failures spreads out instead of re-colliding.
+    ``jitter=False`` restores the legacy pure-exponential schedule
+    (tests that pin exact sleep sequences use it), and ``seed`` makes
+    the jittered schedule reproducible.  Thread-safe: the RNG draw is
+    guarded so concurrent upload workers do not interleave the stream
+    mid-draw (each still gets an independent draw, which is the point).
+    """
+
+    def __init__(
+        self,
+        base_seconds: float,
+        cap_seconds: float,
+        seed: Optional[int] = None,
+        jitter: bool = True,
+    ) -> None:
+        if base_seconds < 0 or cap_seconds < 0:
+            raise ValueError("backoff durations must be non-negative")
+        self.base_seconds = base_seconds
+        self.cap_seconds = cap_seconds
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def next_delay(self, previous: Optional[float], attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based); ``previous`` is the
+        last delay this caller slept, or ``None`` on its first retry."""
+        if not self.jitter:
+            return min(self.cap_seconds, self.base_seconds * (2 ** (attempt - 1)))
+        anchor = self.base_seconds if previous is None else previous
+        with self._lock:
+            draw = self._rng.uniform(
+                self.base_seconds, max(self.base_seconds, anchor * 3.0)
+            )
+        return min(self.cap_seconds, draw)
+
+
 class SimulatedObjectStore(CheckpointBackend):
     """Decorate a backend into a latency/fault-injectable remote tier.
 
     Payload operations (put / read / delete) sleep ``latency_seconds``
     and then fail with :class:`RemoteUnavailable` at ``fault_rate``
-    probability from a seeded RNG — deterministic per instance, so
-    tests and benchmarks of the retry path are reproducible.  Metadata
-    queries (stamps, sizes, listings) delegate directly: object stores
-    serve those from their index tier.
+    probability.  Fault placement is *interleaving-independent*: each
+    draw is derived by hashing ``(seed, op, key, attempt#)`` rather
+    than consumed from a shared RNG stream, so whether the Nth ``put``
+    of a given key faults does not depend on which upload worker thread
+    got there first — two same-seed runs inject the identical fault
+    set even under concurrent workers (the historical shared
+    ``random.Random`` made seeded runs racy).  The per-(op, key)
+    attempt counter and the ``fault_log`` are guarded by the store
+    lock.  Metadata queries (stamps, sizes, listings) delegate
+    directly: object stores serve those from their index tier.
     """
 
     def __init__(
@@ -89,8 +143,12 @@ class SimulatedObjectStore(CheckpointBackend):
         self.inner = inner
         self.latency_seconds = latency_seconds
         self.fault_rate = fault_rate
-        self._rng = random.Random(seed)
+        self.seed = seed
         self._sim_lock = threading.Lock()
+        self._attempts: Dict[Tuple[str, str], int] = {}
+        #: Every injected fault as ``(op, key, attempt#)`` — sorted, this
+        #: is identical across same-seed runs regardless of threading.
+        self.fault_log: List[Tuple[str, str, int]] = []
         if registry is None:
             registry = MetricsRegistry()
         self._c_ops = registry.counter(
@@ -108,27 +166,38 @@ class SimulatedObjectStore(CheckpointBackend):
     def faults_injected(self) -> int:
         return int(self._c_faults.value)
 
-    def _simulate(self, op: str) -> None:
+    def _draw(self, op: str, key: str, attempt: int) -> float:
+        token = f"{self.seed}:{op}:{key}:{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _simulate(self, op: str, key: str) -> None:
         if self.latency_seconds > 0:
             time.sleep(self.latency_seconds)
         self._c_ops.inc()
         with self._sim_lock:
-            inject = self._rng.random() < self.fault_rate
+            attempt = self._attempts.get((op, key), 0) + 1
+            self._attempts[(op, key)] = attempt
+            inject = self._draw(op, key, attempt) < self.fault_rate
+            if inject:
+                self.fault_log.append((op, key, attempt))
         if inject:
             self._c_faults.inc()
-            raise RemoteUnavailable(f"injected remote fault during {op}")
+            raise RemoteUnavailable(
+                f"injected remote fault during {op} of {key!r} (attempt {attempt})"
+            )
 
     # -- payload ops (latency + faults) ---------------------------------
     def _write(self, key: str, payload: Payload, stamp: int, node) -> None:
-        self._simulate("put")
+        self._simulate("put", key)
         self.inner.put_serialized(key, payload, stamp, node)
 
     def _read(self, key: str) -> bytes:
-        self._simulate("get")
+        self._simulate("get", key)
         return self.inner._read(key)
 
     def delete(self, key: str) -> None:
-        self._simulate("delete")
+        self._simulate("delete", key)
         self.inner.delete(key)
 
     # -- metadata (direct) ----------------------------------------------
@@ -247,6 +316,8 @@ class TieredBackend(CheckpointBackend):
         upload_timeout_seconds: float = 120.0,
         backoff_base_seconds: float = 0.02,
         backoff_max_seconds: float = 1.0,
+        backoff_jitter: bool = True,
+        backoff_seed: Optional[int] = None,
         hedge_after_seconds: Optional[float] = 0.25,
         remote_read_retries: int = 4,
         local_keep_stamps: Optional[int] = None,
@@ -269,6 +340,12 @@ class TieredBackend(CheckpointBackend):
         self.upload_timeout_seconds = upload_timeout_seconds
         self.backoff_base_seconds = backoff_base_seconds
         self.backoff_max_seconds = backoff_max_seconds
+        self.backoff = DecorrelatedJitterBackoff(
+            backoff_base_seconds,
+            backoff_max_seconds,
+            seed=backoff_seed,
+            jitter=backoff_jitter,
+        )
         self.hedge_after_seconds = hedge_after_seconds
         self.remote_read_retries = remote_read_retries
         self.local_keep_stamps = local_keep_stamps
@@ -559,6 +636,7 @@ class TieredBackend(CheckpointBackend):
         a crash is process death, never a retryable fault.
         """
         attempt = 0
+        delay: Optional[float] = None
         started = time.monotonic()
         with _span("upload", key=key):
             while True:
@@ -581,13 +659,9 @@ class TieredBackend(CheckpointBackend):
                             self._upload_failures[key] = f"{type(exc).__name__}: {exc}"
                         return False
                     self._c_upload_retries.inc()
+                    delay = self.backoff.next_delay(delay, attempt)
                     with _span("upload-backoff", key=key, attempt=attempt):
-                        time.sleep(
-                            min(
-                                self.backoff_max_seconds,
-                                self.backoff_base_seconds * (2 ** (attempt - 1)),
-                            )
-                        )
+                        time.sleep(delay)
                     continue
                 return True
 
@@ -709,16 +783,13 @@ class TieredBackend(CheckpointBackend):
 
     def _remote_read(self, key: str) -> bytes:
         last_error: Optional[Exception] = None
+        delay: Optional[float] = None
         for attempt in range(self.remote_read_retries + 1):
             if attempt:
                 self._c_read_retries.inc()
+                delay = self.backoff.next_delay(delay, attempt)
                 with _span("read-backoff", key=key, attempt=attempt):
-                    time.sleep(
-                        min(
-                            self.backoff_max_seconds,
-                            self.backoff_base_seconds * (2 ** (attempt - 1)),
-                        )
-                    )
+                    time.sleep(delay)
             try:
                 self._c_remote_reads.inc()
                 with _span("remote-read", key=key, attempt=attempt):
@@ -1024,6 +1095,8 @@ def open_tiered_root(
     upload_workers: int = 1,
     local_keep_stamps: Optional[int] = None,
     hedge_after_seconds: Optional[float] = 0.25,
+    backoff_jitter: bool = True,
+    backoff_seed: Optional[int] = None,
     registry: Optional[MetricsRegistry] = None,
 ) -> TieredBackend:
     """Open the standard tiered layout under ``root``.
@@ -1055,6 +1128,8 @@ def open_tiered_root(
         upload_workers=upload_workers,
         local_keep_stamps=local_keep_stamps,
         hedge_after_seconds=hedge_after_seconds,
+        backoff_jitter=backoff_jitter,
+        backoff_seed=backoff_seed,
         registry=registry,
     )
 

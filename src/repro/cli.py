@@ -17,6 +17,13 @@ Commands
 ``stats``     summarize a Chrome trace-event JSON exported by
               ``demo --trace`` — per-span wall/percentiles and counter
               high-water marks (non-zero exit on an invalid trace)
+``chaos``     fault-injection campaigns against the live storage stack:
+              ``chaos run`` executes a seeded campaign (non-zero exit,
+              with seeds and a repro command, on any unrecoverable
+              run), ``chaos replay`` replays a recorded or synthetic
+              fault trace through the long-run simulator with and
+              without the online adaptive controller, and ``chaos
+              report`` renders a saved campaign report
 
 All commands print fixed-width tables and return 0 on success (``fsck``
 returns 1 when it finds integrity errors), making them scriptable;
@@ -540,6 +547,211 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0 if not errors else 1
 
 
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    from .chaos import CampaignConfig, ChaosFailure, run_campaign, seams_for
+
+    config = CampaignConfig(
+        backend=args.backend,
+        runs=args.runs,
+        seed=args.seed,
+        ops_per_run=args.ops,
+        max_kills=args.max_kills,
+        worker_kill_runs=args.worker_kill_runs,
+        remote_fault_rate=args.remote_fault_rate,
+        base_rate=args.base_rate,
+        step_rate=args.step_rate,
+        step_at=args.step_at,
+        adaptive=not args.no_adaptive,
+        o_save=args.o_save,
+    )
+    try:
+        result = run_campaign(config, run_index=args.run_index)
+    except ChaosFailure as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    seams = seams_for(config.backend)
+    missed = [seam for seam in seams if seam not in result.seam_kills]
+    rows = [
+        ("backend", config.backend),
+        ("seed", config.seed),
+        ("runs ok", result.runs_ok),
+        ("runs failed", result.runs_failed),
+        ("faults injected", result.kills_total),
+        ("seams killed", f"{len(result.seam_kills)}/{len(seams)}"),
+        ("worker kills", result.worker_kills),
+        ("escalations", result.escalations),
+        ("circular detections", result.circular_detections),
+        ("no-fire runs", result.no_fire_runs),
+        ("digest", result.digest()[:16]),
+        ("wall s", round(result.wall_seconds, 2)),
+    ]
+    if missed and args.run_index is None:
+        rows.append(("seams missed", ", ".join(missed)))
+    print(render_kv(f"chaos campaign ({config.backend})", rows))
+    if result.seam_kills:
+        print(render_table(
+            ["seam", "kills"],
+            sorted(result.seam_kills.items(), key=lambda kv: (-kv[1], kv[0])),
+        ))
+    if result.recovery_actions:
+        print(render_table(
+            ["recovery action", "count"],
+            sorted(result.recovery_actions.items(), key=lambda kv: (-kv[1], kv[0])),
+        ))
+    if result.decisions:
+        first, last = result.decisions[0], result.decisions[-1]
+        print(render_kv("adaptive loop", [
+            ("decisions", len(result.decisions)),
+            ("rate first -> last",
+             f"{first['fault_rate']:.4f} -> {last['fault_rate']:.4f}"),
+            ("interval first -> last",
+             f"{first['checkpoint_interval']:.1f} -> "
+             f"{last['checkpoint_interval']:.1f}"),
+            ("k_persist last", last["k_persist"]),
+            ("persist tier last", last["persist_tier"]),
+        ]))
+    if args.report:
+        result.save(args.report)
+        print(f"report written to {args.report}")
+    if args.trace_out:
+        result.trace().to_jsonl(args.trace_out)
+        print(f"fault trace written to {args.trace_out}")
+    return 0
+
+
+def _cmd_chaos_replay(args: argparse.Namespace) -> int:
+    from .chaos import FaultTrace, synthetic_trace
+    from .core.adaptive import OnlineAdaptiveController, OnlineFaultRateEstimator
+    from .core.overhead import optimal_interval
+    from .distsim.faultsim import (
+        FaultSimConfig,
+        simulate_adaptive_run,
+        simulate_run_with_faults,
+    )
+
+    if args.trace:
+        try:
+            trace = FaultTrace.from_jsonl(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot load trace {args.trace}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        trace = synthetic_trace(
+            args.synthetic, nodes=args.nodes, horizon=args.horizon,
+            rate_per_node=args.rate, seed=args.seed,
+        )
+    if args.scale_nodes:
+        trace = trace.scaled(args.scale_nodes, seed=args.seed)
+    times = trace.fault_times()
+    print(render_kv("trace", [
+        ("source", args.trace or f"synthetic:{args.synthetic}"),
+        ("nodes", trace.nodes),
+        ("horizon", trace.horizon),
+        ("records", len(trace)),
+        ("node-killing faults", len(times)),
+        ("fleet rate", round(trace.rate, 4)),
+    ]))
+
+    config = FaultSimConfig(
+        total_iterations=args.iterations,
+        checkpoint_interval=args.interval,
+        o_save=args.o_save,
+        o_restart=args.o_restart,
+        fault_rate=max(len(times), 1) / trace.horizon,
+    )
+    static = simulate_run_with_faults(config, times)
+    controller = OnlineAdaptiveController(
+        o_save=args.o_save,
+        estimator=OnlineFaultRateEstimator(window=args.window, min_events=3),
+        min_interval=1.0,
+        max_interval=args.max_interval,
+    )
+    adaptive, timeline = simulate_adaptive_run(config, times, controller)
+    rows = [
+        ("static", config.checkpoint_interval, static.num_faults,
+         static.num_checkpoints, static.lost_progress, static.overhead),
+        ("adaptive", f"{timeline[0][1]:.0f}..{timeline[-1][1]:.0f}",
+         adaptive.num_faults, adaptive.num_checkpoints,
+         adaptive.lost_progress, adaptive.overhead),
+    ]
+    oracle_rate = len(times) / trace.horizon
+    oracle_interval = optimal_interval(max(args.o_save, 0.01), oracle_rate)
+    if oracle_interval != float("inf"):
+        oracle_config = FaultSimConfig(
+            total_iterations=args.iterations,
+            checkpoint_interval=max(1, min(args.iterations,
+                                           int(round(oracle_interval)))),
+            o_save=args.o_save,
+            o_restart=args.o_restart,
+            fault_rate=config.fault_rate,
+        )
+        oracle = simulate_run_with_faults(oracle_config, times)
+        rows.append(
+            ("oracle (Young-Daly)", oracle_config.checkpoint_interval,
+             oracle.num_faults, oracle.num_checkpoints,
+             oracle.lost_progress, oracle.overhead))
+    print(render_table(
+        ["policy", "interval", "faults", "ckpts", "lost iters", "overhead"],
+        rows, precision=1,
+    ))
+    retunes = len(timeline) - 1
+    print(render_kv("adaptive controller", [
+        ("interval re-reads", retunes),
+        ("final estimated rate",
+         round(controller.estimator.rate(adaptive.wall_time), 4)),
+        ("overhead vs static",
+         f"{adaptive.overhead / static.overhead:.2f}x" if static.overhead else "n/a"),
+    ]))
+    return 0
+
+
+def _cmd_chaos_report(args: argparse.Namespace) -> int:
+    import json
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load report {args.report}: {exc}", file=sys.stderr)
+        return 2
+    config = payload.get("config", {})
+    print(render_kv(f"chaos report {args.report}", [
+        ("backend", config.get("backend", "?")),
+        ("seed", config.get("seed", "?")),
+        ("runs ok", payload.get("runs_ok", 0)),
+        ("runs failed", payload.get("runs_failed", 0)),
+        ("faults injected", payload.get("kills_total", 0)),
+        ("worker kills", payload.get("worker_kills", 0)),
+        ("escalations", payload.get("escalations", 0)),
+        ("circular detections", payload.get("circular_detections", 0)),
+        ("digest", str(payload.get("digest", "?"))[:16]),
+    ]))
+    seam_kills = payload.get("seam_kills", {})
+    if seam_kills:
+        print(render_table(
+            ["seam", "kills"],
+            sorted(seam_kills.items(), key=lambda kv: (-kv[1], kv[0])),
+        ))
+    actions = payload.get("recovery_actions", {})
+    if actions:
+        print(render_table(
+            ["recovery action", "count"],
+            sorted(actions.items(), key=lambda kv: (-kv[1], kv[0])),
+        ))
+    decisions = payload.get("decisions", [])
+    if decisions:
+        first, last = decisions[0], decisions[-1]
+        print(render_kv("adaptive loop", [
+            ("decisions", len(decisions)),
+            ("rate first -> last",
+             f"{first['fault_rate']:.4f} -> {last['fault_rate']:.4f}"),
+            ("interval first -> last",
+             f"{first['checkpoint_interval']:.1f} -> "
+             f"{last['checkpoint_interval']:.1f}"),
+        ]))
+    return 0 if payload.get("runs_failed", 0) == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -672,6 +884,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("trace", help="path to the trace JSON")
     stats.set_defaults(func=_cmd_stats)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection campaigns against the storage stack"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="execute a seeded randomized fault-injection campaign"
+    )
+    chaos_run.add_argument("--backend",
+                           choices=["dedup", "tiered", "async-tiered"],
+                           default="tiered",
+                           help="storage stack under test")
+    chaos_run.add_argument("--runs", type=int, default=100,
+                           help="number of seeded runs in the campaign")
+    chaos_run.add_argument("--seed", type=int, default=0,
+                           help="campaign seed; same seed = same campaign")
+    chaos_run.add_argument("--run-index", type=int, default=None,
+                           help="replay exactly one run of the campaign "
+                                "(the repro command printed on failure)")
+    chaos_run.add_argument("--ops", type=int, default=12,
+                           help="storage operations per run")
+    chaos_run.add_argument("--max-kills", type=int, default=3,
+                           help="crash injections allowed per run")
+    chaos_run.add_argument("--worker-kill-runs", type=int, default=2,
+                           help="runs at the campaign tail that SIGKILL "
+                                "chunk-pool worker processes instead of "
+                                "injecting at a seam")
+    chaos_run.add_argument("--remote-fault-rate", type=float, default=0.04,
+                           help="transient fault probability of the "
+                                "simulated remote tier")
+    chaos_run.add_argument("--base-rate", type=float, default=0.5,
+                           help="virtual-clock kill rate for the random "
+                                "phase of the campaign")
+    chaos_run.add_argument("--step-rate", type=float, default=None,
+                           help="kill rate after --step-at of the runs "
+                                "(a step change for the adaptive loop)")
+    chaos_run.add_argument("--step-at", type=float, default=0.5,
+                           help="fraction of runs after which --step-rate "
+                                "takes effect")
+    chaos_run.add_argument("--no-adaptive", action="store_true",
+                           help="disable the online adaptive controller "
+                                "(fixed local-keep, no decision timeline)")
+    chaos_run.add_argument("--o-save", type=float, default=0.05,
+                           help="checkpoint save cost fed to the adaptive "
+                                "controller")
+    chaos_run.add_argument("--report", default=None, metavar="PATH",
+                           help="write the full campaign report JSON "
+                                "(render later with 'chaos report')")
+    chaos_run.add_argument("--trace-out", default=None, metavar="PATH",
+                           help="write the campaign's fault stream as a "
+                                "JSONL trace (replay with 'chaos replay')")
+    chaos_run.set_defaults(func=_cmd_chaos_run)
+
+    chaos_replay = chaos_sub.add_parser(
+        "replay", help="replay a fault trace through the long-run "
+                       "simulator, static vs adaptive"
+    )
+    chaos_replay.add_argument("--trace", default=None, metavar="PATH",
+                              help="JSONL fault trace (e.g. from "
+                                   "'chaos run --trace-out')")
+    chaos_replay.add_argument("--synthetic",
+                              choices=["crash", "preemption", "straggler"],
+                              default="crash",
+                              help="generate a synthetic trace instead "
+                                   "(ignored when --trace is given)")
+    chaos_replay.add_argument("--nodes", type=int, default=64,
+                              help="fleet size of the synthetic trace")
+    chaos_replay.add_argument("--scale-nodes", type=int, default=None,
+                              help="superpose-scale the trace to this many "
+                                   "nodes before replay")
+    chaos_replay.add_argument("--rate", type=float, default=0.001,
+                              help="per-node fault rate of the synthetic "
+                                   "trace")
+    chaos_replay.add_argument("--horizon", type=float, default=5000.0,
+                              help="time horizon of the synthetic trace "
+                                   "(iteration units)")
+    chaos_replay.add_argument("--seed", type=int, default=0,
+                              help="seed for synthesis and scaling")
+    chaos_replay.add_argument("--iterations", type=int, default=5000,
+                              help="simulated run length (iterations)")
+    chaos_replay.add_argument("--interval", type=int, default=50,
+                              help="static checkpoint interval (also the "
+                                   "adaptive run's starting cadence)")
+    chaos_replay.add_argument("--o-save", type=float, default=0.5,
+                              help="checkpoint save cost (iteration units)")
+    chaos_replay.add_argument("--o-restart", type=float, default=5.0,
+                              help="restart cost per fault")
+    chaos_replay.add_argument("--window", type=float, default=400.0,
+                              help="fault-rate estimator window")
+    chaos_replay.add_argument("--max-interval", type=float, default=1000.0,
+                              help="adaptive controller's interval ceiling")
+    chaos_replay.set_defaults(func=_cmd_chaos_replay)
+
+    chaos_report = chaos_sub.add_parser(
+        "report", help="render a saved campaign report JSON"
+    )
+    chaos_report.add_argument("report", help="path to the report JSON "
+                                             "written by 'chaos run --report'")
+    chaos_report.set_defaults(func=_cmd_chaos_report)
     return parser
 
 

@@ -17,8 +17,10 @@ simulator (``repro.distsim``) and against real measurements alike.
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
 from .overhead import optimal_interval, save_overhead
 
@@ -141,3 +143,210 @@ def recommend_for_deployment(
         fault_rate_per_iteration,
         k_persist=k_persist,
     )
+
+
+# ---------------------------------------------------------------------------
+# Online adaptation: estimate the fault rate from the observed fault
+# stream and retune the plan live, instead of planning once from a rate
+# someone measured last quarter.
+# ---------------------------------------------------------------------------
+
+
+class OnlineFaultRateEstimator:
+    """Windowed maximum-likelihood estimate of a Poisson fault rate.
+
+    Faults are observed as a point process; over a trailing window of
+    ``window`` time units holding ``k`` events the MLE of the rate is
+    simply ``k / window``.  Two practicalities:
+
+    * Before ``min_events`` faults have ever been seen, the estimate
+      falls back to ``prior_rate`` — retuning off one unlucky fault
+      would thrash the interval.
+    * The effective window is clamped to the time actually observed
+      (``now - start``), so early in a run the denominator isn't the
+      full window we haven't lived through yet.
+    """
+
+    def __init__(
+        self,
+        window: float = 500.0,
+        min_events: int = 3,
+        prior_rate: float = 0.0,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if min_events < 1:
+            raise ValueError("min_events must be >= 1")
+        if prior_rate < 0:
+            raise ValueError("prior_rate must be >= 0")
+        self.window = float(window)
+        self.min_events = int(min_events)
+        self.prior_rate = float(prior_rate)
+        self._events: Deque[float] = deque()
+        self._total_events = 0
+        self._start: Optional[float] = None
+        self._last: float = 0.0
+
+    @property
+    def total_events(self) -> int:
+        """Faults ever observed (not just those still in the window)."""
+        return self._total_events
+
+    def observe_start(self, now: float) -> None:
+        """Mark the beginning of observation (optional; the first call
+        to :meth:`observe_fault` or :meth:`rate` also anchors it)."""
+        if self._start is None:
+            self._start = float(now)
+        self._last = max(self._last, float(now))
+
+    def observe_fault(self, now: float) -> None:
+        """Record one fault at absolute time ``now`` (non-decreasing)."""
+        now = float(now)
+        if self._start is None:
+            self._start = now
+        if now < self._last:
+            raise ValueError(
+                f"fault times must be non-decreasing ({now} < {self._last})"
+            )
+        self._last = now
+        self._events.append(now)
+        self._total_events += 1
+        self._evict(now)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._events and self._events[0] < cutoff:
+            self._events.popleft()
+
+    def rate(self, now: float) -> float:
+        """MLE fault rate (events per time unit) as of ``now``."""
+        now = float(now)
+        if self._start is None:
+            self._start = now
+        self._last = max(self._last, now)
+        self._evict(now)
+        if self._total_events < self.min_events:
+            return self.prior_rate
+        observed = max(now - self._start, 1e-12)
+        effective_window = min(self.window, observed)
+        if effective_window <= 0:
+            return self.prior_rate
+        return len(self._events) / effective_window
+
+
+@dataclass(frozen=True)
+class OnlineDecision:
+    """One retuning decision emitted by the online controller."""
+
+    time: float
+    fault_rate: float
+    checkpoint_interval: float
+    k_persist: int
+    persist_tier: str  # "two-level" or "remote-only"
+    faults_observed: int
+
+    def as_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "fault_rate": self.fault_rate,
+            "checkpoint_interval": self.checkpoint_interval,
+            "k_persist": self.k_persist,
+            "persist_tier": self.persist_tier,
+            "faults_observed": self.faults_observed,
+        }
+
+
+class OnlineAdaptiveController:
+    """Close the loop: observed faults in, retuned PEC knobs out.
+
+    The controller owns an :class:`OnlineFaultRateEstimator` and maps its
+    rate estimate onto the three knobs the paper tunes statically:
+
+    * **checkpoint interval** — Young-Daly for the estimated rate
+      (``optimal_interval``), clamped to ``[min_interval, max_interval]``;
+    * **dynamic k** — ``k_persist`` grows monotonically with the rate:
+      each doubling of the rate past ``k_rate_knee`` adds one replica,
+      capped at ``k_persist_max``;
+    * **persist tier** — "two-level" (keep the local tier hot) once the
+      expected recovery saving ``rate * (remote_recovery -
+      local_recovery)`` exceeds the local tier's carrying cost,
+      otherwise "remote-only".
+
+    Deliberately duck-typed: ``observe_fault(t)`` / ``decide(t)`` /
+    ``checkpoint_interval(t)`` is all the chaos campaign and the
+    ``distsim`` adaptive simulation need.
+    """
+
+    def __init__(
+        self,
+        o_save: float,
+        estimator: Optional[OnlineFaultRateEstimator] = None,
+        min_interval: float = 1.0,
+        max_interval: float = 10_000.0,
+        k_persist_max: int = 4,
+        k_rate_knee: float = 1e-3,
+        local_recovery_cost: float = 1.0,
+        remote_recovery_cost: float = 10.0,
+        local_tier_cost: float = 0.01,
+    ) -> None:
+        if o_save < 0:
+            raise ValueError("o_save must be >= 0")
+        if min_interval <= 0 or max_interval < min_interval:
+            raise ValueError("need 0 < min_interval <= max_interval")
+        if k_persist_max < 1:
+            raise ValueError("k_persist_max must be >= 1")
+        if k_rate_knee <= 0:
+            raise ValueError("k_rate_knee must be positive")
+        if remote_recovery_cost < local_recovery_cost:
+            raise ValueError("remote recovery must cost at least local recovery")
+        self.o_save = float(o_save)
+        self.estimator = estimator or OnlineFaultRateEstimator()
+        self.min_interval = float(min_interval)
+        self.max_interval = float(max_interval)
+        self.k_persist_max = int(k_persist_max)
+        self.k_rate_knee = float(k_rate_knee)
+        self.local_recovery_cost = float(local_recovery_cost)
+        self.remote_recovery_cost = float(remote_recovery_cost)
+        self.local_tier_cost = float(local_tier_cost)
+        self.decisions: List[OnlineDecision] = []
+
+    def observe_fault(self, now: float) -> None:
+        self.estimator.observe_fault(now)
+
+    def _interval_for(self, rate: float) -> float:
+        if rate <= 0:
+            return self.max_interval
+        # Young-Daly needs a nonzero saving cost (same floor as the
+        # static recommendation above).
+        interval = optimal_interval(max(self.o_save, 0.01), rate)
+        if math.isinf(interval):
+            return self.max_interval
+        return min(self.max_interval, max(self.min_interval, interval))
+
+    def _k_for(self, rate: float) -> int:
+        if rate <= self.k_rate_knee:
+            return 1
+        extra = int(math.floor(math.log2(rate / self.k_rate_knee))) + 1
+        return min(self.k_persist_max, 1 + max(extra, 0))
+
+    def _tier_for(self, rate: float) -> str:
+        saving = rate * (self.remote_recovery_cost - self.local_recovery_cost)
+        return "two-level" if saving > self.local_tier_cost else "remote-only"
+
+    def decide(self, now: float) -> OnlineDecision:
+        """Retune all knobs for the rate estimated at ``now``."""
+        rate = self.estimator.rate(now)
+        decision = OnlineDecision(
+            time=float(now),
+            fault_rate=rate,
+            checkpoint_interval=self._interval_for(rate),
+            k_persist=self._k_for(rate),
+            persist_tier=self._tier_for(rate),
+            faults_observed=self.estimator.total_events,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def checkpoint_interval(self, now: float) -> float:
+        """Just the interval knob — the hot query in the simulator."""
+        return self._interval_for(self.estimator.rate(now))

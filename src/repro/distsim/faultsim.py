@@ -14,7 +14,7 @@ formulas.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -142,3 +142,157 @@ def simulate_many(
 
 def mean_overhead(results: List[FaultSimResult]) -> float:
     return float(np.mean([result.overhead for result in results]))
+
+
+# ---------------------------------------------------------------------------
+# Trace-driven and adaptive simulation.  ``simulate_run`` above is pinned
+# by property tests against the closed form; these variants are separate
+# functions so they can consume recorded fault traces and a live
+# controller without perturbing it.
+# ---------------------------------------------------------------------------
+
+
+def simulate_run_with_faults(
+    config: FaultSimConfig, fault_times: Sequence[float]
+) -> FaultSimResult:
+    """Deterministic replay: faults strike at the given wall-clock times.
+
+    ``fault_times`` are absolute times (iteration units, sorted
+    ascending) — e.g. a recorded trace from
+    :class:`repro.chaos.traces.FaultTrace`.  A fault scheduled inside a
+    step interrupts that step exactly as the stochastic simulator would:
+    the step's time is spent, the restart is paid, and progress rewinds
+    to the last durable checkpoint.  Multiple faults inside one step
+    strike on consecutive attempts of it.  Faults past the end of the
+    run are ignored.
+    """
+    times = sorted(float(t) for t in fault_times)
+    next_fault = 0
+
+    progress = 0
+    wall = 0.0
+    saving = 0.0
+    restarts = 0.0
+    lost = 0.0
+    faults = 0
+    checkpoints = 0
+    completed_checkpoint_at = 0
+    recent_checkpoints: List[int] = [0]
+
+    while progress < config.total_iterations:
+        step_time = 1.0
+        at_checkpoint = (progress + 1) % config.checkpoint_interval == 0
+        if at_checkpoint:
+            step_time += config.o_save
+        if next_fault < len(times) and times[next_fault] < wall + step_time:
+            next_fault += 1
+            faults += 1
+            wall += step_time
+            restarts += config.o_restart
+            wall += config.o_restart
+            lost += progress - completed_checkpoint_at
+            progress = completed_checkpoint_at
+            continue
+        wall += step_time
+        progress += 1
+        if at_checkpoint:
+            checkpoints += 1
+            saving += config.o_save
+            recent_checkpoints.append(progress)
+            durable_index = max(0, len(recent_checkpoints) - 1 - config.persist_lag_checkpoints)
+            completed_checkpoint_at = recent_checkpoints[durable_index]
+
+    return FaultSimResult(
+        wall_time=wall,
+        ideal_time=float(config.total_iterations),
+        num_faults=faults,
+        num_checkpoints=checkpoints,
+        lost_progress=float(lost),
+        restart_time=restarts,
+        saving_time=saving,
+    )
+
+
+def simulate_adaptive_run(
+    config: FaultSimConfig,
+    fault_times: Sequence[float],
+    controller,
+) -> Tuple[FaultSimResult, List[Tuple[float, float]]]:
+    """Trace replay with a live controller retuning the interval.
+
+    ``controller`` is duck-typed (``observe_fault(t)`` and
+    ``checkpoint_interval(t)``, e.g.
+    :class:`repro.core.adaptive.OnlineAdaptiveController`): every
+    injected fault is reported to it, and the checkpoint cadence is
+    re-read after each completed checkpoint and after each fault — so a
+    rate step-change mid-trace shifts the interval mid-run, which is
+    exactly the behaviour the chaos campaign's adaptive loop claims.
+    ``config.checkpoint_interval`` seeds the initial cadence; the
+    returned timeline lists ``(time, interval)`` pairs, one per
+    re-read.
+    """
+    times = sorted(float(t) for t in fault_times)
+    next_fault = 0
+
+    def current_interval(now: float) -> int:
+        interval = controller.checkpoint_interval(now)
+        if not np.isfinite(interval):
+            return config.total_iterations
+        return max(1, int(round(interval)))
+
+    progress = 0
+    wall = 0.0
+    saving = 0.0
+    restarts = 0.0
+    lost = 0.0
+    faults = 0
+    checkpoints = 0
+    completed_checkpoint_at = 0
+    recent_checkpoints: List[int] = [0]
+    interval = max(1, int(config.checkpoint_interval))
+    next_checkpoint_progress = interval
+    timeline: List[Tuple[float, float]] = [(0.0, float(interval))]
+
+    while progress < config.total_iterations:
+        step_time = 1.0
+        at_checkpoint = progress + 1 >= next_checkpoint_progress
+        if at_checkpoint:
+            step_time += config.o_save
+        if next_fault < len(times) and times[next_fault] < wall + step_time:
+            next_fault += 1
+            faults += 1
+            wall += step_time
+            restarts += config.o_restart
+            wall += config.o_restart
+            lost += progress - completed_checkpoint_at
+            progress = completed_checkpoint_at
+            # Observed on the wall clock (the axis every interval query
+            # uses): the controller sees faults when the run does, a
+            # restart-delay after their scheduled trace times.
+            controller.observe_fault(wall)
+            interval = current_interval(wall)
+            next_checkpoint_progress = progress + interval
+            timeline.append((wall, float(interval)))
+            continue
+        wall += step_time
+        progress += 1
+        if at_checkpoint:
+            checkpoints += 1
+            saving += config.o_save
+            recent_checkpoints.append(progress)
+            durable_index = max(0, len(recent_checkpoints) - 1 - config.persist_lag_checkpoints)
+            completed_checkpoint_at = recent_checkpoints[durable_index]
+            interval = current_interval(wall)
+            next_checkpoint_progress = progress + interval
+            timeline.append((wall, float(interval)))
+
+    result = FaultSimResult(
+        wall_time=wall,
+        ideal_time=float(config.total_iterations),
+        num_faults=faults,
+        num_checkpoints=checkpoints,
+        lost_progress=float(lost),
+        restart_time=restarts,
+        saving_time=saving,
+    )
+    return result, timeline

@@ -84,3 +84,45 @@ class FaultSchedule:
     @classmethod
     def none(cls) -> "FaultSchedule":
         return cls([])
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace,
+        total_iterations: int,
+        iteration_seconds: float = 1.0,
+        kinds: Sequence[str] | None = None,
+    ) -> "FaultSchedule":
+        """Trace-driven mode: build a schedule from a recorded fault trace.
+
+        ``trace`` is duck-typed (an iterable of records with ``time``,
+        ``node`` and ``kind`` attributes — e.g.
+        :class:`repro.chaos.traces.FaultTrace`).  Record times are
+        mapped onto iterations via ``iteration_seconds``; a fault at
+        time ``t`` strikes the iteration in flight at ``t`` (1-based,
+        clamped to ``[1, total_iterations]``).  Records whose ``kind``
+        is not in ``kinds`` (default: crashes and preemptions — the
+        kinds that kill nodes) are skipped, and multiple records landing
+        on the same iteration merge their failed nodes into one event.
+        """
+        if total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+        if iteration_seconds <= 0:
+            raise ValueError("iteration_seconds must be positive")
+        wanted = frozenset(kinds) if kinds is not None else frozenset(
+            {"crash", "preemption"}
+        )
+        records = getattr(trace, "records", trace)
+        nodes_by_iteration: Dict[int, set] = {}
+        for record in records:
+            if record.kind not in wanted:
+                continue
+            iteration = int(record.time / iteration_seconds) + 1
+            if iteration > total_iterations:
+                continue
+            nodes_by_iteration.setdefault(iteration, set()).add(int(record.node))
+        events = [
+            FaultEvent(iteration, tuple(sorted(nodes)))
+            for iteration, nodes in sorted(nodes_by_iteration.items())
+        ]
+        return cls(events)

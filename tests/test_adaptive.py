@@ -130,3 +130,153 @@ def test_property_chosen_k_is_maximal(per_expert, fb, experts):
     if snapshot(k) <= fb and k < experts:
         assert snapshot(k + 1) > fb
     assert 1 <= k <= experts
+
+
+# ---------------------------------------------------------------------------
+# Online adaptive loop (chaos campaign's controller)
+# ---------------------------------------------------------------------------
+
+from repro.core import (  # noqa: E402 - grouped with the suite they test
+    OnlineAdaptiveController,
+    OnlineFaultRateEstimator,
+)
+from repro.core.overhead import optimal_interval  # noqa: E402
+
+
+class TestOnlineFaultRateEstimator:
+    def test_below_min_events_returns_prior(self):
+        estimator = OnlineFaultRateEstimator(window=100.0, min_events=3,
+                                             prior_rate=0.005)
+        estimator.observe_fault(1.0)
+        estimator.observe_fault(2.0)
+        assert estimator.rate(10.0) == 0.005
+
+    def test_windowed_mle(self):
+        """Steady stream of one fault per time unit: the MLE over the
+        window is 1.0 regardless of how long the stream ran."""
+        estimator = OnlineFaultRateEstimator(window=50.0, min_events=3)
+        for t in range(1, 201):
+            estimator.observe_fault(float(t))
+        assert estimator.rate(200.0) == pytest.approx(1.0, rel=0.05)
+
+    def test_short_observation_uses_observed_span(self):
+        """Before a full window has elapsed the denominator is the
+        observed span, not the window — early estimates are not diluted."""
+        estimator = OnlineFaultRateEstimator(window=1000.0, min_events=3)
+        estimator.observe_start(0.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            estimator.observe_fault(t)
+        assert estimator.rate(4.0) == pytest.approx(1.0)
+
+    def test_step_change_convergence(self):
+        """After a rate step the windowed estimate converges to the new
+        rate once the window has rolled past the old regime."""
+        estimator = OnlineFaultRateEstimator(window=100.0, min_events=3)
+        t = 0.0
+        while t < 1000.0:  # lambda = 0.01
+            t += 100.0
+            estimator.observe_fault(t)
+        low = estimator.rate(1000.0)
+        while t < 1400.0:  # lambda = 0.5
+            t += 2.0
+            estimator.observe_fault(t)
+        high = estimator.rate(1400.0)
+        # a 100-wide window holds at most a couple of lambda=0.01 events
+        assert low <= 0.03
+        assert high == pytest.approx(0.5, rel=0.15)
+        assert high / low > 10
+
+    def test_rejects_decreasing_times(self):
+        estimator = OnlineFaultRateEstimator()
+        estimator.observe_fault(5.0)
+        with pytest.raises(ValueError):
+            estimator.observe_fault(4.0)
+
+    def test_total_events_survives_eviction(self):
+        estimator = OnlineFaultRateEstimator(window=1.0)
+        for t in (1.0, 10.0, 20.0):
+            estimator.observe_fault(t)
+        estimator.rate(100.0)
+        assert estimator.total_events == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineFaultRateEstimator(window=0.0)
+        with pytest.raises(ValueError):
+            OnlineFaultRateEstimator(min_events=0)
+        with pytest.raises(ValueError):
+            OnlineFaultRateEstimator(prior_rate=-1.0)
+
+
+class TestOnlineAdaptiveController:
+    def controller(self, **kwargs) -> OnlineAdaptiveController:
+        defaults = dict(
+            o_save=0.5,
+            estimator=OnlineFaultRateEstimator(window=100.0, min_events=1),
+            min_interval=1.0,
+            max_interval=500.0,
+        )
+        defaults.update(kwargs)
+        return OnlineAdaptiveController(**defaults)
+
+    def test_zero_rate_rides_the_ceiling(self):
+        controller = self.controller()
+        assert controller.checkpoint_interval(10.0) == 500.0
+
+    def test_interval_tracks_young_daly(self):
+        controller = self.controller()
+        t = 0.0
+        for _ in range(20):  # lambda = 0.1
+            t += 10.0
+            controller.observe_fault(t)
+        rate = controller.estimator.rate(t)
+        expected = optimal_interval(0.5, rate)
+        assert controller.checkpoint_interval(t) == pytest.approx(expected)
+
+    def test_interval_monotone_in_rate(self):
+        controller = self.controller()
+        intervals = [controller._interval_for(rate)
+                     for rate in (1e-4, 1e-3, 1e-2, 1e-1, 1.0)]
+        assert intervals == sorted(intervals, reverse=True)
+
+    def test_k_persist_monotone_and_capped(self):
+        controller = self.controller(k_persist_max=4, k_rate_knee=1e-3)
+        ks = [controller._k_for(rate)
+              for rate in (1e-4, 1e-3, 2e-3, 8e-3, 1.0, 100.0)]
+        assert ks == sorted(ks)
+        assert ks[0] == 1
+        assert ks[-1] == 4
+
+    def test_tier_switches_at_breakeven(self):
+        controller = self.controller(
+            local_recovery_cost=1.0, remote_recovery_cost=11.0,
+            local_tier_cost=0.1,
+        )
+        # saving = rate * 10: breakeven at rate 0.01
+        assert controller._tier_for(0.005) == "remote-only"
+        assert controller._tier_for(0.05) == "two-level"
+
+    def test_decide_records_timeline(self):
+        controller = self.controller()
+        controller.observe_fault(1.0)
+        first = controller.decide(2.0)
+        controller.observe_fault(3.0)
+        second = controller.decide(4.0)
+        assert controller.decisions == [first, second]
+        assert second.faults_observed == 2
+        assert second.time == 4.0
+        assert {d.persist_tier for d in controller.decisions} <= {
+            "two-level", "remote-only"
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineAdaptiveController(o_save=-1.0)
+        with pytest.raises(ValueError):
+            OnlineAdaptiveController(o_save=1.0, min_interval=0.0)
+        with pytest.raises(ValueError):
+            OnlineAdaptiveController(o_save=1.0, k_persist_max=0)
+        with pytest.raises(ValueError):
+            OnlineAdaptiveController(
+                o_save=1.0, local_recovery_cost=5.0, remote_recovery_cost=1.0
+            )

@@ -293,3 +293,78 @@ class TestTraceAndStats:
         ]}), encoding="utf-8")
         assert main(["stats", str(unbalanced)]) == 1
         assert "unclosed" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_chaos_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["chaos"])
+
+    def test_chaos_run_small_campaign(self, capsys):
+        assert main([
+            "chaos", "run", "--backend", "dedup", "--runs", "10",
+            "--seed", "7", "--worker-kill-runs", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "runs ok: 10" in out
+        assert "runs failed: 0" in out
+        assert "seams killed: 8/8" in out
+        assert "adaptive loop" in out
+
+    def test_chaos_run_single_index_repro(self, capsys):
+        assert main([
+            "chaos", "run", "--backend", "dedup", "--runs", "10",
+            "--seed", "7", "--run-index", "2", "--worker-kill-runs", "0",
+        ]) == 0
+        assert "runs ok: 1" in capsys.readouterr().out
+
+    def test_chaos_run_report_and_trace_roundtrip(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "chaos", "run", "--backend", "dedup", "--runs", "9",
+            "--seed", "3", "--worker-kill-runs", "0",
+            "--report", str(report), "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["runs_failed"] == 0
+        assert payload["digest"]
+
+        assert main(["chaos", "report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "runs ok: 9" in out
+
+        assert main([
+            "chaos", "replay", "--trace", str(trace),
+            "--iterations", "100", "--interval", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "static" in out and "adaptive" in out
+
+    def test_chaos_replay_synthetic_with_scaling(self, capsys):
+        assert main([
+            "chaos", "replay", "--synthetic", "preemption",
+            "--nodes", "16", "--scale-nodes", "64",
+            "--rate", "0.001", "--horizon", "1000",
+            "--iterations", "500", "--interval", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 64" in out
+        assert "adaptive controller" in out
+
+    def test_chaos_replay_rejects_missing_trace(self, capsys, tmp_path):
+        assert main([
+            "chaos", "replay", "--trace", str(tmp_path / "nope.jsonl"),
+        ]) == 2
+        capsys.readouterr()
+
+    def test_chaos_report_rejects_garbage(self, capsys, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json {", encoding="utf-8")
+        assert main(["chaos", "report", str(garbage)]) == 2
+        capsys.readouterr()
+
+    def test_chaos_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "run", "--backend", "floppy"])

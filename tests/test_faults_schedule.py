@@ -1,0 +1,118 @@
+"""Edge cases of the trainer's fault schedules, plus trace-driven mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import FaultRecord, FaultTrace, trace_from_times
+from repro.train.faults import FaultEvent, FaultSchedule
+
+
+class TestFaultEvent:
+    def test_rejects_iteration_zero(self):
+        with pytest.raises(ValueError):
+            FaultEvent(iteration=0)
+
+    def test_default_single_node(self):
+        assert FaultEvent(iteration=3).failed_nodes == (0,)
+
+
+class TestPeriodic:
+    def test_interval_at_least_total_yields_no_faults(self):
+        """A fault period >= the run length never strikes (the default
+        start equals the period, which is already past the end)."""
+        schedule = FaultSchedule.periodic(every=50, total_iterations=50)
+        assert schedule.num_faults == 0
+        schedule = FaultSchedule.periodic(every=80, total_iterations=50)
+        assert schedule.num_faults == 0
+
+    def test_period_one_strikes_every_iteration(self):
+        schedule = FaultSchedule.periodic(every=1, total_iterations=5)
+        assert [e.iteration for e in schedule.events] == [1, 2, 3, 4]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.periodic(every=0, total_iterations=10)
+
+    def test_custom_start(self):
+        schedule = FaultSchedule.periodic(every=10, total_iterations=35, start=5)
+        assert [e.iteration for e in schedule.events] == [5, 15, 25]
+
+
+class TestDuplicates:
+    def test_duplicate_iterations_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultSchedule([FaultEvent(3), FaultEvent(3)])
+
+    def test_events_sorted_on_construction(self):
+        schedule = FaultSchedule([FaultEvent(7), FaultEvent(2), FaultEvent(5)])
+        assert [e.iteration for e in schedule.events] == [2, 5, 7]
+
+
+class TestConsume:
+    def test_consume_is_idempotent(self):
+        """After a rollback replays the same iteration, the consumed
+        fault must not re-trigger."""
+        schedule = FaultSchedule([FaultEvent(3), FaultEvent(6)])
+        event = schedule.consume(3)
+        assert event is not None and event.iteration == 3
+        assert schedule.consume(3) is None  # replayed iteration: no re-fire
+        assert schedule.fault_at(3) is None
+        assert schedule.num_faults == 1
+
+    def test_consume_missing_iteration_is_noop(self):
+        schedule = FaultSchedule([FaultEvent(3)])
+        assert schedule.consume(2) is None
+        assert schedule.num_faults == 1
+
+
+class TestFromTrace:
+    def test_times_map_to_iterations(self):
+        trace = trace_from_times([0.4, 2.1, 7.9], horizon=10.0)
+        schedule = FaultSchedule.from_trace(trace, total_iterations=10)
+        assert [e.iteration for e in schedule.events] == [1, 3, 8]
+
+    def test_iteration_seconds_rescales(self):
+        trace = trace_from_times([4.0, 9.0], horizon=10.0)
+        schedule = FaultSchedule.from_trace(
+            trace, total_iterations=10, iteration_seconds=2.0
+        )
+        assert [e.iteration for e in schedule.events] == [3, 5]
+
+    def test_faults_past_the_run_are_dropped(self):
+        trace = trace_from_times([1.0, 99.0], horizon=100.0)
+        schedule = FaultSchedule.from_trace(trace, total_iterations=10)
+        assert [e.iteration for e in schedule.events] == [2]
+
+    def test_stragglers_filtered_by_default(self):
+        trace = FaultTrace(records=[
+            FaultRecord(time=1.0, node=0, kind="crash"),
+            FaultRecord(time=2.0, node=1, kind="straggler", duration=3.0),
+            FaultRecord(time=3.0, node=2, kind="preemption"),
+        ])
+        schedule = FaultSchedule.from_trace(trace, total_iterations=10)
+        assert [e.iteration for e in schedule.events] == [2, 4]
+        with_stragglers = FaultSchedule.from_trace(
+            trace, total_iterations=10, kinds=("straggler",)
+        )
+        assert [e.iteration for e in with_stragglers.events] == [3]
+
+    def test_same_iteration_nodes_merge(self):
+        trace = FaultTrace(records=[
+            FaultRecord(time=1.1, node=4, kind="crash"),
+            FaultRecord(time=1.7, node=2, kind="preemption"),
+        ])
+        schedule = FaultSchedule.from_trace(trace, total_iterations=10)
+        assert len(schedule.events) == 1
+        assert schedule.events[0].failed_nodes == (2, 4)
+
+    def test_duck_typed_record_list(self):
+        records = [FaultRecord(time=0.5), FaultRecord(time=5.5)]
+        schedule = FaultSchedule.from_trace(records, total_iterations=10)
+        assert [e.iteration for e in schedule.events] == [1, 6]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_trace([], total_iterations=0)
+        with pytest.raises(ValueError):
+            FaultSchedule.from_trace([], total_iterations=5, iteration_seconds=0)

@@ -134,3 +134,136 @@ def test_property_smaller_osave_never_hurts(seed):
         np.random.default_rng(seed),
     )
     assert small.saving_time < big.saving_time
+
+
+# ---------------------------------------------------------------------------
+# Trace-driven replay and the online adaptive loop
+# ---------------------------------------------------------------------------
+
+from repro.chaos import synthetic_trace  # noqa: E402
+from repro.core import (  # noqa: E402
+    OnlineAdaptiveController,
+    OnlineFaultRateEstimator,
+    optimal_interval,
+)
+from repro.distsim import (  # noqa: E402
+    simulate_adaptive_run,
+    simulate_run_with_faults,
+)
+
+
+class TestTraceReplay:
+    def test_no_faults_matches_fault_free_run(self):
+        cfg = config()
+        replay = simulate_run_with_faults(cfg, [])
+        baseline = simulate_run(cfg, np.random.default_rng(0))
+        assert replay.overhead == pytest.approx(baseline.overhead)
+        assert replay.num_checkpoints == baseline.num_checkpoints
+
+    def test_deterministic(self):
+        cfg = config(fault_rate=2e-3)
+        times = [100.0, 250.5, 800.0]
+        a = simulate_run_with_faults(cfg, times)
+        b = simulate_run_with_faults(cfg, times)
+        assert a == b
+        assert a.num_faults == 3
+
+    def test_each_fault_pays_restart_and_rewind(self):
+        cfg = config(checkpoint_interval=10, o_restart=5.0)
+        # one fault mid-interval: ~5 iterations of progress rewound
+        result = simulate_run_with_faults(cfg, [55.0])
+        assert result.num_faults == 1
+        assert result.restart_time == 5.0
+        assert 0 <= result.lost_progress <= 10
+
+    def test_faults_past_the_end_ignored(self):
+        cfg = config()
+        clean = simulate_run_with_faults(cfg, [])
+        result = simulate_run_with_faults(cfg, [10 * cfg.total_iterations])
+        assert result.num_faults == 0
+        assert result.overhead == pytest.approx(clean.overhead)
+
+    def test_matches_closed_form_on_poisson_trace(self):
+        """Replaying a Poisson trace through the deterministic replayer
+        lands near the Eq. 12/13 expectation for the same rate."""
+        cfg = config(fault_rate=2e-3, total_iterations=4000)
+        overheads = []
+        for seed in range(8):
+            trace = synthetic_trace(
+                "crash", nodes=1, horizon=3 * cfg.total_iterations,
+                rate_per_node=cfg.fault_rate, seed=seed,
+            )
+            overheads.append(
+                simulate_run_with_faults(cfg, trace.fault_times()).overhead
+            )
+        assert np.mean(overheads) == pytest.approx(
+            expected_overhead(cfg), rel=0.5
+        )
+
+
+class TestAdaptiveReplay:
+    def controller(self, window=400.0, max_interval=1000.0):
+        return OnlineAdaptiveController(
+            o_save=0.5,
+            estimator=OnlineFaultRateEstimator(window=window, min_events=3),
+            min_interval=1.0,
+            max_interval=max_interval,
+        )
+
+    def test_returns_timeline_of_interval_re_reads(self):
+        cfg = config(checkpoint_interval=20, total_iterations=200)
+        result, timeline = simulate_adaptive_run(cfg, [], self.controller())
+        assert timeline[0] == (0.0, 20.0)
+        assert len(timeline) >= result.num_checkpoints
+        assert all(interval >= 1.0 for _, interval in timeline)
+
+    def test_deterministic(self):
+        cfg = config(checkpoint_interval=20, total_iterations=500)
+        times = [50.0, 60.0, 70.0, 300.0]
+        a = simulate_adaptive_run(cfg, times, self.controller())
+        b = simulate_adaptive_run(cfg, times, self.controller())
+        assert a == b
+
+    def test_step_change_moves_interval_toward_young_daly(self):
+        """The acceptance scenario: a fault-rate step mid-run makes the
+        estimator converge and the interval move toward the Young-Daly
+        optimum of the *new* rate — and the adaptive run beats a static
+        run that stays tuned for the stale (pre-step) rate."""
+        low_rate, high_rate = 0.002, 0.05
+        horizon = 4000.0
+        step_at = 2000.0
+        low = synthetic_trace("crash", nodes=1, horizon=step_at,
+                              rate_per_node=low_rate, seed=3)
+        high = synthetic_trace("crash", nodes=1, horizon=horizon - step_at,
+                               rate_per_node=high_rate, seed=4)
+        times = low.fault_times() + [step_at + t for t in high.fault_times()]
+
+        stale_interval = max(1, int(round(optimal_interval(0.5, low_rate))))
+        cfg = config(
+            checkpoint_interval=stale_interval,
+            total_iterations=int(horizon), o_save=0.5, o_restart=5.0,
+            fault_rate=low_rate,
+        )
+        static = simulate_run_with_faults(cfg, times)
+        # Window spanning the low-rate regime (so quiet stretches do not
+        # decay the estimate to zero) and a ceiling bounding the loss a
+        # surprise fault can inflict while the estimator warms up.
+        controller = self.controller(window=1000.0, max_interval=100.0)
+        adaptive, timeline = simulate_adaptive_run(cfg, times, controller)
+
+        # the estimator saw the whole fault stream
+        assert controller.estimator.total_events == adaptive.num_faults > 50
+        # the post-step intervals sit nearer the new optimum than the
+        # stale one.  Ceiling entries are excluded: once the run passes
+        # the last trace fault the window empties and the controller
+        # correctly stretches back to max_interval — that fault-free
+        # tail is not the step-response under test.
+        yd_new = optimal_interval(0.5, high_rate)
+        late = [
+            interval for t, interval in timeline
+            if t > adaptive.wall_time * 0.5 and interval < controller.max_interval
+        ]
+        assert len(late) > 20
+        assert abs(np.mean(late) - yd_new) < abs(stale_interval - yd_new)
+        # and adapting beat staying stale-tuned
+        assert adaptive.overhead < static.overhead

@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.ckpt import (
+    DecorrelatedJitterBackoff,
     DedupBackend,
     InMemoryKVStore,
     KVStoreError,
@@ -503,3 +504,122 @@ class TestIntegration:
         result = manager.recover(failed_nodes=[0])
         assert result.resume_iteration == 4
         manager.close()
+
+
+class TestDecorrelatedJitterBackoff:
+    def test_no_jitter_is_legacy_pure_exponential(self):
+        backoff = DecorrelatedJitterBackoff(0.1, 1.0, jitter=False)
+        delays = [backoff.next_delay(None, attempt) for attempt in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.0]  # capped at the 5th
+
+    def test_jittered_delays_stay_in_envelope(self):
+        backoff = DecorrelatedJitterBackoff(0.1, 2.0, seed=3)
+        previous = None
+        for attempt in range(1, 30):
+            delay = backoff.next_delay(previous, attempt)
+            anchor = 0.1 if previous is None else previous
+            assert 0.1 <= delay <= min(2.0, max(0.1, anchor * 3.0)) + 1e-12
+            previous = delay
+
+    def test_seeded_schedule_reproducible(self):
+        def schedule(seed):
+            backoff = DecorrelatedJitterBackoff(0.1, 2.0, seed=seed)
+            delays, previous = [], None
+            for attempt in range(1, 10):
+                previous = backoff.next_delay(previous, attempt)
+                delays.append(previous)
+            return delays
+
+        assert schedule(11) == schedule(11)
+        assert schedule(11) != schedule(12)
+
+    def test_cohort_spreads_instead_of_phase_locking(self):
+        """The point of the jitter: simultaneous failures draw distinct
+        delays instead of all sleeping the same exponential step."""
+        backoff = DecorrelatedJitterBackoff(0.1, 5.0, seed=7)
+        cohort = [backoff.next_delay(0.4, 3) for _ in range(16)]
+        assert len(set(cohort)) > 8
+        legacy = DecorrelatedJitterBackoff(0.1, 5.0, jitter=False)
+        assert len({legacy.next_delay(0.4, 3) for _ in range(16)}) == 1
+
+    def test_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            DecorrelatedJitterBackoff(-0.1, 1.0)
+
+    def test_tiered_backend_jitter_off_matches_legacy_sleeps(self, tmp_path):
+        """The backend's jitter=False escape hatch keeps the historical
+        deterministic schedule for tests that pin exact sleeps."""
+        store = TieredBackend(
+            local=DedupBackend(str(tmp_path / "local")),
+            remote=SimulatedObjectStore(InMemoryKVStore()),
+            journal_path=str(tmp_path / "tier.jsonl"),
+            upload_workers=0,
+            backoff_base_seconds=0.01,
+            backoff_max_seconds=0.04,
+            backoff_jitter=False,
+        )
+        assert not store.backoff.jitter
+        store.close()
+
+
+class TestSimulatedStoreDeterminism:
+    def test_fault_placement_independent_of_interleaving(self):
+        """Two same-seed runs must inject the identical fault set even
+        when payload ops race across threads (the regression: a shared
+        RNG stream made fault placement depend on thread arrival order)."""
+
+        def run(barrier_count=4):
+            remote = SimulatedObjectStore(
+                InMemoryKVStore(), fault_rate=0.3, seed=99
+            )
+            keys = [f"k{i}" for i in range(12)]
+            barrier = threading.Barrier(barrier_count)
+
+            def worker(shard):
+                barrier.wait()
+                for key in keys[shard::barrier_count]:
+                    for _ in range(3):  # three attempts per key
+                        try:
+                            remote.put(key, entry(1.0), stamp=1)
+                            break
+                        except RemoteUnavailable:
+                            continue
+
+            threads = [
+                threading.Thread(target=worker, args=(shard,))
+                for shard in range(barrier_count)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return sorted(remote.fault_log)
+
+        first, second = run(), run()
+        assert first == second
+        assert first, "fault_rate=0.3 over 36 attempts must inject something"
+
+    def test_fault_log_records_op_key_attempt(self):
+        remote = SimulatedObjectStore(InMemoryKVStore(), fault_rate=0.5, seed=1)
+        injected = 0
+        for attempt in range(1, 9):
+            try:
+                remote.put("k", entry(float(attempt)), stamp=attempt)
+            except RemoteUnavailable:
+                injected += 1
+        assert len(remote.fault_log) == injected
+        assert all(op == "put" and key == "k" for op, key, _ in remote.fault_log)
+        attempts = [a for _, _, a in remote.fault_log]
+        assert attempts == sorted(attempts)
+
+    def test_different_seeds_place_faults_differently(self):
+        def log_for(seed):
+            remote = SimulatedObjectStore(InMemoryKVStore(), fault_rate=0.4, seed=seed)
+            for i in range(20):
+                try:
+                    remote.put(f"k{i}", entry(1.0), stamp=1)
+                except RemoteUnavailable:
+                    pass
+            return remote.fault_log
+
+        assert log_for(1) != log_for(2)
