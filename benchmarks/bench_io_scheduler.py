@@ -1,0 +1,366 @@
+"""I/O scheduler benchmark: p99 foreground-save stall under a mixed load.
+
+The storage stack used to run five private thread pools (async writer,
+per-call restore executors, tiered upload threads, hedged-read pool,
+gc on the caller); the shared :class:`~repro.io.scheduler.IOScheduler`
+replaces them with one prioritized admission point.  This bench
+measures the contract that justifies the rewiring: under a mixed
+restore-storm + periodic-save + upload-drain + gc workload, the p99
+*foreground save stall* (time a save spends queued beyond its own
+service time) must be materially lower than the private-pools baseline
+at equal aggregate throughput.
+
+Both modes drive the identical op schedule against the same simulated
+storage device — ``DEVICE_CHANNELS`` parallel channels, every op
+holding one channel for its service time:
+
+* **private-pools baseline** — the pre-scheduler architecture: a fresh
+  restore executor per storm wave (the per-call churn), one dedicated
+  save thread, a private upload pool, a gc thread.  Every thread
+  contends FIFO at the device, so a save queues behind whatever storm
+  / upload / gc ops got there first: background work steals persist
+  bandwidth exactly as ISSUE/ROADMAP describe.
+* **shared scheduler** — the same ops as QoS-classed submissions on one
+  ``IOScheduler`` with ``workers == DEVICE_CHANNELS``: dispatch order
+  *is* device-admission order, so a ``SAVE`` outranks every queued
+  upload and maintenance op and waits only on in-flight residuals and
+  higher-class restores.
+
+Equal aggregate throughput is asserted, not assumed: both modes push
+the same ops through the same device, and the run fails if wall-clock
+throughput diverges beyond tolerance.  The headline is the stall
+ratio (baseline p99 / scheduler p99); CI gates >30% regressions of it
+against the committed ``BENCH_io_scheduler.json``.
+
+Run standalone for the CI perf-smoke gate::
+
+    python benchmarks/bench_io_scheduler.py --quick \
+        --check-baseline benchmarks/results/BENCH_io_scheduler.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.io.scheduler import IOScheduler, QoS
+
+#: Parallel channels of the simulated device (both modes).
+DEVICE_CHANNELS = 3
+#: Per-op device service time, seconds.
+SERVICE_S = {"restore": 0.004, "save": 0.005, "upload": 0.006, "gc": 0.010}
+#: Simulated payload bytes per op (throughput accounting only).
+OP_BYTES = {"restore": 1 << 20, "save": 4 << 20, "upload": 2 << 20, "gc": 0}
+#: A restore storm wave: this many reads at once.
+WAVE_READS = 8
+#: Waves arrive every this-many save periods.
+WAVE_EVERY_SAVES = 4
+#: Foreground save period, seconds.
+SAVE_PERIOD_S = 0.02
+
+#: Gate floor for the headline ratio: the scheduler must cut p99 save
+#: stall by at least this factor vs the private-pools baseline.
+STALL_RATIO_FLOOR = 1.25
+#: Aggregate-throughput parity tolerance between the two modes.
+THROUGHPUT_PARITY_TOLERANCE = 0.35
+
+
+class _Device:
+    """K-channel storage device: an op holds a channel for its service
+    time.  The semaphore's FIFO wakeup is the point — with private
+    pools, *arrival at the device* decides order, whatever the class."""
+
+    def __init__(self, channels: int) -> None:
+        self._sem = threading.Semaphore(channels)
+
+    def io(self, kind: str) -> float:
+        with self._sem:
+            time.sleep(SERVICE_S[kind])
+        return time.perf_counter()
+
+
+def _schedule(saves: int) -> List[Tuple[str, int]]:
+    """The op timeline both modes replay: (kind, save_index) events."""
+    plan: List[Tuple[str, int]] = []
+    for index in range(saves):
+        if index % WAVE_EVERY_SAVES == 0:
+            plan.append(("wave", index))
+        plan.append(("save", index))
+    return plan
+
+
+def _run_mode(
+    saves: int,
+    uploads: int,
+    gcs: int,
+    submit: Callable[[str], "object"],
+    drain: Callable[[], None],
+) -> Dict[str, object]:
+    """Drive one mode; ``submit(kind)`` returns a handle whose
+    ``result()`` yields the op's completion ``perf_counter``."""
+    begin = time.perf_counter()
+    background = [submit("upload") for _ in range(uploads)]
+    background += [submit("gc") for _ in range(gcs)]
+    save_samples: List[Tuple[float, object]] = []
+    restores = []
+    for kind, _index in _schedule(saves):
+        if kind == "wave":
+            restores.extend(submit("restore") for _ in range(WAVE_READS))
+        else:
+            time.sleep(SAVE_PERIOD_S)
+            save_samples.append((time.perf_counter(), submit("save")))
+    stalls = []
+    for submitted, handle in save_samples:
+        done = handle.result()
+        stalls.append(max(0.0, done - submitted - SERVICE_S["save"]))
+    for handle in background + restores:
+        handle.result()
+    drain()
+    wall = time.perf_counter() - begin
+    total_bytes = (
+        saves * OP_BYTES["save"]
+        + uploads * OP_BYTES["upload"]
+        + len(restores) * OP_BYTES["restore"]
+    )
+    return {"wall_s": wall, "bytes": total_bytes, "stalls": stalls}
+
+
+def _aggregate(runs: List[Dict[str, object]]) -> Dict[str, object]:
+    """Pool per-save stall samples across repeats: one tail estimate
+    over all samples is far more stable than a p99 of a single run."""
+    stalls = [s for run in runs for s in run["stalls"]]
+    wall = sum(run["wall_s"] for run in runs)
+    total_bytes = sum(run["bytes"] for run in runs)
+    return {
+        "wall_s": wall,
+        "throughput_mib_s": total_bytes / wall / (1 << 20),
+        "save_stall_p50_ms": 1e3 * float(np.percentile(stalls, 50)),
+        "save_stall_p99_ms": 1e3 * float(np.percentile(stalls, 99)),
+        "save_stall_max_ms": 1e3 * float(np.max(stalls)),
+    }
+
+
+def run_private_pools(saves: int, uploads: int, gcs: int) -> Dict[str, object]:
+    """The pre-scheduler architecture: partitioned private pools, FIFO
+    contention at the device, a fresh executor per restore wave."""
+    device = _Device(DEVICE_CHANNELS)
+    save_pool = ThreadPoolExecutor(1, thread_name_prefix="bench-save")
+    upload_pool = ThreadPoolExecutor(3, thread_name_prefix="bench-upload")
+    gc_pool = ThreadPoolExecutor(1, thread_name_prefix="bench-gc")
+    wave_pools: List[ThreadPoolExecutor] = []
+    wave_slot: List[Optional[ThreadPoolExecutor]] = [None]
+
+    def submit(kind: str):
+        if kind == "restore":
+            # Per-call churn: the old ParallelRestorer built (and tore
+            # down) an executor for every fetch; a new wave gets a new
+            # pool here the same way.
+            if wave_slot[0] is None or len(wave_pools) % WAVE_READS == 0:
+                wave_slot[0] = ThreadPoolExecutor(
+                    4, thread_name_prefix=f"bench-restore-{len(wave_pools)}"
+                )
+            wave_pools.append(wave_slot[0])
+            return wave_slot[0].submit(device.io, kind)
+        pool = {"save": save_pool, "upload": upload_pool, "gc": gc_pool}[kind]
+        return pool.submit(device.io, kind)
+
+    def drain() -> None:
+        for pool in (save_pool, upload_pool, gc_pool, *set(wave_pools)):
+            pool.shutdown(wait=True)
+
+    return _run_mode(saves, uploads, gcs, submit, drain)
+
+
+def run_shared_scheduler(saves: int, uploads: int, gcs: int) -> Dict[str, object]:
+    """The same timeline as QoS submissions on the real scheduler."""
+    device = _Device(DEVICE_CHANNELS)
+    from repro.obs.metrics import MetricsRegistry
+
+    sched = IOScheduler(
+        workers=DEVICE_CHANNELS, registry=MetricsRegistry(), name="bench-io"
+    )
+    qos_of = {
+        "restore": QoS.RESTORE,
+        "save": QoS.SAVE,
+        "upload": QoS.UPLOAD,
+        "gc": QoS.MAINTENANCE,
+    }
+
+    def submit(kind: str):
+        return sched.submit(
+            lambda: device.io(kind),
+            qos_of[kind],
+            nbytes=OP_BYTES[kind],
+            label=f"bench-{kind}",
+        )
+
+    def drain() -> None:
+        sched.shutdown(wait=True)
+
+    return _run_mode(saves, uploads, gcs, submit, drain)
+
+
+# ---------------------------------------------------------------------------
+# Results / report / gate
+# ---------------------------------------------------------------------------
+
+def compute_results(quick: bool = False) -> Dict[str, object]:
+    saves = 40 if quick else 120
+    uploads = 40 if quick else 120
+    gcs = 4 if quick else 12
+    repeats = 2 if quick else 3
+    # Interleave the modes so drift (thermal, noisy neighbours) hits
+    # both sides evenly, then pool the stall samples per mode.
+    baseline_runs, shared_runs = [], []
+    for _ in range(repeats):
+        baseline_runs.append(run_private_pools(saves, uploads, gcs))
+        shared_runs.append(run_shared_scheduler(saves, uploads, gcs))
+    baseline = _aggregate(baseline_runs)
+    shared = _aggregate(shared_runs)
+    ratio = (
+        baseline["save_stall_p99_ms"] / shared["save_stall_p99_ms"]
+        if shared["save_stall_p99_ms"] > 0
+        else float("inf")
+    )
+    tput_ratio = shared["throughput_mib_s"] / baseline["throughput_mib_s"]
+    return {
+        "quick": quick,
+        "saves": saves,
+        "uploads": uploads,
+        "gcs": gcs,
+        "repeats": repeats,
+        "device_channels": DEVICE_CHANNELS,
+        "baseline_save_stall_p50_ms": baseline["save_stall_p50_ms"],
+        "baseline_save_stall_p99_ms": baseline["save_stall_p99_ms"],
+        "baseline_save_stall_max_ms": baseline["save_stall_max_ms"],
+        "baseline_throughput_mib_s": baseline["throughput_mib_s"],
+        "baseline_wall_s": baseline["wall_s"],
+        "sched_save_stall_p50_ms": shared["save_stall_p50_ms"],
+        "sched_save_stall_p99_ms": shared["save_stall_p99_ms"],
+        "sched_save_stall_max_ms": shared["save_stall_max_ms"],
+        "sched_throughput_mib_s": shared["throughput_mib_s"],
+        "sched_wall_s": shared["wall_s"],
+        "headline_stall_ratio": ratio,
+        "throughput_parity_ratio": tput_ratio,
+        "stall_ratio_floor": STALL_RATIO_FLOOR,
+    }
+
+
+def render_report(results: Dict[str, object]) -> str:
+    rows = [
+        ["workload",
+         f"{results['saves']} saves / {results['uploads']} uploads / "
+         f"{results['gcs']} gc / {results['device_channels']}-channel device "
+         f"x{results['repeats']} repeats"],
+        ["save stall p50 (private pools)",
+         f"{results['baseline_save_stall_p50_ms']:.2f} ms"],
+        ["save stall p99 (private pools)",
+         f"{results['baseline_save_stall_p99_ms']:.2f} ms"],
+        ["save stall p50 (shared scheduler)",
+         f"{results['sched_save_stall_p50_ms']:.2f} ms"],
+        ["save stall p99 (shared scheduler)",
+         f"{results['sched_save_stall_p99_ms']:.2f} ms"],
+        ["headline p99 stall ratio (baseline/sched)",
+         f"{results['headline_stall_ratio']:.2f}x"],
+        ["throughput (private pools)",
+         f"{results['baseline_throughput_mib_s']:.1f} MiB/s"],
+        ["throughput (shared scheduler)",
+         f"{results['sched_throughput_mib_s']:.1f} MiB/s"],
+        ["throughput parity (sched/baseline)",
+         f"{results['throughput_parity_ratio']:.3f}"],
+        ["gate floor", f"{results['stall_ratio_floor']:.2f}x"],
+    ]
+    return render_table(["metric", "value"], rows)
+
+
+def check_results(results: Dict[str, object]) -> None:
+    ratio = results["headline_stall_ratio"]
+    assert ratio >= STALL_RATIO_FLOOR, (
+        f"p99 save stall ratio {ratio:.2f}x under the {STALL_RATIO_FLOOR}x "
+        f"floor: the shared scheduler is not materially better than "
+        f"private pools"
+    )
+    parity = results["throughput_parity_ratio"]
+    assert abs(parity - 1.0) <= THROUGHPUT_PARITY_TOLERANCE, (
+        f"aggregate throughput diverged ({parity:.3f}): the stall win "
+        f"must come at equal throughput, not by shedding load"
+    )
+
+
+def test_io_scheduler_bench(benchmark, report, report_json):
+    from repro.testing import once
+
+    results = once(benchmark, lambda: compute_results(quick=True))
+    # Quick-shape run: report under the _quick names so a pytest pass
+    # can never clobber the committed full-size baseline JSON.
+    report("io_scheduler_quick", render_report(results))
+    report_json("io_scheduler_quick", results)
+    check_results(results)
+
+
+# ---------------------------------------------------------------------------
+# Standalone entry point (CI perf-smoke-iosched gate)
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small shape for the CI smoke gate")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON payload to stdout")
+    parser.add_argument("--write-results", action="store_true",
+                        help="write benchmarks/results/io_scheduler.txt and "
+                             "BENCH_io_scheduler.json (suffixed _quick under "
+                             "--quick, so a smoke run never clobbers the "
+                             "committed full-size baseline)")
+    parser.add_argument("--check-baseline", metavar="PATH", default=None,
+                        help="also fail when the headline stall ratio "
+                             "regressed >30% vs the committed baseline JSON")
+    args = parser.parse_args(argv)
+
+    baseline = None
+    if args.check_baseline:
+        with open(args.check_baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    results = compute_results(quick=args.quick)
+    text = render_report(results)
+    print(text)
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    if args.write_results:
+        results_dir = os.path.join(os.path.dirname(__file__), "results")
+        os.makedirs(results_dir, exist_ok=True)
+        suffix = "_quick" if args.quick else ""
+        with open(os.path.join(results_dir, f"io_scheduler{suffix}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        json_path = os.path.join(results_dir, f"BENCH_io_scheduler{suffix}.json")
+        with open(json_path, "w") as handle:
+            handle.write(json.dumps(results, indent=2, sort_keys=True) + "\n")
+        from repro.testing import mirror_bench_json
+
+        mirror_bench_json(json_path)
+    check_results(results)
+    if baseline is not None:
+        floor = float(baseline["headline_stall_ratio"]) / 1.3
+        current = float(results["headline_stall_ratio"])
+        print(f"stall-ratio gate: {current:.2f}x vs baseline "
+              f"{baseline['headline_stall_ratio']:.2f}x (floor {floor:.2f}x)")
+        if current < floor:
+            print("stall-ratio gate FAILED: headline regressed >30% vs "
+                  "baseline", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

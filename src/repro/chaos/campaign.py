@@ -35,6 +35,7 @@ import random
 import shutil
 import signal
 import tempfile
+import threading
 import time
 import warnings
 from collections import Counter
@@ -49,6 +50,7 @@ from ..ckpt.dedup import DedupBackend
 from ..ckpt.sharded import ShardedDiskKVStore
 from ..ckpt.tiered import RemoteUnavailable, SimulatedObjectStore, TieredBackend
 from ..core.adaptive import OnlineAdaptiveController, OnlineFaultRateEstimator
+from ..io.scheduler import IOScheduler, QoS
 from ..obs.metrics import MetricsRegistry, get_registry
 from ..obs.trace import span as _span
 from .traces import FaultTrace, trace_from_times
@@ -61,6 +63,18 @@ ANY = "any"
 #: claim journal, the upload pipeline, and the remote sharded store's
 #: payload/journal/compaction seams.  The async stack drives the same
 #: tiered seams from its writer thread.
+#: Seams the shared I/O scheduler fires for every owner that routes
+#: work through it (gc/compaction as MAINTENANCE, async saves, tiered
+#: uploads): a kill mid-dispatch (before the task body runs), mid-
+#: cancel, and at first byte-budget exhaustion.  Any of these may
+#: simply never fire in a given run (e.g. the budget never fills) —
+#: a no-fire run completing clean is an acceptable outcome.
+IOSCHED_SEAMS: Tuple[str, ...] = (
+    "iosched:dispatch",
+    "iosched:cancel",
+    "iosched:budget-exhausted",
+)
+
 DEDUP_SEAMS: Tuple[str, ...] = (
     "chunk:tmp-written",
     "chunk:durable",
@@ -70,7 +84,7 @@ DEDUP_SEAMS: Tuple[str, ...] = (
     "manifest:mid-append",
     "manifest:appended",
     "manifest:compact-tmp-written",
-)
+) + IOSCHED_SEAMS
 TIERED_SEAMS: Tuple[str, ...] = DEDUP_SEAMS + (
     "tier:mid-append",
     "tier:appended",
@@ -531,6 +545,7 @@ class ChaosRun:
             ("flush",),
             ("delete", "k1"),
             ("gc",),
+            ("iosched",),
             ("put", "k3", 1),
             ("get", "k0"),
         ]
@@ -612,8 +627,69 @@ class ChaosRun:
                 stack.store.flush()
                 self.model.ack_flush()
             stack.gc()
+        elif kind == "iosched":
+            self._iosched_churn(stack)
         else:  # pragma: no cover - plan generator bug
             raise AssertionError(f"unknown op {op!r}")
+
+    def _iosched_churn(self, stack: _Stack) -> None:
+        """Exercise the I/O-scheduler seams the store ops cannot reach.
+
+        ``iosched:dispatch`` already fires whenever a gc pass dispatches
+        its MAINTENANCE task, but nothing in the op plan cancels a task
+        or fills the byte budget — so this op drives both against a
+        short-lived private scheduler: a running hold task pins the
+        whole (tiny) budget, a queued victim is cancelled
+        (``iosched:cancel``), and a further admission blocks on bytes
+        (``iosched:budget-exhausted``).  The injector rides in as each
+        task's ``fault``, so an armed seam kills the run mid-churn; the
+        store itself is untouched, making every recovery rung trivially
+        fsck-clean — which is exactly the contract: scheduler death must
+        never corrupt a tier.
+        """
+        injector = stack.injector
+        gate = threading.Event()
+
+        def fault(point: str) -> None:
+            # The budget seam firing IS the signal that the probe below
+            # is blocked on bytes: release the hold so the churn settles
+            # immediately (no timed sleep, no race — the probe cannot be
+            # admitted until the hold's 64 bytes come back).
+            try:
+                injector(point)
+            finally:
+                if point == "iosched:budget-exhausted":
+                    gate.set()
+
+        with IOScheduler(
+            workers=1, byte_budget=64, name=f"chaos-io-{self.index}"
+        ) as sched:
+            try:
+                hold = sched.submit(
+                    lambda: gate.wait(5.0),
+                    QoS.MAINTENANCE,
+                    nbytes=64,
+                    label="chaos-hold",
+                    fault=fault,
+                )
+                victim = sched.submit(
+                    lambda: None,
+                    QoS.MAINTENANCE,
+                    label="chaos-victim",
+                    fault=fault,
+                )
+                victim.cancel()
+                probe = sched.submit(
+                    lambda: None,
+                    QoS.SAVE,
+                    nbytes=1,
+                    label="chaos-probe",
+                    fault=fault,
+                )
+                probe.result(timeout=10.0)
+                hold.result(timeout=10.0)
+            finally:
+                gate.set()
 
     @staticmethod
     def _engine_of(stack: _Stack):

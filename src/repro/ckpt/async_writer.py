@@ -2,9 +2,10 @@
 
 :class:`AsyncWriteBackend` decorates a :class:`CheckpointBackend` so the
 training loop's checkpoint call returns as soon as entries are
-*serialized and staged*, while a worker thread drains them to the inner
-backend — the software analogue of the paper's two-phase asynchronous
-persist (snapshot into a buffer, persist overlapped with compute).
+*serialized and staged*, while the shared I/O scheduler drains them to
+the inner backend (``SAVE`` class, serial lane) — the software analogue
+of the paper's two-phase asynchronous persist (snapshot into a buffer,
+persist overlapped with compute).
 
 Semantics
 ---------
@@ -36,7 +37,6 @@ Semantics
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
 from collections import deque
@@ -44,6 +44,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from ..io.scheduler import IOScheduler, IOTask, QoS, get_scheduler
 from ..obs import trace as _trace
 from ..obs.metrics import get_registry
 from ..obs.trace import span as _span, trace_counter as _trace_counter
@@ -81,9 +82,6 @@ _STAGING_WAIT_SECONDS = get_registry().counter(
 
 class AsyncWriteError(RuntimeError):
     """A deferred write failed; raised at the next put/flush boundary."""
-
-
-_STOP = object()
 
 
 class StagingPool:
@@ -275,6 +273,11 @@ class AsyncWriteBackend(CheckpointBackend):
         worker processes hash/compress it in place (one copy total).
         An injected pool is not closed by :meth:`close` (the engine
         owns it).
+    scheduler:
+        The :class:`~repro.io.scheduler.IOScheduler` persist batches are
+        submitted to (``SAVE`` class, on a serial lane so the inner
+        store's state stays a prefix of the accepted puts).  Defaults to
+        the process-wide scheduler.
     """
 
     def __init__(
@@ -283,6 +286,7 @@ class AsyncWriteBackend(CheckpointBackend):
         max_pending: int = 256,
         arena_bytes: int = DEFAULT_ARENA_BYTES,
         staging_pool: Optional[StagingPool] = None,
+        scheduler: Optional[IOScheduler] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
@@ -297,15 +301,18 @@ class AsyncWriteBackend(CheckpointBackend):
         # Backpressure is accounted per ENTRY (via the semaphore), not
         # per queue item: a staged batch holds one permit per entry, so
         # max_pending bounds staging memory even on the batched path.
-        self._queue: "queue.Queue" = queue.Queue()
         self._slots = threading.Semaphore(max_pending)
         self._closed = False
         self._error: BaseException | None = None
         self._error_lock = threading.Lock()
-        self._worker = threading.Thread(
-            target=self._drain, name="ckpt-async-writer", daemon=True
-        )
-        self._worker.start()
+        # Persist items drain through the shared scheduler on a serial
+        # lane: exact submission order, one at a time — the same prefix
+        # property the dedicated drain thread used to provide.
+        self._scheduler = scheduler if scheduler is not None else get_scheduler()
+        self._lane = self._scheduler.lane(f"async-writer-{id(self):x}", 1)
+        self._pending_cond = threading.Condition()
+        self._unfinished = 0  # submitted-but-unwritten queue items
+        self._tasks: "deque[IOTask]" = deque()  # in submission order
 
     @property
     def digest_chunk_bytes(self) -> int:
@@ -318,7 +325,7 @@ class AsyncWriteBackend(CheckpointBackend):
         live depth and the high-water mark records the worst
         backpressure the pipeline built up.
         """
-        depth = self._queue.unfinished_tasks
+        depth = self._unfinished
         _QUEUE_DEPTH.set(depth)
         _QUEUE_DEPTH_HIGHWATER.set_max(depth)
         _trace_counter("async_queue_depth", depth)
@@ -342,58 +349,143 @@ class AsyncWriteBackend(CheckpointBackend):
         if item.buffer is not None:
             self.staging.release(item.buffer)
 
-    # -- worker ---------------------------------------------------------
-    def _drain(self) -> None:
+    # -- scheduler drain -------------------------------------------------
+    def _submit_item(self, item, nbytes: int) -> None:
+        """Hand one staged item (or batch) to the scheduler's SAVE lane.
+
+        The byte-budget seam (``iosched:budget-exhausted``) can crash
+        the submission before it queues; staged buffers and permits are
+        returned before the crash propagates — exactly the put-boundary
+        crash the battery models.
+        """
+        with self._pending_cond:
+            self._unfinished += 1
+        try:
+            task = self._scheduler.submit(
+                lambda: self._write_item(item),
+                QoS.SAVE,
+                nbytes=nbytes,
+                label="async-persist",
+                lane=self._lane,
+                fault=self._seam,
+                on_abandon=lambda error, item=item: self._abandon_item(item, error),
+            )
+        except BaseException:
+            # The submission itself failed (budget-seam crash, closed
+            # scheduler): the error reaches the caller synchronously,
+            # so settle without poisoning the deferred-error channel.
+            self._settle_item(item)
+            raise
+        with self._pending_cond:
+            while self._tasks and self._tasks[0].done:
+                self._tasks.popleft()
+            self._tasks.append(task)
+        self._sample_queue_depth()
+
+    def _seam(self, point: str) -> None:
+        """Fire scheduler crash seams through whichever hook is armed —
+        this layer's own, or (the chaos campaign's case) the decorated
+        store's."""
+        hook = self.fault_hook or getattr(self.inner, "fault_hook", None)
+        if hook is not None:
+            hook(point)
+
+    def _write_item(self, item) -> None:
+        try:
+            # Once a write has failed, discard queued writes instead
+            # of executing them: otherwise a later meta/commit entry
+            # could become durable over a hole left by the failure,
+            # and recovery would trust an incomplete checkpoint.
+            # Writing resumes after the error is surfaced (consumed)
+            # at a put/flush boundary.
+            with self._error_lock:
+                poisoned = self._error is not None
+            if not poisoned:
+                try:
+                    if isinstance(item, _Batch):
+                        self.inner.put_many_serialized(
+                            [(s.key, s.payload, s.stamp, s.node)
+                             for s in item.items]
+                        )
+                    else:
+                        self.inner.put_serialized(
+                            item.key, item.payload, item.stamp, item.node
+                        )
+                except BaseException as exc:  # noqa: BLE001 - propagate later
+                    with self._error_lock:
+                        if self._error is None:
+                            self._error = exc
+        finally:
+            self._settle_item(item)
+
+    def _abandon_item(self, item, error: Optional[BaseException]) -> None:
+        """A staged item whose write body will never run (scheduler
+        cancel/shutdown, or a dispatch-seam crash): record the error so
+        the next barrier surfaces it, then settle as usual."""
+        if error is None:
+            error = AsyncWriteError("async write abandoned before execution")
+        with self._error_lock:
+            if self._error is None:
+                self._error = error
+        self._settle_item(item)
+
+    def _settle_item(self, item) -> None:
+        # Buffers and permits return whether the write ran, failed, or
+        # was discarded — staging memory can never leak past a fault.
+        staged = item.items if isinstance(item, _Batch) else [item]
+        for entry in staged:
+            self._release(entry)
+            self._slots.release()
+        with self._pending_cond:
+            self._unfinished -= 1
+            self._pending_cond.notify_all()
+        self._sample_queue_depth()
+
+    def _wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until every accepted put has settled.
+
+        Helper-aware: waiting happens through ``IOTask.result()``, so a
+        barrier reached *from a scheduler worker thread* (a restore
+        task reading through this backend) executes queued tasks while
+        it waits instead of deadlocking the pool.  Returns False on
+        timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            item = self._queue.get()
+            with self._pending_cond:
+                if self._unfinished == 0:
+                    self._tasks.clear()
+                    return True
+                task = self._tasks[0] if self._tasks else None
+            if task is None:
+                # Settlement is mid-flight on another thread; the count
+                # drops as soon as it finishes.
+                with self._pending_cond:
+                    if self._unfinished:
+                        self._pending_cond.wait(0.005)
+                continue
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
             try:
-                if item is _STOP:
-                    return
-                # Once a write has failed, discard queued writes instead
-                # of executing them: otherwise a later meta/commit entry
-                # could become durable over a hole left by the failure,
-                # and recovery would trust an incomplete checkpoint.
-                # Writing resumes after the error is surfaced (consumed)
-                # at a put/flush boundary.
-                with self._error_lock:
-                    poisoned = self._error is not None
-                if not poisoned:
-                    try:
-                        if isinstance(item, _Batch):
-                            self.inner.put_many_serialized(
-                                [(s.key, s.payload, s.stamp, s.node)
-                                 for s in item.items]
-                            )
-                        else:
-                            self.inner.put_serialized(
-                                item.key, item.payload, item.stamp, item.node
-                            )
-                    except BaseException as exc:  # noqa: BLE001 - propagate later
-                        with self._error_lock:
-                            if self._error is None:
-                                self._error = exc
-            finally:
-                if item is not _STOP:
-                    # Buffers and permits return whether the write ran,
-                    # failed, or was discarded — staging memory can
-                    # never leak past a fault.
-                    staged = item.items if isinstance(item, _Batch) else [item]
-                    for entry in staged:
-                        self._release(entry)
-                        self._slots.release()
-                self._queue.task_done()
-                if item is not _STOP:
-                    self._sample_queue_depth()
+                task.result(timeout=remaining)
+            except TimeoutError:
+                return False
+            except BaseException:  # noqa: BLE001 - recorded via _error
+                pass
+            with self._pending_cond:
+                if self._tasks and self._tasks[0] is task:
+                    self._tasks.popleft()
 
     def _raise_pending(self) -> None:
         with self._error_lock:
             failed = self._error is not None
         if not failed:
             return
-        # Let the worker finish discarding everything staged behind the
+        # Let the drain finish discarding everything staged behind the
         # failure before the error is consumed — clearing it earlier
         # would let stale queued items be written over the hole.
-        self._queue.join()
+        self._wait_drained()
         with self._error_lock:
             error, self._error = self._error, None
         raise AsyncWriteError("deferred checkpoint write failed") from error
@@ -410,8 +502,7 @@ class AsyncWriteBackend(CheckpointBackend):
         self._raise_pending()
         nbytes = len(payload)
         self._slots.acquire()
-        self._queue.put(self._stage(key, payload, stamp, node))
-        self._sample_queue_depth()
+        self._submit_item(self._stage(key, payload, stamp, node), nbytes)
         self.bytes_written += nbytes
         self.put_count += 1
         return nbytes
@@ -446,8 +537,7 @@ class AsyncWriteBackend(CheckpointBackend):
                 len(staged) >= self.max_pending
                 or (pool_bytes and staged_bytes + pool_bytes > byte_budget)
             ):
-                self._queue.put(_Batch(staged))
-                self._sample_queue_depth()
+                self._submit_item(_Batch(staged), sum(len(s.payload) for s in staged))
                 staged = []
                 staged_bytes = 0
             self._slots.acquire()
@@ -457,8 +547,7 @@ class AsyncWriteBackend(CheckpointBackend):
             self.put_count += 1
             sizes.append(nbytes)
         if staged:
-            self._queue.put(_Batch(staged))
-            self._sample_queue_depth()
+            self._submit_item(_Batch(staged), sum(len(s.payload) for s in staged))
         return sizes
 
     def _barrier(self) -> None:
@@ -469,14 +558,14 @@ class AsyncWriteBackend(CheckpointBackend):
         Those (and only those) barriers are counted, timed, and traced;
         the common already-drained drain costs one queue check.
         """
-        if self._queue.unfinished_tasks:
+        if self._unfinished:
             stall_started = time.perf_counter()
-            with _span("async-flush", depth=self._queue.unfinished_tasks):
-                self._queue.join()
+            with _span("async-flush", depth=self._unfinished):
+                self._wait_drained()
             _FLUSH_STALLS.inc()
             _FLUSH_STALL_SECONDS.inc(time.perf_counter() - stall_started)
         else:
-            self._queue.join()
+            self._wait_drained()
         self._raise_pending()
 
     def flush(self) -> None:
@@ -491,18 +580,17 @@ class AsyncWriteBackend(CheckpointBackend):
 
     def pending(self) -> int:
         """Entries accepted but not yet written (approximate)."""
-        return self._queue.unfinished_tasks
+        return self._unfinished
 
     def close(self) -> None:
-        """Flush, stop the worker thread, and close the inner backend.
+        """Flush, release the scheduler lane, and close the inner
+        backend.
 
         Further writes raise ``RuntimeError`` (they would otherwise
         queue with no consumer and deadlock the next flush)."""
         self._closed = True
-        if self._worker.is_alive():
-            self._queue.join()
-            self._queue.put(_STOP)
-            self._worker.join()
+        self._wait_drained()
+        self._scheduler.release_lane(self._lane.name)
         self.inner.close()
         if self._owns_staging:
             self.staging.close()
@@ -511,23 +599,23 @@ class AsyncWriteBackend(CheckpointBackend):
     def abort(self) -> None:
         """Stop the pipeline *without* flushing — simulated process death.
 
-        Queued-but-unwritten entries are discarded (their staging
-        buffers return to the arena), the worker thread exits, and the
-        inner backend is left exactly as the drain left it — ``close``
+        The deferred-error channel is poisoned first, so every queued
+        item the scheduler subsequently drains *discards* itself (its
+        staging buffer returns to the arena) instead of writing — the
+        inner backend is left exactly as the drain left it; ``close``
         would first make every accepted write durable, which is
         precisely what a dying process cannot do.  The chaos campaign
         uses this to abandon an async instance after an injected crash
-        without leaking a daemon thread and a staging arena per run.
-        Idempotent; never raises the deferred write error (the "process"
-        is dead — recovery learns the truth from reopen + fsck).
+        without leaking a staging arena per run.  Idempotent; never
+        raises the deferred write error (the "process" is dead —
+        recovery learns the truth from reopen + fsck).
         """
         self._closed = True
         with self._error_lock:
             if self._error is None:
                 self._error = AsyncWriteError("aborted")
-        if self._worker.is_alive():
-            self._queue.put(_STOP)
-            self._worker.join(timeout=10.0)
+        self._wait_drained(timeout=10.0)
+        self._scheduler.release_lane(self._lane.name)
         if self._owns_staging:
             self.staging.close()
 

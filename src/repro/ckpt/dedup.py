@@ -912,10 +912,26 @@ class DedupBackend(CheckpointBackend):
 
     # -- maintenance ----------------------------------------------------
     def gc(self) -> GCReport:
-        """Reclaim zero-ref and orphaned chunks; compact both journals."""
-        with _span("dedup-gc"):
-            report = self.chunks.gc()
-            self._maybe_compact()
+        """Reclaim zero-ref and orphaned chunks; compact both journals.
+
+        The pass runs as one ``MAINTENANCE``-class task on the shared
+        I/O scheduler — the lowest QoS class, so a background gc never
+        outranks queued restores, saves, or uploads for a worker — while
+        this call blocks on its result (callers keep synchronous
+        semantics; a caller already on a scheduler worker runs it inline
+        via worker helping, so nesting cannot deadlock the pool).
+        """
+        from ..io.scheduler import QoS, get_scheduler
+
+        def run() -> GCReport:
+            with _span("dedup-gc"):
+                report = self.chunks.gc()
+                self._maybe_compact()
+            return report
+
+        report = get_scheduler().submit(
+            run, QoS.MAINTENANCE, label="dedup-gc", fault=self._fault
+        ).result()
         _GC_RUNS.inc()
         _GC_RECLAIMED_CHUNKS.inc(report.reclaimed_chunks)
         _GC_RECLAIMED_BYTES.inc(report.reclaimed_bytes)

@@ -32,12 +32,12 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..io.scheduler import IOScheduler, QoS, get_scheduler
 from ..obs.trace import span as _span
 from .backend import CheckpointBackend
 
@@ -97,38 +97,53 @@ class RestoreStats:
 
 
 class _LaneRecorder:
-    """Accumulates per-thread lane timings during one fetch."""
+    """Accumulates per-read timings during one fetch.
+
+    Lanes are *virtual concurrency slots*, not thread identities: reads
+    now run on the shared I/O scheduler's pooled workers, so one
+    restore's requests may touch more distinct threads than its
+    ``workers`` bound even though at most ``workers`` are ever in
+    flight.  ``profile()`` packs the recorded read intervals greedily
+    (classic interval partitioning), which reconstructs exactly the
+    occupancy picture the old one-thread-per-lane pool produced: lane
+    count == peak read concurrency <= ``workers``.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._lanes: Dict[int, List[float]] = {}
+        self._reads: List[Tuple[float, float, int]] = []
 
     def record(self, start: float, end: float, nbytes: int) -> None:
-        ident = threading.get_ident()
         with self._lock:
-            lane = self._lanes.get(ident)
-            if lane is None:
-                # [entries, bytes, busy, first_start, last_end]
-                self._lanes[ident] = [1.0, float(nbytes), end - start, start, end]
-            else:
-                lane[0] += 1
-                lane[1] += nbytes
-                lane[2] += end - start
-                lane[3] = min(lane[3], start)
-                lane[4] = max(lane[4], end)
+            self._reads.append((start, end, nbytes))
 
     def profile(self) -> RestoreProfile:
-        lanes = []
         with self._lock:
-            ordered = sorted(self._lanes.values(), key=lambda lane: lane[3])
-        for index, lane in enumerate(ordered):
+            ordered = sorted(self._reads)
+        # [entries, bytes, busy, first_start, last_end] per virtual lane.
+        slots: List[List[float]] = []
+        for start, end, nbytes in ordered:
+            best = None
+            for index, slot in enumerate(slots):
+                if slot[4] <= start and (best is None or slot[4] > slots[best][4]):
+                    best = index
+            if best is None:
+                slots.append([1.0, float(nbytes), end - start, start, end])
+            else:
+                slot = slots[best]
+                slot[0] += 1
+                slot[1] += nbytes
+                slot[2] += end - start
+                slot[4] = max(slot[4], end)
+        lanes = []
+        for index, slot in enumerate(sorted(slots, key=lambda slot: slot[3])):
             lanes.append(
                 LaneProfile(
                     lane=index,
-                    entries=int(lane[0]),
-                    payload_bytes=int(lane[1]),
-                    busy_seconds=lane[2],
-                    wall_seconds=lane[4] - lane[3],
+                    entries=int(slot[0]),
+                    payload_bytes=int(slot[1]),
+                    busy_seconds=slot[2],
+                    wall_seconds=slot[4] - slot[3],
                 )
             )
         return RestoreProfile(lanes=tuple(lanes))
@@ -144,13 +159,27 @@ class ParallelRestorer:
     them through a writability guard: the manager's entry loader copies
     into the optimizer's own arrays, and standalone consumers can use
     :func:`repro.ckpt.serializer.writable_entry`.
+
+    Reads run as ``RESTORE``-class tasks on the shared
+    :class:`~repro.io.scheduler.IOScheduler` — the highest QoS class,
+    so a recovery drain preempts queued saves/uploads for free workers
+    instead of fighting a private pool for cores.  ``workers`` bounds
+    this restorer's fan-out via a scheduler lane; no thread is ever
+    created per ``fetch`` call (the historical per-call
+    ``ThreadPoolExecutor`` churn).
     """
 
-    def __init__(self, workers: int = 4, copy: bool = True) -> None:
+    def __init__(
+        self,
+        workers: int = 4,
+        copy: bool = True,
+        scheduler: Optional[IOScheduler] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.copy = copy
+        self._scheduler = scheduler
 
     def fetch(
         self, requests: Iterable[ReadRequest]
@@ -181,16 +210,34 @@ class ParallelRestorer:
                 entries[request.key], nbytes = pull(request)
                 payload_bytes += nbytes
         else:
-            with ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="ckpt-restore"
-            ) as pool:
-                futures = [
-                    (request.key, pool.submit(pull, request))
+            scheduler = self._scheduler if self._scheduler is not None else get_scheduler()
+            lane = scheduler.lane(f"restore-{id(self):x}", self.workers)
+            first_error: Optional[BaseException] = None
+            try:
+                tasks = [
+                    (
+                        request.key,
+                        scheduler.submit(
+                            lambda request=request: pull(request),
+                            QoS.RESTORE,
+                            label="restore-read",
+                            lane=lane,
+                        ),
+                    )
                     for request in request_list
                 ]
-                for key, future in futures:
-                    entries[key], nbytes = future.result()
-                    payload_bytes += nbytes
+                # First failure wins; remaining in-flight reads drain.
+                for key, task in tasks:
+                    try:
+                        entries[key], nbytes = task.result()
+                        payload_bytes += nbytes
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        if first_error is None:
+                            first_error = exc
+            finally:
+                scheduler.release_lane(lane.name)
+            if first_error is not None:
+                raise first_error
         wall = time.perf_counter() - begin
         return entries, RestoreStats(
             entries=len(request_list),

@@ -45,20 +45,21 @@ import os
 import random
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..io.scheduler import (
+    IOLane,
+    IOScheduler,
+    IOTaskCancelled,
+    IOTaskTimeout,
+    QoS,
+    get_scheduler,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import span as _span
 from .backend import CheckpointBackend, CrashInjected, KVStoreError, Payload
 from .dedup import _JsonlJournal
-
-#: Sentinel shutting down an upload worker thread.
-_STOP = object()
 
 
 class RemoteUnavailable(RuntimeError):
@@ -282,9 +283,10 @@ class TieredGCReport:
 class TieredBackend(CheckpointBackend):
     """Write-back local tier + retrying remote tier behind one contract.
 
-    ``upload_workers >= 1`` runs the upload pipeline on daemon threads
-    with a bounded queue (puts block only when ``upload_queue_depth``
-    *distinct* keys are already waiting — backpressure, not loss);
+    ``upload_workers >= 1`` runs the upload pipeline as ``UPLOAD``-class
+    tasks on the shared I/O scheduler, fan-out bounded by a lane (puts
+    block only when ``upload_queue_depth`` *distinct* keys are already
+    waiting — backpressure, not loss);
     ``upload_workers=0`` uploads inline during the put, which is what
     the crash-injection battery uses: every seam then fires on the
     caller thread, so the arm-hook/abandon/reopen pattern is
@@ -324,6 +326,7 @@ class TieredBackend(CheckpointBackend):
         promote_on_read: bool = True,
         meters: Optional[object] = None,
         registry: Optional[MetricsRegistry] = None,
+        scheduler: Optional[IOScheduler] = None,
     ) -> None:
         super().__init__()
         if upload_workers < 0:
@@ -425,21 +428,18 @@ class TieredBackend(CheckpointBackend):
             # local tier's own index is the source of truth for what is
             # local, so replay does not need them.
 
-        self._upload_queue: Optional["_BoundedKeyQueue"] = None
-        self._upload_threads: List[threading.Thread] = []
+        # Upload pipeline: `UPLOAD`-class submissions on the shared
+        # :class:`~repro.io.scheduler.IOScheduler`, fan-out bounded by a
+        # named lane (was: private daemon threads + a bounded key
+        # queue).  The scheduler is resolved lazily when neither the
+        # upload pipeline nor a hedged read needs it — inline mode with
+        # hedging off never touches it.
+        self._scheduler: Optional[IOScheduler] = scheduler
+        self._upload_lane: Optional[IOLane] = None
         if upload_workers > 0:
-            self._upload_queue = _BoundedKeyQueue(upload_queue_depth)
-            self._upload_threads = [
-                threading.Thread(
-                    target=self._upload_worker,
-                    name=f"tier-upload-{index}",
-                    daemon=True,
-                )
-                for index in range(upload_workers)
-            ]
-            for thread in self._upload_threads:
-                thread.start()
-        self._read_pool: Optional[ThreadPoolExecutor] = None
+            self._upload_lane = self._io_scheduler().lane(
+                f"tier-upload-{id(self):x}", upload_workers
+            )
 
         # Resume: anything local that crashed before its claim became
         # durable re-enters the pipeline (idempotent re-upload).
@@ -577,48 +577,90 @@ class TieredBackend(CheckpointBackend):
         with self._state_lock:
             return self._remote_claims.get(key) != state
 
-    def _schedule_upload(self, key: str) -> None:
-        if self._upload_queue is None:
+    def _io_scheduler(self) -> IOScheduler:
+        scheduler = self._scheduler
+        if scheduler is None:
+            scheduler = self._scheduler = get_scheduler()
+        return scheduler
+
+    def _schedule_upload(self, key: str, requeue: bool = False) -> None:
+        if self.upload_workers == 0:
             # Inline mode: upload now, on the caller thread.  A crash
             # seam firing here propagates out of the put — the process
             # died mid-upload, exactly what the battery models.
             self._upload_with_retry(key)
             return
-        with self._state_lock:
+        scheduler = self._io_scheduler()
+        with self._cond:
+            if not requeue and not scheduler.is_worker_thread():
+                # Backpressure: block the producer while
+                # ``upload_queue_depth`` distinct keys are already
+                # waiting.  Never block a scheduler worker against its
+                # own pool, and never block the self-requeue path — an
+                # upload that finished but left the key pending.
+                while (
+                    not self._closed
+                    and key not in self._queued
+                    and key not in self._inflight
+                    and len(self._queued) >= self.upload_queue_depth
+                ):
+                    self._cond.wait(0.05)
             if self._closed or key in self._queued or key in self._inflight:
                 # An inflight upload re-checks pending state when it
                 # finishes and requeues itself if this put outran it.
                 return
             self._queued.add(key)
-        self._upload_queue.put(key)
+        try:
+            nbytes = self.local.nbytes_of(key)
+        except KVStoreError:
+            nbytes = 0
+        try:
+            scheduler.submit(
+                lambda: self._run_upload(key),
+                QoS.UPLOAD,
+                nbytes=nbytes,
+                label="tier-upload",
+                lane=self._upload_lane,
+                fault=self._fault,
+                on_abandon=lambda _error: self._abandon_upload(key),
+            )
+        except BaseException:
+            self._abandon_upload(key)
+            raise
 
-    def _upload_worker(self) -> None:
-        while True:
-            key = self._upload_queue.get()
-            if key is _STOP:
-                break
-            with self._state_lock:
-                self._queued.discard(key)
-                self._inflight.add(key)
-            try:
-                self._upload_with_retry(key)
-            except Exception:  # noqa: BLE001 - worker must survive
-                pass
-            finally:
-                requeue = False
-                with self._state_lock:
-                    self._inflight.discard(key)
-                    if (
-                        not self._closed
-                        and key not in self._queued
-                        and key not in self._upload_failures
-                        and self._pending_locked(key)
-                    ):
-                        self._queued.add(key)
-                        requeue = True
-                    self._cond.notify_all()
-                if requeue:
-                    self._upload_queue.put(key)
+    def _abandon_upload(self, key: str) -> None:
+        """An upload task died before its body ran (cancelled queued
+        task, shutdown, or a crash seam at dispatch): the key simply
+        stays pending — the next flush re-drives it."""
+        with self._cond:
+            self._queued.discard(key)
+            self._cond.notify_all()
+
+    def _run_upload(self, key: str) -> None:
+        with self._cond:
+            self._queued.discard(key)
+            if self._closed:
+                self._cond.notify_all()
+                return
+            self._inflight.add(key)
+        try:
+            self._upload_with_retry(key)
+        except Exception:  # noqa: BLE001 - task must settle quietly
+            pass
+        finally:
+            requeue = False
+            with self._cond:
+                self._inflight.discard(key)
+                if (
+                    not self._closed
+                    and key not in self._queued
+                    and key not in self._upload_failures
+                    and self._pending_locked(key)
+                ):
+                    requeue = True
+                self._cond.notify_all()
+            if requeue:
+                self._schedule_upload(key, requeue=True)
 
     def _pending_locked(self, key: str) -> bool:
         try:
@@ -694,11 +736,20 @@ class TieredBackend(CheckpointBackend):
     def drain_uploads(self) -> None:
         """Block until the background pipeline has settled every key it
         currently knows about (failures stay pending; see ``flush``)."""
-        if self._upload_queue is None:
+        if self.upload_workers == 0:
             return
-        with self._cond:
-            while self._queued or self._inflight:
-                self._cond.wait(0.05)
+        scheduler = self._io_scheduler()
+        while True:
+            with self._cond:
+                if not self._queued and not self._inflight:
+                    return
+            # On a scheduler worker thread, run queued work instead of
+            # parking the very pool slot this drain is waiting on.
+            if scheduler.help_once():
+                continue
+            with self._cond:
+                if self._queued or self._inflight:
+                    self._cond.wait(0.05)
 
     def flush(self) -> None:
         self.local.flush()
@@ -713,7 +764,7 @@ class TieredBackend(CheckpointBackend):
             if self._pending(key):
                 self._upload_with_retry(key)
         for key in self.pending_uploads():
-            if self._upload_queue is None:
+            if self.upload_workers == 0:
                 self._upload_with_retry(key)
         with _span("tier-retention"):
             self._apply_local_retention()
@@ -807,39 +858,44 @@ class TieredBackend(CheckpointBackend):
         """One read attempt, hedged: if the primary request has not
         completed within ``hedge_after_seconds``, race a second request
         and take the first success (tail-latency cut, not a retry — the
-        slow primary may still win)."""
-        pool = self._ensure_read_pool()
-        primary = pool.submit(self.remote._read, key)
+        slow primary may still win).  Both legs run as ``RESTORE``-class
+        tasks on the shared scheduler; the losing leg is cancelled
+        cooperatively (a still-queued loser never starts, a running one
+        checks its cancel flag before touching the remote)."""
+        scheduler = self._io_scheduler()
+
+        def leg() -> bytes:
+            if scheduler.current_cancelled():
+                raise IOTaskCancelled(key)
+            return self.remote._read(key)
+
+        primary = scheduler.submit(leg, QoS.RESTORE, label="tier-read")
         try:
             return primary.result(timeout=self.hedge_after_seconds)
-        except FuturesTimeout:
+        except IOTaskTimeout:
             pass
         except Exception:
             raise  # a fast failure is the retry loop's business
         self._c_hedged_reads.inc()
         with _span("hedged-read", key=key):
-            secondary = pool.submit(self.remote._read, key)
-            outstanding = {primary, secondary}
+            secondary = scheduler.submit(leg, QoS.RESTORE, label="tier-read-hedge")
+            racers = [primary, secondary]
             first_error: Optional[BaseException] = None
-            while outstanding:
-                done, outstanding = futures_wait(
-                    outstanding, return_when=FIRST_COMPLETED
-                )
-                for future in done:
-                    error = future.exception()
-                    if error is None:
-                        return future.result()
-                    if first_error is None:
-                        first_error = error
+            while racers:
+                for task in scheduler.wait_any(racers):
+                    racers.remove(task)
+                    try:
+                        value = task.result()
+                    except IOTaskCancelled:
+                        continue
+                    except BaseException as exc:  # noqa: BLE001 - leg error
+                        if first_error is None:
+                            first_error = exc
+                        continue
+                    for loser in racers:
+                        loser.cancel()
+                    return value
             raise first_error  # both legs failed
-
-    def _ensure_read_pool(self) -> ThreadPoolExecutor:
-        with self._state_lock:
-            if self._read_pool is None:
-                self._read_pool = ThreadPoolExecutor(
-                    max_workers=2, thread_name_prefix="tier-read"
-                )
-            return self._read_pool
 
     # -- metadata --------------------------------------------------------
     def stamp_of(self, key: str) -> int:
@@ -1041,48 +1097,19 @@ class TieredBackend(CheckpointBackend):
         try:
             self.flush()
         finally:
-            self._closed = True
-            if self._upload_queue is not None:
-                for _ in self._upload_threads:
-                    self._upload_queue.put(_STOP)
-                for thread in self._upload_threads:
-                    thread.join(timeout=10)
-            if self._read_pool is not None:
-                self._read_pool.shutdown(wait=False)
-                self._read_pool = None
+            with self._cond:
+                self._closed = True
+                self._cond.notify_all()
+            if self._upload_lane is not None:
+                # A clean close drained the pipeline in flush(); a
+                # crashed one leaves tasks that see _closed and settle
+                # as no-ops.  Either way the lane name is released so
+                # repeated open/close cycles (chaos campaigns) do not
+                # accumulate lane entries on the shared scheduler.
+                self._io_scheduler().release_lane(self._upload_lane.name)
+                self._upload_lane = None
             self.local.close()
             self.remote.close()
-
-
-class _BoundedKeyQueue:
-    """A tiny bounded FIFO (stdlib ``queue.Queue`` semantics, minus the
-    task-tracking we do not use).  Separate class only so the sentinel
-    can bypass the bound during shutdown."""
-
-    def __init__(self, maxsize: int) -> None:
-        import collections
-
-        self._items: "collections.deque" = collections.deque()
-        self._maxsize = maxsize
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
-        self._not_full = threading.Condition(self._lock)
-
-    def put(self, item) -> None:
-        with self._not_full:
-            if item is not _STOP:
-                while len(self._items) >= self._maxsize:
-                    self._not_full.wait()
-            self._items.append(item)
-            self._not_empty.notify()
-
-    def get(self):
-        with self._not_empty:
-            while not self._items:
-                self._not_empty.wait()
-            item = self._items.popleft()
-            self._not_full.notify()
-            return item
 
 
 def open_tiered_root(

@@ -140,9 +140,44 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         TwoLevelConfig,
         grid_topology,
     )
+    from .io import (
+        DEFAULT_IO_BYTE_BUDGET,
+        DEFAULT_IO_WORKERS,
+        QoS,
+        configure_scheduler,
+        get_scheduler,
+    )
     from .models import Adam, MoEModelConfig, MoETransformerLM
     from .obs import Observer, get_registry, get_tracer
     from .train import FaultSchedule, MarkovCorpus, Trainer, TrainerConfig
+
+    if (args.io_workers is not None or args.io_byte_budget is not None
+            or args.io_rate):
+        rate_limits = {}
+        for spec in args.io_rate or []:
+            name, _, rest = spec.partition("=")
+            try:
+                qos = QoS[name.strip().upper()]
+                rate, _, burst = rest.partition(":")
+                rate_limits[qos] = (
+                    float(rate), float(burst) if burst else max(1.0, float(rate))
+                )
+            except (KeyError, ValueError):
+                print(f"error: bad --io-rate {spec!r} (want "
+                      "CLASS=RATE[:BURST])", file=sys.stderr)
+                return 2
+        if args.io_byte_budget is None:
+            byte_budget = DEFAULT_IO_BYTE_BUDGET
+        elif args.io_byte_budget <= 0:
+            byte_budget = None
+        else:
+            byte_budget = args.io_byte_budget * (1 << 20)
+        configure_scheduler(
+            workers=args.io_workers
+            if args.io_workers is not None else DEFAULT_IO_WORKERS,
+            byte_budget=byte_budget,
+            rate_limits=rate_limits or None,
+        )
 
     model_config = MoEModelConfig(
         vocab_size=48, max_seq_len=16, dim=16, num_layers=2, num_heads=2,
@@ -386,6 +421,31 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 ],
                 precision=2,
             ))
+        # Shared I/O scheduler: per-QoS-class dispatch columns.  Every
+        # former private pool (async saves, restore reads, tier uploads,
+        # gc) submits through these classes, so the table is the one
+        # place contention between them is visible.
+        print(render_table(
+            ["io class", "submitted", "done", "failed", "cancelled",
+             "aged", "peak depth", "wait ms avg", "run ms avg"],
+            [
+                (
+                    label,
+                    c["submitted"],
+                    c["completed"],
+                    c["failed"],
+                    c["cancelled"],
+                    c["aged"],
+                    c["depth_highwater"],
+                    1e3 * c["wait_seconds_sum"] / c["wait_count"]
+                    if c["wait_count"] else 0.0,
+                    1e3 * c["run_seconds_sum"] / c["run_count"]
+                    if c["run_count"] else 0.0,
+                )
+                for label, c in get_scheduler().stats().items()
+            ],
+            precision=2,
+        ))
     if args.trace:
         exported = observer.tracer.export(args.trace)
         observer.tracer.disable()
@@ -839,6 +899,22 @@ def build_parser() -> argparse.ArgumentParser:
                            "(must divide --experts)")
     demo.add_argument("--restore-workers", type=int, default=4,
                       help="parallel readers for the resharded restore")
+    demo.add_argument("--io-workers", type=int, default=None,
+                      help="worker threads of the shared prioritized I/O "
+                           "scheduler every storage pool submits through "
+                           "(default 4); reconfigures the process-wide "
+                           "scheduler at startup")
+    demo.add_argument("--io-byte-budget", type=int, default=None,
+                      metavar="MIB",
+                      help="shared byte budget (MiB) across all queued I/O "
+                           "tasks — admission blocks on bytes, not task "
+                           "count (default 256; 0 = unlimited)")
+    demo.add_argument("--io-rate", action="append", default=None,
+                      metavar="CLASS=RATE[:BURST]",
+                      help="per-QoS-class token-bucket rate limit in tasks/"
+                           "sec, e.g. 'maintenance=2' or 'upload=50:10'; "
+                           "repeatable; classes: restore, save, upload, "
+                           "maintenance (default: unlimited)")
     demo.add_argument("--profile", action="store_true",
                       help="print the save-pipeline profile: per-save "
                            "wall time plus serialized/hashed/copied byte "

@@ -1,0 +1,27 @@
+"""Shared prioritized I/O scheduling for the storage stack."""
+
+from .scheduler import (
+    DEFAULT_IO_BYTE_BUDGET,
+    DEFAULT_IO_WORKERS,
+    IOLane,
+    IOScheduler,
+    IOTask,
+    IOTaskCancelled,
+    IOTaskTimeout,
+    QoS,
+    configure_scheduler,
+    get_scheduler,
+)
+
+__all__ = [
+    "DEFAULT_IO_BYTE_BUDGET",
+    "DEFAULT_IO_WORKERS",
+    "IOLane",
+    "IOScheduler",
+    "IOTask",
+    "IOTaskCancelled",
+    "IOTaskTimeout",
+    "QoS",
+    "configure_scheduler",
+    "get_scheduler",
+]

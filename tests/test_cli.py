@@ -301,14 +301,16 @@ class TestChaos:
             main(["chaos"])
 
     def test_chaos_run_small_campaign(self, capsys):
+        # 12 runs > the 11-seam dedup registry, so the guaranteed
+        # coverage prefix reaches every seam (incl. the iosched ones).
         assert main([
-            "chaos", "run", "--backend", "dedup", "--runs", "10",
+            "chaos", "run", "--backend", "dedup", "--runs", "12",
             "--seed", "7", "--worker-kill-runs", "0",
         ]) == 0
         out = capsys.readouterr().out
-        assert "runs ok: 10" in out
+        assert "runs ok: 12" in out
         assert "runs failed: 0" in out
-        assert "seams killed: 8/8" in out
+        assert "seams killed: 11/11" in out
         assert "adaptive loop" in out
 
     def test_chaos_run_single_index_repro(self, capsys):
